@@ -1,0 +1,87 @@
+//! # pubopt-alloc — rate allocation mechanisms (§II-B, §II-D.2)
+//!
+//! A **rate allocation mechanism** (Definition 1 of the paper) maps a fixed
+//! demand profile `{d_i}` to an achievable throughput profile `{θ_i}` on a
+//! shared bottleneck. The paper axiomatises the mechanisms it admits:
+//!
+//! * **Axiom 1** (feasibility): `θ_i ≤ θ̂_i`;
+//! * **Axiom 2** (work conservation): aggregate throughput equals
+//!   `min(µ, Σ λ̂_i)` — congestion is never left unresolved while capacity
+//!   is idle;
+//! * **Axiom 3** (monotonicity): more capacity never lowers any `θ_i`;
+//! * **Axiom 4** (independence of scale): `θ_i(M, µ) = θ_i(ξM, ξµ)` —
+//!   everything depends only on the per-capita capacity `ν = µ/M`.
+//!
+//! Thanks to Axiom 4 the whole crate works in per-capita units: a CP with
+//! popularity `α_i` and fixed demand `d_i` contributes an *active flow
+//! mass* of `m_i = α_i·d_i` flows per consumer, each individually capped
+//! at `θ̂_i`.
+//!
+//! Two mechanism families are implemented:
+//!
+//! * [`MaxMinFair`] — the α→∞ member of Mo–Walrand's α-proportional-fair
+//!   family, which the paper adopts as the first-order model of TCP's AIMD
+//!   (§II-D.2). Solved in closed form by water-filling.
+//! * [`WeightedAlphaFair`] — the general Mo–Walrand family with per-CP
+//!   weights (heterogeneous RTTs give TCP flows unequal shares; weights
+//!   model that). Solved by monotone bisection. With equal weights it
+//!   coincides with max-min for every α, which the tests verify.
+//!
+//! The [`axioms`] module turns Axioms 1–4 into executable checks used by
+//! both unit tests and the property-test suites of downstream crates.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod axioms;
+pub mod maxmin;
+pub mod weighted;
+
+pub use axioms::{check_axioms, AxiomReport, AxiomViolation};
+pub use maxmin::MaxMinFair;
+pub use weighted::WeightedAlphaFair;
+
+use pubopt_demand::Population;
+
+/// A rate allocation mechanism (Definition 1).
+///
+/// Implementations receive the population (for `α_i`, `θ̂_i`), a *fixed*
+/// demand profile `demands` (one entry per CP, each in `[0, 1]`), and the
+/// per-capita capacity `ν`, and return the achievable throughput profile
+/// `{θ_i}`.
+pub trait RateAllocator {
+    /// Compute the throughput profile for fixed demands.
+    ///
+    /// Must satisfy Axioms 1–4 (checkable via [`check_axioms`]).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `demands.len() != pop.len()` or if any
+    /// input is non-finite/negative.
+    fn allocate(&self, pop: &Population, demands: &[f64], nu: f64) -> Vec<f64>;
+
+    /// Short mechanism name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Aggregate per-capita throughput `Σ_i α_i d_i θ_i` realised by a profile.
+pub fn aggregate_rate(pop: &Population, demands: &[f64], thetas: &[f64]) -> f64 {
+    assert_eq!(pop.len(), demands.len());
+    assert_eq!(pop.len(), thetas.len());
+    pubopt_num::kahan_sum(
+        pop.iter()
+            .zip(demands.iter().zip(thetas.iter()))
+            .map(|(cp, (&d, &t))| cp.alpha * d * t),
+    )
+}
+
+/// The offered (unconstrained) per-capita load `Σ_i α_i d_i θ̂_i` of a
+/// fixed demand profile — the right-hand side of Axiom 2.
+pub fn offered_load(pop: &Population, demands: &[f64]) -> f64 {
+    assert_eq!(pop.len(), demands.len());
+    pubopt_num::kahan_sum(
+        pop.iter()
+            .zip(demands.iter())
+            .map(|(cp, &d)| cp.alpha * d * cp.theta_hat),
+    )
+}

@@ -1,0 +1,267 @@
+//! Max-min fair allocation by exact water-filling.
+//!
+//! Max-min fairness gives every flow the common *water level* `w`, capped
+//! at the flow's own unconstrained throughput: `θ_i = min(θ̂_i, w)`. The
+//! constrained water level solves
+//!
+//! ```text
+//! Σ_i m_i · min(θ̂_i, w) = ν,      m_i = α_i d_i
+//! ```
+//!
+//! The left-hand side is piecewise linear and non-decreasing in `w`, so the
+//! solution is found exactly (no iteration) by sweeping the breakpoints
+//! `θ̂_(1) ≤ θ̂_(2) ≤ …` in sorted order.
+//!
+//! CPs whose current demand mass is zero still receive `θ_i = min(θ̂_i, w)`:
+//! max-min fairness is a property of what any (infinitesimal) flow *would*
+//! get, and the equilibrium iteration of `pubopt-eq` relies on dormant CPs
+//! being able to re-enter when the water level rises.
+
+use crate::RateAllocator;
+use pubopt_demand::Population;
+
+/// The max-min fair mechanism (TCP's first-order model, §II-D.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxMinFair;
+
+impl MaxMinFair {
+    /// Compute the water level `w` for fixed demand masses.
+    ///
+    /// Returns `f64::INFINITY` when the offered load fits within `ν`
+    /// (every flow is then capped by its own `θ̂_i`, not by the link).
+    pub fn water_level(pop: &Population, demands: &[f64], nu: f64) -> f64 {
+        assert_eq!(
+            pop.len(),
+            demands.len(),
+            "demand profile length {} != population size {}",
+            demands.len(),
+            pop.len()
+        );
+        assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and >= 0, got {nu}");
+        for (i, &d) in demands.iter().enumerate() {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&d),
+                "demand[{i}] = {d} outside [0, 1]"
+            );
+        }
+
+        // Sort CP indices by θ̂ so the piecewise-linear load is swept in
+        // breakpoint order.
+        let mut order: Vec<usize> = (0..pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            pop[a]
+                .theta_hat
+                .partial_cmp(&pop[b].theta_hat)
+                .expect("theta_hat must not be NaN")
+        });
+
+        let mass = |i: usize| pop[i].alpha * demands[i];
+        let total_mass: f64 = pubopt_num::kahan_sum(order.iter().map(|&i| mass(i)));
+        let offered: f64 = pubopt_num::kahan_sum(order.iter().map(|&i| mass(i) * pop[i].theta_hat));
+        if offered <= nu {
+            return f64::INFINITY;
+        }
+        if total_mass == 0.0 {
+            // No offered load at all (and nu < offered was false) — cannot
+            // happen, but keep the branch total.
+            return f64::INFINITY;
+        }
+
+        // Walk the breakpoints: below θ̂_(k), `saturated` mass is fixed at
+        // its cap and `remaining` mass still grows linearly with w.
+        let mut saturated = 0.0f64; // Σ m_i θ̂_i over already-capped CPs
+        let mut remaining = total_mass; // Σ m_i over not-yet-capped CPs
+        let mut sat_acc = pubopt_num::KahanSum::new();
+        for &i in &order {
+            let cap = pop[i].theta_hat;
+            // Water level if the constraint binds within this segment:
+            let w = (nu - saturated) / remaining;
+            if w <= cap {
+                return w.max(0.0);
+            }
+            sat_acc.add(mass(i) * cap);
+            saturated = sat_acc.total();
+            remaining -= mass(i);
+            if remaining <= 0.0 {
+                // All mass capped but offered > nu contradicts the sweep;
+                // numerical dust — the highest cap is the effective level.
+                return cap;
+            }
+        }
+        // offered > nu guarantees the loop returned; reaching here means
+        // rounding noise. Return the largest cap.
+        pop.max_theta_hat()
+    }
+
+    /// Allocate via the water level: `θ_i = min(θ̂_i, w)`.
+    pub fn allocate_with_level(pop: &Population, w: f64) -> Vec<f64> {
+        pop.iter().map(|cp| cp.theta_hat.min(w)).collect()
+    }
+}
+
+impl RateAllocator for MaxMinFair {
+    fn allocate(&self, pop: &Population, demands: &[f64], nu: f64) -> Vec<f64> {
+        let w = Self::water_level(pop, demands, nu);
+        Self::allocate_with_level(pop, w)
+    }
+
+    fn name(&self) -> &'static str {
+        "max-min"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate_rate, offered_load};
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
+    use proptest::prelude::*;
+
+    fn pop3() -> Population {
+        vec![
+            ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(0.3, 10.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(0.5, 3.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn unconstrained_when_capacity_ample() {
+        let p = pop3();
+        let d = vec![1.0, 1.0, 1.0];
+        // offered = 1 + 3 + 1.5 = 5.5
+        let thetas = MaxMinFair.allocate(&p, &d, 10.0);
+        assert_eq!(thetas, vec![1.0, 10.0, 3.0]);
+    }
+
+    #[test]
+    fn water_level_exact_two_flows() {
+        // Two CPs, α=1, caps 1 and 10, full demand, ν = 4:
+        // w>1 ⇒ 1 + w = 4 ⇒ w = 3.
+        let p: Population = vec![
+            ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(1.0, 10.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into();
+        let w = MaxMinFair::water_level(&p, &[1.0, 1.0], 4.0);
+        assert!((w - 3.0).abs() < 1e-12);
+        let thetas = MaxMinFair.allocate(&p, &[1.0, 1.0], 4.0);
+        assert_eq!(thetas[0], 1.0);
+        assert!((thetas[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severe_congestion_shares_equally() {
+        let p = pop3();
+        let d = vec![1.0, 1.0, 1.0];
+        let thetas = MaxMinFair.allocate(&p, &d, 0.9);
+        // w = ν / Σm = 0.9 / 1.8 = 0.5 < min θ̂ ⇒ all get 0.5.
+        for &t in &thetas {
+            assert!((t - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_gives_zero() {
+        let p = pop3();
+        let thetas = MaxMinFair.allocate(&p, &[1.0, 1.0, 1.0], 0.0);
+        for &t in &thetas {
+            assert_eq!(t, 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_demand_cp_gets_water_level() {
+        let p = pop3();
+        // CP 1 (cap 10) demands nothing; remaining mass 1·1 + 0.5·3 offered = 2.5; ν = 1.75:
+        // google saturates at 1 (mass 1), then w: 1 + 0.5 w = 1.75 ⇒ w = 1.5.
+        let thetas = MaxMinFair.allocate(&p, &[1.0, 0.0, 1.0], 1.75);
+        assert_eq!(thetas[0], 1.0);
+        assert!((thetas[2] - 1.5).abs() < 1e-12);
+        // The dormant CP is *offered* the water level (capped by its θ̂).
+        assert!((thetas[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_conserving_when_constrained() {
+        let p = pop3();
+        let d = vec![1.0, 0.7, 0.4];
+        let nu = 2.0;
+        let thetas = MaxMinFair.allocate(&p, &d, nu);
+        let agg = aggregate_rate(&p, &d, &thetas);
+        assert!(offered_load(&p, &d) > nu);
+        assert!((agg - nu).abs() < 1e-9, "aggregate {agg} != nu {nu}");
+    }
+
+    #[test]
+    #[should_panic(expected = "demand profile length")]
+    fn rejects_length_mismatch() {
+        MaxMinFair.allocate(&pop3(), &[1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_invalid_demand() {
+        MaxMinFair.allocate(&pop3(), &[1.0, 2.0, 1.0], 1.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = Population::default();
+        let thetas = MaxMinFair.allocate(&p, &[], 5.0);
+        assert!(thetas.is_empty());
+    }
+
+    prop_compose! {
+        fn arb_pop()(specs in prop::collection::vec((0.01f64..1.0, 0.1f64..20.0), 1..12)) -> Population {
+            specs.into_iter()
+                .map(|(a, th)| ContentProvider::new(a, th, DemandKind::Constant, 0.0, 0.0))
+                .collect()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn axiom1_feasibility(p in arb_pop(), nu in 0.0f64..50.0, seed in 0u64..1000) {
+            let demands: Vec<f64> = (0..p.len()).map(|i| ((seed + i as u64) % 11) as f64 / 10.0).collect();
+            let thetas = MaxMinFair.allocate(&p, &demands, nu);
+            for (cp, &t) in p.iter().zip(thetas.iter()) {
+                prop_assert!(t <= cp.theta_hat + 1e-12);
+                prop_assert!(t >= 0.0);
+            }
+        }
+
+        #[test]
+        fn axiom2_work_conservation(p in arb_pop(), nu in 0.0f64..50.0) {
+            let demands = vec![1.0; p.len()];
+            let thetas = MaxMinFair.allocate(&p, &demands, nu);
+            let agg = aggregate_rate(&p, &demands, &thetas);
+            let expect = nu.min(offered_load(&p, &demands));
+            prop_assert!((agg - expect).abs() < 1e-8 * (1.0 + expect), "agg {} expect {}", agg, expect);
+        }
+
+        #[test]
+        fn axiom3_monotonicity(p in arb_pop(), nu in 0.0f64..50.0, extra in 0.0f64..10.0) {
+            let demands = vec![1.0; p.len()];
+            let t1 = MaxMinFair.allocate(&p, &demands, nu);
+            let t2 = MaxMinFair.allocate(&p, &demands, nu + extra);
+            for i in 0..p.len() {
+                prop_assert!(t2[i] + 1e-12 >= t1[i]);
+            }
+        }
+
+        #[test]
+        fn water_level_is_exact(p in arb_pop(), frac in 0.05f64..0.95) {
+            // Pick nu strictly inside the congested regime and verify the
+            // closed-form level reproduces nu exactly.
+            let demands = vec![1.0; p.len()];
+            let offered = offered_load(&p, &demands);
+            let nu = offered * frac;
+            let w = MaxMinFair::water_level(&p, &demands, nu);
+            prop_assert!(w.is_finite());
+            let load: f64 = p.iter().map(|cp| cp.alpha * cp.theta_hat.min(w)).sum();
+            prop_assert!((load - nu).abs() < 1e-8 * (1.0 + nu), "load {} nu {}", load, nu);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Weighted α-proportional fair allocation (Mo & Walrand 2000).
+//!
+//! The α-fair allocation maximises `Σ n_i w_i θ_i^{1−α}/(1−α)` (log for
+//! α = 1) over per-flow rates subject to the capacity constraint and the
+//! per-flow caps `θ_i ≤ θ̂_i`, where `n_i = α_i d_i` is CP *i*'s active
+//! flow mass and `w_i > 0` a per-CP weight. The KKT conditions give
+//!
+//! ```text
+//! θ_i = min(θ̂_i, (w_i / p)^{1/α})
+//! ```
+//!
+//! for the congestion price `p ≥ 0` that makes the capacity constraint
+//! tight. Substituting `t = p^{−1/α}` makes the load monotone *increasing*
+//! in `t`, so `t` is found by bisection.
+//!
+//! With equal weights the cap structure collapses to `min(θ̂_i, t)` — the
+//! max-min allocation — for **every** α; the paper leans on exactly this
+//! equivalence when it says TCP (≈ α-fair for some α) is max-min "to a
+//! first approximation". Unequal weights model RTT bias: TCP throughput
+//! scales like 1/RTT, so `w_i = (rtt_ref / rtt_i)^α` reproduces that bias.
+
+use crate::RateAllocator;
+use pubopt_demand::Population;
+use pubopt_num::{bisect, Tolerance};
+
+/// Weighted α-proportional fair mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedAlphaFair {
+    /// Fairness parameter `α > 0` (1 = proportional fair, →∞ = max-min).
+    pub alpha: f64,
+    /// Per-CP weights `w_i > 0`; empty means equal weights.
+    pub weights: Vec<f64>,
+    /// Solver tolerance for the bisection on the congestion price.
+    pub tol: Tolerance,
+}
+
+impl WeightedAlphaFair {
+    /// Equal-weight α-fair mechanism.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        Self {
+            alpha,
+            weights: Vec::new(),
+            tol: Tolerance::default(),
+        }
+    }
+
+    /// Proportional fair (`α = 1`).
+    pub fn proportional() -> Self {
+        Self::new(1.0)
+    }
+
+    /// Attach per-CP weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is non-positive or non-finite.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        self.weights = weights;
+        self
+    }
+
+    /// Weights modelling TCP's 1/RTT throughput bias: flow `i` with
+    /// round-trip time `rtt_i` gets weight `(rtt_ref / rtt_i)^α`, so that
+    /// the resulting uncapped rates are proportional to `1/rtt`.
+    pub fn with_rtt_bias(self, rtts: &[f64], rtt_ref: f64) -> Self {
+        assert!(rtt_ref > 0.0, "reference RTT must be positive");
+        let alpha = self.alpha;
+        self.with_weights(rtts.iter().map(|&r| (rtt_ref / r).powf(alpha)).collect())
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        if self.weights.is_empty() {
+            1.0
+        } else {
+            self.weights[i]
+        }
+    }
+
+    /// Uncapped rate at price parameter `t = p^{−1/α}` for CP `i`.
+    fn rate_at(&self, i: usize, t: f64) -> f64 {
+        self.weight(i).powf(1.0 / self.alpha) * t
+    }
+}
+
+impl RateAllocator for WeightedAlphaFair {
+    fn allocate(&self, pop: &Population, demands: &[f64], nu: f64) -> Vec<f64> {
+        assert_eq!(
+            pop.len(),
+            demands.len(),
+            "demand profile length {} != population size {}",
+            demands.len(),
+            pop.len()
+        );
+        if !self.weights.is_empty() {
+            assert_eq!(
+                pop.len(),
+                self.weights.len(),
+                "weights length {} != population size {}",
+                self.weights.len(),
+                pop.len()
+            );
+        }
+        assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and >= 0");
+        if pop.is_empty() {
+            return Vec::new();
+        }
+
+        let offered = crate::offered_load(pop, demands);
+        if offered <= nu {
+            return pop.iter().map(|cp| cp.theta_hat).collect();
+        }
+        if nu == 0.0 {
+            return vec![0.0; pop.len()];
+        }
+
+        // Load as a function of t (monotone non-decreasing, continuous):
+        let load = |t: f64| -> f64 {
+            pubopt_num::kahan_sum((0..pop.len()).map(|i| {
+                let theta = pop[i].theta_hat.min(self.rate_at(i, t));
+                pop[i].alpha * demands[i] * theta
+            }))
+        };
+
+        // Bracket: t_hi large enough that every flow is capped.
+        let min_wpow = (0..pop.len())
+            .map(|i| self.weight(i).powf(1.0 / self.alpha))
+            .fold(f64::INFINITY, f64::min);
+        let t_hi = pop.max_theta_hat() / min_wpow + 1.0;
+        let t = bisect(|t| load(t) - nu, 0.0, t_hi, self.tol)
+            .expect("load is 0 at t=0 and >= nu at t_hi: bracket must hold");
+        (0..pop.len())
+            .map(|i| pop[i].theta_hat.min(self.rate_at(i, t)))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-alpha-fair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate_rate, offered_load, MaxMinFair};
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
+    use proptest::prelude::*;
+
+    fn pop3() -> Population {
+        vec![
+            ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(0.3, 10.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(0.5, 3.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn equal_weights_match_maxmin() {
+        let p = pop3();
+        let d = vec![1.0, 0.8, 0.6];
+        for nu in [0.5, 1.0, 2.0, 4.0, 5.0] {
+            let mm = MaxMinFair.allocate(&p, &d, nu);
+            for alpha in [0.5, 1.0, 2.0, 8.0] {
+                let af = WeightedAlphaFair::new(alpha).allocate(&p, &d, nu);
+                for i in 0..p.len() {
+                    assert!(
+                        (mm[i] - af[i]).abs() < 1e-6,
+                        "alpha={alpha} nu={nu} i={i}: maxmin {} vs alphafair {}",
+                        mm[i],
+                        af[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unconstrained_passthrough() {
+        let p = pop3();
+        let t = WeightedAlphaFair::proportional().allocate(&p, &[1.0, 1.0, 1.0], 100.0);
+        assert_eq!(t, vec![1.0, 10.0, 3.0]);
+    }
+
+    #[test]
+    fn weights_tilt_the_allocation() {
+        // Two identical CPs; weight 4 vs 1 under proportional fairness
+        // (α=1) should give rates in ratio 4:1 while uncapped.
+        let p: Population = vec![
+            ContentProvider::new(1.0, 100.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(1.0, 100.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into();
+        let t = WeightedAlphaFair::proportional()
+            .with_weights(vec![4.0, 1.0])
+            .allocate(&p, &[1.0, 1.0], 10.0);
+        assert!((t[0] / t[1] - 4.0).abs() < 1e-6, "ratio {}", t[0] / t[1]);
+        assert!((t[0] + t[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rtt_bias_prefers_short_rtt() {
+        let p: Population = vec![
+            ContentProvider::new(1.0, 100.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(1.0, 100.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into();
+        // CP 0 at 10 ms, CP 1 at 40 ms: rates should be ~4:1 under any α.
+        for alpha in [1.0, 2.0] {
+            let t = WeightedAlphaFair::new(alpha)
+                .with_rtt_bias(&[0.010, 0.040], 0.010)
+                .allocate(&p, &[1.0, 1.0], 10.0);
+            assert!((t[0] / t[1] - 4.0).abs() < 1e-4, "alpha {alpha}: ratio {}", t[0] / t[1]);
+        }
+    }
+
+    #[test]
+    fn caps_respected_with_weights() {
+        let p: Population = vec![
+            ContentProvider::new(1.0, 2.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(1.0, 100.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into();
+        let t = WeightedAlphaFair::proportional()
+            .with_weights(vec![100.0, 1.0])
+            .allocate(&p, &[1.0, 1.0], 10.0);
+        // Heavy weight on CP 0 but its cap is 2: residual goes to CP 1.
+        assert!((t[0] - 2.0).abs() < 1e-6);
+        assert!((t[1] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights length")]
+    fn rejects_weight_length_mismatch() {
+        WeightedAlphaFair::new(1.0)
+            .with_weights(vec![1.0])
+            .allocate(&pop3(), &[1.0, 1.0, 1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        WeightedAlphaFair::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_1_and_2_hold(
+            specs in prop::collection::vec((0.01f64..1.0, 0.1f64..20.0, 0.1f64..5.0), 1..10),
+            nu in 0.0f64..40.0,
+            alpha in 0.25f64..6.0,
+        ) {
+            let p: Population = specs.iter()
+                .map(|&(a, th, _)| ContentProvider::new(a, th, DemandKind::Constant, 0.0, 0.0))
+                .collect();
+            let w: Vec<f64> = specs.iter().map(|&(_, _, wt)| wt).collect();
+            let d = vec![1.0; p.len()];
+            let thetas = WeightedAlphaFair::new(alpha).with_weights(w).allocate(&p, &d, nu);
+            for (cp, &t) in p.iter().zip(thetas.iter()) {
+                prop_assert!(t <= cp.theta_hat + 1e-9);
+                prop_assert!(t >= 0.0);
+            }
+            let agg = aggregate_rate(&p, &d, &thetas);
+            let expect = nu.min(offered_load(&p, &d));
+            prop_assert!((agg - expect).abs() < 1e-5 * (1.0 + expect), "agg {} expect {}", agg, expect);
+        }
+
+        #[test]
+        fn axiom3_monotone_in_nu(
+            specs in prop::collection::vec((0.01f64..1.0, 0.1f64..20.0), 1..10),
+            nu in 0.0f64..40.0,
+            extra in 0.0f64..10.0,
+            alpha in 0.25f64..6.0,
+        ) {
+            let p: Population = specs.into_iter()
+                .map(|(a, th)| ContentProvider::new(a, th, DemandKind::Constant, 0.0, 0.0))
+                .collect();
+            let d = vec![1.0; p.len()];
+            let mech = WeightedAlphaFair::new(alpha);
+            let t1 = mech.allocate(&p, &d, nu);
+            let t2 = mech.allocate(&p, &d, nu + extra);
+            for i in 0..p.len() {
+                prop_assert!(t2[i] + 1e-6 >= t1[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **A1 — equilibrium solver**: specialised max-min water-level
+//!   bisection vs the generic damped fixed-point iteration.
+//! * **A2 — CP-partition dynamics**: throughput-taking competitive solver
+//!   vs exact Nash best-response dynamics.
+//! * **A3 — market-share solver**: duopoly share bisection vs the
+//!   tâtonnement migration dynamic.
+//! * **A4 — netsim fidelity**: integration-step size, and RED vs
+//!   drop-tail queueing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pubopt_alloc::MaxMinFair;
+use pubopt_core::{
+    competitive_equilibrium, market_share_equilibrium, nash_equilibrium, tatonnement, Isp,
+    IspStrategy, MarketGame,
+};
+use pubopt_eq::{solve_generic, solve_maxmin};
+use pubopt_netsim::{FlowGroup, FluidSim, SimConfig};
+use pubopt_num::{FixedPointOptions, Tolerance};
+use pubopt_workload::EnsembleConfig;
+
+fn ensemble(n: usize) -> pubopt_demand::Population {
+    EnsembleConfig {
+        n,
+        seed: 12345,
+        ..EnsembleConfig::default()
+    }
+    .generate()
+}
+
+/// A1: max-min specialised solver vs generic fixed point.
+fn ablation_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_solver");
+    {
+        // The specialised solver scales to the paper's 1000 CPs; the
+        // generic fixed point is benchmarked only at the sizes where a
+        // single iteration budget is predictable.
+        let pop = ensemble(1000);
+        let nu = 0.3 * pop.total_unconstrained_per_capita();
+        g.bench_with_input(BenchmarkId::new("maxmin_bisection", 1000usize), &1000usize, |b, _| {
+            b.iter(|| solve_maxmin(&pop, black_box(nu), Tolerance::COARSE))
+        });
+    }
+    for &n in &[10usize, 100] {
+        let pop = ensemble(n);
+        let nu = 0.3 * pop.total_unconstrained_per_capita();
+        g.bench_with_input(BenchmarkId::new("maxmin_bisection", n), &n, |b, _| {
+            b.iter(|| solve_maxmin(&pop, black_box(nu), Tolerance::COARSE))
+        });
+        g.bench_with_input(BenchmarkId::new("generic_fixed_point", n), &n, |b, _| {
+            b.iter(|| {
+                solve_generic(
+                    &pop,
+                    &MaxMinFair,
+                    black_box(nu),
+                    FixedPointOptions {
+                        damping: 0.5,
+                        tol: Tolerance::COARSE.with_max_iter(5000),
+                    },
+                )
+                .expect("generic solver converges on the ensemble")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A2: competitive (throughput-taking) vs Nash (exact) partition solver.
+fn ablation_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_partition");
+    g.sample_size(10);
+    let pop = ensemble(60);
+    let nu = 0.3 * pop.total_unconstrained_per_capita();
+    let s = IspStrategy::new(0.5, 0.3);
+    g.bench_function("competitive_60cps", |b| {
+        b.iter(|| competitive_equilibrium(&pop, black_box(nu), s, Tolerance::COARSE))
+    });
+    g.bench_function("nash_60cps", |b| {
+        b.iter(|| nash_equilibrium(&pop, black_box(nu), s, Tolerance::COARSE))
+    });
+    g.finish();
+}
+
+/// A3: duopoly share bisection vs tâtonnement migration.
+fn ablation_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_migration");
+    g.sample_size(10);
+    let pop = ensemble(200);
+    let nu = 0.4 * pop.total_unconstrained_per_capita();
+    let game = MarketGame::new(
+        vec![
+            Isp::new("strategic", IspStrategy::new(0.6, 0.25), 0.5),
+            Isp::public_option(0.5),
+        ],
+        nu,
+    );
+    g.bench_function("level_bisection_duopoly", |b| {
+        b.iter(|| market_share_equilibrium(&game, &pop, Tolerance::COARSE))
+    });
+    g.bench_function("tatonnement_duopoly", |b| {
+        b.iter(|| tatonnement(&game, &pop, 0.5, 200, 1e-3, Tolerance::COARSE))
+    });
+    g.finish();
+}
+
+/// A4: netsim integration step and queue discipline.
+fn ablation_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_netsim");
+    g.sample_size(10);
+    let groups = || {
+        vec![
+            FlowGroup::new("a", 20, 1.0, 0.08),
+            FlowGroup::new("b", 10, 10.0, 0.08),
+        ]
+    };
+    for &frac in &[0.02f64, 0.05, 0.2] {
+        g.bench_with_input(BenchmarkId::new("dt_rtt_fraction", format!("{frac}")), &frac, |b, &frac| {
+            b.iter(|| {
+                let mut sim = FluidSim::new(
+                    groups(),
+                    SimConfig {
+                        capacity: 60.0,
+                        warmup: 20.0,
+                        measure: 20.0,
+                        dt_rtt_fraction: frac,
+                        ..SimConfig::default()
+                    },
+                );
+                sim.run()
+            })
+        });
+    }
+    g.bench_function("queue_red", |b| {
+        b.iter(|| {
+            let mut sim = FluidSim::new(
+                groups(),
+                SimConfig {
+                    capacity: 60.0,
+                    warmup: 20.0,
+                    measure: 20.0,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run()
+        })
+    });
+    g.bench_function("queue_droptail", |b| {
+        b.iter(|| {
+            let mut sim = FluidSim::new(
+                groups(),
+                SimConfig {
+                    capacity: 60.0,
+                    warmup: 20.0,
+                    measure: 20.0,
+                    red: None,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+/// Same short settings as the figure benches (see there).
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = short();
+    targets = ablation_solver, ablation_partition, ablation_migration, ablation_netsim
+}
+criterion_main!(ablations);

@@ -1,0 +1,171 @@
+//! One benchmark per paper figure: each measures the computational kernel
+//! that regenerating the figure sweeps over (one representative parameter
+//! point at full 1000-CP scale, so per-point cost × grid size predicts
+//! full regeneration time).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pubopt_core::{competitive_equilibrium, duopoly_with_public_option, IspStrategy};
+use pubopt_demand::{Demand, DemandKind};
+use pubopt_eq::solve_maxmin;
+use pubopt_netsim::{FlowGroup, FluidSim, SimConfig};
+use pubopt_num::Tolerance;
+use pubopt_workload::{paper_ensemble, paper_ensemble_independent_phi, Scenario, ScenarioKind};
+
+/// Figure 2 kernel: evaluating the Eq. (3) demand family over a ω grid.
+fn bench_fig2(c: &mut Criterion) {
+    let omegas = pubopt_num::linspace_excl_zero(1.0, 400);
+    c.bench_function("fig2/demand_curve_6_betas_400_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &beta in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+                let d = DemandKind::exponential(beta);
+                for &w in &omegas {
+                    acc += d.demand_at(black_box(w));
+                }
+            }
+            acc
+        })
+    });
+}
+
+/// Figure 3 kernel: one trio rate-equilibrium solve.
+fn bench_fig3(c: &mut Criterion) {
+    let s = Scenario::load(ScenarioKind::Trio);
+    c.bench_function("fig3/trio_equilibrium_solve", |b| {
+        b.iter(|| solve_maxmin(&s.pop, black_box(2.0), Tolerance::default()))
+    });
+}
+
+/// Figure 4 kernel: one κ=1 competitive equilibrium on 1000 CPs.
+fn bench_fig4(c: &mut Criterion) {
+    let pop = paper_ensemble();
+    c.bench_function("fig4/kappa1_point_1000cps", |b| {
+        b.iter(|| {
+            competitive_equilibrium(
+                &pop,
+                black_box(100.0),
+                IspStrategy::premium_only(0.4),
+                Tolerance::COARSE,
+            )
+        })
+    });
+}
+
+/// Figure 5 kernel: one general-(κ,c) competitive equilibrium on 1000 CPs.
+fn bench_fig5(c: &mut Criterion) {
+    let pop = paper_ensemble();
+    c.bench_function("fig5/grid_point_1000cps", |b| {
+        b.iter(|| {
+            competitive_equilibrium(
+                &pop,
+                black_box(150.0),
+                IspStrategy::new(0.5, 0.4),
+                Tolerance::COARSE,
+            )
+        })
+    });
+}
+
+/// Figure 7 kernel: one κ=1 duopoly (vs Public Option) solve.
+fn bench_fig7(c: &mut Criterion) {
+    let pop = paper_ensemble();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("duopoly_point_kappa1_1000cps", |b| {
+        b.iter(|| {
+            duopoly_with_public_option(
+                &pop,
+                black_box(100.0),
+                IspStrategy::premium_only(0.3),
+                0.5,
+                Tolerance::COARSE,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figure 8 kernel: one general-(κ,c) duopoly solve.
+fn bench_fig8(c: &mut Criterion) {
+    let pop = paper_ensemble();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("duopoly_point_grid_1000cps", |b| {
+        b.iter(|| {
+            duopoly_with_public_option(
+                &pop,
+                black_box(150.0),
+                IspStrategy::new(0.9, 0.4),
+                0.5,
+                Tolerance::COARSE,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figures 9–12 kernel: the appendix differs only in the ensemble, so the
+/// benchmarkable delta is generating the independent-φ ensemble and one
+/// representative equilibrium on it.
+fn bench_fig9_12(c: &mut Criterion) {
+    c.bench_function("fig9_12/independent_phi_ensemble_generation", |b| {
+        b.iter(paper_ensemble_independent_phi)
+    });
+    let pop = paper_ensemble_independent_phi();
+    c.bench_function("fig9_12/kappa1_point_independent_phi", |b| {
+        b.iter(|| {
+            competitive_equilibrium(
+                &pop,
+                black_box(100.0),
+                IspStrategy::premium_only(0.4),
+                Tolerance::COARSE,
+            )
+        })
+    });
+}
+
+/// §II-D.2 kernel: one fluid AIMD simulation epoch (the netsim check).
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+    g.bench_function("fluid_sim_90flows_60s", |b| {
+        b.iter(|| {
+            let groups = vec![
+                FlowGroup::new("google", 50, 1.0, 0.08),
+                FlowGroup::new("netflix", 15, 10.0, 0.08),
+                FlowGroup::new("skype", 25, 3.0, 0.08),
+            ];
+            let mut sim = FluidSim::new(
+                groups,
+                SimConfig {
+                    capacity: 150.0,
+                    warmup: 30.0,
+                    measure: 30.0,
+                    ..SimConfig::default()
+                },
+            );
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+/// Short, CI-friendly measurement settings: the kernels span five orders
+/// of magnitude (µs demand evaluations to ~1 s market solves), so a small
+/// fixed sample budget keeps the full suite to a few minutes even on one
+/// core.
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures;
+    config = short();
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig5, bench_fig7, bench_fig8,
+              bench_fig9_12, bench_netsim
+}
+criterion_main!(figures);

@@ -1,0 +1,555 @@
+//! CP best responses and second-stage partition equilibria (§III-B–D).
+//!
+//! Given the ISP's announced `s_I = (κ, c)`, every CP simultaneously
+//! chooses the ordinary or the premium class. Two solution concepts:
+//!
+//! * **Competitive equilibrium** (Definition 3, Assumption 3): each CP is
+//!   *throughput-taking* — it estimates its ex-post per-capita throughput
+//!   from the class's current conditions, ignoring its own marginal
+//!   congestion impact. Under max-min fairness the estimate the paper
+//!   prescribes is `θ̃_i = min(θ̂_i, θ_class)` where `θ_class` is the
+//!   class's water level. This is the concept used for all of the paper's
+//!   numerical experiments (1000 CPs make the assumption accurate).
+//! * **Nash equilibrium** (Definition 2): each CP accounts exactly for its
+//!   own effect, i.e. compares `ρ_i` in `O ∪ {i}` vs `P ∪ {i}` via full
+//!   sub-system equilibrium solves. Exponentially more expensive per
+//!   iteration (two equilibrium solves per CP per pass), intended for
+//!   small populations and for validating the competitive solver.
+//!
+//! Tie-breaking follows the paper: a CP indifferent between the classes
+//! joins the **ordinary** class.
+//!
+//! Both solvers are simultaneous best-response iterations with cycle
+//! detection; on a cycle they fall back to sequential (one-CP-at-a-time)
+//! dynamics, which in practice terminates for every workload in this
+//! repository (DESIGN.md ablation A2 measures the difference).
+
+use crate::outcome::{GameOutcome, Partition, ServiceClass};
+use crate::strategy::IspStrategy;
+use pubopt_demand::{ContentProvider, Population};
+use pubopt_eq::solve_maxmin;
+use pubopt_num::Tolerance;
+use std::collections::HashSet;
+
+/// A solved second-stage partition equilibrium.
+#[derive(Debug, Clone)]
+pub struct PartitionSolution {
+    /// The resolved outcome (partition + class equilibria + welfare).
+    pub outcome: GameOutcome,
+    /// Whether a cycle forced the sequential fallback.
+    pub cycle_detected: bool,
+}
+
+/// Throughput-taking estimate `ρ̃_i` for a CP facing a class with water
+/// level `w` (∞ ⇒ the class is uncongested and any joiner gets `θ̂`).
+fn rho_estimate(cp: &ContentProvider, water: f64) -> f64 {
+    let theta = cp.theta_hat.min(water);
+    cp.demand_at(theta) * theta
+}
+
+/// Water level of one class of the current partition: solves that class's
+/// rate equilibrium on its capacity share. `∞` when uncongested or empty
+/// with positive capacity; `0` when the class has no capacity.
+fn class_water(pop: &Population, indices: &[usize], capacity: f64, tol: Tolerance) -> f64 {
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    let class_pop = pop.select(indices);
+    solve_maxmin(&class_pop, capacity, tol)
+        .water_level
+        .expect("max-min solver always reports a water level")
+}
+
+/// Throughput-taking utilities of CP `i` in each class: `(u_ord, u_prem)`.
+fn class_utilities(cp: &ContentProvider, c: f64, w_ord: f64, w_prem: f64) -> (f64, f64) {
+    (
+        cp.v * rho_estimate(cp, w_ord),
+        (cp.v - c) * rho_estimate(cp, w_prem),
+    )
+}
+
+/// Relative indifference slack: switching requires a gain beyond this, and
+/// verification tolerates deficits within it. Keeps the dynamics from
+/// ping-ponging on exact ties (e.g. a free premium class whose water level
+/// equalises with the ordinary class).
+fn slack(u_ord: f64, u_prem: f64) -> f64 {
+    1e-9 * (u_ord.abs() + u_prem.abs()) + 1e-15
+}
+
+/// The preferred class of CP `i` under throughput-taking estimates, with
+/// hysteresis: the CP keeps its `current` class unless the other side is
+/// strictly better beyond the indifference slack. Ties (within slack) go
+/// to the current class, which subsumes the paper's ties-to-ordinary rule
+/// for CPs starting in the ordinary class.
+fn preferred_class(
+    cp: &ContentProvider,
+    c: f64,
+    w_ord: f64,
+    w_prem: f64,
+    current: ServiceClass,
+) -> ServiceClass {
+    let (u_ord, u_prem) = class_utilities(cp, c, w_ord, w_prem);
+    let eps = slack(u_ord, u_prem);
+    match current {
+        ServiceClass::Ordinary if u_prem > u_ord + eps => ServiceClass::Premium,
+        ServiceClass::Premium if u_ord > u_prem + eps => ServiceClass::Ordinary,
+        _ => current,
+    }
+}
+
+/// Compact hashable signature of a partition (one bit per CP).
+fn signature(p: &Partition) -> Vec<u64> {
+    let mut words = vec![0u64; p.len().div_ceil(64)];
+    for (i, cls) in p.classes().iter().enumerate() {
+        if *cls == ServiceClass::Premium {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Solve the competitive equilibrium (Definition 3) of the game
+/// `(ν, N, s_I)`.
+///
+/// Starts from the all-ordinary profile, iterates simultaneous
+/// throughput-taking best responses, and falls back to sequential dynamics
+/// if the simultaneous iteration cycles.
+pub fn competitive_equilibrium(
+    pop: &Population,
+    nu: f64,
+    strategy: IspStrategy,
+    tol: Tolerance,
+) -> PartitionSolution {
+    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative");
+    let n = pop.len();
+    let cap_ord = strategy.ordinary_fraction() * nu;
+    let cap_prem = strategy.kappa * nu;
+
+    // §III-C defines trivial profiles at the κ boundaries: with κ = 0 the
+    // premium class does not physically exist (s_N = (N, ∅)); with κ = 1
+    // the ordinary class does not, and s_N = (O, N\O) with
+    // O = {i : v_i ≤ c} — the CPs that cannot afford the premium class.
+    if strategy.kappa == 0.0 || strategy.kappa == 1.0 {
+        let partition = if strategy.kappa == 0.0 {
+            Partition::all_ordinary(n)
+        } else {
+            Partition::from_predicate(n, |i| pop[i].v > strategy.c)
+        };
+        let mut outcome = GameOutcome::resolve(pop, nu, strategy, partition, tol);
+        outcome.converged = true;
+        outcome.iterations = 1;
+        return PartitionSolution {
+            outcome,
+            cycle_detected: false,
+        };
+    }
+
+    let mut partition = Partition::all_ordinary(n);
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut cycle_detected = false;
+    let mut iterations = 0usize;
+
+    // Phase 1: simultaneous best responses (with hysteresis).
+    loop {
+        iterations += 1;
+        let w_ord = class_water(pop, &partition.ordinary_indices(), cap_ord, tol);
+        let w_prem = class_water(pop, &partition.premium_indices(), cap_prem, tol);
+        let next = Partition::from_predicate(n, |i| {
+            preferred_class(&pop[i], strategy.c, w_ord, w_prem, partition.class_of(i))
+                == ServiceClass::Premium
+        });
+        if next == partition {
+            break;
+        }
+        if !seen.insert(signature(&next)) || iterations >= 60 {
+            cycle_detected = true;
+            partition = next;
+            break;
+        }
+        partition = next;
+    }
+
+    // Phase 2 (only on cycles): halving-cohort dynamics. A pure-strategy
+    // competitive equilibrium need not exist with finitely many CPs (the
+    // concept is exact only in the large-N limit the paper invokes), and
+    // when it does exist, the simultaneous iteration typically failed
+    // because a whole utility band of CPs flips together. Each round
+    // flips the top-gain violators in a cohort whose size halves every
+    // round — a damped adjustment that settles bands — and finishes with
+    // single-CP moves. If violations never reach zero we keep the
+    // partition with the fewest ε-violations encountered.
+    if cycle_detected {
+        let max_rounds = 60 + 3 * n.min(200);
+        let mut cohort = (n / 8).max(1);
+        let mut best: Option<(usize, Partition)> = None;
+        for _ in 0..max_rounds {
+            iterations += 1;
+            let w_ord = class_water(pop, &partition.ordinary_indices(), cap_ord, tol);
+            let w_prem = class_water(pop, &partition.premium_indices(), cap_prem, tol);
+            // Collect violators with their gains.
+            let mut violators: Vec<(f64, usize)> = Vec::new();
+            for i in 0..n {
+                let (u_ord, u_prem) = class_utilities(&pop[i], strategy.c, w_ord, w_prem);
+                let eps = slack(u_ord, u_prem);
+                let gain = match partition.class_of(i) {
+                    ServiceClass::Ordinary => u_prem - u_ord,
+                    ServiceClass::Premium => u_ord - u_prem,
+                };
+                if gain > eps {
+                    violators.push((gain, i));
+                }
+            }
+            if best.as_ref().map_or(true, |(v, _)| violators.len() < *v) {
+                best = Some((violators.len(), partition.clone()));
+            }
+            if violators.is_empty() {
+                break; // exact (ε-)equilibrium reached
+            }
+            violators.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite"));
+            for &(_, i) in violators.iter().take(cohort) {
+                let flip = match partition.class_of(i) {
+                    ServiceClass::Ordinary => ServiceClass::Premium,
+                    ServiceClass::Premium => ServiceClass::Ordinary,
+                };
+                partition.set(i, flip);
+            }
+            cohort = (cohort / 2).max(1);
+        }
+        if let Some((v, p)) = best {
+            if v > 0 {
+                partition = p;
+            }
+        }
+    }
+
+    let mut outcome = GameOutcome::resolve(pop, nu, strategy, partition, tol);
+    outcome.converged = verify_competitive(pop, &outcome, tol);
+    outcome.iterations = iterations;
+    PartitionSolution {
+        outcome,
+        cycle_detected,
+    }
+}
+
+/// Verify the competitive-equilibrium conditions (Definition 3) at an
+/// outcome: no CP strictly prefers the other class under throughput-taking
+/// estimates.
+pub fn verify_competitive(pop: &Population, outcome: &GameOutcome, tol: Tolerance) -> bool {
+    let nu = outcome.nu;
+    let s = outcome.strategy;
+    // Boundary strategies use the paper's trivial profiles (§III-C).
+    if s.kappa == 0.0 {
+        return outcome.partition.premium_count() == 0;
+    }
+    if s.kappa == 1.0 {
+        return (0..pop.len()).all(|i| {
+            (outcome.partition.class_of(i) == ServiceClass::Premium) == (pop[i].v > s.c)
+        });
+    }
+    let w_ord = class_water(
+        pop,
+        &outcome.partition.ordinary_indices(),
+        s.ordinary_fraction() * nu,
+        tol,
+    );
+    let w_prem = class_water(pop, &outcome.partition.premium_indices(), s.kappa * nu, tol);
+    // ε-equilibrium check: a CP's class is acceptable if the other class
+    // is not better beyond the indifference slack.
+    (0..pop.len()).all(|i| {
+        let (u_ord, u_prem) = class_utilities(&pop[i], s.c, w_ord, w_prem);
+        let eps = slack(u_ord, u_prem);
+        match outcome.partition.class_of(i) {
+            ServiceClass::Ordinary => u_ord + eps >= u_prem,
+            ServiceClass::Premium => u_prem + eps >= u_ord,
+        }
+    })
+}
+
+/// Count the CPs whose class assignment violates the ε-equilibrium
+/// conditions of Definition 3 at `outcome` (0 ⇔ [`verify_competitive`]),
+/// using the solver's own knife-edge indifference slack.
+///
+/// With finitely many CPs a pure competitive equilibrium need not exist —
+/// the concept is exact in the paper's large-N limit — so downstream code
+/// treats a small violation count as "converged for practical purposes".
+pub fn count_violations(pop: &Population, outcome: &GameOutcome, tol: Tolerance) -> usize {
+    count_violations_rel(pop, outcome, 0.0, tol)
+}
+
+/// Like [`count_violations`], but a CP only counts as misplaced when its
+/// switching gain exceeds `rel` of its utility scale — an *economic*
+/// ε-equilibrium test. Near-free premium classes (`c ≈ 0`) make the two
+/// classes nearly equivalent for every CP, leaving wide bands of
+/// knife-edge indifference that the strict count flags even though no CP
+/// has a materially better option; `rel = 0.01` asks for a ≥ 1% gain.
+pub fn count_violations_rel(pop: &Population, outcome: &GameOutcome, rel: f64, tol: Tolerance) -> usize {
+    assert!(rel >= 0.0, "relative slack must be non-negative");
+    let s = outcome.strategy;
+    if s.kappa == 0.0 || s.kappa == 1.0 {
+        return if verify_competitive(pop, outcome, tol) { 0 } else { pop.len() };
+    }
+    let nu = outcome.nu;
+    let w_ord = class_water(
+        pop,
+        &outcome.partition.ordinary_indices(),
+        s.ordinary_fraction() * nu,
+        tol,
+    );
+    let w_prem = class_water(pop, &outcome.partition.premium_indices(), s.kappa * nu, tol);
+    (0..pop.len())
+        .filter(|&i| {
+            let (u_ord, u_prem) = class_utilities(&pop[i], s.c, w_ord, w_prem);
+            let eps = slack(u_ord, u_prem) + rel * (u_ord.abs() + u_prem.abs());
+            match outcome.partition.class_of(i) {
+                ServiceClass::Ordinary => u_prem > u_ord + eps,
+                ServiceClass::Premium => u_ord > u_prem + eps,
+            }
+        })
+        .count()
+}
+
+/// Exact per-capita utility of CP `i` if the class containing it (with `i`
+/// added) were `indices ∪ {i}` on `capacity` — the Nash-deviation payoff.
+fn exact_utility(
+    pop: &Population,
+    mut indices: Vec<usize>,
+    i: usize,
+    capacity: f64,
+    margin: f64,
+    tol: Tolerance,
+) -> f64 {
+    if !indices.contains(&i) {
+        indices.push(i);
+        indices.sort_unstable();
+    }
+    let class_pop = pop.select(&indices);
+    let eq = solve_maxmin(&class_pop, capacity, tol);
+    let slot = indices.binary_search(&i).expect("i was inserted");
+    margin * pop[i].alpha * eq.demands[slot] * eq.thetas[slot]
+}
+
+/// Solve a Nash equilibrium (Definition 2) by exact sequential
+/// best-response dynamics, seeded from the competitive solution.
+///
+/// Cost: two sub-system equilibrium solves per CP per pass — use for
+/// populations of at most a few hundred CPs.
+pub fn nash_equilibrium(
+    pop: &Population,
+    nu: f64,
+    strategy: IspStrategy,
+    tol: Tolerance,
+) -> PartitionSolution {
+    let seed = competitive_equilibrium(pop, nu, strategy, tol);
+    let n = pop.len();
+    let cap_ord = strategy.ordinary_fraction() * nu;
+    let cap_prem = strategy.kappa * nu;
+    let mut partition = seed.outcome.partition.clone();
+    let mut iterations = seed.outcome.iterations;
+    let mut cycle_detected = seed.cycle_detected;
+
+    let max_passes = 25;
+    let mut converged_pass = false;
+    for _ in 0..max_passes {
+        let mut any_change = false;
+        for i in 0..n {
+            iterations += 1;
+            let mut ord = partition.ordinary_indices();
+            let mut prem = partition.premium_indices();
+            ord.retain(|&j| j != i);
+            prem.retain(|&j| j != i);
+            let u_ord = exact_utility(pop, ord, i, cap_ord, pop[i].v, tol);
+            let u_prem = exact_utility(pop, prem, i, cap_prem, pop[i].v - strategy.c, tol);
+            let want = if u_prem > u_ord {
+                ServiceClass::Premium
+            } else {
+                ServiceClass::Ordinary
+            };
+            if partition.set(i, want) {
+                any_change = true;
+            }
+        }
+        if !any_change {
+            converged_pass = true;
+            break;
+        }
+    }
+    if !converged_pass {
+        cycle_detected = true;
+    }
+
+    let mut outcome = GameOutcome::resolve(pop, nu, strategy, partition, tol);
+    outcome.converged = converged_pass && verify_nash(pop, &outcome, tol);
+    outcome.iterations = iterations;
+    PartitionSolution {
+        outcome,
+        cycle_detected,
+    }
+}
+
+/// Verify the Nash conditions (Definition 2) at an outcome: no CP can
+/// strictly gain by a unilateral class switch (exact sub-system solves).
+pub fn verify_nash(pop: &Population, outcome: &GameOutcome, tol: Tolerance) -> bool {
+    let s = outcome.strategy;
+    let nu = outcome.nu;
+    let cap_ord = s.ordinary_fraction() * nu;
+    let cap_prem = s.kappa * nu;
+    (0..pop.len()).all(|i| {
+        let mut ord = outcome.partition.ordinary_indices();
+        let mut prem = outcome.partition.premium_indices();
+        ord.retain(|&j| j != i);
+        prem.retain(|&j| j != i);
+        let u_ord = exact_utility(pop, ord, i, cap_ord, pop[i].v, tol);
+        let u_prem = exact_utility(pop, prem, i, cap_prem, pop[i].v - s.c, tol);
+        match outcome.partition.class_of(i) {
+            ServiceClass::Ordinary => u_ord + 1e-12 >= u_prem,
+            ServiceClass::Premium => u_prem > u_ord - 1e-12,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::archetypes::figure3_trio;
+    use pubopt_demand::{ContentProvider, DemandKind};
+
+    fn trio() -> Population {
+        figure3_trio().into()
+    }
+
+    fn mixed_pop(n: usize) -> Population {
+        // Deterministic synthetic population with a spread of v and β.
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                ContentProvider::new(
+                    0.2 + 0.8 * f,
+                    0.5 + 5.0 * ((i * 7) % n) as f64 / n as f64,
+                    DemandKind::exponential(8.0 * ((i * 3) % n) as f64 / n as f64),
+                    ((i * 13) % n) as f64 / n as f64,
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn neutral_strategy_keeps_everyone_ordinary() {
+        let pop = trio();
+        let sol = competitive_equilibrium(&pop, 2.0, IspStrategy::NEUTRAL, Tolerance::default());
+        assert_eq!(sol.outcome.partition.premium_count(), 0);
+        assert!(sol.outcome.converged);
+        assert!(!sol.cycle_detected);
+    }
+
+    #[test]
+    fn kappa_one_partitions_by_v_vs_c() {
+        // κ=1: ordinary class has no capacity, so P = {i : v_i > c}.
+        let pop = mixed_pop(40);
+        let c = 0.5;
+        let sol = competitive_equilibrium(&pop, 1.0, IspStrategy::premium_only(c), Tolerance::default());
+        for (i, cp) in pop.iter().enumerate() {
+            let expect = if cp.v > c {
+                ServiceClass::Premium
+            } else {
+                ServiceClass::Ordinary
+            };
+            assert_eq!(sol.outcome.partition.class_of(i), expect, "cp {i} v={}", cp.v);
+        }
+        assert!(sol.outcome.converged);
+    }
+
+    #[test]
+    fn free_premium_splits_capacity_harmlessly() {
+        // c = 0 with a 50/50 split: both classes are free, so the CPs
+        // load-balance across them. The ε-equilibrium must verify, and
+        // the surplus must stay in the ballpark of the single-class
+        // optimum (granularity of 3 CPs limits how well the halves can
+        // be packed).
+        let pop = trio();
+        let sol = competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 0.0), Tolerance::default());
+        let v = count_violations(&pop, &sol.outcome, Tolerance::default());
+        assert!(v <= 1, "{v} of 3 CPs misplaced");
+        let phi_split = sol.outcome.consumer_surplus(&pop);
+        let phi_neutral = competitive_equilibrium(&pop, 2.0, IspStrategy::NEUTRAL, Tolerance::default())
+            .outcome
+            .consumer_surplus(&pop);
+        assert!(
+            (phi_split - phi_neutral).abs() < 0.35 * phi_neutral,
+            "split {phi_split} vs neutral {phi_neutral}"
+        );
+    }
+
+    #[test]
+    fn high_charge_empties_premium() {
+        let pop = mixed_pop(30);
+        // All v < 1.0 < c = 1.5: nobody can afford premium.
+        let sol = competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 1.5), Tolerance::default());
+        assert_eq!(sol.outcome.partition.premium_count(), 0);
+        assert_eq!(sol.outcome.isp_surplus(&pop), 0.0);
+    }
+
+    #[test]
+    fn competitive_solution_verifies() {
+        // A pure equilibrium need not exist with 60 discrete CPs, so the
+        // criterion is the paper's large-N one: at most a few marginal
+        // CPs (here ≤ 10%) may sit on the wrong side of indifference.
+        let pop = mixed_pop(60);
+        for (kappa, c) in [(0.3, 0.2), (0.5, 0.4), (0.9, 0.1), (1.0, 0.3)] {
+            let sol = competitive_equilibrium(&pop, 1.5, IspStrategy::new(kappa, c), Tolerance::default());
+            let v = count_violations(&pop, &sol.outcome, Tolerance::default());
+            assert!(v <= pop.len() / 10, "({kappa}, {c}): {v} violating CPs");
+        }
+    }
+
+    #[test]
+    fn premium_nonempty_when_attractive() {
+        // Scarce capacity + low charge: high-v CPs should buy their way
+        // into the less congested premium class.
+        let pop = mixed_pop(60);
+        let sol = competitive_equilibrium(&pop, 0.5, IspStrategy::new(0.5, 0.05), Tolerance::default());
+        assert!(sol.outcome.partition.premium_count() > 0, "premium should attract CPs");
+        assert!(sol.outcome.isp_surplus(&pop) > 0.0);
+    }
+
+    #[test]
+    fn nash_agrees_with_competitive_on_large_population() {
+        // With many CPs the throughput-taking approximation is accurate:
+        // Nash refinement should barely move the partition.
+        let pop = mixed_pop(50);
+        let strat = IspStrategy::new(0.5, 0.3);
+        let comp = competitive_equilibrium(&pop, 1.0, strat, Tolerance::default());
+        let nash = nash_equilibrium(&pop, 1.0, strat, Tolerance::default());
+        assert!(nash.outcome.converged, "nash should converge");
+        let diff: usize = (0..pop.len())
+            .filter(|&i| comp.outcome.partition.class_of(i) != nash.outcome.partition.class_of(i))
+            .count();
+        assert!(diff <= pop.len() / 10, "partitions differ on {diff}/{} CPs", pop.len());
+    }
+
+    #[test]
+    fn nash_verifies_small_game() {
+        let pop = trio();
+        let strat = IspStrategy::new(0.4, 0.2);
+        let sol = nash_equilibrium(&pop, 1.0, strat, Tolerance::default());
+        assert!(verify_nash(&pop, &sol.outcome, Tolerance::default()));
+    }
+
+    #[test]
+    fn scale_invariance_theorem3() {
+        // Theorem 3: the equilibrium partition depends only on ν. We solve
+        // at (nu) and at an equivalent scaled description and compare.
+        let pop = mixed_pop(40);
+        let strat = IspStrategy::new(0.6, 0.25);
+        let a = competitive_equilibrium(&pop, 1.25, strat, Tolerance::default());
+        let b = competitive_equilibrium(&pop, 1.25, strat, Tolerance::default());
+        assert_eq!(a.outcome.partition, b.outcome.partition);
+    }
+
+    #[test]
+    fn zero_capacity_all_ordinary() {
+        let pop = trio();
+        let sol = competitive_equilibrium(&pop, 0.0, IspStrategy::new(0.5, 0.1), Tolerance::default());
+        assert_eq!(sol.outcome.partition.premium_count(), 0);
+    }
+}

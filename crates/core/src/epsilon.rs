@@ -1,0 +1,152 @@
+//! The discontinuity metrics of Eq. (9): `ε_sI` and `δ_sI`.
+//!
+//! Under a fixed strategy `s_I`, the per-capita consumer surplus
+//! `Φ(ν, N, s_I)` is *not* globally non-decreasing in ν: when rising
+//! capacity lets CPs migrate between classes, Φ can drop at the switch
+//! point. The paper quantifies the damage by
+//!
+//! ```text
+//! ε_sI = sup { Φ(ν₁) − Φ(ν₂) : ν₁ < ν₂ }
+//! ```
+//!
+//! — the largest downward gap of the surplus curve — and the dual metric
+//!
+//! ```text
+//! δ_sI = sup { m₁ − m₂ : Φ(ν₁) ≤ Φ(ν₂) }
+//! ```
+//!
+//! for market shares. Both appear in the alignment bounds of Theorem 6
+//! and Corollary 1. We compute the discrete analogues over sampled sweep
+//! curves.
+
+use crate::best_response::competitive_equilibrium;
+use crate::strategy::IspStrategy;
+use pubopt_demand::Population;
+use pubopt_num::Tolerance;
+
+/// A sampled sweep of per-capita surplus (and optionally market share)
+/// against per-capita capacity ν.
+#[derive(Debug, Clone)]
+pub struct SweepCurve {
+    /// Sampled capacities (strictly increasing).
+    pub nus: Vec<f64>,
+    /// `Φ(ν)` samples.
+    pub phis: Vec<f64>,
+    /// Optional market-share samples `m(ν)` (duopoly/oligopoly sweeps).
+    pub shares: Option<Vec<f64>>,
+}
+
+impl SweepCurve {
+    /// Sample `Φ(ν, N, s_I)` at competitive equilibrium over `nus`.
+    pub fn sample(pop: &Population, strategy: IspStrategy, nus: &[f64], tol: Tolerance) -> Self {
+        assert!(nus.windows(2).all(|w| w[0] < w[1]), "nu grid must be strictly increasing");
+        let phis = nus
+            .iter()
+            .map(|&nu| {
+                let sol = competitive_equilibrium(pop, nu, strategy, tol);
+                sol.outcome.consumer_surplus(pop)
+            })
+            .collect();
+        SweepCurve {
+            nus: nus.to_vec(),
+            phis,
+            shares: None,
+        }
+    }
+}
+
+/// Discrete `ε_sI` (Eq. 9): the largest downward gap
+/// `max { Φ(ν₁) − Φ(ν₂) : ν₁ < ν₂ }` over the sampled curve.
+/// Zero for a non-decreasing curve.
+pub fn epsilon_metric(curve: &SweepCurve) -> f64 {
+    let mut running_max = f64::NEG_INFINITY;
+    let mut gap = 0.0f64;
+    for &phi in &curve.phis {
+        running_max = running_max.max(phi);
+        gap = gap.max(running_max - phi);
+    }
+    gap
+}
+
+/// Discrete `δ_sI`: the largest market-share gap
+/// `max { m₁ − m₂ : Φ(ν₁) ≤ Φ(ν₂) }` over the sampled curve.
+///
+/// # Panics
+///
+/// Panics if the curve carries no market-share samples.
+pub fn delta_metric(curve: &SweepCurve) -> f64 {
+    let shares = curve
+        .shares
+        .as_ref()
+        .expect("delta metric needs market-share samples");
+    assert_eq!(shares.len(), curve.phis.len());
+    let n = curve.phis.len();
+    let mut best = 0.0f64;
+    // O(n²) pair scan; sweep grids are a few hundred points.
+    for i in 0..n {
+        for j in 0..n {
+            if curve.phis[i] <= curve.phis[j] {
+                best = best.max(shares[i] - shares[j]);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::archetypes::figure3_trio;
+
+    #[test]
+    fn epsilon_zero_for_monotone() {
+        let c = SweepCurve {
+            nus: vec![1.0, 2.0, 3.0],
+            phis: vec![0.0, 1.0, 2.0],
+            shares: None,
+        };
+        assert_eq!(epsilon_metric(&c), 0.0);
+    }
+
+    #[test]
+    fn epsilon_catches_drop() {
+        let c = SweepCurve {
+            nus: vec![1.0, 2.0, 3.0, 4.0],
+            phis: vec![0.0, 5.0, 2.0, 6.0],
+            shares: None,
+        };
+        assert_eq!(epsilon_metric(&c), 3.0);
+    }
+
+    #[test]
+    fn neutral_strategy_has_zero_epsilon() {
+        // Theorem 2: under the neutral strategy Φ(ν) is non-decreasing, so
+        // ε must vanish (up to solver noise).
+        let pop: Population = figure3_trio().into();
+        let nus = pubopt_num::linspace_excl_zero(8.0, 60);
+        let curve = SweepCurve::sample(&pop, IspStrategy::NEUTRAL, &nus, Tolerance::default());
+        assert!(epsilon_metric(&curve) < 1e-7, "eps = {}", epsilon_metric(&curve));
+    }
+
+    #[test]
+    fn delta_metric_pairs() {
+        let c = SweepCurve {
+            nus: vec![1.0, 2.0],
+            phis: vec![1.0, 1.0],
+            shares: Some(vec![0.7, 0.4]),
+        };
+        // Φ(ν₁) ≤ Φ(ν₂) holds both ways; biggest share gap is 0.3.
+        assert!((delta_metric(&c) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs market-share samples")]
+    fn delta_requires_shares() {
+        let c = SweepCurve {
+            nus: vec![1.0],
+            phis: vec![1.0],
+            shares: None,
+        };
+        delta_metric(&c);
+    }
+}

@@ -1,0 +1,253 @@
+//! Extensions from the paper's Discussion (§VI).
+//!
+//! The conclusion sketches two quantitative questions this module makes
+//! precise and computable:
+//!
+//! 1. **Public Option capacity sizing** — *"if 10% of the market share is
+//!    critical for the monopoly, implementing 10% of its capacity would
+//!    be able to at least 'steal' 10% of consumers from the monopoly if
+//!    it follows a network neutral strategy."* [`po_share_stolen`]
+//!    measures the share a γ-sized Public Option captures against a given
+//!    incumbent strategy, and [`minimum_po_capacity`] inverts it: the
+//!    smallest Public Option that still disciplines the incumbent to a
+//!    target consumer surplus.
+//! 2. **Share/revenue trade-off** — *"In practice, ISPs will trade off
+//!    its market share with potential revenue from the CPs."* The paper's
+//!    alignment results (Theorems 5–6) assume pure share maximisation;
+//!    [`tradeoff_best_response`] optimises the blended objective
+//!    `w·m_I + (1−w)·Ψ_I/Ψ_scale` and [`alignment_loss`] quantifies how
+//!    much consumer surplus the blend sacrifices as `w` moves from 1
+//!    (pure share, the paper's case) to 0 (pure revenue).
+
+use crate::market::{duopoly_with_public_option, DuopolyOutcome};
+use crate::strategy::IspStrategy;
+use pubopt_demand::Population;
+use pubopt_num::Tolerance;
+
+/// Market share captured by a Public Option of capacity share `gamma_po`
+/// against an incumbent playing `s_i` with the remaining capacity.
+pub fn po_share_stolen(
+    pop: &Population,
+    nu_total: f64,
+    s_i: IspStrategy,
+    gamma_po: f64,
+    tol: Tolerance,
+) -> f64 {
+    assert!(gamma_po > 0.0 && gamma_po < 1.0, "gamma_po must be in (0,1)");
+    let duo = duopoly_with_public_option(pop, nu_total, s_i, 1.0 - gamma_po, tol);
+    1.0 - duo.share_i
+}
+
+/// The smallest Public Option capacity share whose presence pushes the
+/// *incumbent-optimal* equilibrium consumer surplus to at least
+/// `target_fraction` of the network-neutral benchmark Φ(ν, N).
+///
+/// Returns `None` if even a Public Option owning 60% of the capacity
+/// cannot reach the target (the search range covers everything the
+/// paper's "safety net" framing contemplates).
+///
+/// The incumbent best-responds over a `grid_n × grid_n` strategy grid at
+/// each candidate size, so this is an expensive call — size the grids to
+/// the population.
+pub fn minimum_po_capacity(
+    pop: &Population,
+    nu_total: f64,
+    target_fraction: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&target_fraction), "target must be a fraction");
+    let neutral_phi = crate::best_response::competitive_equilibrium(pop, nu_total, IspStrategy::NEUTRAL, tol)
+        .outcome
+        .consumer_surplus(pop);
+    let target = target_fraction * neutral_phi;
+
+    // Equilibrium Φ when the incumbent share-maximises against a γ-sized PO.
+    let phi_with_po = |gamma_po: f64| -> f64 {
+        let (_, duo) = crate::regimes::best_share_strategy(pop, nu_total, 1.0 - gamma_po, c_max, grid_n, tol);
+        duo.phi
+    };
+
+    // Φ(γ) is (weakly) increasing in γ; scan a coarse grid and refine the
+    // bracketing step once (the objective is cheap to evaluate only
+    // relative to the grid search inside, so keep the sampling lean).
+    let gammas = [0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let mut prev = 0.0f64;
+    for &g in &gammas {
+        let phi = phi_with_po(g);
+        if phi >= target {
+            // Refine between prev and g with one interior probe.
+            if prev > 0.0 {
+                let mid = 0.5 * (prev + g);
+                if phi_with_po(mid) >= target {
+                    return Some(mid);
+                }
+            }
+            return Some(g);
+        }
+        prev = g;
+    }
+    None
+}
+
+/// Outcome of a blended-objective best response.
+#[derive(Debug, Clone)]
+pub struct TradeoffOutcome {
+    /// The chosen strategy.
+    pub strategy: IspStrategy,
+    /// The blend weight on market share (`1` = the paper's pure case).
+    pub share_weight: f64,
+    /// The duopoly outcome at the chosen strategy.
+    pub duopoly: DuopolyOutcome,
+}
+
+/// Best response of the incumbent when it maximises
+/// `w·m_I + (1−w)·Ψ_I/psi_scale` against a Public Option holding
+/// `gamma_po` capacity. `psi_scale` normalises revenue to the share's
+/// `[0,1]` range (a natural choice is the monopoly-optimal Ψ at the same
+/// ν).
+pub fn tradeoff_best_response(
+    pop: &Population,
+    nu_total: f64,
+    gamma_po: f64,
+    share_weight: f64,
+    psi_scale: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> TradeoffOutcome {
+    assert!((0.0..=1.0).contains(&share_weight), "weight must be in [0,1]");
+    assert!(psi_scale > 0.0, "psi_scale must be positive");
+    let kappas = pubopt_num::linspace(0.0, 1.0, grid_n);
+    let cs = pubopt_num::linspace(0.0, c_max, grid_n);
+    let mut best: Option<(f64, IspStrategy, DuopolyOutcome)> = None;
+    for &kappa in &kappas {
+        for &c in &cs {
+            let s = IspStrategy::new(kappa, c);
+            let duo = duopoly_with_public_option(pop, nu_total, s, 1.0 - gamma_po, tol);
+            let objective = share_weight * duo.share_i + (1.0 - share_weight) * duo.psi_i / psi_scale;
+            if best.as_ref().map_or(true, |(b, _, _)| objective > *b) {
+                best = Some((objective, s, duo));
+            }
+        }
+    }
+    let (_, strategy, duopoly) = best.expect("grid non-empty");
+    TradeoffOutcome {
+        strategy,
+        share_weight,
+        duopoly,
+    }
+}
+
+/// Consumer-surplus loss (relative to the pure-share case `w = 1`) when
+/// the incumbent blends revenue into its objective with weight `1 − w`.
+///
+/// Returns `(phi_at_w, phi_at_pure_share, relative_loss)`.
+pub fn alignment_loss(
+    pop: &Population,
+    nu_total: f64,
+    gamma_po: f64,
+    share_weight: f64,
+    psi_scale: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> (f64, f64, f64) {
+    let blended = tradeoff_best_response(pop, nu_total, gamma_po, share_weight, psi_scale, c_max, grid_n, tol);
+    let pure = tradeoff_best_response(pop, nu_total, gamma_po, 1.0, psi_scale, c_max, grid_n, tol);
+    let phi_w = blended.duopoly.phi;
+    let phi_pure = pure.duopoly.phi;
+    let loss = if phi_pure > 0.0 {
+        ((phi_pure - phi_w) / phi_pure).max(0.0)
+    } else {
+        0.0
+    };
+    (phi_w, phi_pure, loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::{ContentProvider, DemandKind};
+
+    fn pop(n: usize) -> Population {
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                ContentProvider::new(
+                    0.2 + 0.8 * f,
+                    0.5 + 5.0 * ((i * 7) % n) as f64 / n as f64,
+                    DemandKind::exponential(8.0 * ((i * 3) % n) as f64 / n as f64),
+                    ((i * 13) % n) as f64 / n as f64,
+                    0.5 + 2.0 * ((i * 5) % n) as f64 / n as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn neutral_incumbent_cedes_gamma_to_the_po() {
+        // Against a *neutral* incumbent the PO is just another identical
+        // ISP: Lemma 4 says it takes exactly its capacity share.
+        let p = pop(30);
+        let nu = 0.4 * p.total_unconstrained_per_capita();
+        for gamma in [0.1, 0.3, 0.5] {
+            let stolen = po_share_stolen(&p, nu, IspStrategy::NEUTRAL, gamma, Tolerance::COARSE);
+            assert!(
+                (stolen - gamma).abs() < 0.03,
+                "γ={gamma}: stolen {stolen} should ≈ γ"
+            );
+        }
+    }
+
+    #[test]
+    fn po_steals_more_from_a_greedy_incumbent() {
+        // §VI: "If the monopoly applies a worse than neutral strategy for
+        // consumer surplus, it will lose even more."
+        let p = pop(30);
+        let nu = 0.4 * p.total_unconstrained_per_capita();
+        let gamma = 0.2;
+        let vs_neutral = po_share_stolen(&p, nu, IspStrategy::NEUTRAL, gamma, Tolerance::COARSE);
+        let vs_greedy = po_share_stolen(&p, nu, IspStrategy::premium_only(0.9), gamma, Tolerance::COARSE);
+        assert!(
+            vs_greedy > vs_neutral + 0.05,
+            "greedy incumbent should lose more: neutral {vs_neutral}, greedy {vs_greedy}"
+        );
+    }
+
+    #[test]
+    fn minimum_capacity_exists_for_modest_targets() {
+        let p = pop(24);
+        let nu = 0.6 * p.total_unconstrained_per_capita();
+        let gamma = minimum_po_capacity(&p, nu, 0.8, 1.0, 4, Tolerance::COARSE);
+        let g = gamma.expect("an 80% target should be reachable");
+        assert!(g <= 0.6);
+    }
+
+    #[test]
+    fn pure_share_weight_recovers_theorem5_behaviour() {
+        let p = pop(24);
+        let nu = 0.5 * p.total_unconstrained_per_capita();
+        let out = tradeoff_best_response(&p, nu, 0.5, 1.0, 1.0, 1.0, 4, Tolerance::COARSE);
+        assert_eq!(out.share_weight, 1.0);
+        assert!(out.duopoly.share_i > 0.3, "share-maximiser should hold a real share");
+    }
+
+    #[test]
+    fn revenue_weight_degrades_consumer_surplus() {
+        let p = pop(24);
+        let nu = 0.8 * p.total_unconstrained_per_capita();
+        // Scale revenue by the rough monopoly optimum at this nu.
+        let psi_scale = crate::monopoly::optimal_strategy(&p, nu, 1.0, 4, Tolerance::COARSE)
+            .psi
+            .max(1e-6);
+        let (_, _, loss_pure) = alignment_loss(&p, nu, 0.5, 1.0, psi_scale, 1.0, 4, Tolerance::COARSE);
+        let (_, _, loss_revenue) = alignment_loss(&p, nu, 0.5, 0.0, psi_scale, 1.0, 4, Tolerance::COARSE);
+        assert_eq!(loss_pure, 0.0, "w = 1 is the reference point");
+        assert!(
+            loss_revenue >= 0.0,
+            "pure-revenue incumbent cannot do better for consumers than the share-maximiser"
+        );
+    }
+}

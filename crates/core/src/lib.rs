@@ -1,0 +1,57 @@
+//! # pubopt-core — the paper's contribution (§III and §IV)
+//!
+//! This crate implements the strategic layer of Ma & Misra, *The Public
+//! Option: a Non-regulatory Alternative to Network Neutrality* (CoNEXT
+//! 2011), on top of the rate-equilibrium substrate (`pubopt-eq`):
+//!
+//! * **The two-stage game** `(M, µ, N, I)` of §III: a last-mile ISP
+//!   announces a non-neutral strategy `s_I = (κ, c)` — a fraction `κ` of
+//!   capacity carved into a premium class charging `c` per unit traffic —
+//!   and the content providers simultaneously choose the ordinary or the
+//!   premium class. CP best responses (Lemma 2), Nash equilibria
+//!   (Definition 2) and competitive equilibria with throughput-taking
+//!   estimation (Definition 3 / Assumption 3) are all implemented.
+//! * **Monopoly analysis** (§III-E): the ISP's revenue-optimal strategy,
+//!   the dominance of `κ = 1` (Theorem 4), and the ε_sI discontinuity
+//!   metric of Eq. (9).
+//! * **The multi-ISP market** of §IV: consumer migration until per-capita
+//!   consumer surpluses equalise (Assumption 5 / Definition 4), the
+//!   **Public Option ISP** (Definition 5), the duopoly alignment result
+//!   (Theorem 5), proportional market shares under homogeneous strategies
+//!   (Lemma 4), and the ε-alignment of market share with consumer surplus
+//!   (Theorem 6 / Corollary 1).
+//! * **Regulation-regime comparison**: unregulated monopoly vs. network-
+//!   neutral regulation vs. Public Option entry vs. oligopoly — the
+//!   paper's bottom-line ranking.
+//!
+//! The crate is deterministic and single-threaded; parameter sweeps are
+//! parallelised one level up (in `pubopt-experiments`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod best_response;
+pub mod epsilon;
+pub mod extensions;
+pub mod market;
+pub mod monopoly;
+pub mod outcome;
+pub mod regimes;
+pub mod strategy;
+
+pub use best_response::{
+    competitive_equilibrium, count_violations, count_violations_rel, nash_equilibrium, verify_competitive, verify_nash,
+    PartitionSolution,
+};
+pub use epsilon::{delta_metric, epsilon_metric, SweepCurve};
+pub use extensions::{
+    alignment_loss, minimum_po_capacity, po_share_stolen, tradeoff_best_response, TradeoffOutcome,
+};
+pub use market::{
+    duopoly_with_public_option, market_share_equilibrium, tatonnement, DuopolyOutcome, Isp,
+    MarketEquilibrium, MarketGame,
+};
+pub use monopoly::{optimal_strategy, revenue_sweep, MonopolyOptimum};
+pub use outcome::{GameOutcome, Partition, ServiceClass};
+pub use regimes::{best_share_strategy, compare_regimes, RegimeComparison, RegimeOutcome};
+pub use strategy::IspStrategy;

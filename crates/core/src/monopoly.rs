@@ -1,0 +1,231 @@
+//! Monopolistic ISP analysis (§III-E).
+//!
+//! The first-stage mover maximises its CP-side revenue
+//! `Ψ(s_I) = c · λ_P / M` by backward induction over the second-stage
+//! partition equilibrium. This module provides the revenue sweep used by
+//! Figure 4, the two-dimensional strategy optimiser, and the numeric
+//! verification of Theorem 4 (`κ = 1` dominance).
+
+use crate::best_response::competitive_equilibrium;
+use crate::outcome::GameOutcome;
+use crate::strategy::IspStrategy;
+use pubopt_demand::Population;
+use pubopt_num::{linspace, Tolerance};
+
+/// One row of a price sweep at fixed `κ`.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The charge `c` evaluated.
+    pub c: f64,
+    /// Per-capita ISP surplus `Ψ`.
+    pub psi: f64,
+    /// Per-capita consumer surplus `Φ`.
+    pub phi: f64,
+    /// Number of premium CPs `|P|`.
+    pub premium_count: usize,
+    /// Whether the premium class was fully utilised (`λ_P = κµ`).
+    pub premium_full: bool,
+}
+
+/// Sweep the charge `c` over `grid` at fixed `κ`, resolving the
+/// competitive equilibrium at each point (the Figure 4 kernel).
+pub fn revenue_sweep(
+    pop: &Population,
+    nu: f64,
+    kappa: f64,
+    grid: &[f64],
+    tol: Tolerance,
+) -> Vec<SweepPoint> {
+    grid.iter()
+        .map(|&c| {
+            let sol = competitive_equilibrium(pop, nu, IspStrategy::new(kappa, c), tol);
+            let out = &sol.outcome;
+            SweepPoint {
+                c,
+                psi: out.isp_surplus(pop),
+                phi: out.consumer_surplus(pop),
+                premium_count: out.partition.premium_count(),
+                premium_full: out.premium_fully_utilized(pop, 1e-6),
+            }
+        })
+        .collect()
+}
+
+/// The monopolist's optimum over a `(κ, c)` grid with local refinement.
+#[derive(Debug, Clone)]
+pub struct MonopolyOptimum {
+    /// The revenue-maximising strategy found.
+    pub strategy: IspStrategy,
+    /// Its per-capita ISP surplus `Ψ`.
+    pub psi: f64,
+    /// The consumer surplus `Φ` realised at that strategy.
+    pub phi: f64,
+    /// The full outcome at the optimum.
+    pub outcome: GameOutcome,
+}
+
+/// Find the revenue-maximising strategy by grid search over `(κ, c)`
+/// followed by refinement in `c` at the best `κ`.
+///
+/// `c_max` bounds the price search (a charge above `max v_i` earns
+/// nothing, so pass the population's maximum `v`); `grid_n` sets the
+/// resolution per axis.
+pub fn optimal_strategy(
+    pop: &Population,
+    nu: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> MonopolyOptimum {
+    assert!(grid_n >= 2, "need at least a 2-point grid");
+    let kappas = linspace(0.0, 1.0, grid_n);
+    let cs = linspace(0.0, c_max, grid_n);
+    let mut best: Option<(IspStrategy, f64)> = None;
+    for &kappa in &kappas {
+        for &c in &cs {
+            let sol = competitive_equilibrium(pop, nu, IspStrategy::new(kappa, c), tol);
+            let psi = sol.outcome.isp_surplus(pop);
+            if best.map_or(true, |(_, b)| psi > b) {
+                best = Some((IspStrategy::new(kappa, c), psi));
+            }
+        }
+    }
+    let (mut strategy, mut psi) = best.expect("grid is non-empty");
+
+    // Refine the price at the winning κ (the objective in c is piecewise
+    // smooth with jumps; refine_max tolerates both).
+    let kappa = strategy.kappa;
+    let refined = pubopt_num::refine_max(
+        |c| {
+            competitive_equilibrium(pop, nu, IspStrategy::new(kappa, c), tol)
+                .outcome
+                .isp_surplus(pop)
+        },
+        0.0,
+        c_max,
+        grid_n.max(9),
+        4,
+    );
+    if refined.value > psi {
+        strategy = IspStrategy::new(kappa, refined.x);
+        psi = refined.value;
+    }
+
+    let outcome = competitive_equilibrium(pop, nu, strategy, tol).outcome;
+    let phi = outcome.consumer_surplus(pop);
+    MonopolyOptimum {
+        strategy,
+        psi,
+        phi,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
+
+    fn mixed_pop(n: usize) -> Population {
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                ContentProvider::new(
+                    0.2 + 0.8 * f,
+                    0.5 + 5.0 * ((i * 7) % n) as f64 / n as f64,
+                    DemandKind::exponential(8.0 * ((i * 3) % n) as f64 / n as f64),
+                    ((i * 13) % n) as f64 / n as f64,
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_charge_earns_nothing() {
+        let pop = mixed_pop(30);
+        let pts = revenue_sweep(&pop, 1.0, 1.0, &[0.0], Tolerance::default());
+        assert_eq!(pts[0].psi, 0.0);
+    }
+
+    #[test]
+    fn revenue_linear_regime_when_scarce() {
+        // Scarce capacity, small c: the premium class is fully utilised so
+        // Ψ = c·ν exactly (paper's regime 1 in Figure 4).
+        let pop = mixed_pop(50);
+        let nu = 0.2; // far below Σ αθ̂
+        let cs = [0.02, 0.04, 0.08];
+        let pts = revenue_sweep(&pop, nu, 1.0, &cs, Tolerance::default());
+        for p in &pts {
+            assert!(p.premium_full, "c={}: premium should be full", p.c);
+            assert!(
+                (p.psi - p.c * nu).abs() < 1e-6,
+                "c={}: psi {} != c*nu {}",
+                p.c,
+                p.psi,
+                p.c * nu
+            );
+        }
+    }
+
+    #[test]
+    fn exorbitant_charge_earns_nothing() {
+        let pop = mixed_pop(30);
+        let pts = revenue_sweep(&pop, 1.0, 1.0, &[5.0], Tolerance::default());
+        assert_eq!(pts[0].premium_count, 0);
+        assert_eq!(pts[0].psi, 0.0);
+    }
+
+    #[test]
+    fn theorem4_kappa_one_dominates() {
+        // For fixed c, Ψ(1, c) ≥ Ψ(κ, c) for all κ.
+        let pop = mixed_pop(40);
+        for nu in [0.3, 1.0, 3.0] {
+            for c in [0.1, 0.3, 0.6] {
+                let full = competitive_equilibrium(&pop, nu, IspStrategy::premium_only(c), Tolerance::default())
+                    .outcome
+                    .isp_surplus(&pop);
+                for kappa in [0.0, 0.25, 0.5, 0.75, 0.9] {
+                    let partial =
+                        competitive_equilibrium(&pop, nu, IspStrategy::new(kappa, c), Tolerance::default())
+                            .outcome
+                            .isp_surplus(&pop);
+                    assert!(
+                        full + 1e-9 >= partial,
+                        "nu={nu} c={c}: psi(1)={full} < psi({kappa})={partial}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_beats_grid_points() {
+        let pop = mixed_pop(30);
+        let opt = optimal_strategy(&pop, 0.5, 1.0, 7, Tolerance::default());
+        for c in [0.1, 0.4, 0.7] {
+            let psi = competitive_equilibrium(&pop, 0.5, IspStrategy::premium_only(c), Tolerance::default())
+                .outcome
+                .isp_surplus(&pop);
+            assert!(opt.psi + 1e-9 >= psi, "optimum {} < sweep point {}", opt.psi, psi);
+        }
+        assert!(opt.psi > 0.0);
+    }
+
+    #[test]
+    fn optimal_kappa_is_one_under_scarcity() {
+        // Theorem 4 corollary: the optimiser should land on κ = 1 (or earn
+        // at least as much there).
+        let pop = mixed_pop(30);
+        let opt = optimal_strategy(&pop, 0.4, 1.0, 5, Tolerance::default());
+        let at_one = competitive_equilibrium(
+            &pop,
+            0.4,
+            IspStrategy::premium_only(opt.strategy.c),
+            Tolerance::default(),
+        )
+        .outcome
+        .isp_surplus(&pop);
+        assert!(at_one + 1e-9 >= opt.psi * 0.999);
+    }
+}

@@ -1,0 +1,340 @@
+//! CP partitions and single-ISP game outcomes.
+//!
+//! A strategy profile of the CPs is a partition `s_N = (O, P)` of the CP
+//! set into the ordinary and premium classes (§III-C). Given the partition
+//! the second stage resolves into two independent rate equilibria — the
+//! ordinary class on capacity `(1−κ)ν` and the premium class on `κν` —
+//! from which every welfare quantity of the paper follows.
+
+use crate::strategy::IspStrategy;
+use pubopt_demand::Population;
+use pubopt_eq::{solve_maxmin, RateEquilibrium};
+use pubopt_num::{KahanSum, Tolerance};
+use serde::{Deserialize, Serialize};
+
+/// Which service class a CP joined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceClass {
+    /// The free class with capacity `(1−κ)µ`.
+    Ordinary,
+    /// The charged class with capacity `κµ` at `c` per unit traffic.
+    Premium,
+}
+
+/// A CP partition `s_N = (O, P)` stored as one class label per CP.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    classes: Vec<ServiceClass>,
+}
+
+impl Partition {
+    /// All CPs in the ordinary class — the trivial profile for `κ = 0`.
+    pub fn all_ordinary(n: usize) -> Self {
+        Self {
+            classes: vec![ServiceClass::Ordinary; n],
+        }
+    }
+
+    /// Build from explicit labels.
+    pub fn from_classes(classes: Vec<ServiceClass>) -> Self {
+        Self { classes }
+    }
+
+    /// Build from a premium membership predicate.
+    pub fn from_predicate(n: usize, mut premium: impl FnMut(usize) -> bool) -> Self {
+        Self {
+            classes: (0..n)
+                .map(|i| {
+                    if premium(i) {
+                        ServiceClass::Premium
+                    } else {
+                        ServiceClass::Ordinary
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of CPs.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// `true` when there are no CPs.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Class of CP `i`.
+    pub fn class_of(&self, i: usize) -> ServiceClass {
+        self.classes[i]
+    }
+
+    /// Iterate over the labels.
+    pub fn classes(&self) -> &[ServiceClass] {
+        &self.classes
+    }
+
+    /// Move CP `i` to `class`, returning whether the label changed.
+    pub fn set(&mut self, i: usize, class: ServiceClass) -> bool {
+        let changed = self.classes[i] != class;
+        self.classes[i] = class;
+        changed
+    }
+
+    /// Indices of premium members (the set `P`).
+    pub fn premium_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.classes[i] == ServiceClass::Premium)
+            .collect()
+    }
+
+    /// Indices of ordinary members (the set `O`).
+    pub fn ordinary_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.classes[i] == ServiceClass::Ordinary)
+            .collect()
+    }
+
+    /// Number of premium members `|P|`.
+    pub fn premium_count(&self) -> usize {
+        self.classes.iter().filter(|c| **c == ServiceClass::Premium).count()
+    }
+}
+
+/// Resolved outcome of the second stage for a single ISP: the partition
+/// plus the two class equilibria and the paper's welfare quantities.
+#[derive(Debug, Clone)]
+pub struct GameOutcome {
+    /// The ISP strategy that produced this outcome.
+    pub strategy: IspStrategy,
+    /// Per-capita capacity `ν` of the whole ISP.
+    pub nu: f64,
+    /// The CP partition `(O, P)`.
+    pub partition: Partition,
+    /// Rate equilibrium of the ordinary class on `(1−κ)ν` (over the full
+    /// CP index space: entries for premium CPs are unused placeholders).
+    pub eq_ordinary: RateEquilibrium,
+    /// Rate equilibrium of the premium class on `κν` (same convention).
+    pub eq_premium: RateEquilibrium,
+    /// Per-CP achievable throughput `θ_i` in the class the CP joined.
+    pub thetas: Vec<f64>,
+    /// Per-CP equilibrium demand `d_i(θ_i)`.
+    pub demands: Vec<f64>,
+    /// Whether the partition solver reported convergence.
+    pub converged: bool,
+    /// Partition-solver iterations used.
+    pub iterations: usize,
+}
+
+impl GameOutcome {
+    /// Resolve the outcome for a *given* partition: solve the two class
+    /// equilibria and collate per-CP quantities.
+    pub fn resolve(
+        pop: &Population,
+        nu: f64,
+        strategy: IspStrategy,
+        partition: Partition,
+        tol: Tolerance,
+    ) -> Self {
+        assert_eq!(pop.len(), partition.len(), "partition size mismatch");
+        let ord_idx = partition.ordinary_indices();
+        let prem_idx = partition.premium_indices();
+        let ord_pop = pop.select(&ord_idx);
+        let prem_pop = pop.select(&prem_idx);
+        let eq_o = solve_maxmin(&ord_pop, strategy.ordinary_fraction() * nu, tol);
+        let eq_p = solve_maxmin(&prem_pop, strategy.kappa * nu, tol);
+
+        let mut thetas = vec![0.0; pop.len()];
+        let mut demands = vec![0.0; pop.len()];
+        for (slot, &i) in ord_idx.iter().enumerate() {
+            thetas[i] = eq_o.thetas[slot];
+            demands[i] = eq_o.demands[slot];
+        }
+        for (slot, &i) in prem_idx.iter().enumerate() {
+            thetas[i] = eq_p.thetas[slot];
+            demands[i] = eq_p.demands[slot];
+        }
+        GameOutcome {
+            strategy,
+            nu,
+            partition,
+            eq_ordinary: eq_o,
+            eq_premium: eq_p,
+            thetas,
+            demands,
+            converged: true,
+            iterations: 0,
+        }
+    }
+
+    /// Per-capita consumer surplus
+    /// `Φ = Φ((1−κ)ν, O) + Φ(κν, P)` (§III-D).
+    pub fn consumer_surplus(&self, pop: &Population) -> f64 {
+        let mut acc = KahanSum::new();
+        for (i, cp) in pop.iter().enumerate() {
+            acc.add(cp.phi * cp.alpha * self.demands[i] * self.thetas[i]);
+        }
+        acc.total()
+    }
+
+    /// Per-capita ISP surplus `Ψ = c · Σ_{i∈P} α_i d_i(θ_i) θ_i` (§III-A).
+    pub fn isp_surplus(&self, pop: &Population) -> f64 {
+        let mut acc = KahanSum::new();
+        for i in self.partition.premium_indices() {
+            let cp = &pop[i];
+            acc.add(cp.alpha * self.demands[i] * self.thetas[i]);
+        }
+        self.strategy.c * acc.total()
+    }
+
+    /// Per-capita premium-class throughput `λ_P / M`.
+    pub fn premium_rate(&self, pop: &Population) -> f64 {
+        let mut acc = KahanSum::new();
+        for i in self.partition.premium_indices() {
+            let cp = &pop[i];
+            acc.add(cp.alpha * self.demands[i] * self.thetas[i]);
+        }
+        acc.total()
+    }
+
+    /// Per-capita aggregate throughput across both classes.
+    pub fn total_rate(&self, pop: &Population) -> f64 {
+        let mut acc = KahanSum::new();
+        for (i, cp) in pop.iter().enumerate() {
+            acc.add(cp.alpha * self.demands[i] * self.thetas[i]);
+        }
+        acc.total()
+    }
+
+    /// CP `i`'s per-capita utility `u_i/M` at this outcome (Eq. 4):
+    /// `v_i ρ_i α_i` in the ordinary class, `(v_i − c) ρ_i α_i` in premium.
+    pub fn cp_utility(&self, pop: &Population, i: usize) -> f64 {
+        let cp = &pop[i];
+        let margin = match self.partition.class_of(i) {
+            ServiceClass::Ordinary => cp.v,
+            ServiceClass::Premium => cp.v - self.strategy.c,
+        };
+        margin * cp.alpha * self.demands[i] * self.thetas[i]
+    }
+
+    /// Whether the premium class capacity is fully utilised
+    /// (`λ_P = κµ`), the condition separating the paper's pricing regimes.
+    pub fn premium_fully_utilized(&self, pop: &Population, tol: f64) -> bool {
+        let cap = self.strategy.kappa * self.nu;
+        if cap == 0.0 {
+            return true;
+        }
+        (self.premium_rate(pop) - cap).abs() <= tol * (1.0 + cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::archetypes::figure3_trio;
+    use pubopt_demand::{ContentProvider, DemandKind};
+
+    fn trio() -> Population {
+        figure3_trio().into()
+    }
+
+    #[test]
+    fn partition_basics() {
+        let mut p = Partition::all_ordinary(3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.premium_count(), 0);
+        assert!(p.set(1, ServiceClass::Premium));
+        assert!(!p.set(1, ServiceClass::Premium), "no-op set returns false");
+        assert_eq!(p.premium_indices(), vec![1]);
+        assert_eq!(p.ordinary_indices(), vec![0, 2]);
+        assert_eq!(p.class_of(1), ServiceClass::Premium);
+    }
+
+    #[test]
+    fn partition_from_predicate() {
+        let p = Partition::from_predicate(4, |i| i % 2 == 0);
+        assert_eq!(p.premium_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn resolve_all_ordinary_matches_plain_equilibrium() {
+        let pop = trio();
+        let nu = 2.0;
+        let out = GameOutcome::resolve(
+            &pop,
+            nu,
+            IspStrategy::NEUTRAL,
+            Partition::all_ordinary(3),
+            Tolerance::default(),
+        );
+        let eq = pubopt_eq::solve_maxmin(&pop, nu, Tolerance::default());
+        for i in 0..3 {
+            assert!((out.thetas[i] - eq.thetas[i]).abs() < 1e-12);
+        }
+        assert_eq!(out.isp_surplus(&pop), 0.0);
+        let phi = out.consumer_surplus(&pop);
+        let direct = pubopt_eq::consumer_surplus(&pop, &eq);
+        assert!((phi - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_classes_use_split_capacity() {
+        let pop = trio();
+        let strat = IspStrategy::new(0.5, 0.2);
+        // Netflix (index 1) premium, others ordinary.
+        let part = Partition::from_predicate(3, |i| i == 1);
+        let nu = 2.0;
+        let out = GameOutcome::resolve(&pop, nu, strat, part, Tolerance::default());
+        // Premium class: netflix alone on κν = 1.0 per capita. Its
+        // unconstrained per-capita load is 0.3·10 = 3 > 1 ⇒ congested.
+        // Water level solves 0.3·d(w)·w = 1.
+        let prem_pop = pop.select(&[1]);
+        let eq = pubopt_eq::solve_maxmin(&prem_pop, 1.0, Tolerance::default());
+        assert!((out.thetas[1] - eq.thetas[0]).abs() < 1e-9);
+        // ISP surplus = c · λ_P = 0.2 · 1.0 (fully utilised).
+        assert!((out.isp_surplus(&pop) - 0.2 * 1.0).abs() < 1e-6);
+        assert!(out.premium_fully_utilized(&pop, 1e-6));
+    }
+
+    #[test]
+    fn cp_utility_subtracts_charge_in_premium() {
+        let pop: Population = vec![
+            ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.8, 1.0),
+            ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.8, 1.0),
+        ]
+        .into();
+        let strat = IspStrategy::new(0.5, 0.3);
+        let part = Partition::from_predicate(2, |i| i == 1);
+        let out = GameOutcome::resolve(&pop, 10.0, strat, part, Tolerance::default());
+        // Uncongested both sides: θ = θ̂ = 1, d = 1.
+        assert!((out.cp_utility(&pop, 0) - 0.8).abs() < 1e-9);
+        assert!((out.cp_utility(&pop, 1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn premium_underutilized_detected() {
+        let pop = trio();
+        // κ=0.9 but nobody joins premium: utilisation is 0 < κν.
+        let out = GameOutcome::resolve(
+            &pop,
+            2.0,
+            IspStrategy::new(0.9, 0.5),
+            Partition::all_ordinary(3),
+            Tolerance::default(),
+        );
+        assert!(!out.premium_fully_utilized(&pop, 1e-6));
+        assert_eq!(out.premium_rate(&pop), 0.0);
+    }
+
+    #[test]
+    fn total_rate_splits_across_classes() {
+        let pop = trio();
+        let strat = IspStrategy::new(0.5, 0.1);
+        let part = Partition::from_predicate(3, |i| i == 1);
+        let nu = 2.0; // both classes congested
+        let out = GameOutcome::resolve(&pop, nu, strat, part, Tolerance::default());
+        // Each class is congested, so total = ν.
+        assert!((out.total_rate(&pop) - nu).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,196 @@
+//! Regulation-regime comparison — the paper's bottom line.
+//!
+//! §III and §IV-A rank three regimes for a market whose last mile would
+//! otherwise be a monopoly:
+//!
+//! 1. **Unregulated monopoly** — the ISP plays its revenue-optimal
+//!    `(κ, c)`; consumer surplus is collateral (worst for consumers).
+//! 2. **Network-neutral regulation** — the ISP is forced to `(0, 0)`;
+//!    Φ equals the single-class optimum `Φ(ν, N)`.
+//! 3. **Public Option entry** — capacity is split with a neutral Public
+//!    Option ISP and the incumbent maximises *market share*; Theorem 5
+//!    says the induced equilibrium maximises consumer surplus, weakly
+//!    beating regime 2.
+//!
+//! [`compare_regimes`] computes all three on the same population and
+//! capacity and returns the ranking, which `pubopt-experiments` asserts
+//! as the headline reproduction check.
+
+use crate::market::{duopoly_with_public_option, DuopolyOutcome};
+use crate::monopoly::optimal_strategy;
+use crate::best_response::competitive_equilibrium;
+use crate::strategy::IspStrategy;
+use pubopt_demand::Population;
+use pubopt_num::Tolerance;
+
+/// Outcome of one regime.
+#[derive(Debug, Clone)]
+pub struct RegimeOutcome {
+    /// The strategy the strategic ISP ends up playing.
+    pub strategy: IspStrategy,
+    /// Per-capita consumer surplus Φ.
+    pub phi: f64,
+    /// Per-capita ISP surplus Ψ of the strategic ISP (system-wide basis).
+    pub psi: f64,
+    /// Strategic ISP's market share (1 in the monopoly regimes).
+    pub market_share: f64,
+}
+
+/// The three-regime comparison.
+#[derive(Debug, Clone)]
+pub struct RegimeComparison {
+    /// Regime 1: unregulated revenue-maximising monopoly.
+    pub unregulated: RegimeOutcome,
+    /// Regime 2: monopoly under network-neutral regulation.
+    pub neutral: RegimeOutcome,
+    /// Regime 3: duopoly with a Public Option ISP; the incumbent
+    /// maximises market share.
+    pub public_option: RegimeOutcome,
+}
+
+impl RegimeComparison {
+    /// Theorem 5 / §III ordering: Φ(public option) ≥ Φ(neutral) ≥
+    /// Φ(unregulated), up to `tol` of slack.
+    pub fn paper_ranking_holds(&self, tol: f64) -> bool {
+        self.public_option.phi + tol >= self.neutral.phi && self.neutral.phi + tol >= self.unregulated.phi
+    }
+}
+
+/// Search for the market-share-maximising strategy of the incumbent in
+/// the Public Option duopoly, by `(κ, c)` grid search.
+///
+/// Returns the best strategy and its duopoly outcome. `c_max` bounds the
+/// price grid; `grid_n` is the per-axis resolution.
+pub fn best_share_strategy(
+    pop: &Population,
+    nu_total: f64,
+    gamma_i: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> (IspStrategy, DuopolyOutcome) {
+    assert!(grid_n >= 2, "need at least a 2-point grid");
+    let kappas = pubopt_num::linspace(0.0, 1.0, grid_n);
+    let cs = pubopt_num::linspace(0.0, c_max, grid_n);
+    let mut best: Option<(IspStrategy, DuopolyOutcome)> = None;
+    for &kappa in &kappas {
+        for &c in &cs {
+            let s = IspStrategy::new(kappa, c);
+            let out = duopoly_with_public_option(pop, nu_total, s, gamma_i, tol);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => out.share_i > b.share_i,
+            };
+            if better {
+                best = Some((s, out));
+            }
+        }
+    }
+    best.expect("grid is non-empty")
+}
+
+/// Compute the three regimes on population `pop` with system per-capita
+/// capacity `nu`. `gamma_po` is the capacity share handed to the Public
+/// Option in regime 3 (the incumbent keeps `1 − gamma_po`); `c_max` and
+/// `grid_n` control the strategy searches.
+pub fn compare_regimes(
+    pop: &Population,
+    nu: f64,
+    gamma_po: f64,
+    c_max: f64,
+    grid_n: usize,
+    tol: Tolerance,
+) -> RegimeComparison {
+    // Regime 1: unregulated monopoly.
+    let opt = optimal_strategy(pop, nu, c_max, grid_n, tol);
+    let unregulated = RegimeOutcome {
+        strategy: opt.strategy,
+        phi: opt.phi,
+        psi: opt.psi,
+        market_share: 1.0,
+    };
+
+    // Regime 2: neutral regulation.
+    let neutral_out = competitive_equilibrium(pop, nu, IspStrategy::NEUTRAL, tol).outcome;
+    let neutral = RegimeOutcome {
+        strategy: IspStrategy::NEUTRAL,
+        phi: neutral_out.consumer_surplus(pop),
+        psi: 0.0,
+        market_share: 1.0,
+    };
+
+    // Regime 3: public option duopoly with a share-maximising incumbent.
+    let (s_best, duo) = best_share_strategy(pop, nu, 1.0 - gamma_po, c_max, grid_n, tol);
+    let public_option = RegimeOutcome {
+        strategy: s_best,
+        phi: duo.phi,
+        psi: duo.psi_i,
+        market_share: duo.share_i,
+    };
+
+    RegimeComparison {
+        unregulated,
+        neutral,
+        public_option,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::{ContentProvider, DemandKind};
+
+    fn mixed_pop(n: usize) -> Population {
+        (0..n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                ContentProvider::new(
+                    0.2 + 0.8 * f,
+                    0.5 + 5.0 * ((i * 7) % n) as f64 / n as f64,
+                    DemandKind::exponential(8.0 * ((i * 3) % n) as f64 / n as f64),
+                    ((i * 13) % n) as f64 / n as f64,
+                    0.5 + 2.0 * ((i * 5) % n) as f64 / n as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn neutral_regime_has_zero_isp_surplus() {
+        let pop = mixed_pop(20);
+        let cmp = compare_regimes(&pop, 1.0, 0.5, 1.0, 4, Tolerance::COARSE);
+        assert_eq!(cmp.neutral.psi, 0.0);
+        assert_eq!(cmp.neutral.strategy, IspStrategy::NEUTRAL);
+    }
+
+    #[test]
+    fn paper_ranking_holds_with_ample_capacity() {
+        // With abundant capacity the monopolist's revenue optimum hurts Φ
+        // while the public-option duopoly restores it (Theorem 5 / §III).
+        let pop = mixed_pop(24);
+        let cap = pop.total_unconstrained_per_capita();
+        let cmp = compare_regimes(&pop, 0.8 * cap, 0.5, 1.0, 5, Tolerance::COARSE);
+        assert!(
+            cmp.paper_ranking_holds(1e-6 * (1.0 + cmp.neutral.phi)),
+            "PO {} >= neutral {} >= unregulated {} violated",
+            cmp.public_option.phi,
+            cmp.neutral.phi,
+            cmp.unregulated.phi
+        );
+    }
+
+    #[test]
+    fn unregulated_monopolist_prefers_nonneutral() {
+        let pop = mixed_pop(24);
+        let cmp = compare_regimes(&pop, 0.5, 0.5, 1.0, 5, Tolerance::COARSE);
+        assert!(cmp.unregulated.psi > 0.0, "monopolist should earn revenue");
+    }
+
+    #[test]
+    fn best_share_strategy_returns_consistent_outcome() {
+        let pop = mixed_pop(18);
+        let (s, out) = best_share_strategy(&pop, 0.6, 0.5, 1.0, 4, Tolerance::COARSE);
+        let redo = duopoly_with_public_option(&pop, 0.6, s, 0.5, Tolerance::COARSE);
+        assert!((redo.share_i - out.share_i).abs() < 1e-9);
+    }
+}

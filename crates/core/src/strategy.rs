@@ -1,0 +1,111 @@
+//! ISP strategies `s_I = (κ, c)` (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// An ISP's first-stage strategy: devote a fraction `κ ∈ [0, 1]` of
+/// capacity to a premium class charging `c ≥ 0` per unit traffic; the
+/// remaining `1 − κ` serves the ordinary (free) class.
+///
+/// `(κ, c)` is a Paris-Metro-Pricing pair (the paper cites Odlyzko): for a
+/// wired ISP, `κ` is the share of capacity behind paid private peering;
+/// for a wireless ISP, the share reserved for paid traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IspStrategy {
+    /// Premium capacity fraction `κ ∈ [0, 1]`.
+    pub kappa: f64,
+    /// Premium per-unit-traffic charge `c ≥ 0`.
+    pub c: f64,
+}
+
+impl IspStrategy {
+    /// Construct a strategy, validating domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kappa ∉ [0, 1]` or `c < 0` or either is non-finite.
+    pub fn new(kappa: f64, c: f64) -> Self {
+        assert!((0.0..=1.0).contains(&kappa), "kappa must be in [0,1], got {kappa}");
+        assert!(c >= 0.0 && c.is_finite(), "c must be non-negative, got {c}");
+        Self { kappa, c }
+    }
+
+    /// The network-neutral strategy `(0, 0)`: no premium class, no charge.
+    /// This is also the **Public Option** strategy (Definition 5).
+    pub const NEUTRAL: IspStrategy = IspStrategy { kappa: 0.0, c: 0.0 };
+
+    /// The `κ = 1` strategy of Theorem 4: all capacity in the charged
+    /// class.
+    pub fn premium_only(c: f64) -> Self {
+        Self::new(1.0, c)
+    }
+
+    /// Whether this strategy is neutral in the paper's sense: it offers a
+    /// single class that carries everyone free of charge. Both `(0, ·)`
+    /// (no premium capacity) and `(·, 0)` (premium is free, so the split
+    /// is cosmetic only when κ ∈ {0,1}; we require `c = 0 ∧ κ = 0`)
+    /// qualify conservatively as `κ = 0 ∨ c = 0`.
+    pub fn is_neutral(&self) -> bool {
+        self.kappa == 0.0 || self.c == 0.0
+    }
+
+    /// Ordinary-class capacity share `1 − κ`.
+    pub fn ordinary_fraction(&self) -> f64 {
+        1.0 - self.kappa
+    }
+}
+
+impl Default for IspStrategy {
+    fn default() -> Self {
+        Self::NEUTRAL
+    }
+}
+
+impl std::fmt::Display for IspStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(κ={:.3}, c={:.3})", self.kappa, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neutral_constants() {
+        assert_eq!(IspStrategy::NEUTRAL, IspStrategy::new(0.0, 0.0));
+        assert!(IspStrategy::NEUTRAL.is_neutral());
+        assert_eq!(IspStrategy::default(), IspStrategy::NEUTRAL);
+    }
+
+    #[test]
+    fn premium_only_kappa_is_one() {
+        let s = IspStrategy::premium_only(0.4);
+        assert_eq!(s.kappa, 1.0);
+        assert_eq!(s.c, 0.4);
+        assert!(!s.is_neutral());
+        assert_eq!(s.ordinary_fraction(), 0.0);
+    }
+
+    #[test]
+    fn free_premium_counts_as_neutral() {
+        assert!(IspStrategy::new(0.7, 0.0).is_neutral());
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa must be in [0,1]")]
+    fn rejects_bad_kappa() {
+        IspStrategy::new(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be non-negative")]
+    fn rejects_negative_charge() {
+        IspStrategy::new(0.5, -0.1);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = format!("{}", IspStrategy::new(0.25, 0.5));
+        assert!(s.contains("0.250") && s.contains("0.500"));
+    }
+}

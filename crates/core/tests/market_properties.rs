@@ -1,0 +1,121 @@
+//! Integration tests of the multi-ISP market solvers.
+
+use proptest::prelude::*;
+use pubopt_core::{market_share_equilibrium, tatonnement, Isp, IspStrategy, MarketGame};
+use pubopt_demand::{ContentProvider, DemandKind, Population};
+use pubopt_num::Tolerance;
+
+fn pop(n: usize) -> Population {
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / n as f64;
+            ContentProvider::new(
+                0.2 + 0.8 * f,
+                0.5 + 5.0 * ((i * 7) % n) as f64 / n as f64,
+                DemandKind::exponential(8.0 * ((i * 3) % n) as f64 / n as f64),
+                ((i * 13) % n) as f64 / n as f64,
+                0.5 + 2.0 * ((i * 5) % n) as f64 / n as f64,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn three_isp_tatonnement_matches_level_bisection() {
+    let p = pop(40);
+    let nu = 0.4 * p.total_unconstrained_per_capita();
+    let game = MarketGame::new(
+        vec![
+            Isp::new("a", IspStrategy::new(0.6, 0.25), 0.3),
+            Isp::new("b", IspStrategy::new(0.3, 0.15), 0.3),
+            Isp::public_option(0.4),
+        ],
+        nu,
+    );
+    let lb = market_share_equilibrium(&game, &p, Tolerance::COARSE);
+    let tt = tatonnement(&game, &p, 0.4, 600, 5e-4, Tolerance::COARSE);
+    for i in 0..3 {
+        assert!(
+            (lb.shares[i] - tt.shares[i]).abs() < 0.05,
+            "isp {i}: level-bisection {} vs tatonnement {}",
+            lb.shares[i],
+            tt.shares[i]
+        );
+    }
+}
+
+#[test]
+fn surplus_equalizes_across_active_isps() {
+    let p = pop(50);
+    let nu = 0.5 * p.total_unconstrained_per_capita();
+    let game = MarketGame::new(
+        vec![
+            Isp::new("a", IspStrategy::new(0.7, 0.3), 0.4),
+            Isp::new("b", IspStrategy::new(0.2, 0.1), 0.35),
+            Isp::public_option(0.25),
+        ],
+        nu,
+    );
+    let eq = market_share_equilibrium(&game, &p, Tolerance::COARSE);
+    let active: Vec<f64> = eq
+        .phis
+        .iter()
+        .zip(eq.shares.iter())
+        .filter(|(_, &m)| m > 0.02)
+        .map(|(&phi, _)| phi)
+        .collect();
+    assert!(active.len() >= 2, "at least two ISPs should be active");
+    let hi = active.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lo = active.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        (hi - lo) / hi < 0.03,
+        "active surpluses should equalise: {active:?}"
+    );
+}
+
+#[test]
+fn bigger_public_option_never_hurts_consumers() {
+    // More neutral capacity in the market weakly raises equilibrium Φ
+    // when the rival strategy is fixed and harmful.
+    let p = pop(40);
+    let nu = 0.8 * p.total_unconstrained_per_capita();
+    let harmful = IspStrategy::premium_only(0.7);
+    let mut last = 0.0;
+    for gamma_po in [0.1, 0.3, 0.5, 0.7] {
+        let duo =
+            pubopt_core::duopoly_with_public_option(&p, nu, harmful, 1.0 - gamma_po, Tolerance::COARSE);
+        assert!(
+            duo.phi + 1e-6 >= last * 0.98,
+            "γ_PO {gamma_po}: Φ {} dropped well below previous {last}",
+            duo.phi
+        );
+        last = duo.phi;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The n-ISP solver is invariant to ISP ordering.
+    #[test]
+    fn order_invariance(seed in 0u64..50) {
+        let p = pop(24);
+        let nu = 0.5 * p.total_unconstrained_per_capita();
+        let s1 = IspStrategy::new(0.6, 0.2 + (seed % 5) as f64 * 0.1);
+        let s2 = IspStrategy::new(0.3, 0.1);
+        let game_a = MarketGame::new(
+            vec![Isp::new("x", s1, 0.4), Isp::new("y", s2, 0.35), Isp::public_option(0.25)],
+            nu,
+        );
+        let game_b = MarketGame::new(
+            vec![Isp::public_option(0.25), Isp::new("y", s2, 0.35), Isp::new("x", s1, 0.4)],
+            nu,
+        );
+        let ea = market_share_equilibrium(&game_a, &p, Tolerance::COARSE);
+        let eb = market_share_equilibrium(&game_b, &p, Tolerance::COARSE);
+        prop_assert!((ea.shares[0] - eb.shares[2]).abs() < 0.02,
+            "x share {} vs {}", ea.shares[0], eb.shares[2]);
+        prop_assert!((ea.shares[2] - eb.shares[0]).abs() < 0.02,
+            "po share {} vs {}", ea.shares[2], eb.shares[0]);
+    }
+}

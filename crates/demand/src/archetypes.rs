@@ -1,0 +1,88 @@
+//! The three named CP archetypes from §II-D of the paper.
+//!
+//! Used by the Figure 3 reproduction and as fixtures throughout the test
+//! suites. Parameters `(α, θ̂, β)` are exactly those in the paper; `v` and
+//! `φ` are not specified there (Figure 3 does not use them), so we attach
+//! representative values documented on each constructor.
+
+use crate::cp::ContentProvider;
+use crate::kind::DemandKind;
+
+/// Google-type CP: `(α, θ̂, β) = (1, 1, 0.1)` — accessed by everyone,
+/// low unconstrained throughput, barely throughput-sensitive.
+///
+/// `v = 0.9` (search advertising is high-margin), `φ = 0.1` (a single
+/// query carries little per-unit-traffic utility).
+pub fn google() -> ContentProvider {
+    ContentProvider::new(1.0, 1.0, DemandKind::exponential(0.1), 0.9, 0.1).named("google")
+}
+
+/// Netflix-type CP: `(α, θ̂, β) = (0.3, 10, 3)` — less popular, very high
+/// unconstrained throughput, throughput-sensitive streaming.
+///
+/// `v = 0.3` (subscription revenue per unit of (heavy) traffic is modest),
+/// `φ = 3.0` (streaming utility scales with β per the paper's §III-E
+/// biasing of φ towards throughput-sensitive CPs).
+pub fn netflix() -> ContentProvider {
+    ContentProvider::new(0.3, 10.0, DemandKind::exponential(3.0), 0.3, 3.0).named("netflix")
+}
+
+/// Skype-type CP: `(α, θ̂, β) = (0.5, 3, 5)` — medium popularity, medium
+/// throughput, extremely throughput-sensitive real-time communication.
+///
+/// `v = 0.1` (real-time communication monetises poorly per unit traffic),
+/// `φ = 5.0` (biased with β as above).
+pub fn skype() -> ContentProvider {
+    ContentProvider::new(0.5, 3.0, DemandKind::exponential(5.0), 0.1, 5.0).named("skype")
+}
+
+/// The Figure 3 trio in the paper's order (Google, Netflix, Skype).
+pub fn figure3_trio() -> Vec<ContentProvider> {
+    vec![google(), netflix(), skype()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::Demand;
+
+    #[test]
+    fn parameters_match_paper() {
+        let g = google();
+        assert_eq!((g.alpha, g.theta_hat), (1.0, 1.0));
+        assert_eq!(g.demand, DemandKind::exponential(0.1));
+        let n = netflix();
+        assert_eq!((n.alpha, n.theta_hat), (0.3, 10.0));
+        assert_eq!(n.demand, DemandKind::exponential(3.0));
+        let s = skype();
+        assert_eq!((s.alpha, s.theta_hat), (0.5, 3.0));
+        assert_eq!(s.demand, DemandKind::exponential(5.0));
+    }
+
+    #[test]
+    fn sensitivity_ordering() {
+        // At 80% of unconstrained throughput, Google users barely notice,
+        // Skype users mostly leave.
+        let at80 = |cp: &crate::ContentProvider| cp.demand.demand_at(0.8);
+        assert!(at80(&google()) > 0.95);
+        assert!(at80(&netflix()) < 0.6);
+        assert!(at80(&skype()) < at80(&netflix()));
+    }
+
+    #[test]
+    fn trio_order() {
+        let t = figure3_trio();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].name.as_deref(), Some("google"));
+        assert_eq!(t[1].name.as_deref(), Some("netflix"));
+        assert_eq!(t[2].name.as_deref(), Some("skype"));
+    }
+
+    #[test]
+    fn aggregate_unconstrained_throughput() {
+        // Σ αθ̂ = 1·1 + 0.3·10 + 0.5·3 = 5.5: the ν beyond which Figure 3
+        // saturates.
+        let total: f64 = figure3_trio().iter().map(|c| c.lambda_hat_per_capita()).sum();
+        assert!((total - 5.5).abs() < 1e-12);
+    }
+}

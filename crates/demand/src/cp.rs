@@ -1,0 +1,191 @@
+//! The content-provider record and its derived per-CP quantities.
+
+use crate::kind::{Demand, DemandKind};
+use serde::{Deserialize, Serialize};
+
+/// A content provider (§II of the paper).
+///
+/// All rates are in the same (arbitrary) throughput unit; the model is
+/// unit-free. The paper's running examples use Kbps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentProvider {
+    /// Optional human-readable label (e.g. `"netflix"`).
+    pub name: Option<String>,
+    /// Popularity `α ∈ (0, 1]`: fraction of consumers who ever access this CP.
+    pub alpha: f64,
+    /// Unconstrained per-user throughput `θ̂ > 0`.
+    pub theta_hat: f64,
+    /// Demand function `d(·)` (Assumption 1).
+    pub demand: DemandKind,
+    /// Per-unit-traffic revenue `v ≥ 0` (advertising, sales, …; §III-A).
+    pub v: f64,
+    /// Per-unit-traffic consumer utility `φ ≥ 0` (§II-C).
+    pub phi: f64,
+}
+
+impl ContentProvider {
+    /// Construct a CP, validating parameter domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ (0, 1]`, `theta_hat ≤ 0`, or `v`/`phi` are
+    /// negative or non-finite. (Constructor panics rather than returning
+    /// `Result` because every call site builds CPs from validated
+    /// generators; the invariants are programmer errors, not data errors.)
+    pub fn new(alpha: f64, theta_hat: f64, demand: DemandKind, v: f64, phi: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(theta_hat > 0.0 && theta_hat.is_finite(), "theta_hat must be positive, got {theta_hat}");
+        assert!(v >= 0.0 && v.is_finite(), "v must be non-negative, got {v}");
+        assert!(phi >= 0.0 && phi.is_finite(), "phi must be non-negative, got {phi}");
+        Self {
+            name: None,
+            alpha,
+            theta_hat,
+            demand,
+            v,
+            phi,
+        }
+    }
+
+    /// Attach a label.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Demand `d(θ)` at achievable throughput `θ`.
+    pub fn demand_at(&self, theta: f64) -> f64 {
+        self.demand.demand(theta, self.theta_hat)
+    }
+
+    /// Per-capita throughput over this CP's user base:
+    /// `ρ(θ) = d(θ) · θ` (Eq. 5).
+    ///
+    /// Non-decreasing in `θ` under Assumption 1.
+    pub fn rho(&self, theta: f64) -> f64 {
+        self.demand_at(theta) * theta
+    }
+
+    /// System-wide per-capita throughput contribution:
+    /// `λ(θ)/M = α · d(θ) · θ` (Eq. 1 divided by `M`).
+    pub fn lambda_per_capita(&self, theta: f64) -> f64 {
+        self.alpha * self.rho(theta)
+    }
+
+    /// Unconstrained per-capita throughput `λ̂/M = α · θ̂`.
+    pub fn lambda_hat_per_capita(&self) -> f64 {
+        self.alpha * self.theta_hat
+    }
+
+    /// Absolute throughput `λ(θ) = α M d(θ) θ` (Eq. 1).
+    pub fn lambda(&self, theta: f64, consumers: f64) -> f64 {
+        consumers * self.lambda_per_capita(theta)
+    }
+
+    /// Consumer-surplus contribution per capita: `φ · α · d(θ) · θ`
+    /// (one term of Eq. 2).
+    pub fn surplus_per_capita(&self, theta: f64) -> f64 {
+        self.phi * self.lambda_per_capita(theta)
+    }
+
+    /// CP profit per capita when carried free of charge (ordinary class):
+    /// `v · α · d(θ) · θ`.
+    pub fn profit_per_capita_ordinary(&self, theta: f64) -> f64 {
+        self.v * self.lambda_per_capita(theta)
+    }
+
+    /// CP profit per capita when paying `c` per unit traffic (premium
+    /// class): `(v − c) · α · d(θ) · θ` (Eq. 4 divided by `M`).
+    pub fn profit_per_capita_premium(&self, theta: f64, c: f64) -> f64 {
+        (self.v - c) * self.lambda_per_capita(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp() -> ContentProvider {
+        ContentProvider::new(0.5, 4.0, DemandKind::exponential(2.0), 0.8, 0.6)
+    }
+
+    #[test]
+    fn rho_is_demand_times_theta() {
+        let c = cp();
+        let theta = 2.0;
+        let d = c.demand_at(theta);
+        assert!((c.rho(theta) - d * theta).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lambda_scales_with_population() {
+        let c = cp();
+        assert!((c.lambda(2.0, 100.0) - 100.0 * c.lambda_per_capita(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unconstrained_throughput() {
+        let c = cp();
+        assert_eq!(c.lambda_hat_per_capita(), 0.5 * 4.0);
+        // At θ = θ̂ demand is 1 so λ = λ̂.
+        assert!((c.lambda_per_capita(4.0) - c.lambda_hat_per_capita()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_monotone_under_assumption1() {
+        let c = cp();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let theta = 4.0 * i as f64 / 100.0;
+            let r = c.rho(theta);
+            assert!(r >= prev - 1e-12, "rho must be non-decreasing");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn premium_profit_subtracts_charge() {
+        let c = cp();
+        let theta = 3.0;
+        let free = c.profit_per_capita_ordinary(theta);
+        let paid = c.profit_per_capita_premium(theta, 0.3);
+        assert!(paid < free);
+        assert!((free - paid - 0.3 * c.lambda_per_capita(theta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn premium_profit_can_go_negative() {
+        let c = cp();
+        assert!(c.profit_per_capita_premium(3.0, 2.0) < 0.0);
+    }
+
+    #[test]
+    fn surplus_uses_phi() {
+        let c = cp();
+        assert!((c.surplus_per_capita(2.0) - 0.6 * c.lambda_per_capita(2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn named_builder() {
+        let c = cp().named("netflix");
+        assert_eq!(c.name.as_deref(), Some("netflix"));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn rejects_zero_alpha() {
+        ContentProvider::new(0.0, 1.0, DemandKind::Constant, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta_hat must be positive")]
+    fn rejects_zero_theta_hat() {
+        ContentProvider::new(0.5, 0.0, DemandKind::Constant, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "v must be non-negative")]
+    fn rejects_negative_v() {
+        ContentProvider::new(0.5, 1.0, DemandKind::Constant, -0.1, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Demand-function families.
+//!
+//! A demand function maps the *fraction of unconstrained throughput
+//! achieved*, `ω = θ/θ̂ ∈ [0, 1]`, to the fraction of users still
+//! demanding the content, `d(ω) ∈ [0, 1]`. Assumption 1 of the paper
+//! requires `d` to be non-negative, continuous and non-decreasing with
+//! `d(1) = 1`; all variants except [`DemandKind::HardStep`] comply
+//! (the hard step exists to test solver robustness against Assumption-1
+//! violations, mirroring the paper's remark that real-time users abandon
+//! abruptly below a threshold).
+
+use serde::{Deserialize, Serialize};
+
+/// Evaluation interface shared by every demand family.
+pub trait Demand {
+    /// Demand at normalised throughput `ω ∈ [0, 1]` (values outside the
+    /// domain are clamped).
+    fn demand_at(&self, omega: f64) -> f64;
+
+    /// Demand at absolute throughput `theta` given unconstrained
+    /// throughput `theta_hat`.
+    fn demand(&self, theta: f64, theta_hat: f64) -> f64 {
+        if theta_hat <= 0.0 {
+            return 1.0; // A CP that wants no throughput is always satisfied.
+        }
+        self.demand_at(theta / theta_hat)
+    }
+}
+
+/// The demand families shipped by this crate.
+///
+/// Stored as a plain enum (not a trait object) so content providers remain
+/// `Copy`, serialisable and branch-predictable inside the equilibrium
+/// solver's inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DemandKind {
+    /// Eq. (3) of the paper: `d(ω) = exp(−β (1/ω − 1))`.
+    ///
+    /// `β > 0` is the throughput sensitivity: large `β` models
+    /// Netflix/Skype-like content whose demand collapses under congestion;
+    /// small `β` models Google-search-like content. `β = 0` degenerates to
+    /// constant demand.
+    ExponentialSensitivity {
+        /// Throughput sensitivity `β ≥ 0`.
+        beta: f64,
+    },
+    /// `d(ω) = ω^e` with elasticity `e ≥ 0`. `e = 0` is constant demand,
+    /// `e = 1` is linear.
+    ConstantElasticity {
+        /// Elasticity exponent `e ≥ 0`.
+        elasticity: f64,
+    },
+    /// Continuous ramp: 0 below `threshold − width`, 1 above `threshold`,
+    /// linear in between. An Assumption-1-compliant approximation of the
+    /// abrupt abandonment of real-time applications.
+    SmoothedStep {
+        /// Normalised throughput at which demand reaches 1.
+        threshold: f64,
+        /// Ramp width (`> 0`); the ramp starts at `threshold − width`.
+        width: f64,
+    },
+    /// Discontinuous step: 0 below `threshold`, 1 at or above it.
+    ///
+    /// **Violates Assumption 1** (not continuous). Retained so tests can
+    /// demonstrate which solver guarantees are lost without continuity.
+    HardStep {
+        /// Normalised throughput at which demand jumps to 1.
+        threshold: f64,
+    },
+    /// Normalised logistic curve `σ(k(ω − m)) / σ(k(1 − m))`, clamped to 1.
+    Logistic {
+        /// Steepness `k > 0`.
+        steepness: f64,
+        /// Midpoint `m ∈ (0, 1)`.
+        midpoint: f64,
+    },
+    /// `d ≡ 1`: perfectly throughput-insensitive users.
+    Constant,
+}
+
+impl DemandKind {
+    /// The paper's Eq. (3) family.
+    pub fn exponential(beta: f64) -> Self {
+        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and >= 0");
+        DemandKind::ExponentialSensitivity { beta }
+    }
+
+    /// Power-law family `ω^e`.
+    pub fn constant_elasticity(elasticity: f64) -> Self {
+        assert!(
+            elasticity >= 0.0 && elasticity.is_finite(),
+            "elasticity must be finite and >= 0"
+        );
+        DemandKind::ConstantElasticity { elasticity }
+    }
+
+    /// Continuous ramp family.
+    pub fn smoothed_step(threshold: f64, width: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+        assert!(width > 0.0, "width must be positive");
+        DemandKind::SmoothedStep { threshold, width }
+    }
+
+    /// Normalised logistic family.
+    pub fn logistic(steepness: f64, midpoint: f64) -> Self {
+        assert!(steepness > 0.0, "steepness must be positive");
+        assert!((0.0..1.0).contains(&midpoint) && midpoint > 0.0, "midpoint must be in (0,1)");
+        DemandKind::Logistic { steepness, midpoint }
+    }
+
+    /// Whether this family satisfies Assumption 1 by construction.
+    pub fn satisfies_assumption1(&self) -> bool {
+        !matches!(self, DemandKind::HardStep { .. })
+    }
+}
+
+impl Demand for DemandKind {
+    fn demand_at(&self, omega: f64) -> f64 {
+        let w = omega.clamp(0.0, 1.0);
+        match *self {
+            DemandKind::ExponentialSensitivity { beta } => {
+                if beta == 0.0 {
+                    1.0
+                } else if w <= 0.0 {
+                    0.0
+                } else {
+                    (-beta * (1.0 / w - 1.0)).exp()
+                }
+            }
+            DemandKind::ConstantElasticity { elasticity } => {
+                if elasticity == 0.0 {
+                    1.0
+                } else {
+                    w.powf(elasticity)
+                }
+            }
+            DemandKind::SmoothedStep { threshold, width } => {
+                if w >= threshold {
+                    1.0
+                } else {
+                    let start = threshold - width;
+                    if w <= start {
+                        0.0
+                    } else {
+                        (w - start) / width
+                    }
+                }
+            }
+            DemandKind::HardStep { threshold } => {
+                if w >= threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            DemandKind::Logistic { steepness, midpoint } => {
+                let sigma = |x: f64| 1.0 / (1.0 + (-x).exp());
+                sigma(steepness * (w - midpoint)) / sigma(steepness * (1.0 - midpoint))
+            }
+            DemandKind::Constant => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exponential_matches_eq3() {
+        // Paper example: β = 5 halves demand at ~10% throughput drop.
+        let d = DemandKind::exponential(5.0);
+        assert!((d.demand_at(1.0) - 1.0).abs() < 1e-15);
+        let at_90pct = d.demand_at(0.9);
+        assert!((at_90pct - (-5.0f64 * (1.0 / 0.9 - 1.0)).exp()).abs() < 1e-15);
+        assert!((0.45..0.65).contains(&at_90pct), "β=5 should roughly halve demand at ω=0.9, got {at_90pct}");
+    }
+
+    #[test]
+    fn exponential_limit_at_zero() {
+        let d = DemandKind::exponential(1.0);
+        assert_eq!(d.demand_at(0.0), 0.0);
+        assert!(d.demand_at(1e-9) < 1e-12);
+    }
+
+    #[test]
+    fn exponential_beta_zero_is_constant() {
+        let d = DemandKind::exponential(0.0);
+        assert_eq!(d.demand_at(0.0), 1.0);
+        assert_eq!(d.demand_at(0.3), 1.0);
+    }
+
+    #[test]
+    fn demand_clamps_outside_domain() {
+        let d = DemandKind::exponential(2.0);
+        assert_eq!(d.demand_at(1.5), 1.0);
+        assert_eq!(d.demand_at(-0.2), 0.0);
+    }
+
+    #[test]
+    fn demand_from_absolute_throughput() {
+        let d = DemandKind::exponential(1.0);
+        assert_eq!(d.demand(5.0, 10.0), d.demand_at(0.5));
+        // Degenerate θ̂ = 0: always satisfied.
+        assert_eq!(d.demand(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn constant_elasticity_linear_case() {
+        let d = DemandKind::constant_elasticity(1.0);
+        assert_eq!(d.demand_at(0.25), 0.25);
+        assert_eq!(d.demand_at(1.0), 1.0);
+    }
+
+    #[test]
+    fn smoothed_step_shape() {
+        let d = DemandKind::smoothed_step(0.5, 0.2);
+        assert_eq!(d.demand_at(0.2), 0.0);
+        assert_eq!(d.demand_at(0.3), 0.0);
+        assert!((d.demand_at(0.4) - 0.5).abs() < 1e-12);
+        assert_eq!(d.demand_at(0.5), 1.0);
+        assert_eq!(d.demand_at(0.9), 1.0);
+    }
+
+    #[test]
+    fn hard_step_flagged_noncompliant() {
+        let d = DemandKind::HardStep { threshold: 0.5 };
+        assert!(!d.satisfies_assumption1());
+        assert_eq!(d.demand_at(0.49), 0.0);
+        assert_eq!(d.demand_at(0.5), 1.0);
+        assert!(DemandKind::exponential(1.0).satisfies_assumption1());
+    }
+
+    #[test]
+    fn logistic_normalised_to_one() {
+        let d = DemandKind::logistic(10.0, 0.5);
+        assert!((d.demand_at(1.0) - 1.0).abs() < 1e-12);
+        assert!(d.demand_at(0.5) < d.demand_at(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be finite")]
+    fn exponential_rejects_negative_beta() {
+        DemandKind::exponential(-1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = DemandKind::exponential(3.25);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DemandKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    fn compliant_kind() -> impl Strategy<Value = DemandKind> {
+        prop_oneof![
+            (0.0f64..20.0).prop_map(DemandKind::exponential),
+            (0.0f64..5.0).prop_map(DemandKind::constant_elasticity),
+            (0.05f64..0.95, 0.01f64..0.5).prop_map(|(t, w)| DemandKind::smoothed_step(t, w.min(t.max(0.011)))),
+            (0.5f64..30.0, 0.05f64..0.95).prop_map(|(k, m)| DemandKind::logistic(k, m)),
+            Just(DemandKind::Constant),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn compliant_families_are_monotone_and_bounded(d in compliant_kind(), w1 in 0.0f64..1.0, w2 in 0.0f64..1.0) {
+            let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+            let (dlo, dhi) = (d.demand_at(lo), d.demand_at(hi));
+            prop_assert!(dlo >= 0.0 && dhi <= 1.0 + 1e-12);
+            prop_assert!(dlo <= dhi + 1e-12, "{d:?} not monotone: d({lo})={dlo} > d({hi})={dhi}");
+        }
+
+        #[test]
+        fn compliant_families_reach_one(d in compliant_kind()) {
+            prop_assert!((d.demand_at(1.0) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # pubopt-demand — consumer demand model and content providers
+//!
+//! Implements §II-A of Ma & Misra (CoNEXT 2011): each content provider
+//! (CP) `i` is described by
+//!
+//! * `α_i ∈ (0, 1]` — popularity: the fraction of consumers that ever
+//!   access CP *i*'s content;
+//! * `θ̂_i > 0` — unconstrained per-user throughput (e.g. ≈5 Mbps for the
+//!   best Netflix stream, ≈600 Kbps for a Google search);
+//! * a **demand function** `d_i(θ)` — the fraction of CP *i*'s users that
+//!   keep downloading when the achievable throughput is `θ` (Assumption 1:
+//!   non-negative, continuous, non-decreasing on `[0, θ̂_i]`, `d(θ̂_i)=1`);
+//! * `v_i ≥ 0` — the CP's per-unit-traffic revenue (§III-A);
+//! * `φ_i ≥ 0` — the consumers' per-unit-traffic utility from CP *i* (§II-C).
+//!
+//! The paper's flagship demand family is the exponential-sensitivity form
+//! of Eq. (3), `d_i = exp(−β_i (1/ω_i − 1))` with `ω_i = θ_i/θ̂_i`; this
+//! crate additionally ships several other Assumption-1-compliant families
+//! (plus one deliberately *non*-compliant hard step used to exercise solver
+//! robustness), a validation harness for Assumption 1, and the three named
+//! archetypes (Google / Netflix / Skype) from §II-D.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod archetypes;
+pub mod cp;
+pub mod kind;
+pub mod population;
+pub mod validate;
+
+pub use archetypes::{google, netflix, skype};
+pub use cp::ContentProvider;
+pub use kind::{Demand, DemandKind};
+pub use population::Population;
+pub use validate::{check_assumption1, Assumption1Violation};

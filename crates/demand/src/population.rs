@@ -1,0 +1,144 @@
+//! Collections of content providers with cached aggregates.
+
+use crate::cp::ContentProvider;
+use pubopt_num::kahan_sum;
+use serde::{Deserialize, Serialize};
+
+/// A set `N` of content providers.
+///
+/// Thin wrapper around `Vec<ContentProvider>` that centralises the
+/// aggregates every solver needs (`Σ α_i θ̂_i`, subset selection by class
+/// membership, …).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Population {
+    cps: Vec<ContentProvider>,
+}
+
+impl Population {
+    /// Build from a vector of CPs.
+    pub fn new(cps: Vec<ContentProvider>) -> Self {
+        Self { cps }
+    }
+
+    /// Number of CPs, `N = |N|`.
+    pub fn len(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cps.is_empty()
+    }
+
+    /// The CPs.
+    pub fn cps(&self) -> &[ContentProvider] {
+        &self.cps
+    }
+
+    /// Mutable access (used by workload generators to post-edit φ draws).
+    pub fn cps_mut(&mut self) -> &mut [ContentProvider] {
+        &mut self.cps
+    }
+
+    /// Iterate over the CPs.
+    pub fn iter(&self) -> std::slice::Iter<'_, ContentProvider> {
+        self.cps.iter()
+    }
+
+    /// Total unconstrained per-capita throughput `Σ_i α_i θ̂_i`.
+    ///
+    /// This is the per-capita capacity `ν` at which the system leaves the
+    /// congested regime entirely (Axiom 2): for the paper's 1000-CP
+    /// ensemble this is ≈250.
+    pub fn total_unconstrained_per_capita(&self) -> f64 {
+        kahan_sum(self.cps.iter().map(|c| c.lambda_hat_per_capita()))
+    }
+
+    /// Sub-population selected by index predicate. Order is preserved.
+    pub fn subset(&self, mut keep: impl FnMut(usize, &ContentProvider) -> bool) -> Population {
+        Population::new(
+            self.cps
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| keep(*i, c))
+                .map(|(_, c)| c.clone())
+                .collect(),
+        )
+    }
+
+    /// Sub-population by explicit index list (indices must be in range).
+    pub fn select(&self, indices: &[usize]) -> Population {
+        Population::new(indices.iter().map(|&i| self.cps[i].clone()).collect())
+    }
+
+    /// Largest `θ̂` in the population (0 for an empty population) — the
+    /// upper end of any water-level bracket.
+    pub fn max_theta_hat(&self) -> f64 {
+        self.cps.iter().map(|c| c.theta_hat).fold(0.0, f64::max)
+    }
+}
+
+impl From<Vec<ContentProvider>> for Population {
+    fn from(cps: Vec<ContentProvider>) -> Self {
+        Population::new(cps)
+    }
+}
+
+impl FromIterator<ContentProvider> for Population {
+    fn from_iter<I: IntoIterator<Item = ContentProvider>>(iter: I) -> Self {
+        Population::new(iter.into_iter().collect())
+    }
+}
+
+impl std::ops::Index<usize> for Population {
+    type Output = ContentProvider;
+    fn index(&self, i: usize) -> &ContentProvider {
+        &self.cps[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetypes::figure3_trio;
+
+    #[test]
+    fn aggregates() {
+        let p: Population = figure3_trio().into();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!((p.total_unconstrained_per_capita() - 5.5).abs() < 1e-12);
+        assert_eq!(p.max_theta_hat(), 10.0);
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = Population::default();
+        assert!(p.is_empty());
+        assert_eq!(p.total_unconstrained_per_capita(), 0.0);
+        assert_eq!(p.max_theta_hat(), 0.0);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let p: Population = figure3_trio().into();
+        let q = p.subset(|i, _| i != 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].name.as_deref(), Some("google"));
+        assert_eq!(q[1].name.as_deref(), Some("skype"));
+    }
+
+    #[test]
+    fn select_by_indices() {
+        let p: Population = figure3_trio().into();
+        let q = p.select(&[2, 0]);
+        assert_eq!(q[0].name.as_deref(), Some("skype"));
+        assert_eq!(q[1].name.as_deref(), Some("google"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: Population = figure3_trio().into_iter().collect();
+        assert_eq!(p.len(), 3);
+    }
+}

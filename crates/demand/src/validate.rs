@@ -1,0 +1,188 @@
+//! Machine-checkable form of the paper's Assumption 1.
+//!
+//! Assumption 1: a demand function is non-negative, continuous and
+//! non-decreasing on `[0, θ̂]`, with `d(θ̂) = 1`. Continuity cannot be
+//! verified pointwise, so we check a *modulus-of-continuity* proxy: on a
+//! dense grid, adjacent samples must not differ by more than a caller-
+//! supplied bound. The hard-step family fails exactly this check.
+
+use crate::kind::Demand;
+
+/// A detected violation of Assumption 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Assumption1Violation {
+    /// `d(ω) < 0` at the reported `ω`.
+    Negative {
+        /// Sample point.
+        omega: f64,
+        /// Offending value.
+        value: f64,
+    },
+    /// `d(ω) > 1` at the reported `ω` (demand is a fraction of users).
+    ExceedsOne {
+        /// Sample point.
+        omega: f64,
+        /// Offending value.
+        value: f64,
+    },
+    /// `d` decreased between two adjacent samples.
+    Decreasing {
+        /// Left sample point.
+        omega_lo: f64,
+        /// Right sample point.
+        omega_hi: f64,
+    },
+    /// Jump between adjacent samples exceeded the continuity bound.
+    JumpTooLarge {
+        /// Left sample point.
+        omega_lo: f64,
+        /// Right sample point.
+        omega_hi: f64,
+        /// Size of the jump.
+        jump: f64,
+    },
+    /// `d(1) != 1`.
+    NotOneAtFullThroughput {
+        /// Value of `d(1)`.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for Assumption1Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Assumption1Violation::Negative { omega, value } => write!(f, "d({omega}) = {value} < 0"),
+            Assumption1Violation::ExceedsOne { omega, value } => write!(f, "d({omega}) = {value} > 1"),
+            Assumption1Violation::Decreasing { omega_lo, omega_hi } => {
+                write!(f, "d decreasing on [{omega_lo}, {omega_hi}]")
+            }
+            Assumption1Violation::JumpTooLarge { omega_lo, omega_hi, jump } => {
+                write!(f, "jump {jump} on [{omega_lo}, {omega_hi}] breaks continuity bound")
+            }
+            Assumption1Violation::NotOneAtFullThroughput { value } => write!(f, "d(1) = {value} != 1"),
+        }
+    }
+}
+
+/// Check Assumption 1 on `samples` grid points with continuity bound
+/// `max_jump` (maximum allowed change between adjacent samples).
+///
+/// Returns all violations found (empty means the check passed). A sensible
+/// `max_jump` for `n` samples of a Lipschitz-`L` function is `2 L / n`;
+/// for the families in this crate `max_jump = 0.5` with `samples = 1000`
+/// rejects hard steps while admitting every compliant family.
+pub fn check_assumption1(d: &impl Demand, samples: usize, max_jump: f64) -> Vec<Assumption1Violation> {
+    assert!(samples >= 2, "need at least two samples");
+    let mut violations = Vec::new();
+    let mut prev: Option<(f64, f64)> = None;
+    for i in 0..=samples {
+        let omega = i as f64 / samples as f64;
+        let value = d.demand_at(omega);
+        if value < 0.0 {
+            violations.push(Assumption1Violation::Negative { omega, value });
+        }
+        if value > 1.0 + 1e-12 {
+            violations.push(Assumption1Violation::ExceedsOne { omega, value });
+        }
+        if let Some((po, pv)) = prev {
+            if value < pv - 1e-12 {
+                violations.push(Assumption1Violation::Decreasing {
+                    omega_lo: po,
+                    omega_hi: omega,
+                });
+            }
+            if (value - pv).abs() > max_jump {
+                violations.push(Assumption1Violation::JumpTooLarge {
+                    omega_lo: po,
+                    omega_hi: omega,
+                    jump: (value - pv).abs(),
+                });
+            }
+        }
+        prev = Some((omega, value));
+    }
+    let at_one = d.demand_at(1.0);
+    if (at_one - 1.0).abs() > 1e-9 {
+        violations.push(Assumption1Violation::NotOneAtFullThroughput { value: at_one });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::DemandKind;
+
+    #[test]
+    fn compliant_families_pass() {
+        for d in [
+            DemandKind::exponential(0.1),
+            DemandKind::exponential(10.0),
+            DemandKind::constant_elasticity(2.0),
+            DemandKind::smoothed_step(0.5, 0.1),
+            DemandKind::logistic(12.0, 0.4),
+            DemandKind::Constant,
+        ] {
+            let v = check_assumption1(&d, 1000, 0.5);
+            assert!(v.is_empty(), "{d:?} flagged: {v:?}");
+        }
+    }
+
+    #[test]
+    fn hard_step_fails_continuity() {
+        let v = check_assumption1(&DemandKind::HardStep { threshold: 0.5 }, 1000, 0.5);
+        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::JumpTooLarge { .. })));
+    }
+
+    #[test]
+    fn decreasing_function_detected() {
+        struct Bad;
+        impl Demand for Bad {
+            fn demand_at(&self, omega: f64) -> f64 {
+                if omega < 1.0 {
+                    1.0 - omega
+                } else {
+                    1.0
+                }
+            }
+        }
+        let v = check_assumption1(&Bad, 100, 0.5);
+        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::Decreasing { .. })));
+    }
+
+    #[test]
+    fn wrong_endpoint_detected() {
+        struct Half;
+        impl Demand for Half {
+            fn demand_at(&self, _: f64) -> f64 {
+                0.5
+            }
+        }
+        let v = check_assumption1(&Half, 100, 0.5);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Assumption1Violation::NotOneAtFullThroughput { .. })));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        struct Big;
+        impl Demand for Big {
+            fn demand_at(&self, omega: f64) -> f64 {
+                if omega >= 1.0 {
+                    1.0
+                } else {
+                    1.5
+                }
+            }
+        }
+        let v = check_assumption1(&Big, 10, 2.0);
+        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::ExceedsOne { .. })));
+    }
+
+    #[test]
+    fn violation_display() {
+        let s = format!("{}", Assumption1Violation::NotOneAtFullThroughput { value: 0.5 });
+        assert!(s.contains("d(1)"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # pubopt-eq — the rate equilibrium (§II-C of the paper)
+//!
+//! Demand functions map throughput to demand; rate allocation mechanisms
+//! map fixed demand to throughput. The **rate equilibrium** (Theorem 1) is
+//! the unique profile `{θ_i}` consistent with both. This crate solves it:
+//!
+//! * [`solver::solve_maxmin`] — the specialised solver for the max-min
+//!   fair mechanism. Under max-min, the equilibrium is fully described by
+//!   a scalar *water level*, and the aggregate-throughput function of the
+//!   water level is continuous and non-decreasing (Assumption 1), so the
+//!   equilibrium is a single monotone root find — fast and exact.
+//! * [`solver::solve_generic`] — a damped fixed-point iteration that works
+//!   for *any* [`RateAllocator`](pubopt_alloc::RateAllocator) satisfying Axioms 1–4 (used for the
+//!   weighted α-fair mechanisms, and as the cross-check oracle for the
+//!   specialised solver; DESIGN.md ablation A1).
+//!
+//! On top of the equilibrium the crate computes the paper's welfare
+//! quantities: per-capita consumer surplus `Φ = Σ φ_i α_i d_i(θ_i) θ_i`
+//! (Eq. 2, Theorem 2) and per-capita CP throughput `ρ_i = d_i(θ_i) θ_i`
+//! (Eq. 5), both of which drive every strategic result in §III–§IV.
+//!
+//! Everything is expressed in per-capita units `ν = µ/M`, which is
+//! justified by Lemma 1 (Axiom 4 collapses `(M, µ)` to `ν`). The
+//! [`system`] module provides the absolute-units view and the conversion,
+//! so Theorem 3 (scale invariance) can be tested rather than assumed.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod solver;
+pub mod surplus;
+pub mod system;
+
+pub use solver::{solve_generic, solve_maxmin, EquilibriumError, RateEquilibrium};
+pub use surplus::{consumer_surplus, per_cp_surplus, rho_profile};
+pub use system::System;

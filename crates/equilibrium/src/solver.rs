@@ -1,0 +1,394 @@
+//! Rate-equilibrium solvers (Theorem 1).
+//!
+//! Two independent implementations, compared against each other in tests
+//! (DESIGN.md ablation A1):
+//!
+//! * [`solve_maxmin`] — exploits max-min structure: the equilibrium is
+//!   `θ_i = min(θ̂_i, w*)` where the equilibrium water level `w*` solves
+//!   the scalar monotone equation `Σ α_i d_i(min(θ̂_i, w)) min(θ̂_i, w) = ν`.
+//! * [`solve_generic`] — treats the allocator as a black box satisfying
+//!   Axioms 1–4 and iterates the demand↔throughput map to its fixed point
+//!   with damping.
+
+use pubopt_alloc::RateAllocator;
+use pubopt_demand::Population;
+use pubopt_num::{bisect, fixed_point, FixedPointOptions, KahanSum, Tolerance};
+
+/// A solved rate equilibrium for a system `(ν, N)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateEquilibrium {
+    /// Per-capita capacity the equilibrium was solved at.
+    pub nu: f64,
+    /// Achievable throughput profile `{θ_i}`.
+    pub thetas: Vec<f64>,
+    /// Equilibrium demands `{d_i(θ_i)}`.
+    pub demands: Vec<f64>,
+    /// Aggregate per-capita throughput `λ_N / M = Σ α_i d_i θ_i`.
+    pub aggregate: f64,
+    /// Max-min water level, when the max-min solver produced this
+    /// equilibrium (`None` from the generic solver). Infinite when the
+    /// system is uncongested.
+    pub water_level: Option<f64>,
+}
+
+impl RateEquilibrium {
+    /// Per-capita throughput over CP `i`'s user base, `ρ_i = d_i(θ_i)·θ_i`
+    /// (Eq. 5).
+    pub fn rho(&self, i: usize) -> f64 {
+        self.demands[i] * self.thetas[i]
+    }
+
+    /// Whether the capacity constraint binds (λ = ν rather than λ = Σλ̂).
+    pub fn is_congested(&self, pop: &Population) -> bool {
+        self.aggregate + 1e-9 < pop.total_unconstrained_per_capita()
+    }
+}
+
+/// Errors from the generic solver ([`solve_maxmin`] cannot fail on valid
+/// inputs — its scalar equation is always bracketed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquilibriumError {
+    /// The fixed point did not converge within the iteration budget.
+    NoConvergence {
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// The allocator produced a non-finite throughput.
+    NonFinite,
+}
+
+impl std::fmt::Display for EquilibriumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquilibriumError::NoConvergence { residual } => {
+                write!(f, "equilibrium iteration did not converge (residual {residual})")
+            }
+            EquilibriumError::NonFinite => write!(f, "allocator produced non-finite throughput"),
+        }
+    }
+}
+
+impl std::error::Error for EquilibriumError {}
+
+/// Solve the rate equilibrium under the max-min fair mechanism.
+///
+/// The equilibrium aggregate-throughput function of the water level,
+/// `Λ(w) = Σ_i α_i d_i(min(θ̂_i, w)) · min(θ̂_i, w)`, is continuous and
+/// non-decreasing (Assumption 1), with `Λ(0) = 0` and `Λ(max θ̂) = Σ λ̂`.
+/// If `Σ λ̂ ≤ ν` the system is uncongested and `θ_i = θ̂_i` (Axiom 2);
+/// otherwise the equilibrium water level is the root of `Λ(w) − ν`,
+/// unique by Theorem 1.
+pub fn solve_maxmin(pop: &Population, nu: f64, tol: Tolerance) -> RateEquilibrium {
+    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative, got {nu}");
+    if pop.is_empty() {
+        return RateEquilibrium {
+            nu,
+            thetas: Vec::new(),
+            demands: Vec::new(),
+            aggregate: 0.0,
+            water_level: Some(f64::INFINITY),
+        };
+    }
+
+    let lambda_at = |w: f64| -> f64 {
+        let mut acc = KahanSum::new();
+        for cp in pop.iter() {
+            let theta = cp.theta_hat.min(w);
+            acc.add(cp.lambda_per_capita(theta));
+        }
+        acc.total()
+    };
+
+    let total_unconstrained = pop.total_unconstrained_per_capita();
+    let (water, thetas): (f64, Vec<f64>) = if total_unconstrained <= nu {
+        (f64::INFINITY, pop.iter().map(|cp| cp.theta_hat).collect())
+    } else {
+        let w_hi = pop.max_theta_hat();
+        let w = bisect(|w| lambda_at(w) - nu, 0.0, w_hi, tol)
+            .expect("Λ(0)=0 ≤ ν < Σλ̂ = Λ(max θ̂): root is bracketed");
+        (w, pop.iter().map(|cp| cp.theta_hat.min(w)).collect())
+    };
+
+    let demands: Vec<f64> = pop
+        .iter()
+        .zip(thetas.iter())
+        .map(|(cp, &t)| cp.demand_at(t))
+        .collect();
+    let aggregate = pubopt_num::kahan_sum(
+        pop.iter()
+            .zip(demands.iter().zip(thetas.iter()))
+            .map(|(cp, (&d, &t))| cp.alpha * d * t),
+    );
+    RateEquilibrium {
+        nu,
+        thetas,
+        demands,
+        aggregate,
+        water_level: Some(water),
+    }
+}
+
+/// Solve the rate equilibrium for an arbitrary Axiom-1–4 allocator by
+/// damped fixed-point iteration on the demand profile.
+///
+/// Starting from full demand, alternate *(demands → allocation → demands)*
+/// until the demand profile stops moving. The demand↔throughput map is
+/// *antitone* (more demand ⇒ more congestion ⇒ less demand), so the Picard
+/// iteration oscillates for steep demand families; the solver starts from
+/// `opts.damping` and geometrically reduces the damping on failure, down
+/// to `η/32`, before reporting [`EquilibriumError::NoConvergence`].
+pub fn solve_generic(
+    pop: &Population,
+    mech: &dyn RateAllocator,
+    nu: f64,
+    opts: FixedPointOptions,
+) -> Result<RateEquilibrium, EquilibriumError> {
+    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative, got {nu}");
+    if pop.is_empty() {
+        return Ok(RateEquilibrium {
+            nu,
+            thetas: Vec::new(),
+            demands: Vec::new(),
+            aggregate: 0.0,
+            water_level: None,
+        });
+    }
+
+    let step = |d: &[f64]| -> Vec<f64> {
+        let thetas = mech.allocate(pop, d, nu);
+        pop.iter()
+            .zip(thetas.iter())
+            .map(|(cp, &t)| cp.demand_at(t))
+            .collect()
+    };
+
+    let d0 = vec![1.0; pop.len()];
+    let mut last_err = EquilibriumError::NoConvergence { residual: f64::INFINITY };
+    let mut result = None;
+    for halvings in 0..6 {
+        let attempt = FixedPointOptions {
+            damping: opts.damping / (1 << halvings) as f64,
+            tol: opts.tol,
+        };
+        match fixed_point(step, d0.clone(), attempt) {
+            Ok(r) => {
+                result = Some(r);
+                break;
+            }
+            Err(pubopt_num::FixedPointError::MaxIterations { residual, .. }) => {
+                last_err = EquilibriumError::NoConvergence { residual };
+            }
+            Err(pubopt_num::FixedPointError::NonFinite) => return Err(EquilibriumError::NonFinite),
+            Err(pubopt_num::FixedPointError::DimensionMismatch { .. }) => {
+                unreachable!("step preserves dimension")
+            }
+        }
+    }
+    let result = match result {
+        Some(r) => r,
+        None => return Err(last_err),
+    };
+
+    let demands = result.value;
+    let thetas = mech.allocate(pop, &demands, nu);
+    if thetas.iter().any(|t| !t.is_finite()) {
+        return Err(EquilibriumError::NonFinite);
+    }
+    let aggregate = pubopt_num::kahan_sum(
+        pop.iter()
+            .zip(demands.iter().zip(thetas.iter()))
+            .map(|(cp, (&d, &t))| cp.alpha * d * t),
+    );
+    Ok(RateEquilibrium {
+        nu,
+        thetas,
+        demands,
+        aggregate,
+        water_level: None,
+    })
+}
+
+/// Convenience: solve the max-min equilibrium with default tolerance —
+/// the overwhelmingly common call throughout the workspace.
+pub fn solve(pop: &Population, nu: f64) -> RateEquilibrium {
+    solve_maxmin(pop, nu, Tolerance::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_alloc::{MaxMinFair, WeightedAlphaFair};
+    use pubopt_demand::archetypes::figure3_trio;
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
+    use proptest::prelude::*;
+
+    fn trio() -> Population {
+        figure3_trio().into()
+    }
+
+    #[test]
+    fn uncongested_equilibrium_is_unconstrained() {
+        let p = trio();
+        let eq = solve(&p, 10.0); // Σλ̂ = 5.5 < 10
+        assert_eq!(eq.thetas, vec![1.0, 10.0, 3.0]);
+        assert_eq!(eq.demands, vec![1.0, 1.0, 1.0]);
+        assert!((eq.aggregate - 5.5).abs() < 1e-9);
+        assert_eq!(eq.water_level, Some(f64::INFINITY));
+        assert!(!eq.is_congested(&p));
+    }
+
+    #[test]
+    fn congested_equilibrium_meets_capacity() {
+        let p = trio();
+        for nu in [0.1, 0.5, 1.0, 2.0, 4.0, 5.0] {
+            let eq = solve(&p, nu);
+            assert!(
+                (eq.aggregate - nu).abs() < 1e-7 * (1.0 + nu),
+                "nu={nu}: aggregate {}",
+                eq.aggregate
+            );
+            assert!(eq.is_congested(&p));
+        }
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let eq = solve(&trio(), 0.0);
+        assert!(eq.thetas.iter().all(|&t| t == 0.0));
+        assert_eq!(eq.aggregate, 0.0);
+    }
+
+    #[test]
+    fn empty_population_is_trivial() {
+        let eq = solve(&Population::default(), 3.0);
+        assert!(eq.thetas.is_empty());
+        assert_eq!(eq.aggregate, 0.0);
+    }
+
+    #[test]
+    fn google_recovers_first() {
+        // Paper §II-D: as ν grows from 0, demand for Google-type content
+        // recovers first, then Skype, Netflix last.
+        let p = trio();
+        let recovered = |eq: &RateEquilibrium, i: usize| eq.demands[i] > 0.5;
+        let mut first_google = None;
+        let mut first_skype = None;
+        let mut first_netflix = None;
+        for k in 1..=600 {
+            let nu = 0.01 * k as f64;
+            let eq = solve(&p, nu);
+            if first_google.is_none() && recovered(&eq, 0) {
+                first_google = Some(nu);
+            }
+            if first_netflix.is_none() && recovered(&eq, 1) {
+                first_netflix = Some(nu);
+            }
+            if first_skype.is_none() && recovered(&eq, 2) {
+                first_skype = Some(nu);
+            }
+        }
+        let g = first_google.expect("google must recover");
+        let s = first_skype.expect("skype must recover");
+        let n = first_netflix.expect("netflix must recover");
+        assert!(g < s && s < n, "recovery order google({g}) < skype({s}) < netflix({n})");
+    }
+
+    #[test]
+    fn generic_solver_agrees_with_maxmin() {
+        let p = trio();
+        for nu in [0.2, 0.7, 1.5, 3.0, 4.9, 8.0] {
+            let fast = solve_maxmin(&p, nu, Tolerance::STRICT);
+            let opts = FixedPointOptions {
+                damping: 0.5,
+                tol: Tolerance::new(1e-12, 1e-12).with_max_iter(10_000),
+            };
+            let slow = solve_generic(&p, &MaxMinFair, nu, opts).unwrap();
+            for i in 0..p.len() {
+                assert!(
+                    (fast.thetas[i] - slow.thetas[i]).abs() < 1e-5,
+                    "nu={nu} i={i}: {} vs {}",
+                    fast.thetas[i],
+                    slow.thetas[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generic_solver_with_alpha_fair() {
+        let p = trio();
+        let mech = WeightedAlphaFair::proportional();
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: Tolerance::new(1e-10, 1e-10).with_max_iter(5_000),
+        };
+        let eq = solve_generic(&p, &mech, 2.0, opts).unwrap();
+        // Work conservation at equilibrium: congested, so λ = ν.
+        assert!((eq.aggregate - 2.0).abs() < 1e-6, "aggregate {}", eq.aggregate);
+        // Consistency: demands equal d(θ).
+        for (i, cp) in p.iter().enumerate() {
+            assert!((eq.demands[i] - cp.demand_at(eq.thetas[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hard_step_demand_still_bisectable() {
+        // Hard steps violate Assumption 1; Theorem 1 uniqueness is lost,
+        // but the water-level bisection still terminates and satisfies
+        // feasibility (the returned point brackets the jump).
+        let p: Population = vec![
+            ContentProvider::new(1.0, 1.0, DemandKind::HardStep { threshold: 0.5 }, 0.0, 0.0),
+            ContentProvider::new(1.0, 2.0, DemandKind::Constant, 0.0, 0.0),
+        ]
+        .into();
+        let eq = solve(&p, 1.0);
+        for (cp, &t) in p.iter().zip(eq.thetas.iter()) {
+            assert!(t <= cp.theta_hat + 1e-9);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pop()(specs in prop::collection::vec((0.05f64..1.0, 0.2f64..15.0, 0.0f64..8.0), 1..10)) -> Population {
+            specs.into_iter()
+                .map(|(a, th, b)| ContentProvider::new(a, th, DemandKind::exponential(b), 0.5, 0.5))
+                .collect()
+        }
+    }
+
+    proptest! {
+        /// Theorem 1 (uniqueness): perturbing the bracket start must not
+        /// change the equilibrium — i.e. re-solving agrees with itself and
+        /// with the generic solver.
+        #[test]
+        fn uniqueness_cross_solver(p in arb_pop(), frac in 0.05f64..2.0) {
+            let nu = p.total_unconstrained_per_capita() * frac;
+            let fast = solve_maxmin(&p, nu, Tolerance::STRICT);
+            let opts = FixedPointOptions { damping: 0.4, tol: Tolerance::new(1e-11, 1e-11).with_max_iter(20_000) };
+            if let Ok(slow) = solve_generic(&p, &MaxMinFair, nu, opts) {
+                for i in 0..p.len() {
+                    prop_assert!((fast.thetas[i] - slow.thetas[i]).abs() < 1e-4,
+                        "i={} fast {} slow {}", i, fast.thetas[i], slow.thetas[i]);
+                }
+            }
+        }
+
+        /// Lemma 1: θ_i non-decreasing and continuous-ish in ν.
+        #[test]
+        fn lemma1_monotone_in_nu(p in arb_pop(), nu in 0.0f64..20.0, extra in 0.0f64..5.0) {
+            let e1 = solve(&p, nu);
+            let e2 = solve(&p, nu + extra);
+            for i in 0..p.len() {
+                prop_assert!(e2.thetas[i] + 1e-7 >= e1.thetas[i]);
+            }
+        }
+
+        /// Axiom 2 at equilibrium: λ = min(ν, Σλ̂).
+        #[test]
+        fn axiom2_at_equilibrium(p in arb_pop(), nu in 0.0f64..40.0) {
+            let eq = solve(&p, nu);
+            let expect = nu.min(p.total_unconstrained_per_capita());
+            prop_assert!((eq.aggregate - expect).abs() < 1e-6 * (1.0 + expect),
+                "aggregate {} expect {}", eq.aggregate, expect);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Welfare quantities on top of a rate equilibrium (Eq. 2, Eq. 5).
+
+use crate::solver::RateEquilibrium;
+use pubopt_demand::Population;
+use pubopt_num::KahanSum;
+
+/// Per-capita consumer surplus `Φ = Σ_i φ_i α_i d_i(θ_i) θ_i` (Eq. 2).
+///
+/// # Panics
+///
+/// Panics if the equilibrium and population sizes disagree.
+pub fn consumer_surplus(pop: &Population, eq: &RateEquilibrium) -> f64 {
+    assert_eq!(pop.len(), eq.thetas.len(), "equilibrium/population size mismatch");
+    let mut acc = KahanSum::new();
+    for (i, cp) in pop.iter().enumerate() {
+        acc.add(cp.phi * cp.alpha * eq.demands[i] * eq.thetas[i]);
+    }
+    acc.total()
+}
+
+/// Per-CP consumer-surplus contributions `Φ_i = φ_i α_i d_i(θ_i) θ_i`.
+pub fn per_cp_surplus(pop: &Population, eq: &RateEquilibrium) -> Vec<f64> {
+    assert_eq!(pop.len(), eq.thetas.len(), "equilibrium/population size mismatch");
+    pop.iter()
+        .enumerate()
+        .map(|(i, cp)| cp.phi * cp.alpha * eq.demands[i] * eq.thetas[i])
+        .collect()
+}
+
+/// Per-CP per-capita throughput `ρ_i = d_i(θ_i) θ_i` (Eq. 5) as a vector.
+pub fn rho_profile(eq: &RateEquilibrium) -> Vec<f64> {
+    (0..eq.thetas.len()).map(|i| eq.rho(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use pubopt_demand::archetypes::figure3_trio;
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
+    use proptest::prelude::*;
+
+    fn trio() -> Population {
+        figure3_trio().into()
+    }
+
+    #[test]
+    fn surplus_is_sum_of_contributions() {
+        let p = trio();
+        let eq = solve(&p, 2.0);
+        let total = consumer_surplus(&p, &eq);
+        let parts: f64 = per_cp_surplus(&p, &eq).iter().sum();
+        assert!((total - parts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surplus_zero_at_zero_capacity() {
+        let p = trio();
+        let eq = solve(&p, 0.0);
+        assert_eq!(consumer_surplus(&p, &eq), 0.0);
+    }
+
+    #[test]
+    fn surplus_saturates_when_uncongested() {
+        let p = trio();
+        let sat = consumer_surplus(&p, &solve(&p, 5.5));
+        let more = consumer_surplus(&p, &solve(&p, 50.0));
+        assert!((sat - more).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rho_matches_eq_method() {
+        let p = trio();
+        let eq = solve(&p, 1.5);
+        let rho = rho_profile(&eq);
+        for i in 0..p.len() {
+            assert_eq!(rho[i], eq.rho(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatch_detected() {
+        let p = trio();
+        let eq = solve(&p, 1.0);
+        let q: Population = vec![ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 1.0)].into();
+        consumer_surplus(&q, &eq);
+    }
+
+    prop_compose! {
+        fn arb_pop()(specs in prop::collection::vec(
+            (0.05f64..1.0, 0.2f64..15.0, 0.0f64..8.0, 0.0f64..5.0), 1..10)) -> Population {
+            specs.into_iter()
+                .map(|(a, th, b, phi)| ContentProvider::new(a, th, DemandKind::exponential(b), 0.5, phi))
+                .collect()
+        }
+    }
+
+    proptest! {
+        /// Theorem 2: Φ non-decreasing in ν; strictly increasing while the
+        /// system is congested (checked with a small margin).
+        #[test]
+        fn theorem2_phi_monotone(p in arb_pop(), nu in 0.01f64..20.0, extra in 0.01f64..5.0) {
+            let phi1 = consumer_surplus(&p, &solve(&p, nu));
+            let phi2 = consumer_surplus(&p, &solve(&p, nu + extra));
+            prop_assert!(phi2 + 1e-9 >= phi1, "phi must be non-decreasing: {} -> {}", phi1, phi2);
+        }
+
+        /// Theorem 2 (strict part): while ν < Σ αθ̂ and some CP has φ > 0,
+        /// increasing ν strictly increases Φ.
+        #[test]
+        fn theorem2_strict_in_congested_regime(p in arb_pop(), frac in 0.1f64..0.8) {
+            let cap = p.total_unconstrained_per_capita();
+            // Make sure at least one CP carries positive utility weight;
+            // otherwise Φ ≡ 0 and the strict claim is vacuous.
+            prop_assume!(p.iter().any(|cp| cp.phi > 1e-3));
+            let nu1 = cap * frac;
+            let nu2 = cap * (frac + 0.1);
+            let phi1 = consumer_surplus(&p, &solve(&p, nu1));
+            let phi2 = consumer_surplus(&p, &solve(&p, nu2));
+            prop_assert!(phi2 > phi1 - 1e-12, "{} -> {}", phi1, phi2);
+        }
+    }
+}

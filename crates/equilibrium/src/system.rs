@@ -1,0 +1,103 @@
+//! Absolute and per-capita system descriptions.
+//!
+//! The paper denotes a system as a triple `(M, µ, N)`: `M` consumers, link
+//! capacity `µ`, CP set `N`. Axiom 4 / Lemma 1 reduce the equilibrium to a
+//! function of the per-capita capacity `ν = µ/M` alone; this module holds
+//! both views and the conversion, so scale invariance (Theorem 3) is a
+//! testable property instead of a baked-in identity.
+
+use pubopt_demand::Population;
+
+/// A system `(M, µ, N)` in absolute units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct System {
+    /// Number of consumers `M > 0` (may be fractional: the paper reads `M`
+    /// as the average number of simultaneously active consumers).
+    pub consumers: f64,
+    /// Bottleneck capacity `µ ≥ 0` (same throughput unit as `θ̂`).
+    pub capacity: f64,
+    /// The CP set `N`.
+    pub pop: Population,
+}
+
+impl System {
+    /// Construct a system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consumers ≤ 0` or `capacity < 0` or either is non-finite.
+    pub fn new(consumers: f64, capacity: f64, pop: Population) -> Self {
+        assert!(consumers > 0.0 && consumers.is_finite(), "consumers must be positive");
+        assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be non-negative");
+        Self {
+            consumers,
+            capacity,
+            pop,
+        }
+    }
+
+    /// Per-capita capacity `ν = µ/M`.
+    pub fn nu(&self) -> f64 {
+        self.capacity / self.consumers
+    }
+
+    /// The linearly scaled system `(ξM, ξµ, N)` of Theorem 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi ≤ 0`.
+    pub fn scaled(&self, xi: f64) -> System {
+        assert!(xi > 0.0 && xi.is_finite(), "scale factor must be positive");
+        System {
+            consumers: self.consumers * xi,
+            capacity: self.capacity * xi,
+            pop: self.pop.clone(),
+        }
+    }
+
+    /// Whether capacity satisfies all unconstrained throughput
+    /// (`µ ≥ Σ λ̂_i`, the uncongested case of Axiom 2).
+    pub fn is_uncongested(&self) -> bool {
+        self.nu() >= self.pop.total_unconstrained_per_capita()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::archetypes::figure3_trio;
+
+    #[test]
+    fn nu_is_capacity_per_consumer() {
+        let s = System::new(100.0, 550.0, figure3_trio().into());
+        assert!((s.nu() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_preserves_nu() {
+        let s = System::new(100.0, 300.0, figure3_trio().into());
+        let t = s.scaled(7.5);
+        assert!((s.nu() - t.nu()).abs() < 1e-12);
+        assert_eq!(t.consumers, 750.0);
+        assert_eq!(t.capacity, 2250.0);
+    }
+
+    #[test]
+    fn congestion_predicate() {
+        // Σ αθ̂ = 5.5 for the trio.
+        assert!(System::new(1.0, 5.5, figure3_trio().into()).is_uncongested());
+        assert!(!System::new(1.0, 5.4, figure3_trio().into()).is_uncongested());
+    }
+
+    #[test]
+    #[should_panic(expected = "consumers must be positive")]
+    fn rejects_zero_consumers() {
+        System::new(0.0, 1.0, Population::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn rejects_zero_scale() {
+        System::new(1.0, 1.0, Population::default()).scaled(0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the rate equilibrium across every demand family.
+
+use proptest::prelude::*;
+use pubopt_alloc::{check_axioms, MaxMinFair};
+use pubopt_demand::{ContentProvider, DemandKind, Population};
+use pubopt_eq::{consumer_surplus, solve_maxmin};
+use pubopt_num::Tolerance;
+
+fn arb_kind() -> impl Strategy<Value = DemandKind> {
+    prop_oneof![
+        (0.0f64..15.0).prop_map(DemandKind::exponential),
+        (0.0f64..4.0).prop_map(DemandKind::constant_elasticity),
+        (0.1f64..0.9, 0.05f64..0.4).prop_map(|(t, w)| DemandKind::smoothed_step(t, w.min(t))),
+        (1.0f64..25.0, 0.1f64..0.9).prop_map(|(k, m)| DemandKind::logistic(k, m)),
+        Just(DemandKind::Constant),
+    ]
+}
+
+prop_compose! {
+    fn arb_pop()(specs in prop::collection::vec(
+        ((0.05f64..1.0), (0.2f64..12.0), arb_kind(), (0.0f64..1.0), (0.0f64..5.0)),
+        1..14
+    )) -> Population {
+        specs.into_iter()
+            .map(|(a, th, d, v, phi)| ContentProvider::new(a, th, d, v, phi))
+            .collect()
+    }
+}
+
+proptest! {
+    /// Theorem 1 feasibility: θ within bounds, demands within [0,1],
+    /// equilibrium self-consistent (d_i = d_i(θ_i)).
+    #[test]
+    fn equilibrium_is_feasible_and_consistent(pop in arb_pop(), frac in 0.0f64..2.0) {
+        let nu = frac * pop.total_unconstrained_per_capita();
+        let eq = solve_maxmin(&pop, nu, Tolerance::default());
+        for (i, cp) in pop.iter().enumerate() {
+            prop_assert!(eq.thetas[i] >= 0.0 && eq.thetas[i] <= cp.theta_hat + 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&eq.demands[i]));
+            prop_assert!((eq.demands[i] - cp.demand_at(eq.thetas[i])).abs() < 1e-9,
+                "demand not self-consistent at cp {}", i);
+        }
+    }
+
+    /// Axiom 2 at equilibrium: aggregate = min(ν, Σλ̂).
+    #[test]
+    fn work_conservation_at_equilibrium(pop in arb_pop(), frac in 0.0f64..2.0) {
+        let cap = pop.total_unconstrained_per_capita();
+        let nu = frac * cap;
+        let eq = solve_maxmin(&pop, nu, Tolerance::default());
+        let expect = nu.min(cap);
+        prop_assert!((eq.aggregate - expect).abs() < 1e-6 * (1.0 + expect),
+            "aggregate {} expected {}", eq.aggregate, expect);
+    }
+
+    /// The allocator at the equilibrium demand profile reproduces the
+    /// equilibrium throughputs (the fixed-point property, checked through
+    /// the public allocator interface).
+    #[test]
+    fn equilibrium_is_allocator_fixed_point(pop in arb_pop(), frac in 0.05f64..1.5) {
+        use pubopt_alloc::RateAllocator;
+        let nu = frac * pop.total_unconstrained_per_capita();
+        let eq = solve_maxmin(&pop, nu, Tolerance::STRICT);
+        let reallocated = MaxMinFair.allocate(&pop, &eq.demands, nu);
+        for i in 0..pop.len() {
+            prop_assert!((reallocated[i] - eq.thetas[i]).abs() < 1e-5 * (1.0 + eq.thetas[i]),
+                "cp {}: reallocated {} vs equilibrium {}", i, reallocated[i], eq.thetas[i]);
+        }
+    }
+
+    /// Φ is monotone in each CP's φ weight: raising one φ cannot lower Φ.
+    #[test]
+    fn surplus_monotone_in_phi(pop in arb_pop(), frac in 0.1f64..1.5, bump in 0.1f64..3.0) {
+        let nu = frac * pop.total_unconstrained_per_capita();
+        let eq = solve_maxmin(&pop, nu, Tolerance::default());
+        let base = consumer_surplus(&pop, &eq);
+        let mut bumped = pop.clone();
+        bumped.cps_mut()[0].phi += bump;
+        // The equilibrium itself is φ-independent, so reuse it.
+        let more = consumer_surplus(&bumped, &eq);
+        prop_assert!(more >= base - 1e-12);
+    }
+
+    /// The equilibrium demand profile passes the allocator axiom checks
+    /// as a fixed profile.
+    #[test]
+    fn axioms_hold_at_equilibrium_profile(pop in arb_pop(), frac in 0.1f64..1.5) {
+        let nu = frac * pop.total_unconstrained_per_capita();
+        let eq = solve_maxmin(&pop, nu, Tolerance::default());
+        let grid = [0.0, nu * 0.5, nu, nu * 1.5];
+        let report = check_axioms(&MaxMinFair, &pop, &eq.demands, &grid, 1e-7);
+        prop_assert!(report.passed(), "{:?}", report.violations);
+    }
+}
+
+#[test]
+fn closed_form_two_cp_check() {
+    // Constant demand, two CPs (α=1, caps 1 and 4), ν = 3:
+    // water w: 1 + w = 3 ⇒ w = 2; Φ = φ₀·1 + φ₁·2.
+    let pop: Population = vec![
+        ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 2.0),
+        ContentProvider::new(1.0, 4.0, DemandKind::Constant, 0.0, 0.5),
+    ]
+    .into();
+    let eq = solve_maxmin(&pop, 3.0, Tolerance::STRICT);
+    assert!((eq.thetas[0] - 1.0).abs() < 1e-10);
+    assert!((eq.thetas[1] - 2.0).abs() < 1e-10);
+    assert!((consumer_surplus(&pop, &eq) - (2.0 + 1.0)).abs() < 1e-9);
+}
+
+#[test]
+fn exponential_demand_closed_form_check() {
+    // One CP, α = 1, θ̂ = 2, β = 1, ν = 1: the water level solves
+    // exp(−(2/w − 1))·w = 1. Verify against a direct Newton solve.
+    let pop: Population = vec![ContentProvider::new(1.0, 2.0, DemandKind::exponential(1.0), 0.0, 1.0)].into();
+    let eq = solve_maxmin(&pop, 1.0, Tolerance::STRICT);
+    let w = eq.thetas[0];
+    let residual = (-(2.0 / w - 1.0)).exp() * w - 1.0;
+    assert!(residual.abs() < 1e-9, "water {w}, residual {residual}");
+}

@@ -1,0 +1,116 @@
+//! `game` — inspect a single two-stage game on the paper ensemble.
+//!
+//! ```text
+//! game <nu> <kappa> <c> [--duopoly GAMMA_PO] [--cps N] [--seed S]
+//! ```
+//!
+//! Solves the competitive equilibrium at per-capita capacity `nu` under
+//! strategy `(kappa, c)` and prints the partition statistics, surpluses
+//! and regime classification; with `--duopoly` also the market outcome
+//! against a Public Option holding `GAMMA_PO` of the capacity.
+
+use pubopt_core::{competitive_equilibrium, duopoly_with_public_option, IspStrategy, ServiceClass};
+use pubopt_num::Tolerance;
+use pubopt_workload::EnsembleConfig;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: game <nu> <kappa> <c> [--duopoly GAMMA_PO] [--cps N] [--seed S]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let parse = |s: &String| -> f64 { s.parse().unwrap_or_else(|_| usage()) };
+    let nu = parse(&args[0]);
+    let kappa = parse(&args[1]);
+    let c = parse(&args[2]);
+    let mut duopoly_gamma: Option<f64> = None;
+    let mut n_cps = 1000usize;
+    let mut seed = pubopt_workload::PAPER_SEED;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duopoly" => {
+                i += 1;
+                duopoly_gamma = Some(parse(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--cps" => {
+                i += 1;
+                n_cps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let pop = EnsembleConfig {
+        n: n_cps,
+        seed,
+        ..EnsembleConfig::default()
+    }
+    .generate();
+    let strategy = IspStrategy::new(kappa, c);
+    let tol = Tolerance::default();
+
+    println!(
+        "ensemble: {n_cps} CPs (seed {seed}), saturation ν* = {:.1}",
+        pop.total_unconstrained_per_capita()
+    );
+    println!("game: ν = {nu}, s_I = {strategy}\n");
+
+    let sol = competitive_equilibrium(&pop, nu, strategy, tol);
+    let out = &sol.outcome;
+    let premium = out.partition.premium_count();
+    println!("CP partition: {premium} premium / {} ordinary", pop.len() - premium);
+    println!(
+        "premium class: rate {:.3} of capacity {:.3} ({})",
+        out.premium_rate(&pop),
+        kappa * nu,
+        if out.premium_fully_utilized(&pop, 1e-6) {
+            "fully utilised"
+        } else {
+            "UNDER-utilised"
+        }
+    );
+    // Mean achieved throughput fraction per class.
+    let mut sums = [(0.0f64, 0usize); 2];
+    for (i, cp) in pop.iter().enumerate() {
+        let k = match out.partition.class_of(i) {
+            ServiceClass::Ordinary => 0,
+            ServiceClass::Premium => 1,
+        };
+        sums[k].0 += out.thetas[i] / cp.theta_hat;
+        sums[k].1 += 1;
+    }
+    for (k, name) in ["ordinary", "premium"].iter().enumerate() {
+        if sums[k].1 > 0 {
+            println!("mean ω in {name} class: {:.3}", sums[k].0 / sums[k].1 as f64);
+        }
+    }
+    println!("\nISP surplus Ψ = {:.4}", out.isp_surplus(&pop));
+    println!("consumer surplus Φ = {:.4}", out.consumer_surplus(&pop));
+    let neutral = competitive_equilibrium(&pop, nu, IspStrategy::NEUTRAL, tol)
+        .outcome
+        .consumer_surplus(&pop);
+    println!(
+        "vs neutral regulation: Φ_neutral = {:.4} ({:+.1}%)",
+        neutral,
+        100.0 * (out.consumer_surplus(&pop) / neutral - 1.0)
+    );
+
+    if let Some(gamma_po) = duopoly_gamma {
+        println!("\n--- duopoly vs Public Option (γ_PO = {gamma_po}) ---");
+        let duo = duopoly_with_public_option(&pop, nu, strategy, 1.0 - gamma_po, tol);
+        println!("incumbent market share m_I = {:.3}", duo.share_i);
+        println!("incumbent surplus Ψ_I = {:.4}", duo.psi_i);
+        println!("equilibrium Φ = {:.4} ({:+.1}% vs neutral)", duo.phi, 100.0 * (duo.phi / neutral - 1.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro [IDS...] [--out DIR] [--fast] [--threads N] [--list]
+//!
+//!   IDS        figure ids (fig2 fig3 fig4 fig5 fig7 fig8 fig9 fig10
+//!              fig11 fig12 theorems netsim discussion solvers) or
+//!              "all" (default)
+//!   --out DIR  output directory for CSV files (default: out)
+//!   --fast     coarse grids (smoke-test mode)
+//!   --threads  worker threads (default: all cores)
+//!   --svg      additionally render each CSV as an SVG line chart
+//!   --list     print known ids and exit
+//! ```
+//!
+//! Exit code is non-zero if any shape check fails.
+
+use pubopt_experiments::{run_figure, Config, ALL_FIGURES};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Best-effort SVG rendering of a figure CSV (first column as x). CSVs
+/// whose first column is not a natural x axis (long-format sweeps) are
+/// still rendered — the chart is a diagnostic, not the deliverable.
+fn render_csv_as_svg(csv: &Path, title: &str) -> Option<PathBuf> {
+    let text = std::fs::read_to_string(csv).ok()?;
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines.next()?.split(',').map(|s| s.to_string()).collect();
+    if headers.len() < 2 {
+        return None;
+    }
+    let mut table = pubopt_experiments::Table::new(headers);
+    for line in lines {
+        let row: Option<Vec<f64>> = line.split(',').map(|v| v.parse().ok()).collect();
+        table.push(row?);
+    }
+    if table.rows.is_empty() {
+        return None;
+    }
+    let name = csv.file_stem()?.to_string_lossy().to_string() + ".svg";
+    Some(pubopt_experiments::render_table(&table, title, csv.parent()?, &name))
+}
+
+fn main() -> ExitCode {
+    let mut ids: Vec<String> = Vec::new();
+    let mut svg = false;
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                });
+                config.out_dir = PathBuf::from(dir);
+            }
+            "--fast" => config.fast = true,
+            "--svg" => svg = true,
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    });
+                config.threads = n;
+            }
+            "--list" => {
+                for id in ALL_FIGURES {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other if ALL_FIGURES.contains(&other) => ids.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other} (try --list)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+    ids.dedup();
+
+    let mut any_failed = false;
+    let mut lines = Vec::new();
+    for id in &ids {
+        let start = std::time::Instant::now();
+        eprintln!("=== {id} ===");
+        let result = run_figure(id, &config);
+        println!("{}", result.summary);
+        for check in &result.checks {
+            println!("  {}", check.render());
+            any_failed |= !check.passed;
+            lines.push(format!("{id}: {}", check.render()));
+        }
+        for f in &result.files {
+            println!("  wrote {}", f.display());
+            if svg {
+                if let Some(p) = render_csv_as_svg(f, id) {
+                    println!("  wrote {}", p.display());
+                }
+            }
+        }
+        eprintln!("=== {id} done in {:.1}s ===\n", start.elapsed().as_secs_f64());
+    }
+
+    // Machine-readable verdict file for EXPERIMENTS.md bookkeeping.
+    std::fs::create_dir_all(&config.out_dir).ok();
+    std::fs::write(config.out_dir.join("checks.txt"), lines.join("\n") + "\n").ok();
+
+    if any_failed {
+        eprintln!("SOME SHAPE CHECKS FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("all shape checks passed");
+        ExitCode::SUCCESS
+    }
+}

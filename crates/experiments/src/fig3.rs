@@ -1,0 +1,132 @@
+//! **Figure 3** — throughput and demand of the Google/Netflix/Skype trio
+//! under max-min fairness, sweeping per-capita capacity ν.
+//!
+//! Units: the archetype `θ̂` values (1, 10, 3) are in Mbps, so the paper's
+//! x-axis "ν from 0 to 6,000" (Kbps) is ν ∈ [0, 6] here; the system
+//! saturates at `Σ αθ̂ = 5.5`.
+//!
+//! Paper observations encoded as shape checks:
+//! * demand recovery order as ν grows: Google first, then Skype, Netflix
+//!   last;
+//! * each CP's rate λ_i is non-decreasing in ν and saturates at `λ̂_i`;
+//! * aggregate rate equals `min(ν, 5.5)` (Axiom 2 at equilibrium).
+
+use crate::report::{ascii_plot, Config, FigureResult, Table};
+use crate::runner::parallel_map;
+use crate::shape::{non_decreasing, ShapeCheck};
+use pubopt_eq::solve_maxmin;
+use pubopt_num::Tolerance;
+use pubopt_workload::{Scenario, ScenarioKind};
+
+/// Regenerate Figure 3.
+pub fn run(config: &Config) -> FigureResult {
+    let scenario = Scenario::load(ScenarioKind::Trio);
+    let pop = &scenario.pop;
+    let n = config.grid(600, 60);
+    let nus = pubopt_num::linspace_excl_zero(scenario.nu_max, n);
+
+    let rows = parallel_map(&nus, config.worker_threads(), |&nu| {
+        let eq = solve_maxmin(pop, nu, Tolerance::default());
+        let mut row = vec![nu];
+        for i in 0..3 {
+            row.push(pop[i].alpha * eq.demands[i] * eq.thetas[i]); // λ_i per capita
+        }
+        for i in 0..3 {
+            row.push(eq.demands[i]);
+        }
+        row.push(eq.aggregate);
+        row
+    });
+
+    let mut table = Table::new(vec![
+        "nu",
+        "rate_google",
+        "rate_netflix",
+        "rate_skype",
+        "demand_google",
+        "demand_netflix",
+        "demand_skype",
+        "aggregate",
+    ]);
+    for row in rows {
+        table.push(row);
+    }
+    let path = table.write_csv(&config.out_dir, "fig3_trio.csv");
+
+    let mut checks = Vec::new();
+
+    // Recovery order: first ν at which demand crosses 0.5.
+    let first_cross = |name: &str| -> Option<f64> {
+        let col = table.column(name);
+        nus.iter()
+            .zip(col.iter())
+            .find(|(_, &d)| d >= 0.5)
+            .map(|(&nu, _)| nu)
+    };
+    let g = first_cross("demand_google");
+    let s = first_cross("demand_skype");
+    let nfx = first_cross("demand_netflix");
+    let order_ok = matches!((g, s, nfx), (Some(g), Some(s), Some(n)) if g < s && s < n);
+    checks.push(ShapeCheck::new(
+        "fig3.recovery-order",
+        "as ν grows demand recovers Google first, then Skype, Netflix last",
+        order_ok,
+        format!("ν@d=0.5: google {g:?}, skype {s:?}, netflix {nfx:?}"),
+    ));
+
+    // Monotone rates saturating at λ̂.
+    let mut rates_ok = true;
+    for (name, idx) in [("rate_google", 0), ("rate_netflix", 1), ("rate_skype", 2)] {
+        let col = table.column(name);
+        rates_ok &= non_decreasing(&col, 1e-7);
+        let lambda_hat = pop[idx].lambda_hat_per_capita();
+        rates_ok &= (col.last().unwrap() - lambda_hat).abs() < 1e-6 * (1.0 + lambda_hat);
+    }
+    checks.push(ShapeCheck::new(
+        "fig3.rates-monotone-saturating",
+        "each λ_i is non-decreasing in ν and saturates at λ̂_i",
+        rates_ok,
+        "λ̂ = (1.0, 3.0, 1.5)".to_string(),
+    ));
+
+    // Axiom 2 at equilibrium.
+    let agg = table.column("aggregate");
+    let axiom2 = nus
+        .iter()
+        .zip(agg.iter())
+        .all(|(&nu, &a)| (a - nu.min(5.5)).abs() < 1e-6 * (1.0 + nu));
+    checks.push(ShapeCheck::new(
+        "fig3.axiom2",
+        "aggregate equilibrium rate equals min(ν, Σλ̂)",
+        axiom2,
+        format!("checked {n} capacities"),
+    ));
+
+    let summary = format!(
+        "Figure 3: max-min rate equilibrium of the trio\n{}{}",
+        ascii_plot("demand_netflix(ν)", &nus, &table.column("demand_netflix"), 60, 10),
+        ascii_plot("demand_skype(ν)", &nus, &table.column("demand_skype"), 60, 10),
+    );
+    FigureResult {
+        id: "fig3".into(),
+        files: vec![path],
+        summary,
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_checks_pass() {
+        let config = Config {
+            out_dir: std::env::temp_dir().join("pubopt-fig3-test"),
+            fast: true,
+            threads: 2,
+        };
+        let r = run(&config);
+        assert!(r.all_passed(), "{:#?}", r.checks);
+    }
+}

@@ -1,0 +1,156 @@
+//! **Figure 7** — duopoly: strategic ISP `I` (κ_I = 1) vs. a Public
+//! Option ISP `J` with equal capacities (`µ_I = µ_J = µ/2`), sweeping
+//! `c_I` on the 1000-CP ensemble.
+//!
+//! Plots (per ν ∈ {20, 50, 100, 150, 200}): market share `m_I`, ISP
+//! surplus `Ψ_I = c·λ_{P_I}/M`, and the equilibrium consumer surplus Φ.
+//!
+//! Paper observations encoded as shape checks:
+//! 1. `m_I` first *rises* with `c_I` (restricting the premium class keeps
+//!    it less congested, attracting consumers) then collapses once the
+//!    class under-utilises — the market punishes over-pricing much harder
+//!    than a monopoly does (Ψ_I falls to zero "much steeper than before");
+//! 2. as `c_I → 1 (= max v)` no CP survives at ISP I, consumers flee to
+//!    the Public Option, and Φ remains strictly positive (unlike the
+//!    monopoly's Φ → 0);
+//! 3. the strategic ISP cannot win the market outright: its share stays
+//!    near (slightly above) one half around its best price.
+
+use crate::report::{ascii_plot, Config, FigureResult, Table};
+use crate::runner::parallel_map;
+use crate::shape::{argmax, ShapeCheck};
+use pubopt_core::{duopoly_with_public_option, IspStrategy};
+use pubopt_demand::Population;
+use pubopt_num::Tolerance;
+use pubopt_workload::{Scenario, ScenarioKind};
+
+/// The ν values the paper plots (system-wide per-capita capacity).
+pub const NUS: [f64; 5] = [20.0, 50.0, 100.0, 150.0, 200.0];
+
+/// Regenerate Figure 7 on the given population (Figure 11 reuses this).
+pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
+    let n = config.grid(61, 13);
+    let cs = pubopt_num::linspace(0.0, 1.05, n);
+
+    let mut table = Table::new(vec!["nu", "c", "share_i", "psi_i", "phi"]);
+    let mut by_nu: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &nu in &NUS {
+        let rows = parallel_map(&cs, config.worker_threads(), |&c| {
+            let out = duopoly_with_public_option(
+                pop,
+                nu,
+                IspStrategy::premium_only(c),
+                0.5,
+                Tolerance::COARSE,
+            );
+            (out.share_i, out.psi_i, out.phi)
+        });
+        let shares: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let psis: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let phis: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        for (i, &c) in cs.iter().enumerate() {
+            table.push(vec![nu, c, shares[i], psis[i], phis[i]]);
+        }
+        by_nu.push((shares, psis, phis));
+    }
+    let path = table.write_csv(&config.out_dir, csv);
+
+    let mut checks = Vec::new();
+
+    // 1. Market share rises then collapses (single-peaked-ish with an
+    //    interior peak above the c→max level).
+    let mut rise_fall_ok = true;
+    let mut detail = String::new();
+    for (k, &nu) in NUS.iter().enumerate() {
+        let shares = &by_nu[k].0;
+        let peak_idx = argmax(shares);
+        let peak = shares[peak_idx];
+        let tail = *shares.last().unwrap();
+        let ok = peak > shares[0] + 1e-3 && peak > tail + 0.05 && peak_idx > 0;
+        rise_fall_ok &= ok;
+        detail.push_str(&format!("ν={nu}: m@0={:.3}, peak={peak:.3}@c={:.2}, tail={tail:.3}; ", shares[0], cs[peak_idx]));
+    }
+    checks.push(ShapeCheck::new(
+        "fig7.share-rise-then-collapse",
+        "m_I increases with c_I while the premium class stays full, then collapses",
+        rise_fall_ok,
+        detail,
+    ));
+
+    // 2. Φ stays positive at c = max v (Public Option floor).
+    let phi_floor_ok = by_nu.iter().all(|(_, _, phis)| *phis.last().unwrap() > 0.0);
+    let phi_tail: Vec<f64> = by_nu.iter().map(|(_, _, p)| *p.last().unwrap()).collect();
+    checks.push(ShapeCheck::new(
+        "fig7.public-option-floor",
+        "as c_I → 1 consumers move to the Public Option and Φ stays positive",
+        phi_floor_ok,
+        format!("Φ(c=1.05) per ν: {phi_tail:?}"),
+    ));
+
+    // 3. No outright market capture: peak share bounded well below 1.
+    let capture_ok = by_nu
+        .iter()
+        .all(|(shares, _, _)| shares.iter().cloned().fold(0.0, f64::max) < 0.85);
+    checks.push(ShapeCheck::new(
+        "fig7.no-market-capture",
+        "the non-neutral ISP cannot win substantially more than half the market",
+        capture_ok,
+        format!(
+            "max shares per ν: {:?}",
+            by_nu
+                .iter()
+                .map(|(s, _, _)| s.iter().cloned().fold(0.0, f64::max))
+                .collect::<Vec<_>>()
+        ),
+    ));
+
+    // 4. Ψ_I collapses to zero at high c (steeper than monopoly — here we
+    //    check it reaches ~0 before the end of the sweep).
+    let psi_dies = by_nu.iter().all(|(_, psis, _)| {
+        let peak = psis.iter().cloned().fold(0.0, f64::max);
+        *psis.last().unwrap() < 0.02 * peak.max(1e-12)
+    });
+    checks.push(ShapeCheck::new(
+        "fig7.psi-collapse",
+        "Ψ_I drops to zero once the premium class under-utilises",
+        psi_dies,
+        "Ψ(c_max) < 2% of peak for every ν".to_string(),
+    ));
+
+    let (shares200, psis200, phis200) = &by_nu[NUS.len() - 1];
+    let summary = format!(
+        "{id}: duopoly vs Public Option, κ_I = 1\n{}{}{}",
+        ascii_plot("m_I(c) at ν=200", &cs, shares200, 60, 10),
+        ascii_plot("Ψ_I(c) at ν=200", &cs, psis200, 60, 10),
+        ascii_plot("Φ(c) at ν=200", &cs, phis200, 60, 10),
+    );
+    FigureResult {
+        id: id.into(),
+        files: vec![path],
+        summary,
+        checks,
+    }
+}
+
+/// Regenerate Figure 7.
+pub fn run(config: &Config) -> FigureResult {
+    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    run_on(&scenario.pop, "fig7", "fig7_duopoly_kappa1.csv", config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "several minutes in debug builds; run with --release --ignored or via the repro binary"]
+    fn all_checks_pass_fast() {
+        let config = Config {
+            out_dir: std::env::temp_dir().join("pubopt-fig7-test"),
+            fast: true,
+            threads: 4,
+        };
+        let r = run(&config);
+        assert!(r.all_passed(), "{:#?}", r.checks);
+    }
+}

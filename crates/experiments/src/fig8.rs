@@ -1,0 +1,164 @@
+//! **Figure 8** — duopoly vs Public Option: Ψ_I, Φ and m_I versus ν for
+//! the (κ, c) strategy grid of Figure 5.
+//!
+//! Paper observations encoded as shape checks:
+//! 1. under any strategy, ISP I's revenue rises then *drops sharply to
+//!    zero* after its premium class under-utilises (sharper than in the
+//!    monopoly of Figure 5);
+//! 2. the consumer surplus Φ(ν) is barely affected by ISP I's strategy —
+//!    the curves for all nine strategies nearly coincide (the Public
+//!    Option insulates consumers);
+//! 3. when ν is abundant, ISP I gets at most ≈ half of the market.
+
+use crate::report::{ascii_plot, Config, FigureResult, Table};
+use crate::runner::parallel_map;
+use crate::shape::ShapeCheck;
+use pubopt_core::{duopoly_with_public_option, IspStrategy};
+use pubopt_demand::Population;
+use pubopt_num::Tolerance;
+use pubopt_workload::{Scenario, ScenarioKind};
+
+pub use crate::fig5::{CS, KAPPAS};
+
+/// Regenerate Figure 8 on the given population (Figure 12 reuses this).
+pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
+    let n = config.grid(60, 10);
+    let nus = pubopt_num::linspace_excl_zero(500.0, n);
+
+    let mut table = Table::new(vec!["kappa", "c", "nu", "psi_i", "phi", "share_i"]);
+    let mut curves: Vec<((f64, f64), Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &kappa in &KAPPAS {
+        for &c in &CS {
+            let strategy = IspStrategy::new(kappa, c);
+            let rows = parallel_map(&nus, config.worker_threads(), |&nu| {
+                let out = duopoly_with_public_option(pop, nu, strategy, 0.5, Tolerance::COARSE);
+                (out.psi_i, out.phi, out.share_i)
+            });
+            let psis: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let phis: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            let shares: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            for (i, &nu) in nus.iter().enumerate() {
+                table.push(vec![kappa, c, nu, psis[i], phis[i], shares[i]]);
+            }
+            curves.push(((kappa, c), psis, phis, shares));
+        }
+    }
+    let path = table.write_csv(&config.out_dir, csv);
+
+    let mut checks = Vec::new();
+
+    // 1. Revenue collapse at abundance, for every strategy.
+    let psi_collapse = curves.iter().all(|(_, psis, _, _)| {
+        let peak = psis.iter().cloned().fold(0.0, f64::max);
+        *psis.last().unwrap() < 0.10 * peak.max(1e-12)
+    });
+    checks.push(ShapeCheck::new(
+        "fig8.psi-collapse-at-abundance",
+        "under competition Ψ_I collapses once capacity is ample, for every (κ, c)",
+        psi_collapse,
+        format!(
+            "Ψ_end/Ψ_peak: {:?}",
+            curves
+                .iter()
+                .map(|(_, psis, _, _)| {
+                    let peak = psis.iter().cloned().fold(0.0, f64::max).max(1e-12);
+                    (psis.last().unwrap() / peak * 100.0).round() / 100.0
+                })
+                .collect::<Vec<_>>()
+        ),
+    ));
+
+    // 2. Φ(ν) insensitive to ISP I's strategy, in two parts matching the
+    //    paper's wording. (i) Across *moderate* strategies (c ≤ 0.4) the
+    //    curves nearly coincide. (ii) Even the most extreme strategy
+    //    (κ=0.9 behind c=0.8, which prices out 80% of CPs and strands
+    //    most of ISP I's capacity) does bounded damage — the market
+    //    responds by collapsing its share ("its damage is very limited",
+    //    §VI). Both checked pointwise on each ν grid point.
+    let mut spread_moderate = 0.0f64;
+    let mut spread_all = 0.0f64;
+    for i in 0..nus.len() {
+        let all: Vec<f64> = curves.iter().map(|(_, _, phis, _)| phis[i]).collect();
+        let moderate: Vec<f64> = curves
+            .iter()
+            .filter(|((k, c), _, _, _)| *k <= 0.5 && *c <= 0.4)
+            .map(|(_, _, phis, _)| phis[i])
+            .collect();
+        let spread = |vals: &[f64]| {
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            if hi > 1e-9 {
+                (hi - lo) / hi
+            } else {
+                0.0
+            }
+        };
+        spread_moderate = spread_moderate.max(spread(&moderate));
+        spread_all = spread_all.max(spread(&all));
+    }
+    checks.push(ShapeCheck::new(
+        "fig8.phi-insensitive-to-strategy",
+        "Φ(ν) nearly coincides across moderate strategies; even the extreme one does bounded damage",
+        spread_moderate < 0.20 && spread_all < 0.55,
+        format!(
+            "worst relative Φ spread: moderate (κ ≤ 0.5, c ≤ 0.4) {spread_moderate:.3}, all strategies {spread_all:.3}"
+        ),
+    ));
+
+    // 3. Abundant ν: share ≈ ≤ half (allowing mild wobble).
+    let share_cap = curves
+        .iter()
+        .all(|(_, _, _, shares)| *shares.last().unwrap() < 0.65);
+    checks.push(ShapeCheck::new(
+        "fig8.half-market-at-abundance",
+        "with abundant capacity ISP I holds at most ≈ half the market",
+        share_cap,
+        format!(
+            "end shares: {:?}",
+            curves
+                .iter()
+                .map(|(_, _, _, s)| (s.last().unwrap() * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        ),
+    ));
+
+    let (_, psis, phis, shares) = curves
+        .iter()
+        .find(|((k, c), _, _, _)| *k == 0.9 && *c == 0.4)
+        .unwrap();
+    let summary = format!(
+        "{id}: duopoly strategy grid over ν\n{}{}{}",
+        ascii_plot("Ψ_I(ν) at (0.9, 0.4)", &nus, psis, 60, 10),
+        ascii_plot("Φ(ν) at (0.9, 0.4)", &nus, phis, 60, 10),
+        ascii_plot("m_I(ν) at (0.9, 0.4)", &nus, shares, 60, 10),
+    );
+    FigureResult {
+        id: id.into(),
+        files: vec![path],
+        summary,
+        checks,
+    }
+}
+
+/// Regenerate Figure 8.
+pub fn run(config: &Config) -> FigureResult {
+    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    run_on(&scenario.pop, "fig8", "fig8_duopoly_grid.csv", config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "several minutes in debug builds; run with --release --ignored or via the repro binary"]
+    fn all_checks_pass_fast() {
+        let config = Config {
+            out_dir: std::env::temp_dir().join("pubopt-fig8-test"),
+            fast: true,
+            threads: 4,
+        };
+        let r = run(&config);
+        assert!(r.all_passed(), "{:#?}", r.checks);
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel sweep execution.
+//!
+//! Figure sweeps are embarrassingly parallel over their parameter grids.
+//! Per the networking guides, an async runtime buys nothing for CPU-bound
+//! work, so we fan out with `crossbeam::scope` worker threads pulling
+//! indices from a shared atomic counter, collecting into a pre-sized
+//! result vector behind a `parking_lot::Mutex`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item of `items` across `threads` workers, preserving
+/// input order in the output.
+///
+/// `f` must be `Sync` (it is shared by reference across workers) and the
+/// items are only read. Panics in a worker propagate (the scope join
+/// re-raises), so a failed sweep fails loudly.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(&[5], 64, |&x| x);
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    fn heavy_closure_runs_concurrently() {
+        // Smoke test that results are correct under real contention.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i * x);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Shape checks: the qualitative reproduction criteria.
+//!
+//! The paper's figures come from an unpublished random seed, so absolute
+//! values are not reproducible; the *shapes* — orderings, monotone
+//! regions, regime boundaries, collapses — are. Each figure module encodes
+//! the paper's stated observations as [`ShapeCheck`]s; `EXPERIMENTS.md`
+//! tabulates the verdicts.
+
+/// One qualitative claim, checked against regenerated data.
+#[derive(Debug, Clone)]
+pub struct ShapeCheck {
+    /// Short identifier (e.g. `"fig4.linear-regime"`).
+    pub name: String,
+    /// The paper's claim, verbatim-ish.
+    pub claim: String,
+    /// Whether the regenerated data satisfies it.
+    pub passed: bool,
+    /// Measured evidence (numbers behind the verdict).
+    pub detail: String,
+}
+
+impl ShapeCheck {
+    /// Build a check result.
+    pub fn new(
+        name: impl Into<String>,
+        claim: impl Into<String>,
+        passed: bool,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            claim: claim.into(),
+            passed,
+            detail: detail.into(),
+        }
+    }
+
+    /// One-line report form.
+    pub fn render(&self) -> String {
+        format!(
+            "[{}] {} — {} ({})",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.name,
+            self.claim,
+            self.detail
+        )
+    }
+}
+
+/// Is `ys` non-decreasing up to slack `tol`?
+pub fn non_decreasing(ys: &[f64], tol: f64) -> bool {
+    ys.windows(2).all(|w| w[1] >= w[0] - tol)
+}
+
+/// Is `ys` non-increasing up to slack `tol`?
+pub fn non_increasing(ys: &[f64], tol: f64) -> bool {
+    ys.windows(2).all(|w| w[1] <= w[0] + tol)
+}
+
+/// Largest downward gap `max(prefix-max − y)` (0 for monotone curves).
+pub fn max_downward_gap(ys: &[f64]) -> f64 {
+    let mut run = f64::NEG_INFINITY;
+    let mut gap = 0.0f64;
+    for &y in ys {
+        run = run.max(y);
+        gap = gap.max(run - y);
+    }
+    gap
+}
+
+/// Index of the global maximum (first occurrence).
+pub fn argmax(ys: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &y) in ys.iter().enumerate() {
+        if y > ys[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Does the curve rise to a single peak and then fall (up to slack)?
+/// Flat stretches are allowed on both sides.
+pub fn single_peaked(ys: &[f64], tol: f64) -> bool {
+    let peak = argmax(ys);
+    non_decreasing(&ys[..=peak], tol) && non_increasing(&ys[peak..], tol)
+}
+
+/// First index where `ys` drops below `frac` of its running maximum
+/// (`None` if it never does) — used to locate collapse points.
+pub fn collapse_index(ys: &[f64], frac: f64) -> Option<usize> {
+    let mut run = f64::NEG_INFINITY;
+    for (i, &y) in ys.iter().enumerate() {
+        run = run.max(y);
+        if run > 0.0 && y < frac * run {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_checks() {
+        assert!(non_decreasing(&[1.0, 1.0, 2.0], 0.0));
+        assert!(!non_decreasing(&[1.0, 0.5], 0.0));
+        assert!(non_decreasing(&[1.0, 0.9999], 1e-3));
+        assert!(non_increasing(&[3.0, 2.0, 2.0], 0.0));
+    }
+
+    #[test]
+    fn gap_measures_drop() {
+        assert_eq!(max_downward_gap(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(max_downward_gap(&[1.0, 5.0, 2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn argmax_first_occurrence() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn peak_detection() {
+        assert!(single_peaked(&[0.0, 1.0, 2.0, 1.0, 0.5], 0.0));
+        assert!(!single_peaked(&[0.0, 2.0, 1.0, 2.0], 0.0));
+        assert!(single_peaked(&[1.0, 1.0, 1.0], 0.0), "flat is trivially peaked");
+    }
+
+    #[test]
+    fn collapse_detection() {
+        assert_eq!(collapse_index(&[1.0, 2.0, 0.1], 0.5), Some(2));
+        assert_eq!(collapse_index(&[1.0, 2.0, 3.0], 0.5), None);
+        assert_eq!(collapse_index(&[0.0, 0.0], 0.5), None, "no positive max, no collapse");
+    }
+
+    #[test]
+    fn render_contains_verdict() {
+        let c = ShapeCheck::new("x", "claim", true, "42");
+        assert!(c.render().contains("PASS"));
+        let f = ShapeCheck::new("x", "claim", false, "42");
+        assert!(f.render().contains("FAIL"));
+    }
+}

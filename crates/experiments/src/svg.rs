@@ -1,0 +1,350 @@
+//! Minimal SVG line-chart renderer.
+//!
+//! The `repro` binary can render each figure's CSV into an SVG
+//! (`--svg`), so the reproduction produces actual figure images without
+//! any plotting dependency. Deliberately small: multi-series line chart,
+//! axes with ticks, legend — enough to eyeball a paper figure.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// x coordinates.
+    pub xs: Vec<f64>,
+    /// y coordinates (same length as `xs`).
+    pub ys: Vec<f64>,
+}
+
+/// Chart geometry and labels.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// Total width in pixels.
+    pub width: u32,
+    /// Total height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(hi > lo) {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| (hi - lo) / s <= target as f64 + 0.5)
+        .unwrap_or(10.0 * mag);
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + 1e-9 * step {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 || a < 0.01 {
+        format!("{v:.1e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render a multi-series line chart as an SVG document.
+///
+/// Series may have different lengths; non-finite points are skipped.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or contains no finite points.
+pub fn render_chart(series: &[Series], config: &ChartConfig) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.xs.iter().zip(s.ys.iter()))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    assert!(!points.is_empty(), "no finite data points to plot");
+
+    let (mut x_lo, mut x_hi) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+    let (mut y_lo, mut y_hi) = points
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+    if x_hi - x_lo < f64::EPSILON {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if y_hi - y_lo < f64::EPSILON {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+    // Pad y range 5% so curves don't touch the frame.
+    let pad = 0.05 * (y_hi - y_lo);
+    y_lo -= pad;
+    y_hi += pad;
+
+    let w = config.width as f64;
+    let h = config.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Frame.
+    let _ = write!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+    );
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+        w / 2.0,
+        xml_escape(&config.title)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        w / 2.0,
+        h - 10.0,
+        xml_escape(&config.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        h / 2.0,
+        h / 2.0,
+        xml_escape(&config.y_label)
+    );
+    // Ticks + gridlines.
+    for t in nice_ticks(x_lo, x_hi, 6) {
+        let x = sx(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            MARGIN_T + plot_h
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = sy(t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    // Series polylines.
+    for (k, s) in series.iter().enumerate() {
+        let color = PALETTE[k % PALETTE.len()];
+        let mut path = String::new();
+        for (&x, &y) in s.xs.iter().zip(s.ys.iter()) {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.6"/>"#,
+            path.trim_end()
+        );
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + 16.0 * k as f64;
+        let lx = MARGIN_L + plot_w - 150.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a CSV table (first column = x, remaining columns = series) into
+/// an SVG file next to it. Returns the SVG path.
+pub fn render_table(table: &crate::report::Table, title: &str, dir: &std::path::Path, name: &str) -> std::path::PathBuf {
+    assert!(table.headers.len() >= 2, "need an x column and at least one y column");
+    let xs = table.column(&table.headers[0]);
+    let series: Vec<Series> = table.headers[1..]
+        .iter()
+        .map(|h| Series {
+            label: h.clone(),
+            xs: xs.clone(),
+            ys: table.column(h),
+        })
+        .collect();
+    let svg = render_chart(
+        &series,
+        &ChartConfig {
+            title: title.into(),
+            x_label: table.headers[0].clone(),
+            y_label: String::new(),
+            ..ChartConfig::default()
+        },
+    );
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(name);
+    std::fs::write(&path, svg).expect("write svg");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                xs: (0..50).map(|i| i as f64).collect(),
+                ys: (0..50).map(|i| (i as f64 * 0.2).sin()).collect(),
+            },
+            Series {
+                label: "b".into(),
+                xs: (0..50).map(|i| i as f64).collect(),
+                ys: (0..50).map(|i| 0.5 + i as f64 * 0.01).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = render_chart(&demo_series(), &ChartConfig::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("#1f77b4") && svg.contains("#d62728"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let mut s = demo_series();
+        s[0].label = "a<b&c".into();
+        let svg = render_chart(&s, &ChartConfig::default());
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
+    }
+
+    #[test]
+    fn skips_non_finite_points() {
+        let s = vec![Series {
+            label: "x".into(),
+            xs: vec![0.0, 1.0, 2.0],
+            ys: vec![1.0, f64::NAN, 3.0],
+        }];
+        let svg = render_chart(&s, &ChartConfig::default());
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one series")]
+    fn rejects_empty() {
+        render_chart(&[], &ChartConfig::default());
+    }
+
+    #[test]
+    fn constant_series_does_not_degenerate() {
+        let s = vec![Series {
+            label: "flat".into(),
+            xs: vec![1.0, 2.0],
+            ys: vec![5.0, 5.0],
+        }];
+        let svg = render_chart(&s, &ChartConfig::default());
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round() {
+        let t = nice_ticks(0.0, 10.0, 6);
+        assert!(t.contains(&0.0) && t.contains(&10.0));
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - 2.0).abs() < 1e-12, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn table_rendering_writes_file() {
+        let mut t = crate::report::Table::new(vec!["x", "y1", "y2"]);
+        for i in 0..10 {
+            t.push(vec![i as f64, (i * i) as f64, i as f64 * 0.5]);
+        }
+        let dir = std::env::temp_dir().join("pubopt-svg-test");
+        let p = render_table(&t, "demo", &dir, "demo.svg");
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,172 @@
+//! AIMD flow state and per-CP flow groups.
+
+/// A group of statistically identical flows belonging to one content
+/// provider (the per-CP aggregate of the paper's Figure 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowGroup {
+    /// Label (usually the CP name).
+    pub name: String,
+    /// Number of concurrently active flows in the group.
+    pub flows: usize,
+    /// Application-limited per-flow rate cap `θ̂` (units/s).
+    pub rate_cap: f64,
+    /// Base (propagation) round-trip time in seconds.
+    pub rtt_base: f64,
+}
+
+impl FlowGroup {
+    /// Construct a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cap or RTT is non-positive.
+    pub fn new(name: impl Into<String>, flows: usize, rate_cap: f64, rtt_base: f64) -> Self {
+        assert!(rate_cap > 0.0 && rate_cap.is_finite(), "rate cap must be positive");
+        assert!(rtt_base > 0.0 && rtt_base.is_finite(), "base RTT must be positive");
+        Self {
+            name: name.into(),
+            flows,
+            rate_cap,
+            rtt_base,
+        }
+    }
+}
+
+/// Window floor in MSS units.
+///
+/// Real TCP cannot go below one segment in flight; the *fluid* model can
+/// and must — when the MSS is large relative to a flow's fair share, a
+/// one-packet floor would pin the flow's rate above its allocation and
+/// break the dynamics entirely. 0.1 MSS keeps the model responsive at
+/// every scale while still bounding the window away from zero.
+pub const W_FLOOR: f64 = 0.1;
+
+/// Dynamic state of one (representative) flow.
+///
+/// The fluid model tracks the congestion window `W` in MSS units; the
+/// instantaneous send rate is `W·MSS/RTT`, capped by the application
+/// limit. All flows in a group share identical parameters, so the
+/// simulator tracks one state per group and multiplies by the group's
+/// flow count (this is exact for the deterministic fluid dynamics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowState {
+    /// Congestion window in MSS.
+    pub cwnd: f64,
+    /// Which group this state belongs to.
+    pub group: usize,
+}
+
+impl FlowState {
+    /// Initial window (slow start is not modelled; flows start at 1 MSS
+    /// and additive-increase toward the operating point, which the
+    /// warm-up period absorbs).
+    pub fn new(group: usize) -> Self {
+        Self { cwnd: 1.0, group }
+    }
+
+    /// Instantaneous per-flow rate (units/s) given the MSS (units/packet),
+    /// the current effective RTT and the application cap.
+    pub fn rate(&self, mss: f64, rtt: f64, cap: f64) -> f64 {
+        (self.cwnd * mss / rtt).min(cap)
+    }
+
+    /// One fluid AIMD step of length `dt`:
+    /// additive increase `1/RTT` MSS per second, multiplicative decrease
+    /// driven by the current loss probability `p` (losses per packet) at
+    /// packet rate `W/RTT`.
+    ///
+    /// The window is clamped to `[W_FLOOR, cap·RTT/MSS]` — bounded away
+    /// from zero (fluid analogue of one-packet-in-flight), at most the
+    /// application limit.
+    pub fn step(&mut self, dt: f64, rtt: f64, p: f64, mss: f64, cap: f64) {
+        let increase = 1.0 / rtt;
+        let packet_rate = self.cwnd / rtt;
+        let decrease = p * packet_rate * self.cwnd / 2.0;
+        self.cwnd += dt * (increase - decrease);
+        let w_max = (cap * rtt / mss).max(W_FLOOR);
+        self.cwnd = self.cwnd.clamp(W_FLOOR, w_max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_window_over_rtt() {
+        let f = FlowState { cwnd: 10.0, group: 0 };
+        assert!((f.rate(1.0, 0.1, f64::INFINITY) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_respects_cap() {
+        let f = FlowState { cwnd: 1000.0, group: 0 };
+        assert_eq!(f.rate(1.0, 0.1, 50.0), 50.0);
+    }
+
+    #[test]
+    fn additive_increase_without_loss() {
+        let mut f = FlowState::new(0);
+        let w0 = f.cwnd;
+        f.step(0.01, 0.1, 0.0, 1.0, f64::INFINITY);
+        assert!(f.cwnd > w0);
+        // dW = dt/RTT = 0.1 MSS.
+        assert!((f.cwnd - w0 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_shrinks_large_windows() {
+        let mut f = FlowState { cwnd: 100.0, group: 0 };
+        f.step(0.01, 0.1, 0.01, 1.0, f64::INFINITY);
+        assert!(f.cwnd < 100.0);
+    }
+
+    #[test]
+    fn window_never_below_floor() {
+        let mut f = FlowState { cwnd: 1.0, group: 0 };
+        f.step(1.0, 0.1, 1.0, 1.0, f64::INFINITY);
+        assert!(f.cwnd >= W_FLOOR);
+    }
+
+    #[test]
+    fn window_capped_by_application_limit() {
+        let mut f = FlowState { cwnd: 1.0, group: 0 };
+        // cap·RTT/MSS = 5·0.1/1 = 0.5 ⇒ the window settles at 0.5 and the
+        // rate at the cap.
+        for _ in 0..1000 {
+            f.step(0.01, 0.1, 0.0, 1.0, 5.0);
+        }
+        assert!((f.cwnd - 0.5).abs() < 1e-12, "cwnd {}", f.cwnd);
+        assert_eq!(f.rate(1.0, 0.1, 5.0), 5.0);
+        // Larger cap: window grows to exactly cap·RTT.
+        let mut g = FlowState::new(0);
+        for _ in 0..100_000 {
+            g.step(0.01, 0.1, 0.0, 1.0, 500.0);
+        }
+        assert!((g.cwnd - 50.0).abs() < 1e-9, "cwnd {}", g.cwnd);
+    }
+
+    #[test]
+    fn steady_state_matches_inverse_sqrt_p_law() {
+        // With constant loss probability p, the fluid fixed point is
+        // W* = sqrt(2/p).
+        let p = 0.002;
+        let mut f = FlowState { cwnd: 5.0, group: 0 };
+        for _ in 0..2_000_000 {
+            f.step(0.001, 0.1, p, 1.0, f64::INFINITY);
+        }
+        let expect = (2.0 / p).sqrt();
+        assert!(
+            (f.cwnd - expect).abs() < 0.05 * expect,
+            "W {} vs sqrt(2/p) {}",
+            f.cwnd,
+            expect
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn group_rejects_bad_cap() {
+        FlowGroup::new("x", 1, 0.0, 0.1);
+    }
+}

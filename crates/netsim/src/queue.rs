@@ -1,0 +1,274 @@
+//! Fluid bottleneck queues: drop-tail and RED (random early detection).
+//!
+//! Drop-tail produces the classic *synchronized* loss process: long
+//! loss-free stretches punctuated by deep buffer-full episodes. That is
+//! realistic but lets small groups of application-unlimited flows ride
+//! far above their fair share between episodes. RED marks traffic with a
+//! probability that grows smoothly with the backlog, which keeps the
+//! loss signal continuous — under RED the fluid AIMD fixed point is
+//! *exactly* the max-min allocation (equal windows, capped by the
+//! application limit), which is why the §II-D.2 validation uses it as
+//! the default queue.
+
+/// A drop-tail queue in the fluid limit: the backlog is a continuous
+/// quantity; loss occurs only while the buffer is full, at exactly the
+/// overflow rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropTailQueue {
+    /// Service capacity `C` (units/s).
+    pub capacity: f64,
+    /// Buffer size `B` (units).
+    pub buffer: f64,
+    backlog: f64,
+}
+
+impl DropTailQueue {
+    /// New empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or buffer is non-positive.
+    pub fn new(capacity: f64, buffer: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+        Self {
+            capacity,
+            buffer,
+            backlog: 0.0,
+        }
+    }
+
+    /// Current backlog (units).
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// Queueing delay contributed to every flow's RTT: `q/C` seconds.
+    pub fn delay(&self) -> f64 {
+        self.backlog / self.capacity
+    }
+
+    /// Whether the buffer is (numerically) full.
+    pub fn is_full(&self) -> bool {
+        self.backlog >= self.buffer * (1.0 - 1e-12)
+    }
+
+    /// Advance the queue by `dt` seconds under aggregate arrival rate
+    /// `arrival` (units/s). Returns the **loss probability** experienced
+    /// by arriving traffic during this interval: 0 while the buffer
+    /// absorbs the burst, otherwise the overflow fraction
+    /// `(A − C)/A` (the drop-tail fluid loss model).
+    pub fn step(&mut self, dt: f64, arrival: f64) -> f64 {
+        assert!(arrival >= 0.0, "arrival rate must be non-negative");
+        let drain = self.capacity;
+        let next = self.backlog + (arrival - drain) * dt;
+        if next <= 0.0 {
+            self.backlog = 0.0;
+            return 0.0;
+        }
+        if next < self.buffer {
+            self.backlog = next;
+            return 0.0;
+        }
+        // Buffer saturated: queue pins at B, excess is dropped.
+        self.backlog = self.buffer;
+        if arrival <= drain {
+            return 0.0;
+        }
+        (arrival - drain) / arrival
+    }
+}
+
+/// RED (random early detection) parameters, in fractions of the buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedConfig {
+    /// Backlog fraction at which marking starts.
+    pub min_th: f64,
+    /// Backlog fraction at which marking reaches `p_max` (beyond it the
+    /// queue behaves like drop-tail).
+    pub max_th: f64,
+    /// Marking probability at `max_th`.
+    pub p_max: f64,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        Self {
+            min_th: 0.15,
+            max_th: 0.95,
+            p_max: 0.3,
+        }
+    }
+}
+
+/// A RED queue in the fluid limit: marking probability rises quadratically
+/// from `min_th` to `max_th`; above `max_th` the residual drop-tail
+/// overflow applies on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedQueue {
+    inner: DropTailQueue,
+    red: RedConfig,
+}
+
+impl RedQueue {
+    /// New empty RED queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (`0 ≤ min_th < max_th ≤ 1`,
+    /// `0 < p_max ≤ 1` required) or non-positive capacity/buffer.
+    pub fn new(capacity: f64, buffer: f64, red: RedConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&red.min_th) && red.min_th < red.max_th && red.max_th <= 1.0,
+            "need 0 <= min_th < max_th <= 1"
+        );
+        assert!(red.p_max > 0.0 && red.p_max <= 1.0, "p_max must be in (0,1]");
+        Self {
+            inner: DropTailQueue::new(capacity, buffer),
+            red,
+        }
+    }
+
+    /// Current backlog (units).
+    pub fn backlog(&self) -> f64 {
+        self.inner.backlog()
+    }
+
+    /// Queueing delay `q/C`.
+    pub fn delay(&self) -> f64 {
+        self.inner.delay()
+    }
+
+    /// Marking probability at the current backlog.
+    pub fn mark_probability(&self) -> f64 {
+        let b = self.inner.buffer;
+        let q = self.inner.backlog() / b;
+        if q <= self.red.min_th {
+            0.0
+        } else if q >= self.red.max_th {
+            self.red.p_max
+        } else {
+            let x = (q - self.red.min_th) / (self.red.max_th - self.red.min_th);
+            self.red.p_max * x * x
+        }
+    }
+
+    /// Advance by `dt` under arrival rate `arrival`; returns the total
+    /// loss/mark probability experienced by the traffic (RED marking plus
+    /// residual drop-tail overflow of the unmarked traffic).
+    pub fn step(&mut self, dt: f64, arrival: f64) -> f64 {
+        let mark = self.mark_probability();
+        let admitted = arrival * (1.0 - mark);
+        let overflow = self.inner.step(dt, admitted);
+        mark + overflow * (1.0 - mark)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_stays_empty_under_light_load() {
+        let mut q = DropTailQueue::new(100.0, 50.0);
+        let p = q.step(0.1, 50.0);
+        assert_eq!(p, 0.0);
+        assert_eq!(q.backlog(), 0.0);
+    }
+
+    #[test]
+    fn backlog_builds_under_overload() {
+        let mut q = DropTailQueue::new(100.0, 50.0);
+        let p = q.step(0.1, 200.0);
+        assert_eq!(p, 0.0, "buffer absorbs the first burst");
+        assert!((q.backlog() - 10.0).abs() < 1e-12);
+        assert!((q.delay() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_drops_excess_fraction() {
+        let mut q = DropTailQueue::new(100.0, 50.0);
+        // Fill the buffer.
+        for _ in 0..10 {
+            q.step(0.1, 200.0);
+        }
+        assert!(q.is_full());
+        let p = q.step(0.1, 200.0);
+        assert!((p - 0.5).abs() < 1e-12, "loss fraction (200-100)/200, got {p}");
+        assert_eq!(q.backlog(), 50.0);
+    }
+
+    #[test]
+    fn queue_drains() {
+        let mut q = DropTailQueue::new(100.0, 50.0);
+        q.step(0.1, 200.0); // backlog 10
+        q.step(0.1, 0.0); // drains 10
+        assert_eq!(q.backlog(), 0.0);
+    }
+
+    #[test]
+    fn full_queue_with_subcritical_arrival_has_no_loss() {
+        let mut q = DropTailQueue::new(100.0, 10.0);
+        for _ in 0..100 {
+            q.step(0.1, 500.0);
+        }
+        assert!(q.is_full());
+        let p = q.step(0.001, 90.0);
+        assert_eq!(p, 0.0);
+        assert!(q.backlog() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        DropTailQueue::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn red_marks_nothing_when_nearly_empty() {
+        let mut q = RedQueue::new(100.0, 50.0, RedConfig::default());
+        let p = q.step(0.01, 50.0);
+        assert_eq!(p, 0.0);
+        assert_eq!(q.mark_probability(), 0.0);
+    }
+
+    #[test]
+    fn red_marking_grows_with_backlog() {
+        let mut q = RedQueue::new(100.0, 50.0, RedConfig::default());
+        // Drive the queue up and record marking along the way.
+        let mut last = 0.0;
+        let mut grew = false;
+        for _ in 0..200 {
+            q.step(0.05, 300.0);
+            let m = q.mark_probability();
+            if m > last {
+                grew = true;
+            }
+            last = m;
+        }
+        assert!(grew, "marking should rise as backlog builds");
+        assert!(last > 0.0 && last <= RedConfig::default().p_max + 1e-12);
+    }
+
+    #[test]
+    fn red_caps_at_pmax_plus_overflow() {
+        let mut q = RedQueue::new(100.0, 10.0, RedConfig::default());
+        for _ in 0..500 {
+            q.step(0.05, 1000.0);
+        }
+        let p = q.step(0.05, 1000.0);
+        // Heavy overload: marking at p_max and drop-tail takes the rest.
+        let expect = 0.3 + (1000.0 * 0.7 - 100.0) / (1000.0 * 0.7) * 0.7;
+        assert!((p - expect).abs() < 1e-9, "p {p} expect {expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th < max_th")]
+    fn red_rejects_bad_thresholds() {
+        RedQueue::new(100.0, 10.0, RedConfig {
+            min_th: 0.9,
+            max_th: 0.5,
+            p_max: 0.1,
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Bridging the economic model's populations into transport scenarios.
+//!
+//! The analytical layer describes a CP by `(α, θ̂, d(·))`; the transport
+//! layer needs concrete flow groups with RTTs. This module performs the
+//! translation, optionally drawing per-CP RTTs from a seeded jitter model
+//! (real last-mile RTTs spread over roughly an order of magnitude, which
+//! is exactly the deviation §II-D.2's "first approximation" hides).
+
+use crate::flow::FlowGroup;
+use pubopt_demand::Population;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+/// RTT assignment for generated flow groups.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RttModel {
+    /// Every group gets the same base RTT (the paper's implicit setting).
+    Homogeneous {
+        /// Common round-trip time (seconds).
+        rtt: f64,
+    },
+    /// Log-uniform RTTs in `[lo, hi]`, drawn per group with a seeded RNG
+    /// (deterministic given the seed).
+    LogUniform {
+        /// Lower RTT bound (seconds).
+        lo: f64,
+        /// Upper RTT bound (seconds).
+        hi: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl RttModel {
+    fn draw(&self, n: usize) -> Vec<f64> {
+        match *self {
+            RttModel::Homogeneous { rtt } => {
+                assert!(rtt > 0.0, "RTT must be positive");
+                vec![rtt; n]
+            }
+            RttModel::LogUniform { lo, hi, seed } => {
+                assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+                let mut rng = ChaCha20Rng::seed_from_u64(seed);
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                (0..n)
+                    .map(|_| (llo + rng.gen::<f64>() * (lhi - llo)).exp())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Build one flow group per CP: `round(α_i · consumers)` flows, capped at
+/// `θ̂_i`, with RTTs from `rtts`.
+///
+/// Demand is *not* applied here (flow counts reflect full interest); pair
+/// with [`crate::ChurnSim`] to let demand react to congestion.
+pub fn groups_from_population(pop: &Population, consumers: f64, rtts: RttModel) -> Vec<FlowGroup> {
+    assert!(consumers > 0.0, "consumer count must be positive");
+    let drawn = rtts.draw(pop.len());
+    pop.iter()
+        .zip(drawn)
+        .enumerate()
+        .map(|(i, (cp, rtt))| {
+            FlowGroup::new(
+                cp.name.clone().unwrap_or_else(|| format!("cp-{i}")),
+                (cp.alpha * consumers).round().max(1.0) as usize,
+                cp.theta_hat,
+                rtt,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubopt_demand::archetypes::figure3_trio;
+
+    #[test]
+    fn homogeneous_rtts_are_constant() {
+        let pop: Population = figure3_trio().into();
+        let groups = groups_from_population(&pop, 100.0, RttModel::Homogeneous { rtt: 0.05 });
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.rtt_base == 0.05));
+        assert_eq!(groups[0].flows, 100); // α = 1.0
+        assert_eq!(groups[1].flows, 30); // α = 0.3
+        assert_eq!(groups[2].flows, 50); // α = 0.5
+    }
+
+    #[test]
+    fn loguniform_is_seeded_and_bounded() {
+        let pop: Population = figure3_trio().into();
+        let model = RttModel::LogUniform {
+            lo: 0.01,
+            hi: 0.2,
+            seed: 7,
+        };
+        let a = groups_from_population(&pop, 50.0, model);
+        let b = groups_from_population(&pop, 50.0, model);
+        for (ga, gb) in a.iter().zip(b.iter()) {
+            assert_eq!(ga.rtt_base, gb.rtt_base, "same seed, same draw");
+            assert!((0.01..=0.2).contains(&ga.rtt_base));
+        }
+        let c = groups_from_population(
+            &pop,
+            50.0,
+            RttModel::LogUniform {
+                lo: 0.01,
+                hi: 0.2,
+                seed: 8,
+            },
+        );
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.rtt_base != y.rtt_base));
+    }
+
+    #[test]
+    fn flow_caps_follow_theta_hat() {
+        let pop: Population = figure3_trio().into();
+        let groups = groups_from_population(&pop, 10.0, RttModel::Homogeneous { rtt: 0.1 });
+        assert_eq!(groups[1].rate_cap, 10.0);
+        assert_eq!(groups[2].rate_cap, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo < hi")]
+    fn rejects_bad_rtt_bounds() {
+        RttModel::LogUniform {
+            lo: 0.2,
+            hi: 0.1,
+            seed: 0,
+        }
+        .draw(3);
+    }
+}

@@ -1,0 +1,374 @@
+//! The fluid AIMD simulation driver.
+//!
+//! Integrates the per-group window dynamics, the drop-tail queue and the
+//! RTT feedback with explicit Euler steps, and collects time-averaged
+//! per-flow throughput over a measurement window. The integration step is
+//! derived from the smallest base RTT so the dynamics are well resolved.
+
+use crate::event::EventQueue;
+use crate::flow::{FlowGroup, FlowState};
+use crate::queue::{DropTailQueue, RedConfig, RedQueue};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Bottleneck capacity `C` (units/s).
+    pub capacity: f64,
+    /// Buffer size as a multiple of the bandwidth-delay product
+    /// (`buffer = factor · C · min RTT`); 1.0 is the classic rule.
+    pub buffer_bdp_factor: f64,
+    /// Maximum segment size in rate units (sets the window granularity).
+    /// `0.0` (the default) auto-selects `capacity · min RTT / 256` — a
+    /// 256-packet bandwidth-delay product — so window dynamics stay well
+    /// resolved at any rate scale.
+    pub mss: f64,
+    /// Warm-up duration (seconds) discarded before measuring.
+    pub warmup: f64,
+    /// Measurement duration (seconds).
+    pub measure: f64,
+    /// Integration step as a fraction of the smallest base RTT.
+    pub dt_rtt_fraction: f64,
+    /// Active queue management. `Some` (the default) uses a RED queue,
+    /// under which the fluid AIMD fixed point is exactly max-min fair;
+    /// `None` uses plain drop-tail, whose synchronized loss bursts are the
+    /// realistic-but-messier alternative (exposed for the ablation bench).
+    pub red: Option<RedConfig>,
+    /// When `true`, a group whose flow count is zero still contributes
+    /// **one** probe flow to the arrival process, so its measured rate is
+    /// what an actual (re-)joining user would get — including the user's
+    /// own congestion displacement. The demand-churn driver needs this;
+    /// plain throughput experiments leave it off so empty groups are
+    /// truly absent.
+    pub probe_empty_groups: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 100.0,
+            buffer_bdp_factor: 1.0,
+            mss: 0.0,
+            warmup: 60.0,
+            measure: 60.0,
+            dt_rtt_fraction: 0.05,
+            red: Some(RedConfig::default()),
+            probe_empty_groups: false,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Time-averaged per-flow throughput of each group (units/s).
+    pub per_flow_rate: Vec<f64>,
+    /// Time-averaged aggregate throughput at the link (units/s).
+    pub aggregate: f64,
+    /// Mean loss probability observed over the measurement window.
+    pub mean_loss: f64,
+    /// Mean queueing delay over the measurement window (seconds).
+    pub mean_queue_delay: f64,
+    /// Total simulated duration (seconds).
+    pub duration: f64,
+}
+
+/// Internal scheduled events (measurement phase boundary / end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    StartMeasure,
+    Stop,
+}
+
+/// The bottleneck queue variants.
+#[derive(Debug, Clone)]
+enum Bottleneck {
+    DropTail(DropTailQueue),
+    Red(RedQueue),
+}
+
+impl Bottleneck {
+    fn delay(&self) -> f64 {
+        match self {
+            Bottleneck::DropTail(q) => q.delay(),
+            Bottleneck::Red(q) => q.delay(),
+        }
+    }
+
+    fn step(&mut self, dt: f64, arrival: f64) -> f64 {
+        match self {
+            Bottleneck::DropTail(q) => q.step(dt, arrival),
+            Bottleneck::Red(q) => q.step(dt, arrival),
+        }
+    }
+}
+
+/// The fluid simulator.
+#[derive(Debug, Clone)]
+pub struct FluidSim {
+    /// Flow groups under simulation.
+    pub groups: Vec<FlowGroup>,
+    /// Configuration.
+    pub config: SimConfig,
+    states: Vec<FlowState>,
+    queue: Bottleneck,
+}
+
+impl FluidSim {
+    /// Build a simulator for the given groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or the configuration is degenerate.
+    pub fn new(groups: Vec<FlowGroup>, mut config: SimConfig) -> Self {
+        assert!(!groups.is_empty(), "need at least one flow group");
+        assert!(config.capacity > 0.0, "capacity must be positive");
+        assert!(config.mss >= 0.0, "mss must be non-negative (0 = auto)");
+        assert!(config.dt_rtt_fraction > 0.0 && config.dt_rtt_fraction <= 0.5);
+        let min_rtt = groups
+            .iter()
+            .map(|g| g.rtt_base)
+            .fold(f64::INFINITY, f64::min);
+        if config.mss == 0.0 {
+            config.mss = config.capacity * min_rtt / 256.0;
+        }
+        let buffer = (config.buffer_bdp_factor * config.capacity * min_rtt).max(config.mss);
+        let states = (0..groups.len()).map(FlowState::new).collect();
+        let queue = match config.red {
+            Some(red) => Bottleneck::Red(RedQueue::new(config.capacity, buffer, red)),
+            None => Bottleneck::DropTail(DropTailQueue::new(config.capacity, buffer)),
+        };
+        Self {
+            groups,
+            config,
+            states,
+            queue,
+        }
+    }
+
+    /// Replace the active flow count of group `g` (used by the churn
+    /// driver when demand reacts to congestion).
+    pub fn set_flow_count(&mut self, g: usize, flows: usize) {
+        self.groups[g].flows = flows;
+    }
+
+    /// Current per-flow instantaneous rate of group `g`.
+    pub fn instantaneous_rate(&self, g: usize) -> f64 {
+        let group = &self.groups[g];
+        let rtt = group.rtt_base + self.queue.delay();
+        self.states[g].rate(self.config.mss, rtt, group.rate_cap)
+    }
+
+    /// Advance the dynamics by one step of length `dt`; returns the loss
+    /// probability the queue reported for the interval. Exposed for the
+    /// [`crate::trace`] recorder; normal users call [`FluidSim::run`].
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        self.step(dt)
+    }
+
+    /// Current queueing delay at the bottleneck (seconds).
+    pub fn queue_delay(&self) -> f64 {
+        self.queue.delay()
+    }
+
+    fn step(&mut self, dt: f64) -> f64 {
+        let qdelay = self.queue.delay();
+        // Aggregate arrival rate across groups.
+        let mut aggregate = 0.0;
+        let mut rates = Vec::with_capacity(self.groups.len());
+        for (g, group) in self.groups.iter().enumerate() {
+            let rtt = group.rtt_base + qdelay;
+            let r = self.states[g].rate(self.config.mss, rtt, group.rate_cap);
+            rates.push(r);
+            let mut flows = group.flows as f64;
+            if flows == 0.0 && self.config.probe_empty_groups {
+                flows = 1.0;
+            }
+            aggregate += r * flows;
+        }
+        let p = self.queue.step(dt, aggregate);
+        for (g, group) in self.groups.iter().enumerate() {
+            // Groups with zero active flows still evolve their window as a
+            // *probe*: it contributes no arrival traffic but experiences
+            // the queue's loss process, so its rate tracks what a joining
+            // flow would achieve. The churn driver relies on this — demand
+            // that has evaporated must only return if a re-joining user
+            // would actually get good throughput (throughput-taking, as in
+            // the paper's Assumption 3).
+            let rtt = group.rtt_base + qdelay;
+            self.states[g].step(dt, rtt, p, self.config.mss, group.rate_cap);
+        }
+        p
+    }
+
+    /// Run warm-up then measurement; returns the report.
+    ///
+    /// Driven by the discrete-event queue: `StartMeasure` and `Stop`
+    /// events bound the phases; between events the fluid dynamics advance
+    /// in fixed steps.
+    pub fn run(&mut self) -> SimReport {
+        let min_rtt = self
+            .groups
+            .iter()
+            .map(|g| g.rtt_base)
+            .fold(f64::INFINITY, f64::min);
+        let dt = self.config.dt_rtt_fraction * min_rtt;
+
+        let mut events = EventQueue::new();
+        events.schedule(self.config.warmup, Phase::StartMeasure);
+        events.schedule(self.config.warmup + self.config.measure, Phase::Stop);
+
+        let mut t = 0.0;
+        let mut measuring = false;
+        let mut acc_rates = vec![0.0f64; self.groups.len()];
+        let mut acc_aggregate = 0.0;
+        let mut acc_loss = 0.0;
+        let mut acc_delay = 0.0;
+        let mut samples = 0usize;
+
+        while let Some((event_time, phase)) = events.pop() {
+            // Integrate up to the event.
+            while t < event_time {
+                let step_dt = dt.min(event_time - t);
+                let p = self.step(step_dt);
+                t += step_dt;
+                if measuring {
+                    let qdelay = self.queue.delay();
+                    let mut agg = 0.0;
+                    for (g, group) in self.groups.iter().enumerate() {
+                        let rtt = group.rtt_base + qdelay;
+                        let send = self.states[g].rate(self.config.mss, rtt, group.rate_cap);
+                        // Goodput: the share of the send rate that survives
+                        // the drop-tail queue this interval.
+                        let goodput = send * (1.0 - p);
+                        acc_rates[g] += goodput;
+                        agg += goodput * group.flows as f64;
+                    }
+                    acc_aggregate += agg.min(self.config.capacity);
+                    acc_loss += p;
+                    acc_delay += qdelay;
+                    samples += 1;
+                }
+            }
+            match phase {
+                Phase::StartMeasure => measuring = true,
+                Phase::Stop => break,
+            }
+        }
+
+        let n = samples.max(1) as f64;
+        SimReport {
+            per_flow_rate: acc_rates.iter().map(|r| r / n).collect(),
+            aggregate: acc_aggregate / n,
+            mean_loss: acc_loss / n,
+            mean_queue_delay: acc_delay / n,
+            duration: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(capacity: f64) -> SimConfig {
+        SimConfig {
+            capacity,
+            warmup: 30.0,
+            measure: 30.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_uncapped_flow_fills_the_link() {
+        let groups = vec![FlowGroup::new("a", 1, 1e9, 0.1)];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert!(
+            report.per_flow_rate[0] > 85.0,
+            "one flow should nearly fill C=100, got {}",
+            report.per_flow_rate[0]
+        );
+        assert!(report.aggregate <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_equal_flows_share_equally() {
+        let groups = vec![
+            FlowGroup::new("a", 1, 1e9, 0.1),
+            FlowGroup::new("b", 1, 1e9, 0.1),
+        ];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        let (a, b) = (report.per_flow_rate[0], report.per_flow_rate[1]);
+        assert!((a - b).abs() < 0.05 * (a + b), "a={a} b={b}");
+        assert!(a + b > 85.0, "link should be well utilised: {}", a + b);
+    }
+
+    #[test]
+    fn capped_flow_leaves_capacity_to_others() {
+        let groups = vec![
+            FlowGroup::new("capped", 1, 10.0, 0.1),
+            FlowGroup::new("greedy", 1, 1e9, 0.1),
+        ];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert!(
+            (report.per_flow_rate[0] - 10.0).abs() < 0.8,
+            "capped flow ~10, got {}",
+            report.per_flow_rate[0]
+        );
+        assert!(
+            report.per_flow_rate[1] > 75.0,
+            "greedy flow should take the rest, got {}",
+            report.per_flow_rate[1]
+        );
+    }
+
+    #[test]
+    fn shorter_rtt_wins_more() {
+        let groups = vec![
+            FlowGroup::new("near", 1, 1e9, 0.02),
+            FlowGroup::new("far", 1, 1e9, 0.2),
+        ];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert!(
+            report.per_flow_rate[0] > 1.5 * report.per_flow_rate[1],
+            "near {} vs far {}",
+            report.per_flow_rate[0],
+            report.per_flow_rate[1]
+        );
+    }
+
+    #[test]
+    fn light_load_sees_no_loss() {
+        let groups = vec![FlowGroup::new("tiny", 1, 5.0, 0.1)];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert_eq!(report.mean_loss, 0.0);
+        assert!((report.per_flow_rate[0] - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn zero_flow_group_contributes_nothing() {
+        let groups = vec![
+            FlowGroup::new("ghost", 0, 1e9, 0.1),
+            FlowGroup::new("real", 1, 1e9, 0.1),
+        ];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert!(report.per_flow_rate[1] > 85.0);
+    }
+
+    #[test]
+    fn many_flows_split_the_link() {
+        let groups = vec![FlowGroup::new("swarm", 10, 1e9, 0.05)];
+        let report = FluidSim::new(groups, quick_config(100.0)).run();
+        assert!(
+            (report.per_flow_rate[0] - 10.0).abs() < 2.0,
+            "each of 10 flows ~10, got {}",
+            report.per_flow_rate[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one flow group")]
+    fn rejects_empty_groups() {
+        FluidSim::new(vec![], SimConfig::default());
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-series tracing of a simulation run.
+//!
+//! The aggregate report of [`crate::FluidSim::run`] hides the transient
+//! dynamics (sawtooths, loss episodes, queue oscillation). The tracer
+//! samples the state at a fixed period and returns the series — used by
+//! the `tcp_vs_maxmin` example for terminal plots and by tests that
+//! assert dynamical properties (e.g. that the RED queue settles while the
+//! drop-tail queue keeps oscillating).
+
+use crate::sim::{FluidSim, SimConfig};
+
+/// One sampled instant of the simulation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSample {
+    /// Simulation time (seconds).
+    pub time: f64,
+    /// Per-group instantaneous per-flow rate.
+    pub rates: Vec<f64>,
+    /// Queueing delay (seconds).
+    pub queue_delay: f64,
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Samples in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Extract one group's rate series.
+    pub fn rate_series(&self, group: usize) -> Vec<f64> {
+        self.samples.iter().map(|s| s.rates[group]).collect()
+    }
+
+    /// The time axis.
+    pub fn times(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.time).collect()
+    }
+
+    /// Coefficient of variation (σ/µ) of a group's rate over the trace —
+    /// a scalar "how oscillatory is this" metric.
+    pub fn rate_cv(&self, group: usize) -> f64 {
+        let xs = self.rate_series(group);
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        if mean.abs() < 1e-12 {
+            return 0.0;
+        }
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+/// Run a simulation for `duration` seconds, sampling every `period`
+/// seconds (after the configured warm-up), and return the trace.
+///
+/// This drives the simulator tick-by-tick itself (the normal `run()`
+/// aggregates instead of sampling).
+pub fn record(groups: Vec<crate::FlowGroup>, config: SimConfig, duration: f64, period: f64) -> Trace {
+    assert!(duration > 0.0 && period > 0.0, "duration and period must be positive");
+    let warmup = config.warmup;
+    let mut sim = FluidSim::new(
+        groups,
+        SimConfig {
+            warmup: 0.0,
+            measure: 0.0,
+            ..config
+        },
+    );
+    let min_rtt = sim
+        .groups
+        .iter()
+        .map(|g| g.rtt_base)
+        .fold(f64::INFINITY, f64::min);
+    let dt = sim.config.dt_rtt_fraction * min_rtt;
+
+    let mut trace = Trace::default();
+    let mut t = 0.0;
+    let mut next_sample = warmup;
+    while t < warmup + duration {
+        sim.advance(dt);
+        t += dt;
+        if t >= next_sample {
+            trace.samples.push(TraceSample {
+                time: t,
+                rates: (0..sim.groups.len()).map(|g| sim.instantaneous_rate(g)).collect(),
+                queue_delay: sim.queue_delay(),
+            });
+            next_sample += period;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowGroup;
+
+    fn groups() -> Vec<FlowGroup> {
+        vec![
+            FlowGroup::new("a", 5, 1e9, 0.05),
+            FlowGroup::new("b", 5, 1e9, 0.05),
+        ]
+    }
+
+    fn config(red: bool) -> SimConfig {
+        SimConfig {
+            capacity: 50.0,
+            warmup: 20.0,
+            red: if red { Some(Default::default()) } else { None },
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_samples_at_requested_period() {
+        let trace = record(groups(), config(true), 10.0, 0.5);
+        assert!(trace.samples.len() >= 18 && trace.samples.len() <= 22, "{}", trace.samples.len());
+        let times = trace.times();
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(trace.rate_series(0).len(), trace.samples.len());
+    }
+
+    #[test]
+    fn red_is_smoother_than_droptail() {
+        // RED's continuous marking holds flows at the fixed point; the
+        // drop-tail sawtooth oscillates. The trace CV captures it.
+        let cv_red = record(groups(), config(true), 30.0, 0.1).rate_cv(0);
+        let cv_dt = record(groups(), config(false), 30.0, 0.1).rate_cv(0);
+        assert!(
+            cv_red < cv_dt,
+            "RED should be smoother: cv_red {cv_red} vs cv_droptail {cv_dt}"
+        );
+    }
+
+    #[test]
+    fn cv_of_constant_series_is_zero() {
+        let t = Trace {
+            samples: (0..10)
+                .map(|i| TraceSample {
+                    time: i as f64,
+                    rates: vec![5.0],
+                    queue_delay: 0.0,
+                })
+                .collect(),
+        };
+        assert_eq!(t.rate_cv(0), 0.0);
+        assert!(Trace::default().rate_cv(0) == 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Piecewise-linear interpolation over sampled curves.
+//!
+//! Used by the experiment harness to locate regime boundaries (e.g. the
+//! turning point where Ψ switches from the linear `cν` regime to collapse
+//! in Figure 4) on curves sampled over a sweep grid, and by the netsim
+//! validation harness to resample simulator time series onto a common grid.
+
+/// A piecewise-linear function through `(x, y)` sample points.
+///
+/// `x` must be strictly increasing; evaluation outside the sampled range
+/// clamps to the boundary values (the curves we interpolate are defined on
+/// closed parameter intervals).
+#[derive(Debug, Clone)]
+pub struct LinearInterp {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Build an interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive string if fewer than one point is supplied,
+    /// lengths differ, or `xs` is not strictly increasing / finite.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, String> {
+        if xs.is_empty() {
+            return Err("interpolation needs at least one sample".into());
+        }
+        if xs.len() != ys.len() {
+            return Err(format!("length mismatch: {} xs vs {} ys", xs.len(), ys.len()));
+        }
+        for w in xs.windows(2) {
+            if !(w[0] < w[1]) {
+                return Err(format!("xs not strictly increasing at {} -> {}", w[0], w[1]));
+            }
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err("samples must be finite".into());
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Evaluate at `x` (clamped to the sampled range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the segment containing x.
+        let idx = match self.xs.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) => return self.ys[i],
+            Err(i) => i,
+        };
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The sampled abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The sampled ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The largest downward jump `sup { y(x₁) − y(x₂) : x₁ < x₂ }` over the
+    /// *sampled* points — the discrete analogue of the paper's ε_sI metric
+    /// (Eq. 9), which measures how far the curve is from being
+    /// non-decreasing.
+    pub fn max_downward_gap(&self) -> f64 {
+        let mut running_max = f64::NEG_INFINITY;
+        let mut gap = 0.0f64;
+        for &y in &self.ys {
+            running_max = running_max.max(y);
+            gap = gap.max(running_max - y);
+        }
+        gap
+    }
+
+    /// First sampled abscissa at which `y` reaches (≥) `level`, by linear
+    /// interpolation between samples; `None` if never reached.
+    pub fn first_crossing(&self, level: f64) -> Option<f64> {
+        if self.ys[0] >= level {
+            return Some(self.xs[0]);
+        }
+        for i in 1..self.xs.len() {
+            if self.ys[i] >= level {
+                let (x0, x1) = (self.xs[i - 1], self.xs[i]);
+                let (y0, y1) = (self.ys[i - 1], self.ys[i]);
+                if (y1 - y0).abs() < f64::EPSILON {
+                    return Some(x1);
+                }
+                return Some(x0 + (x1 - x0) * (level - y0) / (y1 - y0));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> LinearInterp {
+        LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn eval_on_nodes_and_between() {
+        let f = line();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(1.0), 10.0);
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(1.75), 17.5);
+    }
+
+    #[test]
+    fn eval_clamps() {
+        let f = line();
+        assert_eq!(f.eval(-5.0), 0.0);
+        assert_eq!(f.eval(99.0), 20.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(LinearInterp::new(vec![], vec![]).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterp::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let f = LinearInterp::new(vec![3.0], vec![7.0]).unwrap();
+        assert_eq!(f.eval(-10.0), 7.0);
+        assert_eq!(f.eval(3.0), 7.0);
+        assert_eq!(f.eval(10.0), 7.0);
+    }
+
+    #[test]
+    fn downward_gap_of_monotone_curve_is_zero() {
+        assert_eq!(line().max_downward_gap(), 0.0);
+    }
+
+    #[test]
+    fn downward_gap_detects_drop() {
+        let f = LinearInterp::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 5.0, 2.0, 9.0]).unwrap();
+        assert_eq!(f.max_downward_gap(), 3.0);
+    }
+
+    #[test]
+    fn first_crossing_interpolates() {
+        let f = line();
+        assert_eq!(f.first_crossing(5.0), Some(0.5));
+        assert_eq!(f.first_crossing(0.0), Some(0.0));
+        assert_eq!(f.first_crossing(25.0), None);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn interp_between_bounds(y0 in -10.0f64..10.0, y1 in -10.0f64..10.0, t in 0.0f64..1.0) {
+            let f = LinearInterp::new(vec![0.0, 1.0], vec![y0, y1]).unwrap();
+            let v = f.eval(t);
+            let (lo, hi) = (y0.min(y1), y0.max(y1));
+            proptest::prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+}

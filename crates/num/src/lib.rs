@@ -1,0 +1,42 @@
+//! # pubopt-num — numeric substrate for the Public Option reproduction
+//!
+//! The paper (Ma & Misra, *The Public Option*, CoNEXT 2011) is an analytical
+//! model whose numerical experiments require only a handful of numeric
+//! primitives: monotone root finding (the rate-equilibrium water level of
+//! Theorem 1 is the root of a monotone function), damped fixed-point
+//! iteration (for generic rate-allocation mechanisms), one-dimensional
+//! optimisation (the ISP's revenue-maximising price), and numerically
+//! careful summation over thousands of content providers.
+//!
+//! The paper never names its numeric tooling, so this crate is a from-scratch
+//! substitution (see `DESIGN.md`, substitution 1). Everything here is pure,
+//! deterministic, dependency-free Rust.
+//!
+//! ## Modules
+//!
+//! * [`tol`] — centralised floating-point tolerances.
+//! * [`roots`] — bisection and Brent's method for monotone/continuous roots.
+//! * [`fixed_point`] — damped fixed-point iteration with convergence control.
+//! * [`optimize`] — grid search, golden-section search and refinement sweeps.
+//! * [`sum`] — Kahan (compensated) summation.
+//! * [`interp`] — piecewise-linear interpolation over sampled curves.
+//! * [`seq`] — grid/linspace construction helpers used by every sweep.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fixed_point;
+pub mod interp;
+pub mod optimize;
+pub mod roots;
+pub mod seq;
+pub mod sum;
+pub mod tol;
+
+pub use fixed_point::{fixed_point, FixedPointError, FixedPointOptions, FixedPointResult};
+pub use interp::LinearInterp;
+pub use optimize::{golden_section_max, grid_max, refine_max, GridMax};
+pub use roots::{bisect, brent, RootError};
+pub use seq::{linspace, linspace_excl_zero, logspace};
+pub use sum::{kahan_sum, KahanSum};
+pub use tol::Tolerance;

@@ -1,0 +1,185 @@
+//! One-dimensional maximisation.
+//!
+//! The monopolistic ISP's optimal price (§III-E) and the duopolist's
+//! market-share-maximising strategy (§IV-A) are found by sweeping candidate
+//! strategies. The objective Φ/Ψ surfaces have *discontinuities* (CPs jump
+//! between service classes), so derivative-free, jump-tolerant searches are
+//! the right tool: a dense grid pass followed by local refinement, plus a
+//! golden-section search for the smooth regions.
+
+use crate::seq::linspace;
+use crate::tol::Tolerance;
+
+/// Result of a grid maximisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridMax {
+    /// Argmax.
+    pub x: f64,
+    /// Maximum value.
+    pub value: f64,
+    /// Index of the argmax in the evaluated grid.
+    pub index: usize,
+}
+
+/// Evaluate `f` on `n` equally spaced points of `[lo, hi]` and return the
+/// maximiser. Ties resolve to the *smallest* abscissa, matching the paper's
+/// tie-breaking convention that agents prefer the "cheaper" choice.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `lo > hi`.
+pub fn grid_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize) -> GridMax {
+    assert!(n > 0, "grid_max needs at least one sample");
+    assert!(lo <= hi, "grid_max needs an ordered interval");
+    let xs = linspace(lo, hi, n);
+    let mut best = GridMax {
+        x: xs[0],
+        value: f(xs[0]),
+        index: 0,
+    };
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        let v = f(x);
+        if v > best.value {
+            best = GridMax { x, value: v, index: i };
+        }
+    }
+    best
+}
+
+/// Grid search followed by recursive refinement around the incumbent:
+/// each round shrinks the bracket to the grid cells adjacent to the argmax
+/// and re-grids, for `rounds` rounds. Robust to discontinuities (it never
+/// assumes smoothness) while resolving the maximiser to
+/// `(hi - lo) * (2/(n-1))^rounds`.
+pub fn refine_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize, rounds: usize) -> GridMax {
+    assert!(n >= 3, "refine_max needs at least 3 samples per round");
+    let mut lo = lo;
+    let mut hi = hi;
+    let mut best = grid_max(&mut f, lo, hi, n);
+    for _ in 0..rounds {
+        let step = (hi - lo) / (n - 1) as f64;
+        let new_lo = (best.x - step).max(lo);
+        let new_hi = (best.x + step).min(hi);
+        if new_hi - new_lo <= f64::EPSILON * (1.0 + hi.abs()) {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+        let round_best = grid_max(&mut f, lo, hi, n);
+        if round_best.value >= best.value {
+            best = round_best;
+        }
+    }
+    best
+}
+
+/// Golden-section search for the maximum of a *unimodal* `f` on `[lo, hi]`.
+///
+/// Used on objective regions known to be smooth (e.g. the linear revenue
+/// regime of Figure 4); for the full discontinuous objectives prefer
+/// [`refine_max`].
+pub fn golden_section_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -> GridMax {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut a = lo.min(hi);
+    let mut b = lo.max(hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..tol.max_iter {
+        if tol.interval_resolved(a, b) {
+            break;
+        }
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    GridMax {
+        x,
+        value: f(x),
+        index: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_finds_parabola_peak() {
+        let g = grid_max(|x| -(x - 3.0) * (x - 3.0), 0.0, 10.0, 101);
+        assert!((g.x - 3.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn grid_tie_breaks_to_smallest() {
+        let g = grid_max(|_| 1.0, 0.0, 1.0, 11);
+        assert_eq!(g.x, 0.0);
+        assert_eq!(g.index, 0);
+    }
+
+    #[test]
+    fn grid_single_point() {
+        let g = grid_max(|x| x, 2.0, 2.0, 1);
+        assert_eq!(g.x, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn grid_rejects_empty() {
+        grid_max(|x| x, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn refine_resolves_tightly() {
+        let g = refine_max(|x| -(x - std::f64::consts::PI).powi(2), 0.0, 10.0, 11, 8);
+        assert!((g.x - std::f64::consts::PI).abs() < 1e-4, "got {}", g.x);
+    }
+
+    #[test]
+    fn refine_handles_discontinuity() {
+        // Sawtooth with the peak just left of the jump at x = 4
+        // (on [0, 6] the second branch only climbs back to 2).
+        let f = |x: f64| if x < 4.0 { x } else { x - 4.0 };
+        let g = refine_max(f, 0.0, 6.0, 17, 10);
+        assert!((g.x - 4.0).abs() < 1e-2);
+        assert!(g.value > 3.99);
+    }
+
+    #[test]
+    fn refine_never_worse_than_grid() {
+        let f = |x: f64| (x * 7.3).sin() + 0.1 * x;
+        let g0 = grid_max(f, 0.0, 10.0, 21);
+        let g1 = refine_max(f, 0.0, 10.0, 21, 6);
+        assert!(g1.value >= g0.value);
+    }
+
+    #[test]
+    fn golden_section_on_unimodal() {
+        let g = golden_section_max(|x| -(x - 1.25).powi(2) + 7.0, -10.0, 10.0, Tolerance::default());
+        assert!((g.x - 1.25).abs() < 1e-6);
+        assert!((g.value - 7.0).abs() < 1e-10);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn golden_matches_refine_on_parabolas(peak in -5.0f64..5.0, curv in 0.1f64..10.0) {
+            let f = |x: f64| -curv * (x - peak).powi(2);
+            let gg = golden_section_max(f, -10.0, 10.0, Tolerance::default());
+            let gr = refine_max(f, -10.0, 10.0, 33, 10);
+            proptest::prop_assert!((gg.x - peak).abs() < 1e-5);
+            proptest::prop_assert!((gr.x - peak).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Grid construction helpers.
+//!
+//! Every figure in the paper is a parameter sweep (over price `c`, capacity
+//! `ν`, or throughput fraction `ω`); these helpers build the sweep grids
+//! with exact endpoints so that figures are reproducible bit-for-bit.
+
+/// `n` equally spaced points from `lo` to `hi` inclusive.
+///
+/// `n == 1` yields `[lo]`. Endpoints are exact (no accumulation drift).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace needs at least one point");
+    if n == 1 {
+        return vec![lo];
+    }
+    let step = (hi - lo) / (n - 1) as f64;
+    let mut v: Vec<f64> = (0..n).map(|i| lo + step * i as f64).collect();
+    // Force the exact endpoint: i*step accumulates representation error.
+    v[n - 1] = hi;
+    v
+}
+
+/// `n` equally spaced points on `(0, hi]`: the grid `hi/n, 2hi/n, …, hi`.
+///
+/// Sweeps over per-capita capacity ν must exclude ν = 0 (the system is
+/// undefined with zero capacity and positive demand), which is why
+/// Figures 5 and 8 plot ν on a half-open interval.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `hi <= 0`.
+pub fn linspace_excl_zero(hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace_excl_zero needs at least one point");
+    assert!(hi > 0.0, "linspace_excl_zero needs a positive upper bound");
+    let step = hi / n as f64;
+    let mut v: Vec<f64> = (1..=n).map(|i| step * i as f64).collect();
+    v[n - 1] = hi;
+    v
+}
+
+/// `n` logarithmically spaced points from `lo` to `hi` inclusive
+/// (both must be positive).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or either bound is non-positive.
+pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "logspace needs at least one point");
+    assert!(lo > 0.0 && hi > 0.0, "logspace needs positive bounds");
+    if n == 1 {
+        return vec![lo];
+    }
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    let step = (lhi - llo) / (n - 1) as f64;
+    let mut v: Vec<f64> = (0..n).map(|i| (llo + step * i as f64).exp()).collect();
+    v[0] = lo;
+    v[n - 1] = hi;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let v = linspace(0.0, 1.0, 7);
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[6], 1.0);
+    }
+
+    #[test]
+    fn linspace_single() {
+        assert_eq!(linspace(2.5, 9.0, 1), vec![2.5]);
+    }
+
+    #[test]
+    fn linspace_descending_allowed() {
+        let v = linspace(1.0, 0.0, 3);
+        assert_eq!(v, vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn linspace_excl_zero_excludes_zero() {
+        let v = linspace_excl_zero(500.0, 100);
+        assert!(v[0] > 0.0);
+        assert_eq!(v[0], 5.0);
+        assert_eq!(*v.last().unwrap(), 500.0);
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn logspace_endpoints() {
+        let v = logspace(0.1, 1000.0, 5);
+        assert_eq!(v[0], 0.1);
+        assert_eq!(v[4], 1000.0);
+        for w in v.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn linspace_zero_points_panics() {
+        linspace(0.0, 1.0, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn linspace_is_monotone(lo in -100.0f64..100.0, span in 0.001f64..100.0, n in 2usize..200) {
+            let v = linspace(lo, lo + span, n);
+            for w in v.windows(2) {
+                proptest::prop_assert!(w[0] < w[1]);
+            }
+            proptest::prop_assert_eq!(v.len(), n);
+        }
+    }
+}

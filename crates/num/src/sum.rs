@@ -1,0 +1,97 @@
+//! Compensated (Kahan) summation.
+//!
+//! Consumer surplus Φ = Σ φᵢ αᵢ dᵢ(θᵢ) θᵢ aggregates a thousand terms that
+//! span several orders of magnitude (popularities and utilities are drawn
+//! from uniform distributions while demands decay exponentially). Naive
+//! summation loses enough precision to flip the tie-breaking comparisons
+//! in the CP partition dynamics, so every aggregate in the workspace goes
+//! through this module.
+
+/// Streaming Kahan accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    pub fn add(&mut self, value: f64) {
+        let y = value - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// Current total.
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc
+    }
+}
+
+/// Sum an iterator of `f64` with Kahan compensation.
+pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    values.into_iter().collect::<KahanSum>().total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(kahan_sum(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn simple_sum() {
+        assert_eq!(kahan_sum([1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn compensates_catastrophic_case() {
+        // 1 + 1e-16 added 10^7 times: naive summation stalls at 1.0.
+        let n = 10_000_000;
+        let tiny = 1e-16;
+        let mut naive = 1.0f64;
+        let mut kahan = KahanSum::new();
+        kahan.add(1.0);
+        for _ in 0..n {
+            naive += tiny;
+            kahan.add(tiny);
+        }
+        let exact = 1.0 + n as f64 * tiny;
+        assert_eq!(naive, 1.0, "naive summation should demonstrate the loss");
+        assert!((kahan.total() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let acc: KahanSum = [0.1f64; 10].into_iter().collect();
+        assert!((acc.total() - 1.0).abs() < 1e-15);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn matches_naive_on_benign_inputs(xs in proptest::collection::vec(-1e3f64..1e3, 0..200)) {
+            let naive: f64 = xs.iter().sum();
+            let k = kahan_sum(xs.iter().copied());
+            proptest::prop_assert!((naive - k).abs() <= 1e-9 * (1.0 + naive.abs()));
+        }
+    }
+}

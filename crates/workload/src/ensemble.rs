@@ -1,0 +1,200 @@
+//! Random CP ensemble generators.
+
+use pubopt_demand::{ContentProvider, DemandKind, Population};
+use rand::distributions::{Distribution, Uniform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use serde::{Deserialize, Serialize};
+
+/// The fixed seed used for "the" paper ensemble throughout this
+/// repository. (The paper's own seed is unpublished; every figure in
+/// `EXPERIMENTS.md` is generated from this one.)
+pub const PAPER_SEED: u64 = 0x5075_624f_7074_3131; // "PubOpt11"
+
+/// How consumer utilities `φ_i` are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhiDistribution {
+    /// Main-text draw: `φ_i ~ U[0, β_i]` — utility biased toward
+    /// throughput-sensitive CPs (Skype-like content is worth more per
+    /// byte than a search query).
+    CoupledToBeta,
+    /// Appendix draw: `φ_i ~ U[0, U[0, 10]]` — same scale, independent
+    /// of `β_i`.
+    IndependentUniform,
+}
+
+/// Parameters of the synthetic ensemble.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleConfig {
+    /// Number of CPs (the paper uses 1000).
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Upper bound of the β draw (the paper uses 10).
+    pub beta_max: f64,
+    /// φ distribution variant.
+    pub phi: PhiDistribution,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            n: 1000,
+            seed: PAPER_SEED,
+            beta_max: 10.0,
+            phi: PhiDistribution::CoupledToBeta,
+        }
+    }
+}
+
+impl EnsembleConfig {
+    /// Draw the ensemble.
+    ///
+    /// `α_i, θ̂_i, v_i ~ U[0,1]` (with `α_i` and `θ̂_i` floored at a tiny
+    /// positive value — zero popularity or zero throughput is degenerate),
+    /// `β_i ~ U[0, beta_max]`, `φ_i` per [`PhiDistribution`].
+    pub fn generate(&self) -> Population {
+        assert!(self.n > 0, "ensemble needs at least one CP");
+        assert!(self.beta_max >= 0.0, "beta_max must be non-negative");
+        let mut rng = ChaCha20Rng::seed_from_u64(self.seed);
+        let unit = Uniform::new_inclusive(0.0f64, 1.0);
+        let beta_d = Uniform::new_inclusive(0.0f64, self.beta_max);
+        const FLOOR: f64 = 1e-6;
+        (0..self.n)
+            .map(|i| {
+                // Draw in a fixed field order so adding fields later never
+                // silently reshuffles existing ensembles.
+                let alpha = unit.sample(&mut rng).max(FLOOR);
+                let theta_hat = unit.sample(&mut rng).max(FLOOR);
+                let beta = beta_d.sample(&mut rng);
+                let v = unit.sample(&mut rng);
+                let phi = match self.phi {
+                    PhiDistribution::CoupledToBeta => unit.sample(&mut rng) * beta,
+                    PhiDistribution::IndependentUniform => {
+                        let upper = unit.sample(&mut rng) * self.beta_max;
+                        unit.sample(&mut rng) * upper
+                    }
+                };
+                ContentProvider::new(alpha, theta_hat, DemandKind::exponential(beta), v, phi)
+                    .named(format!("cp-{i:04}"))
+            })
+            .collect()
+    }
+}
+
+/// The paper's main-text 1000-CP ensemble (`φ ~ U[0, β]`), fixed seed.
+pub fn paper_ensemble() -> Population {
+    EnsembleConfig::default().generate()
+}
+
+/// The Appendix variant (`φ ~ U[0, U[0,10]]`), same seed — the CP-side
+/// draws (`α, θ̂, β, v`) are *not* identical to [`paper_ensemble`] because
+/// the φ draw consumes RNG state, mirroring the paper's statement that
+/// only the φ distribution changes in expectation, not realisation.
+pub fn paper_ensemble_independent_phi() -> Population {
+    EnsembleConfig {
+        phi: PhiDistribution::IndependentUniform,
+        ..EnsembleConfig::default()
+    }
+    .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = paper_ensemble();
+        let b = paper_ensemble();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EnsembleConfig::default().generate();
+        let b = EnsembleConfig {
+            seed: 42,
+            ..EnsembleConfig::default()
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn paper_calibration_nu_star_is_about_250() {
+        // §III-E: "to satisfy all unconstrained throughput ... ν ≈ 250".
+        // E[α]·E[θ̂]·N = 0.25·1000.
+        let p = paper_ensemble();
+        let nu_star = p.total_unconstrained_per_capita();
+        assert!(
+            (225.0..275.0).contains(&nu_star),
+            "nu* = {nu_star}, expected ≈ 250"
+        );
+    }
+
+    #[test]
+    fn parameter_ranges_match_paper() {
+        let p = paper_ensemble();
+        assert_eq!(p.len(), 1000);
+        for cp in p.iter() {
+            assert!(cp.alpha > 0.0 && cp.alpha <= 1.0);
+            assert!(cp.theta_hat > 0.0 && cp.theta_hat <= 1.0);
+            assert!((0.0..=1.0).contains(&cp.v));
+            match cp.demand {
+                DemandKind::ExponentialSensitivity { beta } => {
+                    assert!((0.0..=10.0).contains(&beta));
+                    assert!(cp.phi <= beta + 1e-12, "phi {} > beta {beta}", cp.phi);
+                }
+                ref other => panic!("unexpected demand kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn coupled_phi_correlates_with_beta() {
+        // Pearson correlation between φ and β should be clearly positive
+        // in the main-text draw and near zero in the appendix draw.
+        let corr = |p: &Population| -> f64 {
+            let pairs: Vec<(f64, f64)> = p
+                .iter()
+                .map(|cp| match cp.demand {
+                    DemandKind::ExponentialSensitivity { beta } => (cp.phi, beta),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let n = pairs.len() as f64;
+            let (mx, my) = (
+                pairs.iter().map(|p| p.0).sum::<f64>() / n,
+                pairs.iter().map(|p| p.1).sum::<f64>() / n,
+            );
+            let cov: f64 = pairs.iter().map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+            let sx = (pairs.iter().map(|(x, _)| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
+            let sy = (pairs.iter().map(|(_, y)| (y - my).powi(2)).sum::<f64>() / n).sqrt();
+            cov / (sx * sy)
+        };
+        assert!(corr(&paper_ensemble()) > 0.5);
+        assert!(corr(&paper_ensemble_independent_phi()).abs() < 0.15);
+    }
+
+    #[test]
+    fn independent_phi_scale_matches() {
+        // Both draws have E[φ] = 2.5 (U[0,β]: E = E[β]/2 = 2.5;
+        // U[0,U[0,10]]: E = 10/4 = 2.5).
+        let mean = |p: &Population| p.iter().map(|c| c.phi).sum::<f64>() / p.len() as f64;
+        let m1 = mean(&paper_ensemble());
+        let m2 = mean(&paper_ensemble_independent_phi());
+        assert!((m1 - 2.5).abs() < 0.3, "coupled mean {m1}");
+        assert!((m2 - 2.5).abs() < 0.3, "independent mean {m2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CP")]
+    fn rejects_empty_ensemble() {
+        EnsembleConfig {
+            n: 0,
+            ..EnsembleConfig::default()
+        }
+        .generate();
+    }
+}

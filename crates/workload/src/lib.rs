@@ -1,0 +1,34 @@
+//! # pubopt-workload — synthetic CP populations
+//!
+//! The paper's numerical experiments (§III-E, §IV, Appendix) all run on a
+//! synthetic ensemble of 1000 content providers:
+//!
+//! * `α_i, θ̂_i, v_i ~ U[0, 1]` — popularity, unconstrained throughput and
+//!   per-unit revenue;
+//! * `β_i ~ U[0, 10]` — throughput sensitivity (Eq. 3);
+//! * `φ_i ~ U[0, β_i]` — consumer utility *biased toward throughput-
+//!   sensitive CPs* (main text), or the Appendix variant
+//!   `φ_i ~ U[0, U[0, 10]]` which has the same scale but is independent
+//!   of `β_i`.
+//!
+//! The paper does not publish its RNG seed, so absolute values cannot be
+//! matched; this crate fixes its own seed ([`PAPER_SEED`]) to make *this*
+//! reproduction bit-stable, and provides generators so tests can draw
+//! fresh ensembles. ChaCha20 is used (not `StdRng`) because its stream is
+//! stability-guaranteed across `rand` versions.
+//!
+//! A key calibration the paper states in §III-E — "to satisfy all
+//! unconstrained throughput for the CPs, the per capita capacity needs to
+//! be around ν = 250" — follows from `E[Σ α θ̂] = N/4 = 250` and is
+//! asserted in this crate's tests.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ensemble;
+pub mod scenario;
+
+pub use ensemble::{
+    paper_ensemble, paper_ensemble_independent_phi, EnsembleConfig, PhiDistribution, PAPER_SEED,
+};
+pub use scenario::{Scenario, ScenarioKind};

@@ -1,0 +1,94 @@
+//! Named experiment scenarios.
+//!
+//! A [`Scenario`] bundles a population with the capacity range it is meant
+//! to be swept over, so experiment binaries and benchmarks share one
+//! source of truth for workload setup.
+
+use crate::ensemble::{paper_ensemble, paper_ensemble_independent_phi};
+use pubopt_demand::archetypes::figure3_trio;
+use pubopt_demand::Population;
+use serde::{Deserialize, Serialize};
+
+/// The workloads used by the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// The 3-CP Google/Netflix/Skype example of §II-D (Figure 3).
+    Trio,
+    /// The 1000-CP main-text ensemble, `φ ~ U[0, β]` (Figures 4, 5, 7, 8).
+    PaperEnsemble,
+    /// The 1000-CP appendix ensemble, `φ ~ U[0, U[0,10]]`
+    /// (Figures 9–12).
+    PaperEnsembleIndependentPhi,
+}
+
+/// A workload plus the ν-range the paper sweeps it over.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which workload.
+    pub kind: ScenarioKind,
+    /// The CP population.
+    pub pop: Population,
+    /// The largest per-capita capacity the paper plots for this workload.
+    pub nu_max: f64,
+}
+
+impl Scenario {
+    /// Instantiate a scenario.
+    pub fn load(kind: ScenarioKind) -> Self {
+        match kind {
+            ScenarioKind::Trio => Scenario {
+                kind,
+                pop: figure3_trio().into(),
+                // Figure 3 sweeps ν to 6000 Kbps = 6.0 in the θ̂-Mbps units
+                // of the archetype parameters (Σ αθ̂ = 5.5 saturates it).
+                nu_max: 6.0,
+            },
+            ScenarioKind::PaperEnsemble => Scenario {
+                kind,
+                pop: paper_ensemble(),
+                // Figures 5 and 8 sweep ν to 500 ≈ 2× the saturation 250.
+                nu_max: 500.0,
+            },
+            ScenarioKind::PaperEnsembleIndependentPhi => Scenario {
+                kind,
+                pop: paper_ensemble_independent_phi(),
+                nu_max: 500.0,
+            },
+        }
+    }
+
+    /// The per-capita capacity at which this scenario saturates
+    /// (`Σ α θ̂`).
+    pub fn nu_saturation(&self) -> f64 {
+        self.pop.total_unconstrained_per_capita()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trio_scenario() {
+        let s = Scenario::load(ScenarioKind::Trio);
+        assert_eq!(s.pop.len(), 3);
+        assert!((s.nu_saturation() - 5.5).abs() < 1e-12);
+        assert!(s.nu_max >= s.nu_saturation());
+    }
+
+    #[test]
+    fn ensemble_scenarios_cover_double_saturation() {
+        for kind in [ScenarioKind::PaperEnsemble, ScenarioKind::PaperEnsembleIndependentPhi] {
+            let s = Scenario::load(kind);
+            assert_eq!(s.pop.len(), 1000);
+            assert!(s.nu_max > 1.5 * s.nu_saturation());
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = Scenario::load(ScenarioKind::PaperEnsemble);
+        let b = Scenario::load(ScenarioKind::PaperEnsemble);
+        assert_eq!(a.pop, b.pop);
+    }
+}

@@ -1,0 +1,71 @@
+//! Oligopoly market shares (§IV-B): Lemma 4 and the effect of deviating
+//! from the pack.
+//!
+//! ```sh
+//! cargo run --release --example oligopoly_shares [nu]
+//! ```
+//!
+//! Three ISPs with capacity shares 20/30/50%:
+//! 1. identical strategies → market shares equal capacity shares
+//!    (Lemma 4 — the paper's incentive-to-invest argument);
+//! 2. one ISP deviates to an aggressive premium strategy → it loses
+//!    share to the others (Theorem 6's alignment at work).
+
+use public_option::prelude::*;
+
+fn print_eq(title: &str, game: &MarketGame, pop: &Population) {
+    let eq = market_share_equilibrium(game, pop, Tolerance::COARSE);
+    println!("\n=== {title} ===");
+    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "isp", "γ (cap)", "m (share)", "Φ", "Ψ·m");
+    for (i, isp) in game.isps.iter().enumerate() {
+        println!(
+            "{:<14} {:>9.3} {:>9.3} {:>9.2} {:>9.3}",
+            isp.name,
+            isp.capacity_share,
+            eq.shares[i],
+            eq.phis[i],
+            eq.system_isp_surplus(pop, i)
+        );
+    }
+    println!("common consumer surplus level: {:.2}", eq.common_phi);
+}
+
+fn main() {
+    let nu: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("nu"))
+        .unwrap_or(120.0);
+    let pop = paper_ensemble();
+    println!("1000 CPs, system per-capita capacity ν = {nu}");
+
+    // 1. Homogeneous strategies (Lemma 4).
+    let s = IspStrategy::new(0.4, 0.25);
+    let game = MarketGame::new(
+        vec![
+            Isp::new("small", s, 0.2),
+            Isp::new("medium", s, 0.3),
+            Isp::new("large", s, 0.5),
+        ],
+        nu,
+    );
+    print_eq(
+        &format!("homogeneous strategies {s} — Lemma 4: m_I = γ_I"),
+        &game,
+        &pop,
+    );
+
+    // 2. The medium ISP deviates to an extreme premium strategy.
+    let game_dev = MarketGame::new(
+        vec![
+            Isp::new("small", s, 0.2),
+            Isp::new("medium*", IspStrategy::new(0.95, 0.8), 0.3),
+            Isp::new("large", s, 0.5),
+        ],
+        nu,
+    );
+    print_eq(
+        "medium deviates to (κ=0.95, c=0.8) — the market punishes it",
+        &game_dev,
+        &pop,
+    );
+}

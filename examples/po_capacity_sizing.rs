@@ -1,0 +1,55 @@
+//! Sizing the Public Option (§VI): how much capacity does the safety net
+//! need before the incumbent behaves?
+//!
+//! ```sh
+//! cargo run --release --example po_capacity_sizing [nu]
+//! ```
+//!
+//! For each candidate Public Option capacity share γ, prints (a) the
+//! market share a neutral PO captures from an incumbent that keeps
+//! playing its *monopoly-optimal* strategy, and (b) the consumer surplus
+//! once the incumbent wises up and best-responds. The paper's claim: even
+//! a small PO disciplines the incumbent, because the threat of losing
+//! consumers is what aligns incentives — not the PO's own capacity.
+
+use public_option::core::{best_share_strategy, po_share_stolen};
+use public_option::prelude::*;
+
+fn main() {
+    let nu: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("nu"))
+        .unwrap_or(200.0);
+    let pop = paper_ensemble();
+    let tol = Tolerance::COARSE;
+
+    // What would the unregulated monopolist play? (κ = 1 by Theorem 4.)
+    let mono = optimal_strategy(&pop, nu, 1.0, 9, tol);
+    println!(
+        "unregulated monopoly at ν = {nu}: strategy {} → Ψ = {:.2}, Φ = {:.2}\n",
+        mono.strategy, mono.psi, mono.phi
+    );
+
+    println!(
+        "{:>8} {:>22} {:>24} {:>10}",
+        "γ_PO", "share stolen (naive)", "Φ (incumbent adapts)", "vs mono Φ"
+    );
+    for gamma in [0.05, 0.1, 0.2, 0.35, 0.5] {
+        // (a) The incumbent stubbornly keeps the monopoly strategy.
+        let stolen = po_share_stolen(&pop, nu, mono.strategy, gamma, tol);
+        // (b) The incumbent best-responds to maximise market share.
+        let (_, duo) = best_share_strategy(&pop, nu, 1.0 - gamma, 1.0, 7, tol);
+        println!(
+            "{:>8.2} {:>21.1}% {:>24.2} {:>+9.1}%",
+            gamma,
+            100.0 * stolen,
+            duo.phi,
+            100.0 * (duo.phi / mono.phi - 1.0)
+        );
+    }
+    println!(
+        "\nreading: against a stubborn monopolist the PO 'steals' far more than its\n\
+         capacity share; once the incumbent adapts, consumer surplus lands near the\n\
+         neutral optimum regardless of how small the PO is — the safety net works."
+    );
+}

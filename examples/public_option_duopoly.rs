@@ -1,0 +1,62 @@
+//! Price sweep in the Public Option duopoly (the Figure 7 experiment,
+//! interactively): how the market disciplines a non-neutral ISP.
+//!
+//! ```sh
+//! cargo run --release --example public_option_duopoly [nu] [gamma_po]
+//! ```
+//!
+//! The strategic ISP runs κ = 1 (all capacity premium, Theorem 4's
+//! monopoly optimum) and sweeps its charge c; a Public Option holds a
+//! `gamma_po` capacity share (default 0.5). Watch the market share rise
+//! while the premium class stays full, then collapse.
+
+use public_option::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nu: f64 = args.next().map(|s| s.parse().expect("nu")).unwrap_or(100.0);
+    let gamma_po: f64 = args.next().map(|s| s.parse().expect("gamma_po")).unwrap_or(0.5);
+    assert!(gamma_po > 0.0 && gamma_po < 1.0, "gamma_po must be in (0,1)");
+
+    let pop = paper_ensemble();
+    println!(
+        "1000 CPs, system ν = {nu}, public option capacity share γ_PO = {gamma_po}\n"
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}  note",
+        "c", "m_I", "Ψ_I", "Φ"
+    );
+
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..=20 {
+        let c = k as f64 * 0.05;
+        let duo = duopoly_with_public_option(
+            &pop,
+            nu,
+            IspStrategy::premium_only(c),
+            1.0 - gamma_po,
+            Tolerance::COARSE,
+        );
+        let note = if duo.share_i < 0.01 {
+            "priced out — consumers all at the Public Option"
+        } else if duo.share_i > 0.5 {
+            "winning more than half the market"
+        } else {
+            ""
+        };
+        println!(
+            "{:>6.2} {:>10.3} {:>10.3} {:>10.2}  {note}",
+            c, duo.share_i, duo.psi_i, duo.phi
+        );
+        if best.map_or(true, |(_, m)| duo.share_i > m) {
+            best = Some((c, duo.share_i));
+        }
+    }
+
+    if let Some((c_star, m_star)) = best {
+        println!(
+            "\nshare-maximising charge c* = {c_star:.2} with m_I = {m_star:.3} — the market \
+             keeps the non-neutral ISP honest (Theorem 5: this strategy also ≈ maximises Φ)"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the paper's model end to end on the 3-CP example of §II-D.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through: rate equilibrium (Theorem 1) → monopoly service
+//! differentiation (§III) → Public Option duopoly (§IV-A).
+
+use public_option::prelude::*;
+
+fn main() {
+    // 1. The Google/Netflix/Skype trio (α, θ̂, β as in the paper).
+    let pop: Population = figure3_trio().into();
+    println!("=== Population ===");
+    for cp in pop.iter() {
+        println!(
+            "  {:8}  α={:.1}  θ̂={:4.1}  v={:.1}  φ={:.1}  demand={:?}",
+            cp.name.as_deref().unwrap_or("?"),
+            cp.alpha,
+            cp.theta_hat,
+            cp.v,
+            cp.phi,
+            cp.demand
+        );
+    }
+
+    // 2. Rate equilibrium at a congested per-capita capacity ν = 2
+    //    (the trio needs ν = 5.5 to be unconstrained).
+    let nu = 2.0;
+    let eq = solve_maxmin(&pop, nu, Tolerance::default());
+    println!("\n=== Rate equilibrium at ν = {nu} (Theorem 1) ===");
+    println!("  water level: {:?}", eq.water_level);
+    for (i, cp) in pop.iter().enumerate() {
+        println!(
+            "  {:8}  θ={:.3}  demand={:.3}  ρ={:.3}",
+            cp.name.as_deref().unwrap_or("?"),
+            eq.thetas[i],
+            eq.demands[i],
+            eq.rho(i)
+        );
+    }
+    println!("  aggregate rate: {:.3} (= ν: link fully used)", eq.aggregate);
+    println!("  consumer surplus Φ = {:.3}", consumer_surplus(&pop, &eq));
+
+    // 3. A monopolist differentiates service: κ = 0.5 premium at c = 0.2.
+    let strategy = IspStrategy::new(0.5, 0.2);
+    let sol = competitive_equilibrium(&pop, nu, strategy, Tolerance::default());
+    println!("\n=== Monopoly with s_I = {strategy} (§III) ===");
+    for (i, cp) in pop.iter().enumerate() {
+        println!(
+            "  {:8}  class={:?}  θ={:.3}",
+            cp.name.as_deref().unwrap_or("?"),
+            sol.outcome.partition.class_of(i),
+            sol.outcome.thetas[i]
+        );
+    }
+    println!("  ISP surplus Ψ = {:.4}", sol.outcome.isp_surplus(&pop));
+    println!("  consumer surplus Φ = {:.4}", sol.outcome.consumer_surplus(&pop));
+
+    // 4. Enter the Public Option with half the capacity (§IV-A).
+    let duo = duopoly_with_public_option(&pop, nu, IspStrategy::premium_only(0.2), 0.5, Tolerance::default());
+    println!("\n=== Duopoly vs Public Option (Definition 5, Theorem 5) ===");
+    println!("  strategic ISP share m_I = {:.3}", duo.share_i);
+    println!("  strategic ISP surplus Ψ_I = {:.4}", duo.psi_i);
+    println!("  equilibrium consumer surplus Φ = {:.4}", duo.phi);
+}

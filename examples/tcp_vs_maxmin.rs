@@ -1,0 +1,88 @@
+//! Is TCP max-min fair "to a first approximation" (§II-D.2)?
+//!
+//! ```sh
+//! cargo run --release --example tcp_vs_maxmin [rtt_spread]
+//! ```
+//!
+//! Simulates AIMD flow groups on a shared bottleneck with the fluid
+//! simulator and compares measured throughput against the water-filling
+//! prediction, first with homogeneous RTTs (the paper's operative
+//! setting), then with the requested RTT spread factor (default 10×) to
+//! show where the approximation frays — and how the RTT-weighted
+//! Mo–Walrand model repairs it.
+
+use public_option::alloc::{RateAllocator, WeightedAlphaFair};
+use public_option::netsim::{compare_to_maxmin, FlowGroup, SimConfig};
+use public_option::prelude::*;
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        capacity: 150.0,
+        warmup: 120.0,
+        measure: 120.0,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let spread: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("rtt spread factor"))
+        .unwrap_or(10.0);
+
+    // Homogeneous RTTs: a Google/Netflix/Skype-like mix.
+    let groups = vec![
+        FlowGroup::new("google-like (capped 1.0)", 50, 1.0, 0.08),
+        FlowGroup::new("netflix-like (capped 10)", 15, 10.0, 0.08),
+        FlowGroup::new("skype-like (capped 3.0)", 25, 3.0, 0.08),
+    ];
+    let cmp = compare_to_maxmin(&groups, sim_config());
+    println!("=== homogeneous RTTs (80 ms) ===");
+    println!("{:<28} {:>10} {:>10} {:>8}", "group", "simulated", "max-min", "error");
+    for (g, group) in groups.iter().enumerate() {
+        println!(
+            "{:<28} {:>10.3} {:>10.3} {:>7.1}%",
+            group.name,
+            cmp.simulated[g],
+            cmp.predicted[g],
+            100.0 * (cmp.simulated[g] - cmp.predicted[g]).abs() / cmp.predicted[g]
+        );
+    }
+    println!(
+        "mean error {:.1}%, Jain index of uncapped flows {:.4}\n",
+        100.0 * cmp.mean_rel_error,
+        cmp.jain_uncapped
+    );
+
+    // Heterogeneous RTTs.
+    let near_rtt = 0.02;
+    let far_rtt = near_rtt * spread;
+    let het = vec![
+        FlowGroup::new("near", 2, 1e9, near_rtt),
+        FlowGroup::new("far", 2, 1e9, far_rtt),
+    ];
+    let cmp_het = compare_to_maxmin(&het, SimConfig { capacity: 100.0, ..sim_config() });
+    println!("=== heterogeneous RTTs ({:.0} ms vs {:.0} ms) ===", near_rtt * 1e3, far_rtt * 1e3);
+    println!("max-min prediction error: {:.1}%", 100.0 * cmp_het.max_rel_error);
+
+    // RTT-weighted α-fair repair, using effective RTTs.
+    let m: f64 = het.iter().map(|g| g.flows as f64).sum();
+    let pop: Population = het
+        .iter()
+        .map(|g| ContentProvider::new(g.flows as f64 / m, g.rate_cap, DemandKind::Constant, 0.0, 0.0))
+        .collect();
+    let rtts: Vec<f64> = het.iter().map(|g| g.rtt_base + cmp_het.mean_queue_delay).collect();
+    let weighted = WeightedAlphaFair::new(2.0).with_rtt_bias(&rtts, rtts[0]);
+    let pred = weighted.allocate(&pop, &[1.0, 1.0], 100.0 / m);
+    let err = het
+        .iter()
+        .enumerate()
+        .map(|(g, _)| (cmp_het.simulated[g] - pred[g]).abs() / pred[g])
+        .fold(0.0f64, f64::max);
+    println!("RTT-weighted α-fair model error: {:.1}%", 100.0 * err);
+    println!(
+        "\nverdict: with equal RTTs the paper's max-min assumption holds to ~{:.0}%;\n\
+         RTT heterogeneity is the main deviation and is captured by Mo–Walrand weights.",
+        (100.0 * cmp.mean_rel_error).ceil()
+    );
+}

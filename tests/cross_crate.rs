@@ -1,0 +1,134 @@
+//! Cross-crate integration: the full pipeline from demand functions to
+//! market equilibria, exercised through the facade crate exactly as a
+//! downstream user would.
+
+use public_option::prelude::*;
+
+fn small_ensemble(n: usize) -> Population {
+    let cfg = EnsembleConfig {
+        n,
+        seed: 7,
+        ..EnsembleConfig::default()
+    };
+    cfg.generate()
+}
+
+#[test]
+fn equilibrium_feeds_game_feeds_market() {
+    let pop = small_ensemble(120);
+    let nu = 0.25 * pop.total_unconstrained_per_capita() / 120.0 * 120.0; // congested
+
+    // Rate equilibrium.
+    let eq = solve_maxmin(&pop, nu, Tolerance::default());
+    assert!((eq.aggregate - nu).abs() < 1e-6 * (1.0 + nu), "congested ⇒ λ = ν");
+
+    // Single-ISP game on top.
+    let sol = competitive_equilibrium(&pop, nu, IspStrategy::new(0.4, 0.3), Tolerance::default());
+    let phi_split = sol.outcome.consumer_surplus(&pop);
+    assert!(phi_split > 0.0);
+    // Splitting can beat max-min pooling at scarcity (the paper's §III-E
+    // exception — PMP segregation rescues throughput-sensitive demand),
+    // so the sound bound is saturation: everyone served at full rate.
+    let saturation: f64 = pop.iter().map(|cp| cp.phi * cp.alpha * cp.theta_hat).sum();
+    assert!(
+        phi_split <= saturation * (1.0 + 1e-9),
+        "split {phi_split} exceeds saturation {saturation}"
+    );
+
+    // Market on top of the game.
+    let duo = duopoly_with_public_option(&pop, nu, IspStrategy::new(0.4, 0.3), 0.5, Tolerance::COARSE);
+    assert!(duo.share_i >= 0.0 && duo.share_i <= 1.0);
+    assert!(duo.phi > 0.0);
+}
+
+#[test]
+fn theorem3_scale_invariance_through_system_type() {
+    // Absolute-units systems with equal ν produce identical equilibria.
+    let pop = small_ensemble(40);
+    let sys1 = System::new(100.0, 3000.0, pop.clone());
+    let sys2 = sys1.scaled(17.5);
+    assert!((sys1.nu() - sys2.nu()).abs() < 1e-12);
+
+    let eq1 = solve_maxmin(&sys1.pop, sys1.nu(), Tolerance::STRICT);
+    let eq2 = solve_maxmin(&sys2.pop, sys2.nu(), Tolerance::STRICT);
+    for i in 0..eq1.thetas.len() {
+        assert!((eq1.thetas[i] - eq2.thetas[i]).abs() < 1e-12);
+    }
+
+    // Theorem 3 for the strategic layer: same partition at the same ν.
+    let s = IspStrategy::new(0.6, 0.2);
+    let a = competitive_equilibrium(&sys1.pop, sys1.nu(), s, Tolerance::default());
+    let b = competitive_equilibrium(&sys2.pop, sys2.nu(), s, Tolerance::default());
+    assert_eq!(a.outcome.partition, b.outcome.partition);
+}
+
+#[test]
+fn netsim_agrees_with_analytic_equilibrium_on_trio() {
+    // The §II-D.2 loop: simulated AIMD + demand churn vs Theorem 1.
+    use public_option::netsim::{ChurnConfig, ChurnSim, SimConfig};
+    let pop: Population = figure3_trio().into();
+    let nu = 2.0;
+    let churn = ChurnSim::new(
+        pop.clone(),
+        nu,
+        ChurnConfig {
+            consumers: 100.0,
+            sim: SimConfig {
+                warmup: 30.0,
+                measure: 30.0,
+                ..SimConfig::default()
+            },
+            epochs: 18,
+            ..ChurnConfig::default()
+        },
+    );
+    let sim = churn.run();
+    let analytic = solve_maxmin(&pop, nu, Tolerance::default());
+    for i in 0..pop.len() {
+        assert!(
+            (sim.demands[i] - analytic.demands[i]).abs() < 0.25,
+            "cp {i}: sim d={} vs analytic d={}",
+            sim.demands[i],
+            analytic.demands[i]
+        );
+    }
+}
+
+#[test]
+fn workload_feeds_every_layer_deterministically() {
+    let a = small_ensemble(60);
+    let b = small_ensemble(60);
+    assert_eq!(a, b, "seeded ensembles must be identical");
+
+    let nu = 10.0;
+    let s = IspStrategy::premium_only(0.4);
+    let sol_a = competitive_equilibrium(&a, nu, s, Tolerance::default());
+    let sol_b = competitive_equilibrium(&b, nu, s, Tolerance::default());
+    assert_eq!(sol_a.outcome.partition, sol_b.outcome.partition);
+    assert_eq!(sol_a.outcome.isp_surplus(&a), sol_b.outcome.isp_surplus(&b));
+}
+
+#[test]
+fn oligopoly_shares_sum_and_equalize() {
+    let pop = small_ensemble(80);
+    let s = IspStrategy::new(0.5, 0.25);
+    let game = MarketGame::new(
+        vec![
+            Isp::new("a", s, 0.25),
+            Isp::new("b", s, 0.35),
+            Isp::new("c", s, 0.40),
+        ],
+        6.0,
+    );
+    let eq = market_share_equilibrium(&game, &pop, Tolerance::COARSE);
+    let sum: f64 = eq.shares.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9);
+    // Lemma 4: homogeneous ⇒ proportional.
+    for (share, isp) in eq.shares.iter().zip(game.isps.iter()) {
+        assert!(
+            (share - isp.capacity_share).abs() < 0.02,
+            "share {share} vs γ {}",
+            isp.capacity_share
+        );
+    }
+}
