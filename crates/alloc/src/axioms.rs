@@ -56,13 +56,34 @@ pub enum AxiomViolation {
 impl std::fmt::Display for AxiomViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AxiomViolation::Infeasible { cp, nu, theta, bound } => {
-                write!(f, "axiom 1: cp {cp} at nu={nu}: theta={theta} outside [0, {bound}]")
+            AxiomViolation::Infeasible {
+                cp,
+                nu,
+                theta,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "axiom 1: cp {cp} at nu={nu}: theta={theta} outside [0, {bound}]"
+                )
             }
-            AxiomViolation::NotWorkConserving { nu, aggregate, expected } => {
-                write!(f, "axiom 2: at nu={nu}: aggregate {aggregate} != {expected}")
+            AxiomViolation::NotWorkConserving {
+                nu,
+                aggregate,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "axiom 2: at nu={nu}: aggregate {aggregate} != {expected}"
+                )
             }
-            AxiomViolation::NotMonotone { cp, nu_lo, nu_hi, theta_lo, theta_hi } => write!(
+            AxiomViolation::NotMonotone {
+                cp,
+                nu_lo,
+                nu_hi,
+                theta_lo,
+                theta_hi,
+            } => write!(
                 f,
                 "axiom 3: cp {cp}: theta({nu_hi})={theta_hi} < theta({nu_lo})={theta_lo}"
             ),
@@ -241,7 +262,10 @@ mod tests {
     #[test]
     fn detects_infeasibility() {
         let r = check_axioms(&OverCap, &pop(), &[1.0, 1.0, 1.0], &[2.0], 1e9);
-        assert!(r.violations.iter().any(|v| matches!(v, AxiomViolation::Infeasible { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, AxiomViolation::Infeasible { .. })));
     }
 
     /// A broken allocator that is non-monotone in ν: fails Axiom 3.
@@ -250,7 +274,11 @@ mod tests {
         fn allocate(&self, pop: &Population, _d: &[f64], nu: f64) -> Vec<f64> {
             // Oscillates with nu while staying feasible; aggregate check is
             // relaxed in the test so only Axiom 3 should fire.
-            let x = if (nu.floor() as i64) % 2 == 0 { 0.2 } else { 0.1 };
+            let x = if (nu.floor() as i64) % 2 == 0 {
+                0.2
+            } else {
+                0.1
+            };
             pop.iter().map(|cp| cp.theta_hat.min(x)).collect()
         }
         fn name(&self) -> &'static str {
@@ -261,7 +289,10 @@ mod tests {
     #[test]
     fn detects_non_monotonicity() {
         let r = check_axioms(&Zigzag, &pop(), &[1.0, 1.0, 1.0], &[0.5, 1.5, 2.5], 1e9);
-        assert!(r.violations.iter().any(|v| matches!(v, AxiomViolation::NotMonotone { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, AxiomViolation::NotMonotone { .. })));
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl MaxMinFair {
             demands.len(),
             pop.len()
         );
-        assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and >= 0, got {nu}");
+        assert!(
+            nu >= 0.0 && nu.is_finite(),
+            "nu must be finite and >= 0, got {nu}"
+        );
         for (i, &d) in demands.iter().enumerate() {
             assert!(
                 (0.0..=1.0 + 1e-9).contains(&d),
@@ -114,8 +117,8 @@ impl RateAllocator for MaxMinFair {
 mod tests {
     use super::*;
     use crate::{aggregate_rate, offered_load};
-    use pubopt_demand::{ContentProvider, DemandKind, Population};
     use proptest::prelude::*;
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
 
     fn pop3() -> Population {
         vec![

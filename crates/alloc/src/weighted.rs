@@ -37,7 +37,10 @@ pub struct WeightedAlphaFair {
 impl WeightedAlphaFair {
     /// Equal-weight α-fair mechanism.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive, got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "alpha must be positive, got {alpha}"
+        );
         Self {
             alpha,
             weights: Vec::new(),
@@ -147,8 +150,8 @@ impl RateAllocator for WeightedAlphaFair {
 mod tests {
     use super::*;
     use crate::{aggregate_rate, offered_load, MaxMinFair};
-    use pubopt_demand::{ContentProvider, DemandKind, Population};
     use proptest::prelude::*;
+    use pubopt_demand::{ContentProvider, DemandKind, Population};
 
     fn pop3() -> Population {
         vec![
@@ -214,7 +217,11 @@ mod tests {
             let t = WeightedAlphaFair::new(alpha)
                 .with_rtt_bias(&[0.010, 0.040], 0.010)
                 .allocate(&p, &[1.0, 1.0], 10.0);
-            assert!((t[0] / t[1] - 4.0).abs() < 1e-4, "alpha {alpha}: ratio {}", t[0] / t[1]);
+            assert!(
+                (t[0] / t[1] - 4.0).abs() < 1e-4,
+                "alpha {alpha}: ratio {}",
+                t[0] / t[1]
+            );
         }
     }
 

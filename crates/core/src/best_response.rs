@@ -120,7 +120,30 @@ pub fn competitive_equilibrium(
     strategy: IspStrategy,
     tol: Tolerance,
 ) -> PartitionSolution {
-    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative");
+    assert!(
+        nu >= 0.0 && nu.is_finite(),
+        "nu must be finite and non-negative"
+    );
+    pubopt_obs::incr("core.competitive_eq.calls");
+    let sw = pubopt_obs::Stopwatch::start("core.competitive_eq.ns");
+    let solution = competitive_equilibrium_inner(pop, nu, strategy, tol);
+    pubopt_obs::add(
+        "core.competitive_eq.iters",
+        solution.outcome.iterations as u64,
+    );
+    if solution.cycle_detected {
+        pubopt_obs::incr("core.competitive_eq.cycles");
+    }
+    sw.stop();
+    solution
+}
+
+fn competitive_equilibrium_inner(
+    pop: &Population,
+    nu: f64,
+    strategy: IspStrategy,
+    tol: Tolerance,
+) -> PartitionSolution {
     let n = pop.len();
     let cap_ord = strategy.ordinary_fraction() * nu;
     let cap_prem = strategy.kappa * nu;
@@ -199,7 +222,7 @@ pub fn competitive_equilibrium(
                     violators.push((gain, i));
                 }
             }
-            if best.as_ref().map_or(true, |(v, _)| violators.len() < *v) {
+            if best.as_ref().is_none_or(|(v, _)| violators.len() < *v) {
                 best = Some((violators.len(), partition.clone()));
             }
             if violators.is_empty() {
@@ -242,9 +265,8 @@ pub fn verify_competitive(pop: &Population, outcome: &GameOutcome, tol: Toleranc
         return outcome.partition.premium_count() == 0;
     }
     if s.kappa == 1.0 {
-        return (0..pop.len()).all(|i| {
-            (outcome.partition.class_of(i) == ServiceClass::Premium) == (pop[i].v > s.c)
-        });
+        return (0..pop.len())
+            .all(|i| (outcome.partition.class_of(i) == ServiceClass::Premium) == (pop[i].v > s.c));
     }
     let w_ord = class_water(
         pop,
@@ -282,11 +304,20 @@ pub fn count_violations(pop: &Population, outcome: &GameOutcome, tol: Tolerance)
 /// classes nearly equivalent for every CP, leaving wide bands of
 /// knife-edge indifference that the strict count flags even though no CP
 /// has a materially better option; `rel = 0.01` asks for a ≥ 1% gain.
-pub fn count_violations_rel(pop: &Population, outcome: &GameOutcome, rel: f64, tol: Tolerance) -> usize {
+pub fn count_violations_rel(
+    pop: &Population,
+    outcome: &GameOutcome,
+    rel: f64,
+    tol: Tolerance,
+) -> usize {
     assert!(rel >= 0.0, "relative slack must be non-negative");
     let s = outcome.strategy;
     if s.kappa == 0.0 || s.kappa == 1.0 {
-        return if verify_competitive(pop, outcome, tol) { 0 } else { pop.len() };
+        return if verify_competitive(pop, outcome, tol) {
+            0
+        } else {
+            pop.len()
+        };
     }
     let nu = outcome.nu;
     let w_ord = class_water(
@@ -447,14 +478,24 @@ mod tests {
         // κ=1: ordinary class has no capacity, so P = {i : v_i > c}.
         let pop = mixed_pop(40);
         let c = 0.5;
-        let sol = competitive_equilibrium(&pop, 1.0, IspStrategy::premium_only(c), Tolerance::default());
+        let sol = competitive_equilibrium(
+            &pop,
+            1.0,
+            IspStrategy::premium_only(c),
+            Tolerance::default(),
+        );
         for (i, cp) in pop.iter().enumerate() {
             let expect = if cp.v > c {
                 ServiceClass::Premium
             } else {
                 ServiceClass::Ordinary
             };
-            assert_eq!(sol.outcome.partition.class_of(i), expect, "cp {i} v={}", cp.v);
+            assert_eq!(
+                sol.outcome.partition.class_of(i),
+                expect,
+                "cp {i} v={}",
+                cp.v
+            );
         }
         assert!(sol.outcome.converged);
     }
@@ -467,13 +508,15 @@ mod tests {
         // optimum (granularity of 3 CPs limits how well the halves can
         // be packed).
         let pop = trio();
-        let sol = competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 0.0), Tolerance::default());
+        let sol =
+            competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 0.0), Tolerance::default());
         let v = count_violations(&pop, &sol.outcome, Tolerance::default());
         assert!(v <= 1, "{v} of 3 CPs misplaced");
         let phi_split = sol.outcome.consumer_surplus(&pop);
-        let phi_neutral = competitive_equilibrium(&pop, 2.0, IspStrategy::NEUTRAL, Tolerance::default())
-            .outcome
-            .consumer_surplus(&pop);
+        let phi_neutral =
+            competitive_equilibrium(&pop, 2.0, IspStrategy::NEUTRAL, Tolerance::default())
+                .outcome
+                .consumer_surplus(&pop);
         assert!(
             (phi_split - phi_neutral).abs() < 0.35 * phi_neutral,
             "split {phi_split} vs neutral {phi_neutral}"
@@ -484,7 +527,8 @@ mod tests {
     fn high_charge_empties_premium() {
         let pop = mixed_pop(30);
         // All v < 1.0 < c = 1.5: nobody can afford premium.
-        let sol = competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 1.5), Tolerance::default());
+        let sol =
+            competitive_equilibrium(&pop, 2.0, IspStrategy::new(0.5, 1.5), Tolerance::default());
         assert_eq!(sol.outcome.partition.premium_count(), 0);
         assert_eq!(sol.outcome.isp_surplus(&pop), 0.0);
     }
@@ -496,7 +540,12 @@ mod tests {
         // CPs (here ≤ 10%) may sit on the wrong side of indifference.
         let pop = mixed_pop(60);
         for (kappa, c) in [(0.3, 0.2), (0.5, 0.4), (0.9, 0.1), (1.0, 0.3)] {
-            let sol = competitive_equilibrium(&pop, 1.5, IspStrategy::new(kappa, c), Tolerance::default());
+            let sol = competitive_equilibrium(
+                &pop,
+                1.5,
+                IspStrategy::new(kappa, c),
+                Tolerance::default(),
+            );
             let v = count_violations(&pop, &sol.outcome, Tolerance::default());
             assert!(v <= pop.len() / 10, "({kappa}, {c}): {v} violating CPs");
         }
@@ -507,8 +556,12 @@ mod tests {
         // Scarce capacity + low charge: high-v CPs should buy their way
         // into the less congested premium class.
         let pop = mixed_pop(60);
-        let sol = competitive_equilibrium(&pop, 0.5, IspStrategy::new(0.5, 0.05), Tolerance::default());
-        assert!(sol.outcome.partition.premium_count() > 0, "premium should attract CPs");
+        let sol =
+            competitive_equilibrium(&pop, 0.5, IspStrategy::new(0.5, 0.05), Tolerance::default());
+        assert!(
+            sol.outcome.partition.premium_count() > 0,
+            "premium should attract CPs"
+        );
         assert!(sol.outcome.isp_surplus(&pop) > 0.0);
     }
 
@@ -524,7 +577,11 @@ mod tests {
         let diff: usize = (0..pop.len())
             .filter(|&i| comp.outcome.partition.class_of(i) != nash.outcome.partition.class_of(i))
             .count();
-        assert!(diff <= pop.len() / 10, "partitions differ on {diff}/{} CPs", pop.len());
+        assert!(
+            diff <= pop.len() / 10,
+            "partitions differ on {diff}/{} CPs",
+            pop.len()
+        );
     }
 
     #[test]
@@ -549,7 +606,8 @@ mod tests {
     #[test]
     fn zero_capacity_all_ordinary() {
         let pop = trio();
-        let sol = competitive_equilibrium(&pop, 0.0, IspStrategy::new(0.5, 0.1), Tolerance::default());
+        let sol =
+            competitive_equilibrium(&pop, 0.0, IspStrategy::new(0.5, 0.1), Tolerance::default());
         assert_eq!(sol.outcome.partition.premium_count(), 0);
     }
 }

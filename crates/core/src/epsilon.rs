@@ -39,7 +39,10 @@ pub struct SweepCurve {
 impl SweepCurve {
     /// Sample `Φ(ν, N, s_I)` at competitive equilibrium over `nus`.
     pub fn sample(pop: &Population, strategy: IspStrategy, nus: &[f64], tol: Tolerance) -> Self {
-        assert!(nus.windows(2).all(|w| w[0] < w[1]), "nu grid must be strictly increasing");
+        assert!(
+            nus.windows(2).all(|w| w[0] < w[1]),
+            "nu grid must be strictly increasing"
+        );
         let phis = nus
             .iter()
             .map(|&nu| {
@@ -125,7 +128,11 @@ mod tests {
         let pop: Population = figure3_trio().into();
         let nus = pubopt_num::linspace_excl_zero(8.0, 60);
         let curve = SweepCurve::sample(&pop, IspStrategy::NEUTRAL, &nus, Tolerance::default());
-        assert!(epsilon_metric(&curve) < 1e-7, "eps = {}", epsilon_metric(&curve));
+        assert!(
+            epsilon_metric(&curve) < 1e-7,
+            "eps = {}",
+            epsilon_metric(&curve)
+        );
     }
 
     #[test]

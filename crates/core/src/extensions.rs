@@ -33,7 +33,10 @@ pub fn po_share_stolen(
     gamma_po: f64,
     tol: Tolerance,
 ) -> f64 {
-    assert!(gamma_po > 0.0 && gamma_po < 1.0, "gamma_po must be in (0,1)");
+    assert!(
+        gamma_po > 0.0 && gamma_po < 1.0,
+        "gamma_po must be in (0,1)"
+    );
     let duo = duopoly_with_public_option(pop, nu_total, s_i, 1.0 - gamma_po, tol);
     1.0 - duo.share_i
 }
@@ -57,15 +60,20 @@ pub fn minimum_po_capacity(
     grid_n: usize,
     tol: Tolerance,
 ) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&target_fraction), "target must be a fraction");
-    let neutral_phi = crate::best_response::competitive_equilibrium(pop, nu_total, IspStrategy::NEUTRAL, tol)
-        .outcome
-        .consumer_surplus(pop);
+    assert!(
+        (0.0..=1.0).contains(&target_fraction),
+        "target must be a fraction"
+    );
+    let neutral_phi =
+        crate::best_response::competitive_equilibrium(pop, nu_total, IspStrategy::NEUTRAL, tol)
+            .outcome
+            .consumer_surplus(pop);
     let target = target_fraction * neutral_phi;
 
     // Equilibrium Φ when the incumbent share-maximises against a γ-sized PO.
     let phi_with_po = |gamma_po: f64| -> f64 {
-        let (_, duo) = crate::regimes::best_share_strategy(pop, nu_total, 1.0 - gamma_po, c_max, grid_n, tol);
+        let (_, duo) =
+            crate::regimes::best_share_strategy(pop, nu_total, 1.0 - gamma_po, c_max, grid_n, tol);
         duo.phi
     };
 
@@ -107,6 +115,7 @@ pub struct TradeoffOutcome {
 /// `gamma_po` capacity. `psi_scale` normalises revenue to the share's
 /// `[0,1]` range (a natural choice is the monopoly-optimal Ψ at the same
 /// ν).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterisation
 pub fn tradeoff_best_response(
     pop: &Population,
     nu_total: f64,
@@ -117,7 +126,10 @@ pub fn tradeoff_best_response(
     grid_n: usize,
     tol: Tolerance,
 ) -> TradeoffOutcome {
-    assert!((0.0..=1.0).contains(&share_weight), "weight must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&share_weight),
+        "weight must be in [0,1]"
+    );
     assert!(psi_scale > 0.0, "psi_scale must be positive");
     let kappas = pubopt_num::linspace(0.0, 1.0, grid_n);
     let cs = pubopt_num::linspace(0.0, c_max, grid_n);
@@ -126,8 +138,9 @@ pub fn tradeoff_best_response(
         for &c in &cs {
             let s = IspStrategy::new(kappa, c);
             let duo = duopoly_with_public_option(pop, nu_total, s, 1.0 - gamma_po, tol);
-            let objective = share_weight * duo.share_i + (1.0 - share_weight) * duo.psi_i / psi_scale;
-            if best.as_ref().map_or(true, |(b, _, _)| objective > *b) {
+            let objective =
+                share_weight * duo.share_i + (1.0 - share_weight) * duo.psi_i / psi_scale;
+            if best.as_ref().is_none_or(|(b, _, _)| objective > *b) {
                 best = Some((objective, s, duo));
             }
         }
@@ -144,6 +157,7 @@ pub fn tradeoff_best_response(
 /// the incumbent blends revenue into its objective with weight `1 − w`.
 ///
 /// Returns `(phi_at_w, phi_at_pure_share, relative_loss)`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameterisation
 pub fn alignment_loss(
     pop: &Population,
     nu_total: f64,
@@ -154,7 +168,16 @@ pub fn alignment_loss(
     grid_n: usize,
     tol: Tolerance,
 ) -> (f64, f64, f64) {
-    let blended = tradeoff_best_response(pop, nu_total, gamma_po, share_weight, psi_scale, c_max, grid_n, tol);
+    let blended = tradeoff_best_response(
+        pop,
+        nu_total,
+        gamma_po,
+        share_weight,
+        psi_scale,
+        c_max,
+        grid_n,
+        tol,
+    );
     let pure = tradeoff_best_response(pop, nu_total, gamma_po, 1.0, psi_scale, c_max, grid_n, tol);
     let phi_w = blended.duopoly.phi;
     let phi_pure = pure.duopoly.phi;
@@ -209,7 +232,13 @@ mod tests {
         let nu = 0.4 * p.total_unconstrained_per_capita();
         let gamma = 0.2;
         let vs_neutral = po_share_stolen(&p, nu, IspStrategy::NEUTRAL, gamma, Tolerance::COARSE);
-        let vs_greedy = po_share_stolen(&p, nu, IspStrategy::premium_only(0.9), gamma, Tolerance::COARSE);
+        let vs_greedy = po_share_stolen(
+            &p,
+            nu,
+            IspStrategy::premium_only(0.9),
+            gamma,
+            Tolerance::COARSE,
+        );
         assert!(
             vs_greedy > vs_neutral + 0.05,
             "greedy incumbent should lose more: neutral {vs_neutral}, greedy {vs_greedy}"
@@ -231,7 +260,10 @@ mod tests {
         let nu = 0.5 * p.total_unconstrained_per_capita();
         let out = tradeoff_best_response(&p, nu, 0.5, 1.0, 1.0, 1.0, 4, Tolerance::COARSE);
         assert_eq!(out.share_weight, 1.0);
-        assert!(out.duopoly.share_i > 0.3, "share-maximiser should hold a real share");
+        assert!(
+            out.duopoly.share_i > 0.3,
+            "share-maximiser should hold a real share"
+        );
     }
 
     #[test]
@@ -242,8 +274,10 @@ mod tests {
         let psi_scale = crate::monopoly::optimal_strategy(&p, nu, 1.0, 4, Tolerance::COARSE)
             .psi
             .max(1e-6);
-        let (_, _, loss_pure) = alignment_loss(&p, nu, 0.5, 1.0, psi_scale, 1.0, 4, Tolerance::COARSE);
-        let (_, _, loss_revenue) = alignment_loss(&p, nu, 0.5, 0.0, psi_scale, 1.0, 4, Tolerance::COARSE);
+        let (_, _, loss_pure) =
+            alignment_loss(&p, nu, 0.5, 1.0, psi_scale, 1.0, 4, Tolerance::COARSE);
+        let (_, _, loss_revenue) =
+            alignment_loss(&p, nu, 0.5, 0.0, psi_scale, 1.0, 4, Tolerance::COARSE);
         assert_eq!(loss_pure, 0.0, "w = 1 is the reference point");
         assert!(
             loss_revenue >= 0.0,

@@ -83,7 +83,10 @@ impl MarketGame {
     /// `nu_total` is negative/non-finite.
     pub fn new(isps: Vec<Isp>, nu_total: f64) -> Self {
         assert!(!isps.is_empty(), "need at least one ISP");
-        assert!(nu_total >= 0.0 && nu_total.is_finite(), "nu_total must be finite");
+        assert!(
+            nu_total >= 0.0 && nu_total.is_finite(),
+            "nu_total must be finite"
+        );
         let total: f64 = isps.iter().map(|i| i.capacity_share).sum();
         assert!(
             (total - 1.0).abs() < 1e-9,
@@ -100,6 +103,7 @@ impl MarketGame {
     /// Per-subscriber consumer surplus `Φ_I` delivered by ISP `idx` at
     /// market share `m` (resolving its CP partition equilibrium).
     pub fn phi_at(&self, pop: &Population, idx: usize, m: f64, tol: Tolerance) -> f64 {
+        pubopt_obs::incr("core.market.phi_evals");
         let nu = self.nu_of(idx, m);
         competitive_equilibrium(pop, nu, self.isps[idx].strategy, tol)
             .outcome
@@ -153,9 +157,11 @@ pub fn market_share_equilibrium(
     pop: &Population,
     tol: Tolerance,
 ) -> MarketEquilibrium {
+    pubopt_obs::incr("core.market.solves");
     let n = game.isps.len();
     if n == 1 {
-        let outcome = competitive_equilibrium(pop, game.nu_total, game.isps[0].strategy, tol).outcome;
+        let outcome =
+            competitive_equilibrium(pop, game.nu_total, game.isps[0].strategy, tol).outcome;
         let phi = outcome.consumer_surplus(pop);
         return MarketEquilibrium {
             shares: vec![1.0],
@@ -177,9 +183,17 @@ pub fn market_share_equilibrium(
     let mut m_grid = pubopt_num::logspace(1e-3, 1.0, 24);
     m_grid[0] = M_MIN; // extend the first sample to the solver's floor
     let curves: Vec<Vec<f64>> = (0..n)
-        .map(|i| m_grid.iter().map(|&m| game.phi_at(pop, i, m, tol)).collect())
+        .map(|i| {
+            m_grid
+                .iter()
+                .map(|&m| game.phi_at(pop, i, m, tol))
+                .collect()
+        })
         .collect();
-    let phi_full: Vec<f64> = curves.iter().map(|c| *c.last().expect("grid non-empty")).collect();
+    let phi_full: Vec<f64> = curves
+        .iter()
+        .map(|c| *c.last().expect("grid non-empty"))
+        .collect();
     let phi_sat: Vec<f64> = curves.iter().map(|c| c[0]).collect();
 
     // Largest share at which ISP idx still delivers `level`, from its
@@ -278,7 +292,11 @@ pub fn market_share_equilibrium(
 /// `g(m) = Φ_0(m) − Φ_1(1 − m)`, which is (weakly) decreasing in `m`
 /// because `Φ_0` falls and `Φ_1` rises as ISP 0 gains subscribers.
 /// Handles the corner equilibria where one ISP cannot retain anybody.
-fn duopoly_share_bisection(game: &MarketGame, pop: &Population, tol: Tolerance) -> MarketEquilibrium {
+fn duopoly_share_bisection(
+    game: &MarketGame,
+    pop: &Population,
+    tol: Tolerance,
+) -> MarketEquilibrium {
     let g = |m: f64| game.phi_at(pop, 0, m, tol) - game.phi_at(pop, 1, 1.0 - m, tol);
 
     // Lemma 4 / saturation plateau: if surpluses already equalise at
@@ -349,7 +367,10 @@ pub fn tatonnement(
     let mut converged = false;
 
     for _ in 0..max_rounds {
-        let phis: Vec<f64> = (0..n).map(|i| game.phi_at(pop, i, shares[i], tol)).collect();
+        pubopt_obs::incr("core.market.tatonnement_rounds");
+        let phis: Vec<f64> = (0..n)
+            .map(|i| game.phi_at(pop, i, shares[i], tol))
+            .collect();
         // Weighted mean surplus (weights = current shares).
         let mean: f64 = phis.iter().zip(shares.iter()).map(|(p, s)| p * s).sum();
         let spread = phis
@@ -528,7 +549,11 @@ mod tests {
             0.6,
         );
         let eq = market_share_equilibrium(&game, &pop, Tolerance::default());
-        assert!(eq.shares[0] > 0.01 && eq.shares[1] > 0.01, "both should survive: {:?}", eq.shares);
+        assert!(
+            eq.shares[0] > 0.01 && eq.shares[1] > 0.01,
+            "both should survive: {:?}",
+            eq.shares
+        );
         assert!(
             (eq.phis[0] - eq.phis[1]).abs() < 1e-2 * (1.0 + eq.phis[0].abs()),
             "phis {:?}",
@@ -541,7 +566,13 @@ mod tests {
         // c far above every v: the strategic ISP's premium class is empty
         // and with κ=1 it carries nothing — consumers flee to the PO.
         let pop = mixed_pop(30);
-        let out = duopoly_with_public_option(&pop, 0.6, IspStrategy::premium_only(50.0), 0.5, Tolerance::default());
+        let out = duopoly_with_public_option(
+            &pop,
+            0.6,
+            IspStrategy::premium_only(50.0),
+            0.5,
+            Tolerance::default(),
+        );
         assert!(out.share_i < 0.02, "share_i = {}", out.share_i);
         assert_eq!(out.psi_i, 0.0);
         assert!(out.phi > 0.0, "public option keeps surplus positive");

@@ -85,7 +85,7 @@ pub fn optimal_strategy(
         for &c in &cs {
             let sol = competitive_equilibrium(pop, nu, IspStrategy::new(kappa, c), tol);
             let psi = sol.outcome.isp_surplus(pop);
-            if best.map_or(true, |(_, b)| psi > b) {
+            if best.is_none_or(|(_, b)| psi > b) {
                 best = Some((IspStrategy::new(kappa, c), psi));
             }
         }
@@ -182,14 +182,23 @@ mod tests {
         let pop = mixed_pop(40);
         for nu in [0.3, 1.0, 3.0] {
             for c in [0.1, 0.3, 0.6] {
-                let full = competitive_equilibrium(&pop, nu, IspStrategy::premium_only(c), Tolerance::default())
+                let full = competitive_equilibrium(
+                    &pop,
+                    nu,
+                    IspStrategy::premium_only(c),
+                    Tolerance::default(),
+                )
+                .outcome
+                .isp_surplus(&pop);
+                for kappa in [0.0, 0.25, 0.5, 0.75, 0.9] {
+                    let partial = competitive_equilibrium(
+                        &pop,
+                        nu,
+                        IspStrategy::new(kappa, c),
+                        Tolerance::default(),
+                    )
                     .outcome
                     .isp_surplus(&pop);
-                for kappa in [0.0, 0.25, 0.5, 0.75, 0.9] {
-                    let partial =
-                        competitive_equilibrium(&pop, nu, IspStrategy::new(kappa, c), Tolerance::default())
-                            .outcome
-                            .isp_surplus(&pop);
                     assert!(
                         full + 1e-9 >= partial,
                         "nu={nu} c={c}: psi(1)={full} < psi({kappa})={partial}"
@@ -204,10 +213,20 @@ mod tests {
         let pop = mixed_pop(30);
         let opt = optimal_strategy(&pop, 0.5, 1.0, 7, Tolerance::default());
         for c in [0.1, 0.4, 0.7] {
-            let psi = competitive_equilibrium(&pop, 0.5, IspStrategy::premium_only(c), Tolerance::default())
-                .outcome
-                .isp_surplus(&pop);
-            assert!(opt.psi + 1e-9 >= psi, "optimum {} < sweep point {}", opt.psi, psi);
+            let psi = competitive_equilibrium(
+                &pop,
+                0.5,
+                IspStrategy::premium_only(c),
+                Tolerance::default(),
+            )
+            .outcome
+            .isp_surplus(&pop);
+            assert!(
+                opt.psi + 1e-9 >= psi,
+                "optimum {} < sweep point {}",
+                opt.psi,
+                psi
+            );
         }
         assert!(opt.psi > 0.0);
     }

@@ -10,10 +10,9 @@ use crate::strategy::IspStrategy;
 use pubopt_demand::Population;
 use pubopt_eq::{solve_maxmin, RateEquilibrium};
 use pubopt_num::{KahanSum, Tolerance};
-use serde::{Deserialize, Serialize};
 
 /// Which service class a CP joined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceClass {
     /// The free class with capacity `(1−κ)µ`.
     Ordinary,
@@ -22,7 +21,7 @@ pub enum ServiceClass {
 }
 
 /// A CP partition `s_N = (O, P)` stored as one class label per CP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     classes: Vec<ServiceClass>,
 }
@@ -98,7 +97,10 @@ impl Partition {
 
     /// Number of premium members `|P|`.
     pub fn premium_count(&self) -> usize {
-        self.classes.iter().filter(|c| **c == ServiceClass::Premium).count()
+        self.classes
+            .iter()
+            .filter(|c| **c == ServiceClass::Premium)
+            .count()
     }
 }
 

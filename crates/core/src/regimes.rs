@@ -16,9 +16,9 @@
 //! capacity and returns the ranking, which `pubopt-experiments` asserts
 //! as the headline reproduction check.
 
+use crate::best_response::competitive_equilibrium;
 use crate::market::{duopoly_with_public_option, DuopolyOutcome};
 use crate::monopoly::optimal_strategy;
-use crate::best_response::competitive_equilibrium;
 use crate::strategy::IspStrategy;
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
@@ -52,7 +52,8 @@ impl RegimeComparison {
     /// Theorem 5 / §III ordering: Φ(public option) ≥ Φ(neutral) ≥
     /// Φ(unregulated), up to `tol` of slack.
     pub fn paper_ranking_holds(&self, tol: f64) -> bool {
-        self.public_option.phi + tol >= self.neutral.phi && self.neutral.phi + tol >= self.unregulated.phi
+        self.public_option.phi + tol >= self.neutral.phi
+            && self.neutral.phi + tol >= self.unregulated.phi
     }
 }
 

@@ -1,7 +1,5 @@
 //! ISP strategies `s_I = (κ, c)` (§III-A).
 
-use serde::{Deserialize, Serialize};
-
 /// An ISP's first-stage strategy: devote a fraction `κ ∈ [0, 1]` of
 /// capacity to a premium class charging `c ≥ 0` per unit traffic; the
 /// remaining `1 − κ` serves the ordinary (free) class.
@@ -9,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// `(κ, c)` is a Paris-Metro-Pricing pair (the paper cites Odlyzko): for a
 /// wired ISP, `κ` is the share of capacity behind paid private peering;
 /// for a wireless ISP, the share reserved for paid traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IspStrategy {
     /// Premium capacity fraction `κ ∈ [0, 1]`.
     pub kappa: f64,
@@ -24,7 +22,10 @@ impl IspStrategy {
     ///
     /// Panics if `kappa ∉ [0, 1]` or `c < 0` or either is non-finite.
     pub fn new(kappa: f64, c: f64) -> Self {
-        assert!((0.0..=1.0).contains(&kappa), "kappa must be in [0,1], got {kappa}");
+        assert!(
+            (0.0..=1.0).contains(&kappa),
+            "kappa must be in [0,1], got {kappa}"
+        );
         assert!(c >= 0.0 && c.is_finite(), "c must be non-negative, got {c}");
         Self { kappa, c }
     }

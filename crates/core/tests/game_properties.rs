@@ -130,7 +130,6 @@ proptest! {
     }
 }
 
-
 /// At the paper's operating scale (its 1000-CP ensemble and strategy
 /// grids), the solver reaches an exact ε-equilibrium — the statement the
 /// numerical sections rely on. (Small adversarial populations need not

@@ -82,8 +82,13 @@ fn bigger_public_option_never_hurts_consumers() {
     let harmful = IspStrategy::premium_only(0.7);
     let mut last = 0.0;
     for gamma_po in [0.1, 0.3, 0.5, 0.7] {
-        let duo =
-            pubopt_core::duopoly_with_public_option(&p, nu, harmful, 1.0 - gamma_po, Tolerance::COARSE);
+        let duo = pubopt_core::duopoly_with_public_option(
+            &p,
+            nu,
+            harmful,
+            1.0 - gamma_po,
+            Tolerance::COARSE,
+        );
         assert!(
             duo.phi + 1e-6 >= last * 0.98,
             "γ_PO {gamma_po}: Φ {} dropped well below previous {last}",

@@ -82,7 +82,10 @@ mod tests {
     fn aggregate_unconstrained_throughput() {
         // Σ αθ̂ = 1·1 + 0.3·10 + 0.5·3 = 5.5: the ν beyond which Figure 3
         // saturates.
-        let total: f64 = figure3_trio().iter().map(|c| c.lambda_hat_per_capita()).sum();
+        let total: f64 = figure3_trio()
+            .iter()
+            .map(|c| c.lambda_hat_per_capita())
+            .sum();
         assert!((total - 5.5).abs() < 1e-12);
     }
 }

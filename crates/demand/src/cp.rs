@@ -1,13 +1,12 @@
 //! The content-provider record and its derived per-CP quantities.
 
 use crate::kind::{Demand, DemandKind};
-use serde::{Deserialize, Serialize};
 
 /// A content provider (§II of the paper).
 ///
 /// All rates are in the same (arbitrary) throughput unit; the model is
 /// unit-free. The paper's running examples use Kbps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContentProvider {
     /// Optional human-readable label (e.g. `"netflix"`).
     pub name: Option<String>,
@@ -33,10 +32,19 @@ impl ContentProvider {
     /// `Result` because every call site builds CPs from validated
     /// generators; the invariants are programmer errors, not data errors.)
     pub fn new(alpha: f64, theta_hat: f64, demand: DemandKind, v: f64, phi: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
-        assert!(theta_hat > 0.0 && theta_hat.is_finite(), "theta_hat must be positive, got {theta_hat}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
+        assert!(
+            theta_hat > 0.0 && theta_hat.is_finite(),
+            "theta_hat must be positive, got {theta_hat}"
+        );
         assert!(v >= 0.0 && v.is_finite(), "v must be non-negative, got {v}");
-        assert!(phi >= 0.0 && phi.is_finite(), "phi must be non-negative, got {phi}");
+        assert!(
+            phi >= 0.0 && phi.is_finite(),
+            "phi must be non-negative, got {phi}"
+        );
         Self {
             name: None,
             alpha,

@@ -9,8 +9,6 @@
 //! violations, mirroring the paper's remark that real-time users abandon
 //! abruptly below a threshold).
 
-use serde::{Deserialize, Serialize};
-
 /// Evaluation interface shared by every demand family.
 pub trait Demand {
     /// Demand at normalised throughput `ω ∈ [0, 1]` (values outside the
@@ -32,7 +30,7 @@ pub trait Demand {
 /// Stored as a plain enum (not a trait object) so content providers remain
 /// `Copy`, serialisable and branch-predictable inside the equilibrium
 /// solver's inner loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DemandKind {
     /// Eq. (3) of the paper: `d(ω) = exp(−β (1/ω − 1))`.
     ///
@@ -81,7 +79,10 @@ pub enum DemandKind {
 impl DemandKind {
     /// The paper's Eq. (3) family.
     pub fn exponential(beta: f64) -> Self {
-        assert!(beta >= 0.0 && beta.is_finite(), "beta must be finite and >= 0");
+        assert!(
+            beta >= 0.0 && beta.is_finite(),
+            "beta must be finite and >= 0"
+        );
         DemandKind::ExponentialSensitivity { beta }
     }
 
@@ -96,7 +97,10 @@ impl DemandKind {
 
     /// Continuous ramp family.
     pub fn smoothed_step(threshold: f64, width: f64) -> Self {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0,1]"
+        );
         assert!(width > 0.0, "width must be positive");
         DemandKind::SmoothedStep { threshold, width }
     }
@@ -104,13 +108,104 @@ impl DemandKind {
     /// Normalised logistic family.
     pub fn logistic(steepness: f64, midpoint: f64) -> Self {
         assert!(steepness > 0.0, "steepness must be positive");
-        assert!((0.0..1.0).contains(&midpoint) && midpoint > 0.0, "midpoint must be in (0,1)");
-        DemandKind::Logistic { steepness, midpoint }
+        assert!(
+            (0.0..1.0).contains(&midpoint) && midpoint > 0.0,
+            "midpoint must be in (0,1)"
+        );
+        DemandKind::Logistic {
+            steepness,
+            midpoint,
+        }
     }
 
     /// Whether this family satisfies Assumption 1 by construction.
     pub fn satisfies_assumption1(&self) -> bool {
         !matches!(self, DemandKind::HardStep { .. })
+    }
+
+    /// Serialise as a small JSON object, e.g.
+    /// `{"kind":"exponential","beta":3.25}`. The inverse of
+    /// [`DemandKind::from_json`]; floats round-trip exactly (Rust's
+    /// shortest-representation formatting).
+    pub fn to_json(&self) -> String {
+        match *self {
+            DemandKind::ExponentialSensitivity { beta } => {
+                format!("{{\"kind\":\"exponential\",\"beta\":{beta}}}")
+            }
+            DemandKind::ConstantElasticity { elasticity } => {
+                format!("{{\"kind\":\"constant_elasticity\",\"elasticity\":{elasticity}}}")
+            }
+            DemandKind::SmoothedStep { threshold, width } => {
+                format!(
+                    "{{\"kind\":\"smoothed_step\",\"threshold\":{threshold},\"width\":{width}}}"
+                )
+            }
+            DemandKind::HardStep { threshold } => {
+                format!("{{\"kind\":\"hard_step\",\"threshold\":{threshold}}}")
+            }
+            DemandKind::Logistic {
+                steepness,
+                midpoint,
+            } => {
+                format!(
+                    "{{\"kind\":\"logistic\",\"steepness\":{steepness},\"midpoint\":{midpoint}}}"
+                )
+            }
+            DemandKind::Constant => "{\"kind\":\"constant\"}".to_owned(),
+        }
+    }
+
+    /// Parse the format produced by [`DemandKind::to_json`].
+    ///
+    /// Field order is free and extra whitespace is tolerated; unknown
+    /// kinds or missing fields yield a descriptive `Err`.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        fn field(text: &str, name: &str) -> Result<f64, String> {
+            let tag = format!("\"{name}\"");
+            let at = text
+                .find(&tag)
+                .ok_or_else(|| format!("missing field {name:?}"))?;
+            let rest = text[at + tag.len()..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("expected ':' after {name:?}"))?;
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| format!("unterminated value for {name:?}"))?;
+            rest[..end]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("bad number for {name:?}: {e}"))
+        }
+
+        let kind_tag = text
+            .find("\"kind\"")
+            .and_then(|at| {
+                let rest = text[at + 6..].trim_start().strip_prefix(':')?.trim_start();
+                let inner = rest.strip_prefix('"')?;
+                Some(&inner[..inner.find('"')?])
+            })
+            .ok_or_else(|| "missing \"kind\" tag".to_owned())?;
+
+        match kind_tag {
+            "exponential" => Ok(DemandKind::exponential(field(text, "beta")?)),
+            "constant_elasticity" => {
+                Ok(DemandKind::constant_elasticity(field(text, "elasticity")?))
+            }
+            "smoothed_step" => Ok(DemandKind::smoothed_step(
+                field(text, "threshold")?,
+                field(text, "width")?,
+            )),
+            "hard_step" => Ok(DemandKind::HardStep {
+                threshold: field(text, "threshold")?,
+            }),
+            "logistic" => Ok(DemandKind::logistic(
+                field(text, "steepness")?,
+                field(text, "midpoint")?,
+            )),
+            "constant" => Ok(DemandKind::Constant),
+            other => Err(format!("unknown demand kind {other:?}")),
+        }
     }
 }
 
@@ -153,7 +248,10 @@ impl Demand for DemandKind {
                     0.0
                 }
             }
-            DemandKind::Logistic { steepness, midpoint } => {
+            DemandKind::Logistic {
+                steepness,
+                midpoint,
+            } => {
                 let sigma = |x: f64| 1.0 / (1.0 + (-x).exp());
                 sigma(steepness * (w - midpoint)) / sigma(steepness * (1.0 - midpoint))
             }
@@ -174,7 +272,10 @@ mod tests {
         assert!((d.demand_at(1.0) - 1.0).abs() < 1e-15);
         let at_90pct = d.demand_at(0.9);
         assert!((at_90pct - (-5.0f64 * (1.0 / 0.9 - 1.0)).exp()).abs() < 1e-15);
-        assert!((0.45..0.65).contains(&at_90pct), "β=5 should roughly halve demand at ω=0.9, got {at_90pct}");
+        assert!(
+            (0.45..0.65).contains(&at_90pct),
+            "β=5 should roughly halve demand at ω=0.9, got {at_90pct}"
+        );
     }
 
     #[test]
@@ -246,18 +347,36 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let d = DemandKind::exponential(3.25);
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DemandKind = serde_json::from_str(&json).unwrap();
-        assert_eq!(d, back);
+    fn json_roundtrip_every_family() {
+        let kinds = [
+            DemandKind::exponential(3.25),
+            DemandKind::constant_elasticity(1.5),
+            DemandKind::smoothed_step(0.5, 0.2),
+            DemandKind::HardStep { threshold: 0.4 },
+            DemandKind::logistic(12.0, 0.35),
+            DemandKind::Constant,
+        ];
+        for d in kinds {
+            let json = d.to_json();
+            let back = DemandKind::from_json(&json).unwrap();
+            assert_eq!(d, back, "round-trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn json_parse_is_order_insensitive_and_strict() {
+        let d = DemandKind::from_json("{ \"beta\": 2.5, \"kind\": \"exponential\" }").unwrap();
+        assert_eq!(d, DemandKind::exponential(2.5));
+        assert!(DemandKind::from_json("{\"kind\":\"nope\"}").is_err());
+        assert!(DemandKind::from_json("{\"kind\":\"exponential\"}").is_err());
     }
 
     fn compliant_kind() -> impl Strategy<Value = DemandKind> {
         prop_oneof![
             (0.0f64..20.0).prop_map(DemandKind::exponential),
             (0.0f64..5.0).prop_map(DemandKind::constant_elasticity),
-            (0.05f64..0.95, 0.01f64..0.5).prop_map(|(t, w)| DemandKind::smoothed_step(t, w.min(t.max(0.011)))),
+            (0.05f64..0.95, 0.01f64..0.5)
+                .prop_map(|(t, w)| DemandKind::smoothed_step(t, w.min(t.max(0.011)))),
             (0.5f64..30.0, 0.05f64..0.95).prop_map(|(k, m)| DemandKind::logistic(k, m)),
             Just(DemandKind::Constant),
         ]

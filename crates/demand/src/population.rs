@@ -2,14 +2,13 @@
 
 use crate::cp::ContentProvider;
 use pubopt_num::kahan_sum;
-use serde::{Deserialize, Serialize};
 
 /// A set `N` of content providers.
 ///
 /// Thin wrapper around `Vec<ContentProvider>` that centralises the
 /// aggregates every solver needs (`Σ α_i θ̂_i`, subset selection by class
 /// membership, …).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Population {
     cps: Vec<ContentProvider>,
 }

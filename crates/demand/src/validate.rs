@@ -51,15 +51,28 @@ pub enum Assumption1Violation {
 impl std::fmt::Display for Assumption1Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Assumption1Violation::Negative { omega, value } => write!(f, "d({omega}) = {value} < 0"),
-            Assumption1Violation::ExceedsOne { omega, value } => write!(f, "d({omega}) = {value} > 1"),
+            Assumption1Violation::Negative { omega, value } => {
+                write!(f, "d({omega}) = {value} < 0")
+            }
+            Assumption1Violation::ExceedsOne { omega, value } => {
+                write!(f, "d({omega}) = {value} > 1")
+            }
             Assumption1Violation::Decreasing { omega_lo, omega_hi } => {
                 write!(f, "d decreasing on [{omega_lo}, {omega_hi}]")
             }
-            Assumption1Violation::JumpTooLarge { omega_lo, omega_hi, jump } => {
-                write!(f, "jump {jump} on [{omega_lo}, {omega_hi}] breaks continuity bound")
+            Assumption1Violation::JumpTooLarge {
+                omega_lo,
+                omega_hi,
+                jump,
+            } => {
+                write!(
+                    f,
+                    "jump {jump} on [{omega_lo}, {omega_hi}] breaks continuity bound"
+                )
             }
-            Assumption1Violation::NotOneAtFullThroughput { value } => write!(f, "d(1) = {value} != 1"),
+            Assumption1Violation::NotOneAtFullThroughput { value } => {
+                write!(f, "d(1) = {value} != 1")
+            }
         }
     }
 }
@@ -71,7 +84,11 @@ impl std::fmt::Display for Assumption1Violation {
 /// `max_jump` for `n` samples of a Lipschitz-`L` function is `2 L / n`;
 /// for the families in this crate `max_jump = 0.5` with `samples = 1000`
 /// rejects hard steps while admitting every compliant family.
-pub fn check_assumption1(d: &impl Demand, samples: usize, max_jump: f64) -> Vec<Assumption1Violation> {
+pub fn check_assumption1(
+    d: &impl Demand,
+    samples: usize,
+    max_jump: f64,
+) -> Vec<Assumption1Violation> {
     assert!(samples >= 2, "need at least two samples");
     let mut violations = Vec::new();
     let mut prev: Option<(f64, f64)> = None;
@@ -131,7 +148,9 @@ mod tests {
     #[test]
     fn hard_step_fails_continuity() {
         let v = check_assumption1(&DemandKind::HardStep { threshold: 0.5 }, 1000, 0.5);
-        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::JumpTooLarge { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Assumption1Violation::JumpTooLarge { .. })));
     }
 
     #[test]
@@ -147,7 +166,9 @@ mod tests {
             }
         }
         let v = check_assumption1(&Bad, 100, 0.5);
-        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::Decreasing { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Assumption1Violation::Decreasing { .. })));
     }
 
     #[test]
@@ -177,12 +198,17 @@ mod tests {
             }
         }
         let v = check_assumption1(&Big, 10, 2.0);
-        assert!(v.iter().any(|x| matches!(x, Assumption1Violation::ExceedsOne { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Assumption1Violation::ExceedsOne { .. })));
     }
 
     #[test]
     fn violation_display() {
-        let s = format!("{}", Assumption1Violation::NotOneAtFullThroughput { value: 0.5 });
+        let s = format!(
+            "{}",
+            Assumption1Violation::NotOneAtFullThroughput { value: 0.5 }
+        );
         assert!(s.contains("d(1)"));
     }
 }

@@ -31,6 +31,8 @@ pub mod solver;
 pub mod surplus;
 pub mod system;
 
-pub use solver::{solve_generic, solve_maxmin, EquilibriumError, RateEquilibrium};
+pub use solver::{
+    solve_generic, solve_maxmin, solve_maxmin_traced, EquilibriumError, RateEquilibrium, SolveStats,
+};
 pub use surplus::{consumer_surplus, per_cp_surplus, rho_profile};
 pub use system::System;

@@ -12,7 +12,8 @@
 
 use pubopt_alloc::RateAllocator;
 use pubopt_demand::Population;
-use pubopt_num::{bisect, fixed_point, FixedPointOptions, KahanSum, Tolerance};
+use pubopt_num::{fixed_point, roots::bisect_counted, FixedPointOptions, KahanSum, Tolerance};
+use std::cell::Cell;
 
 /// A solved rate equilibrium for a system `(ν, N)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +62,10 @@ impl std::fmt::Display for EquilibriumError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EquilibriumError::NoConvergence { residual } => {
-                write!(f, "equilibrium iteration did not converge (residual {residual})")
+                write!(
+                    f,
+                    "equilibrium iteration did not converge (residual {residual})"
+                )
             }
             EquilibriumError::NonFinite => write!(f, "allocator produced non-finite throughput"),
         }
@@ -79,18 +83,58 @@ impl std::error::Error for EquilibriumError {}
 /// otherwise the equilibrium water level is the root of `Λ(w) − ν`,
 /// unique by Theorem 1.
 pub fn solve_maxmin(pop: &Population, nu: f64, tol: Tolerance) -> RateEquilibrium {
-    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative, got {nu}");
+    solve_maxmin_traced(pop, nu, tol).0
+}
+
+/// Solver-effort statistics from [`solve_maxmin_traced`].
+///
+/// Carried in the return value (not only in the observability registry)
+/// so effort reporting — the bench binary's solver-stats section, the
+/// `repro` run reports — works even in builds with instrumentation
+/// compiled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Evaluations of the aggregate-throughput function `Λ(w)` (each one
+    /// is a full pass over the population).
+    pub lambda_evals: u64,
+    /// Interval halvings the water-level bisection performed (0 when the
+    /// system was uncongested and no root search was needed).
+    pub bisect_iters: u32,
+    /// Whether the capacity constraint was binding (a water level had to
+    /// be solved for).
+    pub congested: bool,
+}
+
+/// [`solve_maxmin`], additionally reporting how much work the water-level
+/// search did.
+pub fn solve_maxmin_traced(
+    pop: &Population,
+    nu: f64,
+    tol: Tolerance,
+) -> (RateEquilibrium, SolveStats) {
+    assert!(
+        nu >= 0.0 && nu.is_finite(),
+        "nu must be finite and non-negative, got {nu}"
+    );
+    pubopt_obs::incr("eq.solve_maxmin.calls");
+    let sw = pubopt_obs::Stopwatch::start("eq.solve_maxmin.ns");
     if pop.is_empty() {
-        return RateEquilibrium {
-            nu,
-            thetas: Vec::new(),
-            demands: Vec::new(),
-            aggregate: 0.0,
-            water_level: Some(f64::INFINITY),
-        };
+        sw.stop();
+        return (
+            RateEquilibrium {
+                nu,
+                thetas: Vec::new(),
+                demands: Vec::new(),
+                aggregate: 0.0,
+                water_level: Some(f64::INFINITY),
+            },
+            SolveStats::default(),
+        );
     }
 
+    let lambda_evals = Cell::new(0u64);
     let lambda_at = |w: f64| -> f64 {
+        lambda_evals.set(lambda_evals.get() + 1);
         let mut acc = KahanSum::new();
         for cp in pop.iter() {
             let theta = cp.theta_hat.min(w);
@@ -100,12 +144,15 @@ pub fn solve_maxmin(pop: &Population, nu: f64, tol: Tolerance) -> RateEquilibriu
     };
 
     let total_unconstrained = pop.total_unconstrained_per_capita();
-    let (water, thetas): (f64, Vec<f64>) = if total_unconstrained <= nu {
+    let congested = total_unconstrained > nu;
+    let mut bisect_iters = 0u32;
+    let (water, thetas): (f64, Vec<f64>) = if !congested {
         (f64::INFINITY, pop.iter().map(|cp| cp.theta_hat).collect())
     } else {
         let w_hi = pop.max_theta_hat();
-        let w = bisect(|w| lambda_at(w) - nu, 0.0, w_hi, tol)
+        let (w, iters) = bisect_counted(|w| lambda_at(w) - nu, 0.0, w_hi, tol)
             .expect("Λ(0)=0 ≤ ν < Σλ̂ = Λ(max θ̂): root is bracketed");
+        bisect_iters = iters;
         (w, pop.iter().map(|cp| cp.theta_hat.min(w)).collect())
     };
 
@@ -119,13 +166,27 @@ pub fn solve_maxmin(pop: &Population, nu: f64, tol: Tolerance) -> RateEquilibriu
             .zip(demands.iter().zip(thetas.iter()))
             .map(|(cp, (&d, &t))| cp.alpha * d * t),
     );
-    RateEquilibrium {
-        nu,
-        thetas,
-        demands,
-        aggregate,
-        water_level: Some(water),
-    }
+    let stats = SolveStats {
+        lambda_evals: lambda_evals.get(),
+        bisect_iters,
+        congested,
+    };
+    pubopt_obs::add("eq.solve_maxmin.lambda_evals", stats.lambda_evals);
+    pubopt_obs::add(
+        "eq.solve_maxmin.bisect_iters",
+        u64::from(stats.bisect_iters),
+    );
+    sw.stop();
+    (
+        RateEquilibrium {
+            nu,
+            thetas,
+            demands,
+            aggregate,
+            water_level: Some(water),
+        },
+        stats,
+    )
 }
 
 /// Solve the rate equilibrium for an arbitrary Axiom-1–4 allocator by
@@ -143,7 +204,11 @@ pub fn solve_generic(
     nu: f64,
     opts: FixedPointOptions,
 ) -> Result<RateEquilibrium, EquilibriumError> {
-    assert!(nu >= 0.0 && nu.is_finite(), "nu must be finite and non-negative, got {nu}");
+    assert!(
+        nu >= 0.0 && nu.is_finite(),
+        "nu must be finite and non-negative, got {nu}"
+    );
+    pubopt_obs::incr("eq.solve_generic.calls");
     if pop.is_empty() {
         return Ok(RateEquilibrium {
             nu,
@@ -163,7 +228,9 @@ pub fn solve_generic(
     };
 
     let d0 = vec![1.0; pop.len()];
-    let mut last_err = EquilibriumError::NoConvergence { residual: f64::INFINITY };
+    let mut last_err = EquilibriumError::NoConvergence {
+        residual: f64::INFINITY,
+    };
     let mut result = None;
     for halvings in 0..6 {
         let attempt = FixedPointOptions {
@@ -172,6 +239,7 @@ pub fn solve_generic(
         };
         match fixed_point(step, d0.clone(), attempt) {
             Ok(r) => {
+                pubopt_obs::add("eq.solve_generic.damping_halvings", halvings as u64);
                 result = Some(r);
                 break;
             }
@@ -217,10 +285,10 @@ pub fn solve(pop: &Population, nu: f64) -> RateEquilibrium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use pubopt_alloc::{MaxMinFair, WeightedAlphaFair};
     use pubopt_demand::archetypes::figure3_trio;
     use pubopt_demand::{ContentProvider, DemandKind, Population};
-    use proptest::prelude::*;
 
     fn trio() -> Population {
         figure3_trio().into()
@@ -290,7 +358,10 @@ mod tests {
         let g = first_google.expect("google must recover");
         let s = first_skype.expect("skype must recover");
         let n = first_netflix.expect("netflix must recover");
-        assert!(g < s && s < n, "recovery order google({g}) < skype({s}) < netflix({n})");
+        assert!(
+            g < s && s < n,
+            "recovery order google({g}) < skype({s}) < netflix({n})"
+        );
     }
 
     #[test]
@@ -324,7 +395,11 @@ mod tests {
         };
         let eq = solve_generic(&p, &mech, 2.0, opts).unwrap();
         // Work conservation at equilibrium: congested, so λ = ν.
-        assert!((eq.aggregate - 2.0).abs() < 1e-6, "aggregate {}", eq.aggregate);
+        assert!(
+            (eq.aggregate - 2.0).abs() < 1e-6,
+            "aggregate {}",
+            eq.aggregate
+        );
         // Consistency: demands equal d(θ).
         for (i, cp) in p.iter().enumerate() {
             assert!((eq.demands[i] - cp.demand_at(eq.thetas[i])).abs() < 1e-6);

@@ -10,7 +10,11 @@ use pubopt_num::KahanSum;
 ///
 /// Panics if the equilibrium and population sizes disagree.
 pub fn consumer_surplus(pop: &Population, eq: &RateEquilibrium) -> f64 {
-    assert_eq!(pop.len(), eq.thetas.len(), "equilibrium/population size mismatch");
+    assert_eq!(
+        pop.len(),
+        eq.thetas.len(),
+        "equilibrium/population size mismatch"
+    );
     let mut acc = KahanSum::new();
     for (i, cp) in pop.iter().enumerate() {
         acc.add(cp.phi * cp.alpha * eq.demands[i] * eq.thetas[i]);
@@ -20,7 +24,11 @@ pub fn consumer_surplus(pop: &Population, eq: &RateEquilibrium) -> f64 {
 
 /// Per-CP consumer-surplus contributions `Φ_i = φ_i α_i d_i(θ_i) θ_i`.
 pub fn per_cp_surplus(pop: &Population, eq: &RateEquilibrium) -> Vec<f64> {
-    assert_eq!(pop.len(), eq.thetas.len(), "equilibrium/population size mismatch");
+    assert_eq!(
+        pop.len(),
+        eq.thetas.len(),
+        "equilibrium/population size mismatch"
+    );
     pop.iter()
         .enumerate()
         .map(|(i, cp)| cp.phi * cp.alpha * eq.demands[i] * eq.thetas[i])
@@ -36,9 +44,9 @@ pub fn rho_profile(eq: &RateEquilibrium) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::solver::solve;
+    use proptest::prelude::*;
     use pubopt_demand::archetypes::figure3_trio;
     use pubopt_demand::{ContentProvider, DemandKind, Population};
-    use proptest::prelude::*;
 
     fn trio() -> Population {
         figure3_trio().into()
@@ -73,8 +81,8 @@ mod tests {
         let p = trio();
         let eq = solve(&p, 1.5);
         let rho = rho_profile(&eq);
-        for i in 0..p.len() {
-            assert_eq!(rho[i], eq.rho(i));
+        for (i, &r) in rho.iter().enumerate().take(p.len()) {
+            assert_eq!(r, eq.rho(i));
         }
     }
 
@@ -83,7 +91,14 @@ mod tests {
     fn mismatch_detected() {
         let p = trio();
         let eq = solve(&p, 1.0);
-        let q: Population = vec![ContentProvider::new(1.0, 1.0, DemandKind::Constant, 0.0, 1.0)].into();
+        let q: Population = vec![ContentProvider::new(
+            1.0,
+            1.0,
+            DemandKind::Constant,
+            0.0,
+            1.0,
+        )]
+        .into();
         consumer_surplus(&q, &eq);
     }
 

@@ -27,8 +27,14 @@ impl System {
     ///
     /// Panics if `consumers ≤ 0` or `capacity < 0` or either is non-finite.
     pub fn new(consumers: f64, capacity: f64, pop: Population) -> Self {
-        assert!(consumers > 0.0 && consumers.is_finite(), "consumers must be positive");
-        assert!(capacity >= 0.0 && capacity.is_finite(), "capacity must be non-negative");
+        assert!(
+            consumers > 0.0 && consumers.is_finite(),
+            "consumers must be positive"
+        );
+        assert!(
+            capacity >= 0.0 && capacity.is_finite(),
+            "capacity must be non-negative"
+        );
         Self {
             consumers,
             capacity,

@@ -62,9 +62,9 @@ proptest! {
         let nu = frac * pop.total_unconstrained_per_capita();
         let eq = solve_maxmin(&pop, nu, Tolerance::STRICT);
         let reallocated = MaxMinFair.allocate(&pop, &eq.demands, nu);
-        for i in 0..pop.len() {
-            prop_assert!((reallocated[i] - eq.thetas[i]).abs() < 1e-5 * (1.0 + eq.thetas[i]),
-                "cp {}: reallocated {} vs equilibrium {}", i, reallocated[i], eq.thetas[i]);
+        for (i, (&re, &th)) in reallocated.iter().zip(eq.thetas.iter()).enumerate() {
+            prop_assert!((re - th).abs() < 1e-5 * (1.0 + th),
+                "cp {}: reallocated {} vs equilibrium {}", i, re, th);
         }
     }
 
@@ -112,7 +112,14 @@ fn closed_form_two_cp_check() {
 fn exponential_demand_closed_form_check() {
     // One CP, α = 1, θ̂ = 2, β = 1, ν = 1: the water level solves
     // exp(−(2/w − 1))·w = 1. Verify against a direct Newton solve.
-    let pop: Population = vec![ContentProvider::new(1.0, 2.0, DemandKind::exponential(1.0), 0.0, 1.0)].into();
+    let pop: Population = vec![ContentProvider::new(
+        1.0,
+        2.0,
+        DemandKind::exponential(1.0),
+        0.0,
+        1.0,
+    )]
+    .into();
     let eq = solve_maxmin(&pop, 1.0, Tolerance::STRICT);
     let w = eq.thetas[0];
     let residual = (-(2.0 / w - 1.0)).exp() * w - 1.0;

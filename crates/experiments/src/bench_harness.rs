@@ -1,0 +1,386 @@
+//! Dependency-free benchmark harness.
+//!
+//! Runs the same per-figure computational kernels as the criterion suite
+//! in `crates/bench/benches/figures.rs`, but with nothing outside the
+//! workspace, so it works where crates.io is unreachable (CI, sealed
+//! build environments):
+//!
+//! ```text
+//! cargo run --release -p pubopt-experiments --bin bench
+//! ```
+//!
+//! Per kernel it reports median/p10/p90 wall nanoseconds over a fixed
+//! sample count (nearest-rank quantiles — no interpolation, no outlier
+//! modelling; this is a regression tripwire, not a microarchitecture
+//! study). The report also carries deterministic solver-effort stats
+//! (via [`pubopt_eq::solve_maxmin_traced`], which works with
+//! instrumentation compiled out) and a thread-scaling curve for
+//! [`crate::parallel_map`] at 1/2/4/8 workers, including the
+//! many-tiny-tasks contention shape the disjoint-slot runner design
+//! exists for.
+
+use crate::parallel_map;
+use pubopt_core::{competitive_equilibrium, duopoly_with_public_option, IspStrategy};
+use pubopt_demand::{Demand, DemandKind};
+use pubopt_eq::{solve_maxmin, solve_maxmin_traced, SolveStats};
+use pubopt_netsim::{FlowGroup, FluidSim, SimConfig};
+use pubopt_num::Tolerance;
+use pubopt_obs::json::Value;
+use pubopt_workload::{EnsembleConfig, PhiDistribution, Scenario, ScenarioKind};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Harness options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOptions {
+    /// Shrink workloads (60-CP ensembles, seconds-long netsim epochs cut
+    /// to a fraction) and sample counts so the whole suite runs in well
+    /// under a second — used by tests and `bench --quick`.
+    pub quick: bool,
+}
+
+/// Timing summary for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel id, matching the criterion benchmark name where one exists.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Nearest-rank median over the samples, nanoseconds.
+    pub median_ns: u64,
+    /// Nearest-rank 10th percentile, nanoseconds.
+    pub p10_ns: u64,
+    /// Nearest-rank 90th percentile, nanoseconds.
+    pub p90_ns: u64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: u64,
+}
+
+/// One point of the `parallel_map` thread-scaling curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Median wall nanoseconds for the fixed workload at this count.
+    pub median_ns: u64,
+    /// Speedup relative to the 1-worker run of the same workload.
+    pub speedup: f64,
+}
+
+/// Deterministic solver-effort statistics included in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverEffort {
+    /// Case id, e.g. `trio_nu2`.
+    pub case: String,
+    /// Stats from [`solve_maxmin_traced`].
+    pub stats: SolveStats,
+}
+
+/// Everything the bench binary writes into `BENCH_<date>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// UTC date the report was generated (`YYYY-MM-DD`).
+    pub date: String,
+    /// Whether quick mode was active.
+    pub quick: bool,
+    /// Per-kernel timings, in execution order.
+    pub kernels: Vec<KernelResult>,
+    /// Deterministic solver iteration counts.
+    pub solver: Vec<SolverEffort>,
+    /// `parallel_map` scaling at 1/2/4/8 workers.
+    pub scaling: Vec<ScalePoint>,
+}
+
+impl BenchReport {
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v1`).
+    pub fn to_json(&self) -> String {
+        let kernels = self
+            .kernels
+            .iter()
+            .map(|k| {
+                Value::Object(vec![
+                    ("name".into(), Value::from(k.name.as_str())),
+                    ("samples".into(), Value::from(k.samples)),
+                    ("median_ns".into(), Value::from(k.median_ns)),
+                    ("p10_ns".into(), Value::from(k.p10_ns)),
+                    ("p90_ns".into(), Value::from(k.p90_ns)),
+                    ("mean_ns".into(), Value::from(k.mean_ns)),
+                ])
+            })
+            .collect();
+        let solver = self
+            .solver
+            .iter()
+            .map(|s| {
+                (
+                    s.case.clone(),
+                    Value::Object(vec![
+                        ("lambda_evals".into(), Value::from(s.stats.lambda_evals)),
+                        (
+                            "bisect_iters".into(),
+                            Value::from(u64::from(s.stats.bisect_iters)),
+                        ),
+                        ("congested".into(), Value::from(s.stats.congested)),
+                    ]),
+                )
+            })
+            .collect();
+        let scaling = self
+            .scaling
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("workers".into(), Value::from(p.workers)),
+                    ("median_ns".into(), Value::from(p.median_ns)),
+                    ("speedup".into(), Value::from(p.speedup)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::from("pubopt-bench/v1")),
+            ("date".into(), Value::from(self.date.as_str())),
+            ("quick".into(), Value::from(self.quick)),
+            ("kernels".into(), Value::Array(kernels)),
+            ("solver".into(), Value::Object(solver)),
+            ("parallel_map_scaling".into(), Value::Array(scaling)),
+        ])
+        .to_string()
+    }
+}
+
+/// The kernel ids [`run`] produces, in order. Names match the criterion
+/// suite where a counterpart exists; the `runner/` kernels are
+/// harness-only.
+pub const KERNEL_NAMES: &[&str] = &[
+    "fig2/demand_curve_6_betas_400_points",
+    "fig3/trio_equilibrium_solve",
+    "fig4/kappa1_point_1000cps",
+    "fig5/grid_point_1000cps",
+    "fig7/duopoly_point_kappa1_1000cps",
+    "fig8/duopoly_point_grid_1000cps",
+    "fig9_12/independent_phi_ensemble_generation",
+    "fig9_12/kappa1_point_independent_phi",
+    "netsim/fluid_sim_90flows_60s",
+    "runner/parallel_map_contention_8threads",
+];
+
+fn quantile_ns(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn time_kernel(name: &str, samples: usize, mut f: impl FnMut()) -> KernelResult {
+    f(); // warm-up: touch caches, fault in pages
+    let mut ns: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    ns.sort_unstable();
+    let mean = ns.iter().sum::<u64>() / ns.len() as u64;
+    KernelResult {
+        name: name.to_owned(),
+        samples,
+        median_ns: quantile_ns(&ns, 0.5),
+        p10_ns: quantile_ns(&ns, 0.1),
+        p90_ns: quantile_ns(&ns, 0.9),
+        mean_ns: mean,
+    }
+}
+
+/// Run the full suite and assemble the report.
+pub fn run(opts: BenchOptions) -> BenchReport {
+    let quick = opts.quick;
+    // Sample counts: enough for a stable median, small enough that the
+    // full suite stays in low minutes (the duopoly kernels dominate).
+    let (light, heavy) = if quick { (3, 2) } else { (10, 5) };
+    let n_cps = if quick { 60 } else { 1000 };
+    let ensemble = |phi| {
+        EnsembleConfig {
+            n: n_cps,
+            phi,
+            ..EnsembleConfig::default()
+        }
+        .generate()
+    };
+    let pop = ensemble(PhiDistribution::CoupledToBeta);
+    let pop_indep = ensemble(PhiDistribution::IndependentUniform);
+    // ν values scale with population size so quick mode keeps the same
+    // congestion regime as the full 1000-CP runs.
+    let scale = n_cps as f64 / 1000.0;
+    let trio = Scenario::load(ScenarioKind::Trio);
+
+    let mut kernels = Vec::new();
+
+    let omegas = pubopt_num::linspace_excl_zero(1.0, 400);
+    kernels.push(time_kernel(KERNEL_NAMES[0], light, || {
+        let mut acc = 0.0;
+        for &beta in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let d = DemandKind::exponential(beta);
+            for &w in &omegas {
+                acc += d.demand_at(black_box(w));
+            }
+        }
+        black_box(acc);
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[1], light, || {
+        black_box(solve_maxmin(
+            &trio.pop,
+            black_box(2.0),
+            Tolerance::default(),
+        ));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[2], light, || {
+        black_box(competitive_equilibrium(
+            &pop,
+            black_box(100.0 * scale),
+            IspStrategy::premium_only(0.4),
+            Tolerance::COARSE,
+        ));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[3], light, || {
+        black_box(competitive_equilibrium(
+            &pop,
+            black_box(150.0 * scale),
+            IspStrategy::new(0.5, 0.4),
+            Tolerance::COARSE,
+        ));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[4], heavy, || {
+        black_box(duopoly_with_public_option(
+            &pop,
+            black_box(100.0 * scale),
+            IspStrategy::premium_only(0.3),
+            0.5,
+            Tolerance::COARSE,
+        ));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[5], heavy, || {
+        black_box(duopoly_with_public_option(
+            &pop,
+            black_box(150.0 * scale),
+            IspStrategy::new(0.9, 0.4),
+            0.5,
+            Tolerance::COARSE,
+        ));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[6], light, || {
+        black_box(ensemble(PhiDistribution::IndependentUniform));
+    }));
+
+    kernels.push(time_kernel(KERNEL_NAMES[7], light, || {
+        black_box(competitive_equilibrium(
+            &pop_indep,
+            black_box(100.0 * scale),
+            IspStrategy::premium_only(0.4),
+            Tolerance::COARSE,
+        ));
+    }));
+
+    let (warmup, measure) = if quick { (2.0, 2.0) } else { (30.0, 30.0) };
+    kernels.push(time_kernel(KERNEL_NAMES[8], heavy, || {
+        let groups = vec![
+            FlowGroup::new("google", 50, 1.0, 0.08),
+            FlowGroup::new("netflix", 15, 10.0, 0.08),
+            FlowGroup::new("skype", 25, 3.0, 0.08),
+        ];
+        let mut sim = FluidSim::new(
+            groups,
+            SimConfig {
+                capacity: 150.0,
+                warmup,
+                measure,
+                ..SimConfig::default()
+            },
+        );
+        black_box(sim.run());
+    }));
+
+    // The contention shape the disjoint-slot runner fixes: tasks so cheap
+    // that a shared whole-results mutex would serialise all 8 workers.
+    let tiny_items: Vec<u64> = (0..if quick { 2_000 } else { 100_000 }).collect();
+    kernels.push(time_kernel(KERNEL_NAMES[9], light, || {
+        black_box(parallel_map(&tiny_items, 8, |&x| {
+            x.wrapping_mul(0x9E37_79B9)
+        }));
+    }));
+
+    // Deterministic solver effort (identical across runs at a fixed seed).
+    let solver = vec![
+        SolverEffort {
+            case: "trio_nu2".to_owned(),
+            stats: solve_maxmin_traced(&trio.pop, 2.0, Tolerance::default()).1,
+        },
+        SolverEffort {
+            case: "ensemble_nu100".to_owned(),
+            stats: solve_maxmin_traced(&pop, 100.0 * scale, Tolerance::default()).1,
+        },
+        SolverEffort {
+            case: "ensemble_uncongested".to_owned(),
+            stats: solve_maxmin_traced(&pop, 1e6, Tolerance::default()).1,
+        },
+    ];
+
+    // Thread-scaling on a fixed equilibrium sweep: real per-item work, so
+    // the curve reflects compute scaling rather than scheduler noise.
+    let nus: Vec<f64> = pubopt_num::linspace_excl_zero(300.0 * scale, if quick { 32 } else { 128 });
+    let scaling = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let r = time_kernel("scaling", light, || {
+                black_box(parallel_map(&nus, workers, |&nu| {
+                    solve_maxmin(&pop, nu, Tolerance::COARSE).aggregate
+                }));
+            });
+            (workers, r.median_ns)
+        })
+        .collect::<Vec<_>>();
+    let base = scaling[0].1.max(1) as f64;
+    let scaling = scaling
+        .into_iter()
+        .map(|(workers, median_ns)| ScalePoint {
+            workers,
+            median_ns,
+            speedup: base / median_ns.max(1) as f64,
+        })
+        .collect();
+
+    BenchReport {
+        date: pubopt_obs::clock::utc_date_string(),
+        quick,
+        kernels,
+        solver,
+        scaling,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [10, 20, 30, 40, 50];
+        assert_eq!(quantile_ns(&v, 0.5), 30);
+        assert_eq!(quantile_ns(&v, 0.1), 10);
+        assert_eq!(quantile_ns(&v, 0.9), 50);
+        assert_eq!(quantile_ns(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn time_kernel_counts_samples() {
+        let mut calls = 0u32;
+        let r = time_kernel("t", 4, || calls += 1);
+        assert_eq!(calls, 5, "warm-up plus 4 samples");
+        assert_eq!(r.samples, 4);
+        assert!(r.p10_ns <= r.median_ns && r.median_ns <= r.p90_ns);
+    }
+}

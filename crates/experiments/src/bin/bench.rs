@@ -1,0 +1,99 @@
+//! Dependency-free benchmark runner.
+//!
+//! ```text
+//! cargo run --release -p pubopt-experiments --bin bench [-- --quick] [--out DIR]
+//! ```
+//!
+//! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
+//! `BENCH_<date>.json` (schema `pubopt-bench/v1`) into `--out` (default:
+//! current directory), printing a human-readable summary to stdout.
+
+use pubopt_experiments::bench_harness::{run, BenchOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bench [--quick] [--out DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        "running bench suite ({} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run(BenchOptions { quick });
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        "kernel", "p10", "median", "p90"
+    );
+    for k in &report.kernels {
+        println!(
+            "{:<44} {:>12} {:>12} {:>12}",
+            k.name,
+            fmt_ns(k.p10_ns),
+            fmt_ns(k.median_ns),
+            fmt_ns(k.p90_ns)
+        );
+    }
+    println!();
+    for s in &report.solver {
+        println!(
+            "solver {:<24} lambda_evals={:<6} bisect_iters={:<4} congested={}",
+            s.case, s.stats.lambda_evals, s.stats.bisect_iters, s.stats.congested
+        );
+    }
+    println!();
+    for p in &report.scaling {
+        println!(
+            "parallel_map {} worker(s): {:>12}  speedup {:.2}x",
+            p.workers,
+            fmt_ns(p.median_ns),
+            p.speedup
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join(format!("BENCH_{}.json", report.date));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

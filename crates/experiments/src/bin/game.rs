@@ -40,11 +40,17 @@ fn main() {
             }
             "--cps" => {
                 i += 1;
-                n_cps = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                n_cps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -69,7 +75,10 @@ fn main() {
     let sol = competitive_equilibrium(&pop, nu, strategy, tol);
     let out = &sol.outcome;
     let premium = out.partition.premium_count();
-    println!("CP partition: {premium} premium / {} ordinary", pop.len() - premium);
+    println!(
+        "CP partition: {premium} premium / {} ordinary",
+        pop.len() - premium
+    );
     println!(
         "premium class: rate {:.3} of capacity {:.3} ({})",
         out.premium_rate(&pop),
@@ -92,7 +101,10 @@ fn main() {
     }
     for (k, name) in ["ordinary", "premium"].iter().enumerate() {
         if sums[k].1 > 0 {
-            println!("mean ω in {name} class: {:.3}", sums[k].0 / sums[k].1 as f64);
+            println!(
+                "mean ω in {name} class: {:.3}",
+                sums[k].0 / sums[k].1 as f64
+            );
         }
     }
     println!("\nISP surplus Ψ = {:.4}", out.isp_surplus(&pop));
@@ -111,6 +123,10 @@ fn main() {
         let duo = duopoly_with_public_option(&pop, nu, strategy, 1.0 - gamma_po, tol);
         println!("incumbent market share m_I = {:.3}", duo.share_i);
         println!("incumbent surplus Ψ_I = {:.4}", duo.psi_i);
-        println!("equilibrium Φ = {:.4} ({:+.1}% vs neutral)", duo.phi, 100.0 * (duo.phi / neutral - 1.0));
+        println!(
+            "equilibrium Φ = {:.4} ({:+.1}% vs neutral)",
+            duo.phi,
+            100.0 * (duo.phi / neutral - 1.0)
+        );
     }
 }

@@ -15,9 +15,51 @@
 //!
 //! Exit code is non-zero if any shape check fails.
 
-use pubopt_experiments::{run_figure, Config, ALL_FIGURES};
+use pubopt_experiments::{run_figure, Config, FigureResult, ALL_FIGURES};
+use pubopt_obs::json::Value;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// One structured JSONL line per figure run (appended to
+/// `<out>/report.jsonl`): wall time, per-check verdicts, output files,
+/// and — when the `obs` feature is enabled — the delta of the metrics
+/// registry over the run (solver calls, bisect iterations, sweep timing).
+fn report_line(result: &FigureResult, wall_s: f64, obs_delta: Option<Value>) -> String {
+    let checks = result
+        .checks
+        .iter()
+        .map(|c| {
+            Value::Object(vec![
+                ("name".into(), Value::from(c.name.as_str())),
+                ("passed".into(), Value::from(c.passed)),
+                ("detail".into(), Value::from(c.detail.as_str())),
+            ])
+        })
+        .collect();
+    let files = result
+        .files
+        .iter()
+        .map(|f| Value::from(f.display().to_string()))
+        .collect();
+    let mut fields = vec![
+        ("figure".into(), Value::from(result.id.as_str())),
+        (
+            "date".into(),
+            Value::from(pubopt_obs::clock::utc_date_string()),
+        ),
+        ("wall_s".into(), Value::from(wall_s)),
+        (
+            "passed".into(),
+            Value::from(result.checks.iter().all(|c| c.passed)),
+        ),
+        ("checks".into(), Value::Array(checks)),
+        ("files".into(), Value::Array(files)),
+    ];
+    if let Some(obs) = obs_delta {
+        fields.push(("obs".into(), obs));
+    }
+    Value::Object(fields).to_string()
+}
 
 /// Best-effort SVG rendering of a figure CSV (first column as x). CSVs
 /// whose first column is not a natural x axis (long-format sweeps) are
@@ -38,7 +80,12 @@ fn render_csv_as_svg(csv: &Path, title: &str) -> Option<PathBuf> {
         return None;
     }
     let name = csv.file_stem()?.to_string_lossy().to_string() + ".svg";
-    Some(pubopt_experiments::render_table(&table, title, csv.parent()?, &name))
+    Some(pubopt_experiments::render_table(
+        &table,
+        title,
+        csv.parent()?,
+        &name,
+    ))
 }
 
 fn main() -> ExitCode {
@@ -58,13 +105,10 @@ fn main() -> ExitCode {
             "--fast" => config.fast = true,
             "--svg" => svg = true,
             "--threads" => {
-                let n = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--threads needs a number");
-                        std::process::exit(2);
-                    });
+                let n = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
                 config.threads = n;
             }
             "--list" => {
@@ -88,10 +132,16 @@ fn main() -> ExitCode {
 
     let mut any_failed = false;
     let mut lines = Vec::new();
+    let mut report_lines = Vec::new();
     for id in &ids {
         let start = std::time::Instant::now();
         eprintln!("=== {id} ===");
+        if pubopt_obs::enabled() {
+            pubopt_obs::reset();
+        }
         let result = run_figure(id, &config);
+        let wall_s = start.elapsed().as_secs_f64();
+        let obs_delta = pubopt_obs::enabled().then(|| (&pubopt_obs::snapshot()).into());
         println!("{}", result.summary);
         for check in &result.checks {
             println!("  {}", check.render());
@@ -106,12 +156,18 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("=== {id} done in {:.1}s ===\n", start.elapsed().as_secs_f64());
+        report_lines.push(report_line(&result, wall_s, obs_delta));
+        eprintln!("=== {id} done in {wall_s:.1}s ===\n");
     }
 
-    // Machine-readable verdict file for EXPERIMENTS.md bookkeeping.
+    // Machine-readable verdict files for EXPERIMENTS.md bookkeeping.
     std::fs::create_dir_all(&config.out_dir).ok();
     std::fs::write(config.out_dir.join("checks.txt"), lines.join("\n") + "\n").ok();
+    std::fs::write(
+        config.out_dir.join("report.jsonl"),
+        report_lines.join("\n") + "\n",
+    )
+    .ok();
 
     if any_failed {
         eprintln!("SOME SHAPE CHECKS FAILED");

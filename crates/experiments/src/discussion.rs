@@ -40,7 +40,12 @@ pub fn run(config: &Config) -> FigureResult {
         (gamma, vs_neutral, vs_greedy, duo.phi)
     });
 
-    let mut table = Table::new(vec!["gamma_po", "stolen_vs_neutral", "stolen_vs_greedy", "phi_best_response"]);
+    let mut table = Table::new(vec![
+        "gamma_po",
+        "stolen_vs_neutral",
+        "stolen_vs_greedy",
+        "phi_best_response",
+    ]);
     for &(g, n, gr, phi) in &rows {
         table.push(vec![g, n, gr, phi]);
     }
@@ -58,7 +63,9 @@ pub fn run(config: &Config) -> FigureResult {
         lemma_ok,
         format!(
             "stolen vs γ: {:?}",
-            rows.iter().map(|r| ((r.0 * 100.0) as i64, (r.1 * 1000.0).round() / 1000.0)).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| ((r.0 * 100.0) as i64, (r.1 * 1000.0).round() / 1000.0))
+                .collect::<Vec<_>>()
         ),
     ));
 
@@ -94,7 +101,13 @@ pub fn run(config: &Config) -> FigureResult {
     let gammas: Vec<f64> = rows.iter().map(|r| r.0).collect();
     let summary = format!(
         "§VI: Public Option sizing at ν = {nu}\n{}",
-        ascii_plot("Φ under incumbent best response vs γ_PO", &gammas, &phis, 50, 10)
+        ascii_plot(
+            "Φ under incumbent best response vs γ_PO",
+            &gammas,
+            &phis,
+            50,
+            10
+        )
     );
     FigureResult {
         id: "discussion".into(),

@@ -104,8 +104,20 @@ pub fn run(config: &Config) -> FigureResult {
 
     let summary = format!(
         "Figure 3: max-min rate equilibrium of the trio\n{}{}",
-        ascii_plot("demand_netflix(ν)", &nus, &table.column("demand_netflix"), 60, 10),
-        ascii_plot("demand_skype(ν)", &nus, &table.column("demand_skype"), 60, 10),
+        ascii_plot(
+            "demand_netflix(ν)",
+            &nus,
+            &table.column("demand_netflix"),
+            60,
+            10
+        ),
+        ascii_plot(
+            "demand_skype(ν)",
+            &nus,
+            &table.column("demand_skype"),
+            60,
+            10
+        ),
     );
     FigureResult {
         id: "fig3".into(),

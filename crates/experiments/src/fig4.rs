@@ -32,7 +32,8 @@ pub(crate) fn sweep_kappa1(
     threads: usize,
 ) -> Vec<(f64, f64, f64, bool)> {
     parallel_map(cs, threads, |&c| {
-        let sol = competitive_equilibrium(pop, nu, IspStrategy::premium_only(c), Tolerance::default());
+        let sol =
+            competitive_equilibrium(pop, nu, IspStrategy::premium_only(c), Tolerance::default());
         let out = &sol.outcome;
         (
             c,

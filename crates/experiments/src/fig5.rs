@@ -32,7 +32,8 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
 
     // One sweep per strategy, parallel over ν.
     let mut table = Table::new(vec!["kappa", "c", "nu", "psi", "phi", "premium_count"]);
-    let mut curves: Vec<((f64, f64), Vec<f64>, Vec<f64>)> = Vec::new();
+    type Curve = ((f64, f64), Vec<f64>, Vec<f64>);
+    let mut curves: Vec<Curve> = Vec::new();
     for &kappa in &KAPPAS {
         for &c in &CS {
             let strategy = IspStrategy::new(kappa, c);
@@ -66,14 +67,21 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         let ok = (psis[0] - expect).abs() < 0.05 * (1.0 + expect);
         linear_ok &= ok;
         if !ok {
-            detail.push_str(&format!("(κ={kappa},c={c}): Ψ={:.3} vs {expect:.3}; ", psis[0]));
+            detail.push_str(&format!(
+                "(κ={kappa},c={c}): Ψ={:.3} vs {expect:.3}; ",
+                psis[0]
+            ));
         }
     }
     checks.push(ShapeCheck::new(
         "fig5.linear-regime",
         "for small ν the premium class is full and Ψ = c·κ·ν",
         linear_ok,
-        if detail.is_empty() { "all 9 strategies".into() } else { detail },
+        if detail.is_empty() {
+            "all 9 strategies".into()
+        } else {
+            detail
+        },
     ));
 
     // 2. Abundance: small κ ⇒ Ψ → 0; large κ keeps revenue.
@@ -84,7 +92,9 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
             .map(|(_, psis, _)| *psis.last().unwrap())
             .expect("strategy in grid")
     };
-    let small_kappa_dies = CS.iter().all(|&c| psi_end(0.2, c) < 0.05 * (0.2 * 0.2 * 500.0));
+    let small_kappa_dies = CS
+        .iter()
+        .all(|&c| psi_end(0.2, c) < 0.05 * (0.2 * 0.2 * 500.0));
     let big_kappa_survives = CS.iter().any(|&c| psi_end(0.9, c) > 1.0);
     checks.push(ShapeCheck::new(
         "fig5.abundance-regime",

@@ -68,7 +68,10 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         let tail = *shares.last().unwrap();
         let ok = peak > shares[0] + 1e-3 && peak > tail + 0.05 && peak_idx > 0;
         rise_fall_ok &= ok;
-        detail.push_str(&format!("ν={nu}: m@0={:.3}, peak={peak:.3}@c={:.2}, tail={tail:.3}; ", shares[0], cs[peak_idx]));
+        detail.push_str(&format!(
+            "ν={nu}: m@0={:.3}, peak={peak:.3}@c={:.2}, tail={tail:.3}; ",
+            shares[0], cs[peak_idx]
+        ));
     }
     checks.push(ShapeCheck::new(
         "fig7.share-rise-then-collapse",

@@ -26,7 +26,8 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     let nus = pubopt_num::linspace_excl_zero(500.0, n);
 
     let mut table = Table::new(vec!["kappa", "c", "nu", "psi_i", "phi", "share_i"]);
-    let mut curves: Vec<((f64, f64), Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    type Curve = ((f64, f64), Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut curves: Vec<Curve> = Vec::new();
     for &kappa in &KAPPAS {
         for &c in &CS {
             let strategy = IspStrategy::new(kappa, c);

@@ -29,7 +29,12 @@ pub fn run_fig10(config: &Config) -> FigureResult {
 /// Figure 11: Figure 7's experiment on the independent-φ ensemble.
 pub fn run_fig11(config: &Config) -> FigureResult {
     let s = Scenario::load(ScenarioKind::PaperEnsembleIndependentPhi);
-    crate::fig7::run_on(&s.pop, "fig11", "fig11_duopoly_kappa1_indep_phi.csv", config)
+    crate::fig7::run_on(
+        &s.pop,
+        "fig11",
+        "fig11_duopoly_kappa1_indep_phi.csv",
+        config,
+    )
 }
 
 /// Figure 12: Figure 8's experiment on the independent-φ ensemble.

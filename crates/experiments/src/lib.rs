@@ -23,12 +23,16 @@
 //! | [`solvers`] | (methods) | cross-validation of the independent solver pairs |
 //! | [`netsim_check`] | §II-D.2 | TCP-vs-max-min validation table |
 //!
-//! Sweeps are embarrassingly parallel and fan out over worker threads via
-//! `crossbeam::scope` ([`runner`]).
+//! Sweeps are embarrassingly parallel and fan out over scoped worker
+//! threads writing disjoint result slots ([`runner`]). The
+//! [`bench_harness`] module drives the same per-figure kernels as the
+//! criterion benches, with no dependencies outside the workspace
+//! (`cargo run --release -p pubopt-experiments --bin bench`).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_harness;
 pub mod discussion;
 pub mod fig2;
 pub mod fig3;
@@ -67,8 +71,20 @@ pub fn run_delta_on_sweep(shares: &[f64], phis: &[f64]) -> f64 {
 
 /// Every figure id the `repro` binary knows how to regenerate.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "theorems",
-    "netsim", "discussion", "solvers",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "theorems",
+    "netsim",
+    "discussion",
+    "solvers",
 ];
 
 /// Run one figure by id.

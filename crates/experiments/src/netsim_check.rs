@@ -64,7 +64,15 @@ pub fn run(config: &Config) -> FigureResult {
     let m: f64 = spread.iter().map(|g| g.flows as f64).sum();
     let pop: Population = spread
         .iter()
-        .map(|g| ContentProvider::new(g.flows as f64 / m, g.rate_cap, DemandKind::Constant, 0.0, 0.0))
+        .map(|g| {
+            ContentProvider::new(
+                g.flows as f64 / m,
+                g.rate_cap,
+                DemandKind::Constant,
+                0.0,
+                0.0,
+            )
+        })
         .collect();
     // The AIMD operating point is governed by the *effective* RTT (base
     // propagation plus queueing delay at the shared bottleneck).
@@ -75,10 +83,9 @@ pub fn run(config: &Config) -> FigureResult {
     let weighted = WeightedAlphaFair::new(2.0).with_rtt_bias(&rtts, rtts[0]);
     let pred_weighted = weighted.allocate(&pop, &[1.0, 1.0], 100.0 / m);
     let mut err_weighted = 0.0f64;
-    for g in 0..spread.len() {
-        table.push(vec![2.0, g as f64, cmp_spread.simulated[g], pred_weighted[g]]);
-        err_weighted = err_weighted
-            .max((cmp_spread.simulated[g] - pred_weighted[g]).abs() / pred_weighted[g].max(1e-9));
+    for (g, &pred) in pred_weighted.iter().enumerate().take(spread.len()) {
+        table.push(vec![2.0, g as f64, cmp_spread.simulated[g], pred]);
+        err_weighted = err_weighted.max((cmp_spread.simulated[g] - pred).abs() / pred.max(1e-9));
     }
     checks.push(ShapeCheck::new(
         "netsim.rtt-bias",
@@ -135,7 +142,11 @@ pub fn run(config: &Config) -> FigureResult {
     ));
 
     let path = table.write_csv(&config.out_dir, "netsim_validation.csv");
-    let summary = checks.iter().map(|c| c.render()).collect::<Vec<_>>().join("\n");
+    let summary = checks
+        .iter()
+        .map(|c| c.render())
+        .collect::<Vec<_>>()
+        .join("\n");
     FigureResult {
         id: "netsim".into(),
         files: vec![path],

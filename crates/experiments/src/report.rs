@@ -40,7 +40,9 @@ impl Config {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         }
     }
 }
@@ -108,7 +110,8 @@ impl Table {
     pub fn write_csv(&self, dir: &Path, name: &str) -> PathBuf {
         fs::create_dir_all(dir).unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
         let path = dir.join(name);
-        fs::write(&path, self.to_csv()).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        fs::write(&path, self.to_csv())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
         path
     }
 }

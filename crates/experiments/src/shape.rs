@@ -126,14 +126,21 @@ mod tests {
     fn peak_detection() {
         assert!(single_peaked(&[0.0, 1.0, 2.0, 1.0, 0.5], 0.0));
         assert!(!single_peaked(&[0.0, 2.0, 1.0, 2.0], 0.0));
-        assert!(single_peaked(&[1.0, 1.0, 1.0], 0.0), "flat is trivially peaked");
+        assert!(
+            single_peaked(&[1.0, 1.0, 1.0], 0.0),
+            "flat is trivially peaked"
+        );
     }
 
     #[test]
     fn collapse_detection() {
         assert_eq!(collapse_index(&[1.0, 2.0, 0.1], 0.5), Some(2));
         assert_eq!(collapse_index(&[1.0, 2.0, 3.0], 0.5), None);
-        assert_eq!(collapse_index(&[0.0, 0.0], 0.5), None, "no positive max, no collapse");
+        assert_eq!(
+            collapse_index(&[0.0, 0.0], 0.5),
+            None,
+            "no positive max, no collapse"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn run(config: &Config) -> FigureResult {
         "solvers.equilibrium-agreement",
         "water-level bisection and generic fixed point agree on θ profiles",
         worst_eq < 1e-4,
-        format!("worst relative θ deviation {worst_eq:.2e} over {} capacities", fracs.len()),
+        format!(
+            "worst relative θ deviation {worst_eq:.2e} over {} capacities",
+            fracs.len()
+        ),
     ));
 
     // 2. Partition concepts (§III-D): competitive ≈ Nash for large N.
@@ -80,7 +83,8 @@ pub fn run(config: &Config) -> FigureResult {
         let diff = (0..pop.len())
             .filter(|&i| comp.outcome.partition.class_of(i) != nash.outcome.partition.class_of(i))
             .count();
-        let phi_gap = (comp.outcome.consumer_surplus(&pop) - nash.outcome.consumer_surplus(&pop)).abs()
+        let phi_gap = (comp.outcome.consumer_surplus(&pop) - nash.outcome.consumer_surplus(&pop))
+            .abs()
             / (1.0 + comp.outcome.consumer_surplus(&pop));
         (diff, phi_gap)
     });
@@ -93,7 +97,10 @@ pub fn run(config: &Config) -> FigureResult {
         "solvers.nash-vs-competitive",
         "with 100 CPs the throughput-taking (competitive) and Nash partitions nearly coincide",
         worst_diff <= pop.len() / 10 && worst_phi_gap < 0.02,
-        format!("worst disagreement {worst_diff}/{} CPs, worst Φ gap {worst_phi_gap:.4}", pop.len()),
+        format!(
+            "worst disagreement {worst_diff}/{} CPs, worst Φ gap {worst_phi_gap:.4}",
+            pop.len()
+        ),
     ));
 
     // 3. Market-share solvers.
@@ -122,11 +129,18 @@ pub fn run(config: &Config) -> FigureResult {
         "solvers.bisection-vs-tatonnement",
         "the Assumption-5 migration dynamic reaches the same shares as direct bisection",
         worst_share < 0.05,
-        format!("worst share deviation {worst_share:.4} across {} games", games.len()),
+        format!(
+            "worst share deviation {worst_share:.4} across {} games",
+            games.len()
+        ),
     ));
 
     let path = table.write_csv(&config.out_dir, "solver_validation.csv");
-    let summary = checks.iter().map(|c| c.render()).collect::<Vec<_>>().join("\n");
+    let summary = checks
+        .iter()
+        .map(|c| c.render())
+        .collect::<Vec<_>>()
+        .join("\n");
     FigureResult {
         id: "solvers".into(),
         files: vec![path],

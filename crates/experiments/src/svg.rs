@@ -54,7 +54,9 @@ const PALETTE: [&str; 8] = [
 ];
 
 fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
-    if !(hi > lo) {
+    // `Greater` check (not `hi <= lo`) so a NaN bound also takes the
+    // degenerate-range path.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return vec![lo];
     }
     let raw = (hi - lo) / target as f64;
@@ -79,7 +81,7 @@ fn fmt_tick(v: f64) -> String {
         return "0".into();
     }
     let a = v.abs();
-    if a >= 1000.0 || a < 0.01 {
+    if !(0.01..1000.0).contains(&a) {
         format!("{v:.1e}")
     } else if a >= 10.0 {
         format!("{v:.0}")
@@ -107,15 +109,19 @@ pub fn render_chart(series: &[Series], config: &ChartConfig) -> String {
 
     let (mut x_lo, mut x_hi) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
     let (mut y_lo, mut y_hi) = points
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
-    if x_hi - x_lo < f64::EPSILON {
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
+    if (x_hi - x_lo).abs() < f64::EPSILON {
         x_lo -= 0.5;
         x_hi += 0.5;
     }
-    if y_hi - y_lo < f64::EPSILON {
+    if (y_hi - y_lo).abs() < f64::EPSILON {
         y_lo -= 0.5;
         y_hi += 0.5;
     }
@@ -229,13 +235,23 @@ pub fn render_chart(series: &[Series], config: &ChartConfig) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a CSV table (first column = x, remaining columns = series) into
 /// an SVG file next to it. Returns the SVG path.
-pub fn render_table(table: &crate::report::Table, title: &str, dir: &std::path::Path, name: &str) -> std::path::PathBuf {
-    assert!(table.headers.len() >= 2, "need an x column and at least one y column");
+pub fn render_table(
+    table: &crate::report::Table,
+    title: &str,
+    dir: &std::path::Path,
+    name: &str,
+) -> std::path::PathBuf {
+    assert!(
+        table.headers.len() >= 2,
+        "need an x column and at least one y column"
+    );
     let xs = table.column(&table.headers[0]);
     let series: Vec<Series> = table.headers[1..]
         .iter()

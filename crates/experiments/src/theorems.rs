@@ -16,8 +16,8 @@ use crate::report::{Config, FigureResult, Table};
 use crate::runner::parallel_map;
 use crate::shape::ShapeCheck;
 use pubopt_core::{
-    competitive_equilibrium, duopoly_with_public_option, market_share_equilibrium, Isp, IspStrategy,
-    MarketGame,
+    competitive_equilibrium, duopoly_with_public_option, market_share_equilibrium, Isp,
+    IspStrategy, MarketGame,
 };
 
 use pubopt_num::Tolerance;
@@ -208,7 +208,11 @@ pub fn run(config: &Config) -> FigureResult {
     table.push(vec![0.0, neutral_phi, unregulated_phi]);
 
     let path = table.write_csv(&config.out_dir, "theorems.csv");
-    let summary = checks.iter().map(|c| c.render()).collect::<Vec<_>>().join("\n");
+    let summary = checks
+        .iter()
+        .map(|c| c.render())
+        .collect::<Vec<_>>()
+        .join("\n");
     FigureResult {
         id: "theorems".into(),
         files: vec![path],

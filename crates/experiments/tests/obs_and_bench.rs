@@ -1,0 +1,99 @@
+//! Integration tests for the observability layer and the bench harness.
+//!
+//! The experiments crate's dev-dependencies enable the `enabled` feature
+//! of `pubopt-obs`, so under `cargo test` the instrumentation in the
+//! solver crates is compiled in (feature unification), while plain
+//! builds of the libraries keep it as no-ops.
+
+use pubopt_eq::solve_maxmin_traced;
+use pubopt_experiments::bench_harness::{run, BenchOptions, KERNEL_NAMES};
+use pubopt_num::Tolerance;
+use pubopt_workload::paper_ensemble;
+
+#[test]
+fn instrumentation_is_enabled_under_tests() {
+    assert!(
+        pubopt_obs::enabled(),
+        "dev-dependencies must turn on pubopt-obs/enabled"
+    );
+}
+
+#[test]
+fn solve_maxmin_reports_deterministic_nonzero_iterations() {
+    let pop = paper_ensemble();
+    let (eq1, stats1) = solve_maxmin_traced(&pop, 100.0, Tolerance::default());
+    let (eq2, stats2) = solve_maxmin_traced(&pop, 100.0, Tolerance::default());
+
+    assert!(stats1.congested, "nu=100 < nu* ~ 250 must be congested");
+    assert!(stats1.bisect_iters > 0, "congested solve must bisect");
+    assert!(
+        stats1.lambda_evals > u64::from(stats1.bisect_iters),
+        "each bisection step evaluates lambda at least once"
+    );
+    // Same ensemble, same nu, same tolerance: effort is deterministic.
+    assert_eq!(stats1, stats2);
+    assert_eq!(eq1.aggregate, eq2.aggregate);
+
+    // The global registry saw the work too. Other tests in this binary
+    // run concurrently, so only assert monotone lower bounds.
+    let snap = pubopt_obs::snapshot();
+    assert!(snap.counter("eq.solve_maxmin.calls").unwrap_or(0) >= 2);
+    assert!(snap.counter("eq.solve_maxmin.lambda_evals").unwrap_or(0) >= 2 * stats1.lambda_evals);
+    assert!(snap.counter("num.bisect.calls").unwrap_or(0) >= 2);
+}
+
+#[test]
+fn uncongested_solve_skips_bisection() {
+    let pop = paper_ensemble();
+    let (_, stats) = solve_maxmin_traced(&pop, 1e6, Tolerance::default());
+    assert!(!stats.congested);
+    assert_eq!(stats.bisect_iters, 0);
+}
+
+#[test]
+fn bench_quick_report_parses_and_covers_every_kernel() {
+    let report = run(BenchOptions { quick: true });
+    let text = report.to_json();
+    let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
+
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v1"));
+    assert_eq!(v["quick"].as_bool(), Some(true));
+    assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
+
+    let kernels = v["kernels"].as_array().expect("kernels array");
+    let names: Vec<&str> = kernels.iter().filter_map(|k| k["name"].as_str()).collect();
+    for expected in KERNEL_NAMES {
+        assert!(names.contains(expected), "missing kernel {expected}");
+    }
+    for k in kernels {
+        let (p10, med, p90) = (
+            k["p10_ns"].as_u64().unwrap(),
+            k["median_ns"].as_u64().unwrap(),
+            k["p90_ns"].as_u64().unwrap(),
+        );
+        assert!(p10 <= med && med <= p90, "quantiles out of order in {k}");
+        assert!(med > 0, "zero-cost kernel in {k}");
+    }
+
+    for case in ["trio_nu2", "ensemble_nu100", "ensemble_uncongested"] {
+        assert!(
+            v["solver"][case]["lambda_evals"].as_u64().is_some(),
+            "missing solver case {case}"
+        );
+    }
+    assert_eq!(
+        v["solver"]["ensemble_uncongested"]["congested"].as_bool(),
+        Some(false)
+    );
+
+    let scaling = v["parallel_map_scaling"].as_array().expect("scaling array");
+    let workers: Vec<u64> = scaling
+        .iter()
+        .filter_map(|p| p["workers"].as_u64())
+        .collect();
+    assert_eq!(workers, vec![1, 2, 4, 8]);
+    assert!(
+        (scaling[0]["speedup"].as_f64().unwrap() - 1.0).abs() < 1e-9,
+        "1-worker speedup is the baseline"
+    );
+}

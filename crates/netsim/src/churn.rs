@@ -171,7 +171,14 @@ mod tests {
 
     #[test]
     fn insensitive_population_keeps_full_demand() {
-        let pop: Population = vec![ContentProvider::new(0.5, 2.0, DemandKind::Constant, 0.0, 0.0)].into();
+        let pop: Population = vec![ContentProvider::new(
+            0.5,
+            2.0,
+            DemandKind::Constant,
+            0.0,
+            0.0,
+        )]
+        .into();
         // Capacity just meets unconstrained load: α·θ̂ = 1.0 per capita.
         let churn = ChurnSim::new(pop, 1.2, quick());
         let r = churn.run();
@@ -182,8 +189,14 @@ mod tests {
     #[test]
     fn sensitive_demand_evaporates_under_starvation() {
         // Skype-like CP with tiny capacity: θ ≪ θ̂ so demand collapses.
-        let pop: Population =
-            vec![ContentProvider::new(1.0, 10.0, DemandKind::exponential(5.0), 0.0, 0.0)].into();
+        let pop: Population = vec![ContentProvider::new(
+            1.0,
+            10.0,
+            DemandKind::exponential(5.0),
+            0.0,
+            0.0,
+        )]
+        .into();
         let churn = ChurnSim::new(pop, 0.4, quick());
         let r = churn.run();
         assert!(

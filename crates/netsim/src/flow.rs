@@ -21,8 +21,14 @@ impl FlowGroup {
     ///
     /// Panics if the cap or RTT is non-positive.
     pub fn new(name: impl Into<String>, flows: usize, rate_cap: f64, rtt_base: f64) -> Self {
-        assert!(rate_cap > 0.0 && rate_cap.is_finite(), "rate cap must be positive");
-        assert!(rtt_base > 0.0 && rtt_base.is_finite(), "base RTT must be positive");
+        assert!(
+            rate_cap > 0.0 && rate_cap.is_finite(),
+            "rate cap must be positive"
+        );
+        assert!(
+            rtt_base > 0.0 && rtt_base.is_finite(),
+            "base RTT must be positive"
+        );
         Self {
             name: name.into(),
             flows,
@@ -94,13 +100,19 @@ mod tests {
 
     #[test]
     fn rate_is_window_over_rtt() {
-        let f = FlowState { cwnd: 10.0, group: 0 };
+        let f = FlowState {
+            cwnd: 10.0,
+            group: 0,
+        };
         assert!((f.rate(1.0, 0.1, f64::INFINITY) - 100.0).abs() < 1e-12);
     }
 
     #[test]
     fn rate_respects_cap() {
-        let f = FlowState { cwnd: 1000.0, group: 0 };
+        let f = FlowState {
+            cwnd: 1000.0,
+            group: 0,
+        };
         assert_eq!(f.rate(1.0, 0.1, 50.0), 50.0);
     }
 
@@ -116,21 +128,30 @@ mod tests {
 
     #[test]
     fn loss_shrinks_large_windows() {
-        let mut f = FlowState { cwnd: 100.0, group: 0 };
+        let mut f = FlowState {
+            cwnd: 100.0,
+            group: 0,
+        };
         f.step(0.01, 0.1, 0.01, 1.0, f64::INFINITY);
         assert!(f.cwnd < 100.0);
     }
 
     #[test]
     fn window_never_below_floor() {
-        let mut f = FlowState { cwnd: 1.0, group: 0 };
+        let mut f = FlowState {
+            cwnd: 1.0,
+            group: 0,
+        };
         f.step(1.0, 0.1, 1.0, 1.0, f64::INFINITY);
         assert!(f.cwnd >= W_FLOOR);
     }
 
     #[test]
     fn window_capped_by_application_limit() {
-        let mut f = FlowState { cwnd: 1.0, group: 0 };
+        let mut f = FlowState {
+            cwnd: 1.0,
+            group: 0,
+        };
         // cap·RTT/MSS = 5·0.1/1 = 0.5 ⇒ the window settles at 0.5 and the
         // rate at the cap.
         for _ in 0..1000 {
@@ -151,7 +172,10 @@ mod tests {
         // With constant loss probability p, the fluid fixed point is
         // W* = sqrt(2/p).
         let p = 0.002;
-        let mut f = FlowState { cwnd: 5.0, group: 0 };
+        let mut f = FlowState {
+            cwnd: 5.0,
+            group: 0,
+        };
         for _ in 0..2_000_000 {
             f.step(0.001, 0.1, p, 1.0, f64::INFINITY);
         }

@@ -29,8 +29,14 @@ impl DropTailQueue {
     ///
     /// Panics if capacity or buffer is non-positive.
     pub fn new(capacity: f64, buffer: f64) -> Self {
-        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
-        assert!(buffer > 0.0 && buffer.is_finite(), "buffer must be positive");
+        assert!(
+            capacity > 0.0 && capacity.is_finite(),
+            "capacity must be positive"
+        );
+        assert!(
+            buffer > 0.0 && buffer.is_finite(),
+            "buffer must be positive"
+        );
         Self {
             capacity,
             buffer,
@@ -122,7 +128,10 @@ impl RedQueue {
             (0.0..1.0).contains(&red.min_th) && red.min_th < red.max_th && red.max_th <= 1.0,
             "need 0 <= min_th < max_th <= 1"
         );
-        assert!(red.p_max > 0.0 && red.p_max <= 1.0, "p_max must be in (0,1]");
+        assert!(
+            red.p_max > 0.0 && red.p_max <= 1.0,
+            "p_max must be in (0,1]"
+        );
         Self {
             inner: DropTailQueue::new(capacity, buffer),
             red,
@@ -194,7 +203,10 @@ mod tests {
         }
         assert!(q.is_full());
         let p = q.step(0.1, 200.0);
-        assert!((p - 0.5).abs() < 1e-12, "loss fraction (200-100)/200, got {p}");
+        assert!(
+            (p - 0.5).abs() < 1e-12,
+            "loss fraction (200-100)/200, got {p}"
+        );
         assert_eq!(q.backlog(), 50.0);
     }
 
@@ -265,10 +277,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_th < max_th")]
     fn red_rejects_bad_thresholds() {
-        RedQueue::new(100.0, 10.0, RedConfig {
-            min_th: 0.9,
-            max_th: 0.5,
-            p_max: 0.1,
-        });
+        RedQueue::new(
+            100.0,
+            10.0,
+            RedConfig {
+                min_th: 0.9,
+                max_th: 0.5,
+                p_max: 0.1,
+            },
+        );
     }
 }

@@ -8,9 +8,7 @@
 
 use crate::flow::FlowGroup;
 use pubopt_demand::Population;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use pubopt_num::Rng;
 
 /// RTT assignment for generated flow groups.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,11 +39,9 @@ impl RttModel {
             }
             RttModel::LogUniform { lo, hi, seed } => {
                 assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
-                let mut rng = ChaCha20Rng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let (llo, lhi) = (lo.ln(), hi.ln());
-                (0..n)
-                    .map(|_| (llo + rng.gen::<f64>() * (lhi - llo)).exp())
-                    .collect()
+                (0..n).map(|_| rng.uniform(llo, lhi).exp()).collect()
             }
         }
     }
@@ -112,7 +108,10 @@ mod tests {
                 seed: 8,
             },
         );
-        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.rtt_base != y.rtt_base));
+        assert!(a
+            .iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.rtt_base != y.rtt_base));
     }
 
     #[test]

@@ -206,6 +206,8 @@ impl FluidSim {
     /// events bound the phases; between events the fluid dynamics advance
     /// in fixed steps.
     pub fn run(&mut self) -> SimReport {
+        pubopt_obs::incr("netsim.runs");
+        let sw = pubopt_obs::Stopwatch::start("netsim.run_ns");
         let min_rtt = self
             .groups
             .iter()
@@ -225,11 +227,15 @@ impl FluidSim {
         let mut acc_delay = 0.0;
         let mut samples = 0usize;
 
+        let mut steps = 0u64;
+        let mut event_count = 0u64;
         while let Some((event_time, phase)) = events.pop() {
+            event_count += 1;
             // Integrate up to the event.
             while t < event_time {
                 let step_dt = dt.min(event_time - t);
                 let p = self.step(step_dt);
+                steps += 1;
                 t += step_dt;
                 if measuring {
                     let qdelay = self.queue.delay();
@@ -255,6 +261,9 @@ impl FluidSim {
             }
         }
 
+        pubopt_obs::add("netsim.steps", steps);
+        pubopt_obs::add("netsim.events", event_count);
+        sw.stop();
         let n = samples.max(1) as f64;
         SimReport {
             per_flow_rate: acc_rates.iter().map(|r| r / n).collect(),

@@ -60,8 +60,16 @@ impl Trace {
 ///
 /// This drives the simulator tick-by-tick itself (the normal `run()`
 /// aggregates instead of sampling).
-pub fn record(groups: Vec<crate::FlowGroup>, config: SimConfig, duration: f64, period: f64) -> Trace {
-    assert!(duration > 0.0 && period > 0.0, "duration and period must be positive");
+pub fn record(
+    groups: Vec<crate::FlowGroup>,
+    config: SimConfig,
+    duration: f64,
+    period: f64,
+) -> Trace {
+    assert!(
+        duration > 0.0 && period > 0.0,
+        "duration and period must be positive"
+    );
     let warmup = config.warmup;
     let mut sim = FluidSim::new(
         groups,
@@ -87,7 +95,9 @@ pub fn record(groups: Vec<crate::FlowGroup>, config: SimConfig, duration: f64, p
         if t >= next_sample {
             trace.samples.push(TraceSample {
                 time: t,
-                rates: (0..sim.groups.len()).map(|g| sim.instantaneous_rate(g)).collect(),
+                rates: (0..sim.groups.len())
+                    .map(|g| sim.instantaneous_rate(g))
+                    .collect(),
                 queue_delay: sim.queue_delay(),
             });
             next_sample += period;
@@ -120,7 +130,11 @@ mod tests {
     #[test]
     fn trace_samples_at_requested_period() {
         let trace = record(groups(), config(true), 10.0, 0.5);
-        assert!(trace.samples.len() >= 18 && trace.samples.len() <= 22, "{}", trace.samples.len());
+        assert!(
+            trace.samples.len() >= 18 && trace.samples.len() <= 22,
+            "{}",
+            trace.samples.len()
+        );
         let times = trace.times();
         for w in times.windows(2) {
             assert!(w[1] > w[0]);

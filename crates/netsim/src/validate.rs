@@ -168,8 +168,16 @@ mod tests {
         let cmp = compare_to_maxmin(&groups, config(100.0));
         // The capped group must sit at its cap in both worlds.
         assert!((cmp.predicted[0] - 1.0).abs() < 1e-9);
-        assert!((cmp.simulated[0] - 1.0).abs() < 0.15, "sim {}", cmp.simulated[0]);
-        assert!(cmp.mean_rel_error < 0.12, "mean error {}", cmp.mean_rel_error);
+        assert!(
+            (cmp.simulated[0] - 1.0).abs() < 0.15,
+            "sim {}",
+            cmp.simulated[0]
+        );
+        assert!(
+            cmp.mean_rel_error < 0.12,
+            "mean error {}",
+            cmp.mean_rel_error
+        );
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn fixed_point(
     x0: Vec<f64>,
     opts: FixedPointOptions,
 ) -> Result<FixedPointResult, FixedPointError> {
+    pubopt_obs::incr("num.fixed_point.calls");
     let n = x0.len();
     let mut x = x0;
     let mut residual = f64::INFINITY;
@@ -111,6 +112,7 @@ pub fn fixed_point(
             .chain(fx.iter())
             .fold(0.0f64, |m, v| m.max(v.abs()));
         if residual <= opts.tol.abs + opts.tol.rel * scale {
+            pubopt_obs::add("num.fixed_point.iters", (it + 1) as u64);
             return Ok(FixedPointResult {
                 value: fx,
                 iterations: it + 1,
@@ -121,6 +123,8 @@ pub fn fixed_point(
             x[i] += opts.damping * (fx[i] - x[i]);
         }
     }
+    pubopt_obs::add("num.fixed_point.iters", opts.tol.max_iter as u64);
+    pubopt_obs::incr("num.fixed_point.failures");
     Err(FixedPointError::MaxIterations { best: x, residual })
 }
 
@@ -156,7 +160,10 @@ mod tests {
                 tol: Tolerance::default().with_max_iter(50),
             },
         );
-        assert!(matches!(undamped, Err(FixedPointError::MaxIterations { .. })));
+        assert!(matches!(
+            undamped,
+            Err(FixedPointError::MaxIterations { .. })
+        ));
         let damped = fixed_point(
             |x| vec![2.0 - x[0]],
             vec![0.0],
@@ -171,13 +178,21 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_detected() {
-        let e = fixed_point(|_| vec![1.0, 2.0], vec![0.0], FixedPointOptions::default()).unwrap_err();
-        assert!(matches!(e, FixedPointError::DimensionMismatch { expected: 1, actual: 2 }));
+        let e =
+            fixed_point(|_| vec![1.0, 2.0], vec![0.0], FixedPointOptions::default()).unwrap_err();
+        assert!(matches!(
+            e,
+            FixedPointError::DimensionMismatch {
+                expected: 1,
+                actual: 2
+            }
+        ));
     }
 
     #[test]
     fn non_finite_detected() {
-        let e = fixed_point(|_| vec![f64::NAN], vec![0.0], FixedPointOptions::default()).unwrap_err();
+        let e =
+            fixed_point(|_| vec![f64::NAN], vec![0.0], FixedPointOptions::default()).unwrap_err();
         assert_eq!(e, FixedPointError::NonFinite);
     }
 

@@ -28,11 +28,20 @@ impl LinearInterp {
             return Err("interpolation needs at least one sample".into());
         }
         if xs.len() != ys.len() {
-            return Err(format!("length mismatch: {} xs vs {} ys", xs.len(), ys.len()));
+            return Err(format!(
+                "length mismatch: {} xs vs {} ys",
+                xs.len(),
+                ys.len()
+            ));
         }
         for w in xs.windows(2) {
-            if !(w[0] < w[1]) {
-                return Err(format!("xs not strictly increasing at {} -> {}", w[0], w[1]));
+            // NaN samples slip past this comparison but are rejected by
+            // the finiteness check below.
+            if w[0] >= w[1] {
+                return Err(format!(
+                    "xs not strictly increasing at {} -> {}",
+                    w[0], w[1]
+                ));
             }
         }
         if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {

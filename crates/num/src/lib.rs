@@ -21,6 +21,7 @@
 //! * [`sum`] — Kahan (compensated) summation.
 //! * [`interp`] — piecewise-linear interpolation over sampled curves.
 //! * [`seq`] — grid/linspace construction helpers used by every sweep.
+//! * [`rng`] — deterministic xoshiro256++ streams for synthetic ensembles.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +29,7 @@
 pub mod fixed_point;
 pub mod interp;
 pub mod optimize;
+pub mod rng;
 pub mod roots;
 pub mod seq;
 pub mod sum;
@@ -36,6 +38,7 @@ pub mod tol;
 pub use fixed_point::{fixed_point, FixedPointError, FixedPointOptions, FixedPointResult};
 pub use interp::LinearInterp;
 pub use optimize::{golden_section_max, grid_max, refine_max, GridMax};
+pub use rng::Rng;
 pub use roots::{bisect, brent, RootError};
 pub use seq::{linspace, linspace_excl_zero, logspace};
 pub use sum::{kahan_sum, KahanSum};

@@ -40,7 +40,11 @@ pub fn grid_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize) -> Gr
     for (i, &x) in xs.iter().enumerate().skip(1) {
         let v = f(x);
         if v > best.value {
-            best = GridMax { x, value: v, index: i };
+            best = GridMax {
+                x,
+                value: v,
+                index: i,
+            };
         }
     }
     best
@@ -51,7 +55,13 @@ pub fn grid_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize) -> Gr
 /// and re-grids, for `rounds` rounds. Robust to discontinuities (it never
 /// assumes smoothness) while resolving the maximiser to
 /// `(hi - lo) * (2/(n-1))^rounds`.
-pub fn refine_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize, rounds: usize) -> GridMax {
+pub fn refine_max(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    n: usize,
+    rounds: usize,
+) -> GridMax {
     assert!(n >= 3, "refine_max needs at least 3 samples per round");
     let mut lo = lo;
     let mut hi = hi;
@@ -78,7 +88,12 @@ pub fn refine_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, n: usize, rou
 /// Used on objective regions known to be smooth (e.g. the linear revenue
 /// regime of Figure 4); for the full discontinuous objectives prefer
 /// [`refine_max`].
-pub fn golden_section_max(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -> GridMax {
+pub fn golden_section_max(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: Tolerance,
+) -> GridMax {
     const INV_PHI: f64 = 0.618_033_988_749_894_9;
     let mut a = lo.min(hi);
     let mut b = lo.max(hi);
@@ -167,7 +182,12 @@ mod tests {
 
     #[test]
     fn golden_section_on_unimodal() {
-        let g = golden_section_max(|x| -(x - 1.25).powi(2) + 7.0, -10.0, 10.0, Tolerance::default());
+        let g = golden_section_max(
+            |x| -(x - 1.25).powi(2) + 7.0,
+            -10.0,
+            10.0,
+            Tolerance::default(),
+        );
         assert!((g.x - 1.25).abs() < 1e-6);
         assert!((g.value - 7.0).abs() < 1e-10);
     }

@@ -61,7 +61,29 @@ impl std::error::Error for RootError {}
 ///
 /// [`RootError::NotBracketed`] if the signs match, [`RootError::NonFinite`]
 /// if `f` produces a NaN.
-pub fn bisect(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -> Result<f64, RootError> {
+pub fn bisect(
+    f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: Tolerance,
+) -> Result<f64, RootError> {
+    bisect_counted(f, lo, hi, tol).map(|(root, _)| root)
+}
+
+/// [`bisect`], additionally reporting the number of interval halvings it
+/// performed.
+///
+/// The count is returned (not just recorded in the observability
+/// registry) so callers that report solver effort — the bench binary,
+/// `repro` run reports — work in builds with instrumentation compiled
+/// out.
+pub fn bisect_counted(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: Tolerance,
+) -> Result<(f64, u32), RootError> {
+    pubopt_obs::incr("num.bisect.calls");
     let (mut lo, mut hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     let mut f_lo = f(lo);
     let f_hi = f(hi);
@@ -72,25 +94,29 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -
         return Err(RootError::NonFinite { at: hi });
     }
     if f_lo == 0.0 {
-        return Ok(lo);
+        return Ok((lo, 0));
     }
     if f_hi == 0.0 {
-        return Ok(hi);
+        return Ok((hi, 0));
     }
     if f_lo.signum() == f_hi.signum() {
         return Err(RootError::NotBracketed { f_lo, f_hi });
     }
-    for _ in 0..tol.max_iter {
+    fn done(root: f64, iters: usize) -> (f64, u32) {
+        pubopt_obs::add("num.bisect.iters", iters as u64);
+        (root, iters as u32)
+    }
+    for iter in 0..tol.max_iter {
         let mid = 0.5 * (lo + hi);
         if tol.interval_resolved(lo, hi) {
-            return Ok(mid);
+            return Ok(done(mid, iter));
         }
         let f_mid = f(mid);
         if f_mid.is_nan() {
             return Err(RootError::NonFinite { at: mid });
         }
         if f_mid == 0.0 {
-            return Ok(mid);
+            return Ok(done(mid, iter + 1));
         }
         if f_mid.signum() == f_lo.signum() {
             lo = mid;
@@ -99,7 +125,7 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -
             hi = mid;
         }
     }
-    Ok(0.5 * (lo + hi))
+    Ok(done(0.5 * (lo + hi), tol.max_iter))
 }
 
 /// Find a root of a continuous `f` in `[lo, hi]` with Brent's method
@@ -107,7 +133,13 @@ pub fn bisect(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -
 ///
 /// Same bracketing contract as [`bisect`], but converges superlinearly on
 /// smooth functions such as the exponential demand family of Eq. (3).
-pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) -> Result<f64, RootError> {
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: Tolerance,
+) -> Result<f64, RootError> {
+    pubopt_obs::incr("num.brent.calls");
     let (mut a, mut b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     let mut fa = f(a);
     let mut fb = f(b);
@@ -134,8 +166,9 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) ->
     let mut fc = fa;
     let mut d = b - a;
     let mut mflag = true;
-    for _ in 0..tol.max_iter {
+    for iter in 0..tol.max_iter {
         if tol.interval_resolved(a.min(b), a.max(b)) || fb == 0.0 {
+            pubopt_obs::add("num.brent.iters", iter as u64);
             return Ok(b);
         }
         let mut s = if fa != fc && fb != fc {
@@ -148,7 +181,8 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) ->
             b - fb * (b - a) / (fb - fa)
         };
         let lo_band = (3.0 * a + b) / 4.0;
-        let cond_outside = !((s > lo_band.min(b) && s < lo_band.max(b)) || (s > b.min(lo_band) && s < b.max(lo_band)));
+        let cond_outside = !((s > lo_band.min(b) && s < lo_band.max(b))
+            || (s > b.min(lo_band) && s < b.max(lo_band)));
         let between = (s - b).abs();
         let cond_slow = if mflag {
             between >= (b - c).abs() / 2.0
@@ -185,6 +219,7 @@ pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: Tolerance) ->
             std::mem::swap(&mut fa, &mut fb);
         }
     }
+    pubopt_obs::add("num.brent.iters", tol.max_iter as u64);
     Ok(b)
 }
 
@@ -207,7 +242,10 @@ mod tests {
     #[test]
     fn bisect_exact_endpoint_root() {
         assert_eq!(bisect(|x| x, 0.0, 5.0, Tolerance::default()).unwrap(), 0.0);
-        assert_eq!(bisect(|x| x - 5.0, 0.0, 5.0, Tolerance::default()).unwrap(), 5.0);
+        assert_eq!(
+            bisect(|x| x - 5.0, 0.0, 5.0, Tolerance::default()).unwrap(),
+            5.0
+        );
     }
 
     #[test]
@@ -227,7 +265,13 @@ mod tests {
         // Discontinuous function: jump through zero at x = 2. Bisection
         // converges to the jump location — exactly what the equilibrium
         // solver needs for step demand functions.
-        let r = bisect(|x| if x < 2.0 { -1.0 } else { 1.0 }, 0.0, 10.0, Tolerance::default()).unwrap();
+        let r = bisect(
+            |x| if x < 2.0 { -1.0 } else { 1.0 },
+            0.0,
+            10.0,
+            Tolerance::default(),
+        )
+        .unwrap();
         assert!((r - 2.0).abs() < 1e-8);
     }
 
@@ -242,7 +286,13 @@ mod tests {
 
     #[test]
     fn brent_cubic() {
-        let r = brent(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0), -4.0, 0.0, Tolerance::default()).unwrap();
+        let r = brent(
+            |x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0),
+            -4.0,
+            0.0,
+            Tolerance::default(),
+        )
+        .unwrap();
         assert!((r + 3.0).abs() < 1e-8);
     }
 

@@ -110,8 +110,11 @@ mod tests {
 
     #[test]
     fn presets_ordered_by_strictness() {
-        assert!(Tolerance::COARSE.abs > Tolerance::FINE.abs);
-        assert!(Tolerance::FINE.abs > Tolerance::STRICT.abs);
+        // Bind through locals so the assertions stay runtime checks (the
+        // preset fields are consts, which clippy would otherwise flag).
+        let (coarse, fine, strict) = (Tolerance::COARSE, Tolerance::FINE, Tolerance::STRICT);
+        assert!(coarse.abs > fine.abs);
+        assert!(fine.abs > strict.abs);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Metric cells: atomic counters and log₂-bucketed histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (relaxed atomics; safe to
+/// bump from any number of threads).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the counter.
+    #[inline]
+    pub fn add(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: bucket `b` holds values whose bit length is
+/// `b`, i.e. `[2^(b-1), 2^b)`; bucket 0 holds the value 0.
+const BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` values (typically nanoseconds) with
+/// power-of-two buckets plus exact count/sum/min/max.
+///
+/// Quantiles are therefore resolved only to within a factor of two —
+/// exactly the precision needed to spot order-of-magnitude regressions
+/// without any allocation on the record path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let bucket = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset to empty.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the current state. (Concurrent writers
+    /// may skew individual fields by a few in-flight records; fine for
+    /// reporting.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; bucket `b` covers `[2^(b-1), 2^b)`, bucket 0
+    /// covers the exact value 0.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`), resolved to the upper
+    /// bound of the bucket containing the rank, clamped to the exact
+    /// observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b == 0 {
+                    0u64
+                } else {
+                    (1u128 << b) as u64 - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1); // value 0
+        assert_eq!(s.buckets[1], 1); // [1,2)
+        assert_eq!(s.buckets[2], 2); // [2,4)
+        assert_eq!(s.buckets[3], 1); // [4,8)
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let h = Histogram::new();
+        h.record(17);
+        h.record(90_000);
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max, s.count, s.sum), (17, 90_000, 2, 90_017));
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_range() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 1000);
+        assert_eq!(s.quantile(0.5), 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+}

@@ -1,0 +1,189 @@
+//! Named metric registry and point-in-time snapshots.
+
+use crate::json::Value;
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A set of named counters and histograms.
+///
+/// Lookup takes a short mutex; the returned cells are `Arc` handles, so
+/// hot loops should look a cell up once and bump the handle. [`reset`]
+/// zeroes cells in place — existing handles stay valid.
+///
+/// [`reset`]: Registry::reset
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh empty registry (tests and tools; production code uses
+    /// [`crate::global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created zeroed on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs counter map poisoned");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_owned(), Arc::clone(&c));
+        c
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs histogram map poisoned");
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Zero every cell in place. Handles previously returned by
+    /// [`counter`](Registry::counter)/[`histogram`](Registry::histogram)
+    /// remain registered and valid.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("obs counter map poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("obs histogram map poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Copy out every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("obs counter map poisoned")
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("obs histogram map poisoned")
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry behind the crate's free functions.
+pub(crate) fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Render as a JSON object:
+    /// `{"counters": {name: value, …}, "histograms": {name: {count, sum,
+    /// min, max, mean, p50, p90}, …}}`.
+    pub fn to_json(&self) -> String {
+        Value::from(self).to_string()
+    }
+}
+
+impl From<&Snapshot> for Value {
+    fn from(snap: &Snapshot) -> Value {
+        let counters = snap
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Value::from(*v)))
+            .collect();
+        let histograms = snap
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                (
+                    n.clone(),
+                    Value::Object(vec![
+                        ("count".into(), Value::from(h.count)),
+                        ("sum".into(), Value::from(h.sum)),
+                        ("min".into(), Value::from(h.min)),
+                        ("max".into(), Value::from(h.max)),
+                        ("mean".into(), Value::from(h.mean())),
+                        ("p50".into(), Value::from(h.quantile(0.5))),
+                        ("p90".into(), Value::from(h.quantile(0.9))),
+                    ]),
+                )
+            })
+            .collect();
+        Value::Object(vec![
+            ("counters".into(), Value::Object(counters)),
+            ("histograms".into(), Value::Object(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_cells() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let reg = Registry::new();
+        reg.counter("c").add(4);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(4));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("h").map(|h| h.count), Some(1));
+    }
+}

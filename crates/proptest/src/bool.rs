@@ -1,0 +1,34 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Uniform `bool` strategy type.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_produces_both_values() {
+        let mut rng = TestRng::from_seed(21);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[usize::from(ANY.sample(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

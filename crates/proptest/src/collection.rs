@@ -1,0 +1,79 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Permitted lengths for a generated collection (half-open, as upstream's
+/// `Range<usize>` conversion).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+/// Generate `Vec`s whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Output of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_from_usize() {
+        let s = vec(0.0f64..1.0, 4usize);
+        let mut rng = TestRng::from_seed(11);
+        assert_eq!(s.sample(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn zero_length_allowed() {
+        let s = vec(0.0f64..1.0, 0..1);
+        let mut rng = TestRng::from_seed(12);
+        assert!(s.sample(&mut rng).is_empty());
+    }
+}

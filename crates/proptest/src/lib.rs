@@ -1,0 +1,360 @@
+//! # proptest (in-repo shim)
+//!
+//! A dependency-free, API-compatible subset of the [`proptest`] crate
+//! (<https://crates.io/crates/proptest>) implementing exactly the surface
+//! this workspace's tests use: `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, `prop_compose!`, `prop_oneof!`,
+//! range/tuple/`Just`/`prop_map` strategies, `prop::collection::vec` and
+//! `prop::bool::ANY`.
+//!
+//! Why a shim: tier-1 verification (`cargo build --release && cargo test
+//! -q`) must succeed on machines with **no registry access**, so external
+//! dev-dependencies cannot be resolved. This crate keeps every seed
+//! property test compiling and running unchanged.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   deterministic seed; re-running reproduces it exactly.
+//! * **Deterministic.** Case seeds derive from the test name and case
+//!   index (FNV-1a + SplitMix64), so runs are bit-reproducible across
+//!   machines — there is no `proptest-regressions` directory.
+//! * **Smaller default case count** (64 vs upstream's 256), tuned for CI;
+//!   override with the `PROPTEST_CASES` environment variable or
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//! * `prop_assume!` failures simply pass the case rather than retrying
+//!   with fresh input.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// The `prop` path alias used by `prelude` consumers
+/// (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_compose, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single property case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Per-case verdict produced by a `proptest!` body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic RNG handed to strategies (SplitMix64; passes the usual
+/// quick statistical checks and is more than adequate for test-input
+/// generation).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary u64.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The deterministic RNG for case `case` of property `name`.
+    pub fn deterministic(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self::from_seed(h.wrapping_add(u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+        // immaterial for test-input generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Execute one property: `cases` deterministic cases of `body`.
+///
+/// Not public API of upstream proptest — the `proptest!` macro expands to
+/// this. Panics (failing the enclosing `#[test]`) on the first case whose
+/// body returns an error, reporting the case index and seed.
+pub fn run_property(
+    name: &str,
+    config: ProptestConfig,
+    mut body: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+        .max(1);
+    for case in 0..cases {
+        let mut rng = TestRng::deterministic(name, case);
+        if let Err(e) = body(&mut rng) {
+            panic!("property `{name}` failed at case {case}/{cases}: {e}");
+        }
+    }
+}
+
+/// Define property tests (shim of upstream's `proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    // The internal `@cfg` arm must precede the catch-all arm: macro arms
+    // match in order, and the catch-all would otherwise swallow the
+    // internal dispatch and recurse forever.
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), $cfg, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // The negation is structural (any `$cond`), so the partial-ord
+        // style lint does not apply to expansions.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            *l,
+            *r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case when its precondition does not hold. (Upstream
+/// rejects-and-retries; the shim counts the case as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::option($strat)),+])
+    };
+}
+
+/// Compose strategies into a named generator function (shim of upstream's
+/// `prop_compose!`; supports the `fn name(outer...)(arg in strat, ...) ->
+/// Type { body }` form).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($outer:ident: $outer_ty:ty),* $(,)?)
+        ($($arg:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($outer: $outer_ty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        let mut c = TestRng::deterministic("t", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut rng = TestRng::from_seed(9);
+        for n in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::run_property("always_fails", ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    prop_compose! {
+        fn pair_sums()(v in prop::collection::vec(0.0f64..1.0, 2..5)) -> f64 {
+            v.iter().sum()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..7.5, n in 1usize..40, s in 5u64..9) {
+            prop_assert!((-3.0..7.5).contains(&x));
+            prop_assert!((1..40).contains(&n));
+            prop_assert!((5..9).contains(&s));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec(0.0f64..1.0, 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_compose(k in prop_oneof![
+            (0.0f64..1.0).prop_map(|x| x * 2.0),
+            Just(5.0f64),
+        ]) {
+            prop_assert!((0.0..2.0).contains(&k) || k == 5.0);
+        }
+
+        #[test]
+        fn composed_strategy_usable(s in pair_sums(), flag in prop::bool::ANY) {
+            prop_assert!((0.0..4.0).contains(&s));
+            prop_assert!(matches!(flag, true | false));
+        }
+
+        #[test]
+        fn assume_short_circuits(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+
+        #[test]
+        fn assert_eq_form(n in 2usize..20) {
+            prop_assert_eq!(n + n, 2 * n);
+            prop_assert_eq!(n * 2, 2 * n, "custom message {}", n);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Strategy trait and the combinators the workspace's tests use.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random test inputs (shim of upstream's `Strategy`).
+///
+/// Object-safe core is [`Strategy::sample`]; the combinators require
+/// `Self: Sized` so `Box<dyn Strategy<Value = T>>` works.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (output of `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty option list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+
+    /// Box one option (used by the `prop_oneof!` expansion).
+    pub fn option<S>(s: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+/// Wrap a sampling closure as a strategy (used by `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wrap `f`.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<T, F> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start() <= self.end(), "empty f64 range strategy");
+        // next_f64 is in [0, 1); nudge the scale so end() is reachable in
+        // principle — exact-endpoint hits don't matter for these tests.
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    debug_assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    debug_assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn just_clones() {
+        let s = Just(vec![1, 2, 3]);
+        let mut rng = TestRng::from_seed(1);
+        assert_eq!(s.sample(&mut rng), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tuples_sample_each_component() {
+        let s = (0.0f64..1.0, 5usize..6, Just(9u8));
+        let mut rng = TestRng::from_seed(2);
+        let (a, b, c) = s.sample(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert_eq!(b, 5);
+        assert_eq!(c, 9);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_spans() {
+        let s = -5i32..5;
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -1,10 +1,7 @@
 //! Random CP ensemble generators.
 
 use pubopt_demand::{ContentProvider, DemandKind, Population};
-use rand::distributions::{Distribution, Uniform};
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
-use serde::{Deserialize, Serialize};
+use pubopt_num::Rng;
 
 /// The fixed seed used for "the" paper ensemble throughout this
 /// repository. (The paper's own seed is unpublished; every figure in
@@ -12,7 +9,7 @@ use serde::{Deserialize, Serialize};
 pub const PAPER_SEED: u64 = 0x5075_624f_7074_3131; // "PubOpt11"
 
 /// How consumer utilities `φ_i` are drawn.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhiDistribution {
     /// Main-text draw: `φ_i ~ U[0, β_i]` — utility biased toward
     /// throughput-sensitive CPs (Skype-like content is worth more per
@@ -24,7 +21,7 @@ pub enum PhiDistribution {
 }
 
 /// Parameters of the synthetic ensemble.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnsembleConfig {
     /// Number of CPs (the paper uses 1000).
     pub n: usize,
@@ -56,23 +53,21 @@ impl EnsembleConfig {
     pub fn generate(&self) -> Population {
         assert!(self.n > 0, "ensemble needs at least one CP");
         assert!(self.beta_max >= 0.0, "beta_max must be non-negative");
-        let mut rng = ChaCha20Rng::seed_from_u64(self.seed);
-        let unit = Uniform::new_inclusive(0.0f64, 1.0);
-        let beta_d = Uniform::new_inclusive(0.0f64, self.beta_max);
+        let mut rng = Rng::seed_from_u64(self.seed);
         const FLOOR: f64 = 1e-6;
         (0..self.n)
             .map(|i| {
                 // Draw in a fixed field order so adding fields later never
                 // silently reshuffles existing ensembles.
-                let alpha = unit.sample(&mut rng).max(FLOOR);
-                let theta_hat = unit.sample(&mut rng).max(FLOOR);
-                let beta = beta_d.sample(&mut rng);
-                let v = unit.sample(&mut rng);
+                let alpha = rng.next_f64().max(FLOOR);
+                let theta_hat = rng.next_f64().max(FLOOR);
+                let beta = rng.next_f64() * self.beta_max;
+                let v = rng.next_f64();
                 let phi = match self.phi {
-                    PhiDistribution::CoupledToBeta => unit.sample(&mut rng) * beta,
+                    PhiDistribution::CoupledToBeta => rng.next_f64() * beta,
                     PhiDistribution::IndependentUniform => {
-                        let upper = unit.sample(&mut rng) * self.beta_max;
-                        unit.sample(&mut rng) * upper
+                        let upper = rng.next_f64() * self.beta_max;
+                        rng.next_f64() * upper
                     }
                 };
                 ContentProvider::new(alpha, theta_hat, DemandKind::exponential(beta), v, phi)

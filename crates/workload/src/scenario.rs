@@ -7,10 +7,9 @@
 use crate::ensemble::{paper_ensemble, paper_ensemble_independent_phi};
 use pubopt_demand::archetypes::figure3_trio;
 use pubopt_demand::Population;
-use serde::{Deserialize, Serialize};
 
 /// The workloads used by the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// The 3-CP Google/Netflix/Skype example of §II-D (Figure 3).
     Trio,
@@ -78,7 +77,10 @@ mod tests {
 
     #[test]
     fn ensemble_scenarios_cover_double_saturation() {
-        for kind in [ScenarioKind::PaperEnsemble, ScenarioKind::PaperEnsembleIndependentPhi] {
+        for kind in [
+            ScenarioKind::PaperEnsemble,
+            ScenarioKind::PaperEnsembleIndependentPhi,
+        ] {
             let s = Scenario::load(kind);
             assert_eq!(s.pop.len(), 1000);
             assert!(s.nu_max > 1.5 * s.nu_saturation());

@@ -33,7 +33,10 @@ fn main() {
 
     let cmp = compare_regimes(&pop, nu, 0.5, 1.0, 13, Tolerance::COARSE);
 
-    println!("\n{:<28} {:>10} {:>10} {:>12} {:>14}", "regime", "Φ", "Ψ", "market share", "strategy");
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>12} {:>14}",
+        "regime", "Φ", "Ψ", "market share", "strategy"
+    );
     for (name, r) in [
         ("unregulated monopoly", &cmp.unregulated),
         ("network-neutral regulation", &cmp.neutral),

@@ -16,7 +16,10 @@ use public_option::prelude::*;
 fn print_eq(title: &str, game: &MarketGame, pop: &Population) {
     let eq = market_share_equilibrium(game, pop, Tolerance::COARSE);
     println!("\n=== {title} ===");
-    println!("{:<14} {:>9} {:>9} {:>9} {:>9}", "isp", "γ (cap)", "m (share)", "Φ", "Ψ·m");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "isp", "γ (cap)", "m (share)", "Φ", "Ψ·m"
+    );
     for (i, isp) in game.isps.iter().enumerate() {
         println!(
             "{:<14} {:>9.3} {:>9.3} {:>9.2} {:>9.3}",

@@ -15,17 +15,18 @@ use public_option::prelude::*;
 fn main() {
     let mut args = std::env::args().skip(1);
     let nu: f64 = args.next().map(|s| s.parse().expect("nu")).unwrap_or(100.0);
-    let gamma_po: f64 = args.next().map(|s| s.parse().expect("gamma_po")).unwrap_or(0.5);
-    assert!(gamma_po > 0.0 && gamma_po < 1.0, "gamma_po must be in (0,1)");
+    let gamma_po: f64 = args
+        .next()
+        .map(|s| s.parse().expect("gamma_po"))
+        .unwrap_or(0.5);
+    assert!(
+        gamma_po > 0.0 && gamma_po < 1.0,
+        "gamma_po must be in (0,1)"
+    );
 
     let pop = paper_ensemble();
-    println!(
-        "1000 CPs, system ν = {nu}, public option capacity share γ_PO = {gamma_po}\n"
-    );
-    println!(
-        "{:>6} {:>10} {:>10} {:>10}  note",
-        "c", "m_I", "Ψ_I", "Φ"
-    );
+    println!("1000 CPs, system ν = {nu}, public option capacity share γ_PO = {gamma_po}\n");
+    println!("{:>6} {:>10} {:>10} {:>10}  note", "c", "m_I", "Ψ_I", "Φ");
 
     let mut best: Option<(f64, f64)> = None;
     for k in 0..=20 {
@@ -48,7 +49,7 @@ fn main() {
             "{:>6.2} {:>10.3} {:>10.3} {:>10.2}  {note}",
             c, duo.share_i, duo.psi_i, duo.phi
         );
-        if best.map_or(true, |(_, m)| duo.share_i > m) {
+        if best.is_none_or(|(_, m)| duo.share_i > m) {
             best = Some((c, duo.share_i));
         }
     }

@@ -40,7 +40,10 @@ fn main() {
             eq.rho(i)
         );
     }
-    println!("  aggregate rate: {:.3} (= ν: link fully used)", eq.aggregate);
+    println!(
+        "  aggregate rate: {:.3} (= ν: link fully used)",
+        eq.aggregate
+    );
     println!("  consumer surplus Φ = {:.3}", consumer_surplus(&pop, &eq));
 
     // 3. A monopolist differentiates service: κ = 0.5 premium at c = 0.2.
@@ -56,10 +59,19 @@ fn main() {
         );
     }
     println!("  ISP surplus Ψ = {:.4}", sol.outcome.isp_surplus(&pop));
-    println!("  consumer surplus Φ = {:.4}", sol.outcome.consumer_surplus(&pop));
+    println!(
+        "  consumer surplus Φ = {:.4}",
+        sol.outcome.consumer_surplus(&pop)
+    );
 
     // 4. Enter the Public Option with half the capacity (§IV-A).
-    let duo = duopoly_with_public_option(&pop, nu, IspStrategy::premium_only(0.2), 0.5, Tolerance::default());
+    let duo = duopoly_with_public_option(
+        &pop,
+        nu,
+        IspStrategy::premium_only(0.2),
+        0.5,
+        Tolerance::default(),
+    );
     println!("\n=== Duopoly vs Public Option (Definition 5, Theorem 5) ===");
     println!("  strategic ISP share m_I = {:.3}", duo.share_i);
     println!("  strategic ISP surplus Ψ_I = {:.4}", duo.psi_i);

@@ -38,7 +38,10 @@ fn main() {
     ];
     let cmp = compare_to_maxmin(&groups, sim_config());
     println!("=== homogeneous RTTs (80 ms) ===");
-    println!("{:<28} {:>10} {:>10} {:>8}", "group", "simulated", "max-min", "error");
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}",
+        "group", "simulated", "max-min", "error"
+    );
     for (g, group) in groups.iter().enumerate() {
         println!(
             "{:<28} {:>10.3} {:>10.3} {:>7.1}%",
@@ -61,17 +64,41 @@ fn main() {
         FlowGroup::new("near", 2, 1e9, near_rtt),
         FlowGroup::new("far", 2, 1e9, far_rtt),
     ];
-    let cmp_het = compare_to_maxmin(&het, SimConfig { capacity: 100.0, ..sim_config() });
-    println!("=== heterogeneous RTTs ({:.0} ms vs {:.0} ms) ===", near_rtt * 1e3, far_rtt * 1e3);
-    println!("max-min prediction error: {:.1}%", 100.0 * cmp_het.max_rel_error);
+    let cmp_het = compare_to_maxmin(
+        &het,
+        SimConfig {
+            capacity: 100.0,
+            ..sim_config()
+        },
+    );
+    println!(
+        "=== heterogeneous RTTs ({:.0} ms vs {:.0} ms) ===",
+        near_rtt * 1e3,
+        far_rtt * 1e3
+    );
+    println!(
+        "max-min prediction error: {:.1}%",
+        100.0 * cmp_het.max_rel_error
+    );
 
     // RTT-weighted α-fair repair, using effective RTTs.
     let m: f64 = het.iter().map(|g| g.flows as f64).sum();
     let pop: Population = het
         .iter()
-        .map(|g| ContentProvider::new(g.flows as f64 / m, g.rate_cap, DemandKind::Constant, 0.0, 0.0))
+        .map(|g| {
+            ContentProvider::new(
+                g.flows as f64 / m,
+                g.rate_cap,
+                DemandKind::Constant,
+                0.0,
+                0.0,
+            )
+        })
         .collect();
-    let rtts: Vec<f64> = het.iter().map(|g| g.rtt_base + cmp_het.mean_queue_delay).collect();
+    let rtts: Vec<f64> = het
+        .iter()
+        .map(|g| g.rtt_base + cmp_het.mean_queue_delay)
+        .collect();
     let weighted = WeightedAlphaFair::new(2.0).with_rtt_bias(&rtts, rtts[0]);
     let pred = weighted.allocate(&pop, &[1.0, 1.0], 100.0 / m);
     let err = het

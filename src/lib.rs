@@ -53,7 +53,7 @@ pub use pubopt_workload as workload;
 pub mod prelude {
     pub use pubopt_alloc::{MaxMinFair, RateAllocator, WeightedAlphaFair};
     pub use pubopt_core::{
-        competitive_equilibrium, compare_regimes, duopoly_with_public_option,
+        compare_regimes, competitive_equilibrium, duopoly_with_public_option,
         market_share_equilibrium, nash_equilibrium, optimal_strategy, GameOutcome, Isp,
         IspStrategy, MarketGame, Partition, ServiceClass,
     };

@@ -20,7 +20,10 @@ fn equilibrium_feeds_game_feeds_market() {
 
     // Rate equilibrium.
     let eq = solve_maxmin(&pop, nu, Tolerance::default());
-    assert!((eq.aggregate - nu).abs() < 1e-6 * (1.0 + nu), "congested ⇒ λ = ν");
+    assert!(
+        (eq.aggregate - nu).abs() < 1e-6 * (1.0 + nu),
+        "congested ⇒ λ = ν"
+    );
 
     // Single-ISP game on top.
     let sol = competitive_equilibrium(&pop, nu, IspStrategy::new(0.4, 0.3), Tolerance::default());
@@ -36,7 +39,8 @@ fn equilibrium_feeds_game_feeds_market() {
     );
 
     // Market on top of the game.
-    let duo = duopoly_with_public_option(&pop, nu, IspStrategy::new(0.4, 0.3), 0.5, Tolerance::COARSE);
+    let duo =
+        duopoly_with_public_option(&pop, nu, IspStrategy::new(0.4, 0.3), 0.5, Tolerance::COARSE);
     assert!(duo.share_i >= 0.0 && duo.share_i <= 1.0);
     assert!(duo.phi > 0.0);
 }

@@ -25,13 +25,15 @@ fn theorem4_kappa_one_dominates_on_ensemble() {
     let pop = ensemble();
     let nu = 0.4 * nu_star(&pop);
     for c in [0.15, 0.4, 0.7] {
-        let full = competitive_equilibrium(&pop, nu, IspStrategy::premium_only(c), Tolerance::default())
-            .outcome
-            .isp_surplus(&pop);
-        for kappa in [0.1, 0.4, 0.7, 0.95] {
-            let partial = competitive_equilibrium(&pop, nu, IspStrategy::new(kappa, c), Tolerance::default())
+        let full =
+            competitive_equilibrium(&pop, nu, IspStrategy::premium_only(c), Tolerance::default())
                 .outcome
                 .isp_surplus(&pop);
+        for kappa in [0.1, 0.4, 0.7, 0.95] {
+            let partial =
+                competitive_equilibrium(&pop, nu, IspStrategy::new(kappa, c), Tolerance::default())
+                    .outcome
+                    .isp_surplus(&pop);
             assert!(
                 full + 1e-6 * (1.0 + full) >= partial,
                 "Theorem 4 violated at c={c}, κ={kappa}: {partial} > {full}"
@@ -50,8 +52,13 @@ fn monopoly_misalignment_at_abundance() {
     let sweep: Vec<(f64, f64, f64)> = cs
         .iter()
         .map(|&c| {
-            let out = competitive_equilibrium(&pop, nu, IspStrategy::premium_only(c), Tolerance::default())
-                .outcome;
+            let out = competitive_equilibrium(
+                &pop,
+                nu,
+                IspStrategy::premium_only(c),
+                Tolerance::default(),
+            )
+            .outcome;
             (c, out.isp_surplus(&pop), out.consumer_surplus(&pop))
         })
         .collect();
@@ -80,8 +87,14 @@ fn theorem5_share_max_aligns_with_surplus_max() {
     let mut best_phi = f64::NEG_INFINITY;
     for k in 0..=10 {
         let c = k as f64 / 10.0;
-        let duo = duopoly_with_public_option(&pop, nu, IspStrategy::premium_only(c), 0.5, Tolerance::COARSE);
-        if best_share.map_or(true, |(s, _)| duo.share_i > s) {
+        let duo = duopoly_with_public_option(
+            &pop,
+            nu,
+            IspStrategy::premium_only(c),
+            0.5,
+            Tolerance::COARSE,
+        );
+        if best_share.is_none_or(|(s, _)| duo.share_i > s) {
             best_share = Some((duo.share_i, duo.phi));
         }
         best_phi = best_phi.max(duo.phi);
@@ -149,7 +162,13 @@ fn public_option_profitability_claim() {
     let pop = ensemble();
     let nu = 0.5 * nu_star(&pop);
     for c in [0.1, 0.3, 0.5] {
-        let duo = duopoly_with_public_option(&pop, nu, IspStrategy::premium_only(c), 0.5, Tolerance::COARSE);
+        let duo = duopoly_with_public_option(
+            &pop,
+            nu,
+            IspStrategy::premium_only(c),
+            0.5,
+            Tolerance::COARSE,
+        );
         assert!(
             1.0 - duo.share_i > 0.3,
             "PO should keep a substantial share against c={c}, got {}",
