@@ -134,8 +134,12 @@ impl RateAllocator for WeightedAlphaFair {
             .map(|i| self.weight(i).powf(1.0 / self.alpha))
             .fold(f64::INFINITY, f64::min);
         let t_hi = pop.max_theta_hat() / min_wpow + 1.0;
-        let t = bisect(|t| load(t) - nu, 0.0, t_hi, self.tol)
-            .expect("load is 0 at t=0 and >= nu at t_hi: bracket must hold");
+        let t = match bisect(|t| load(t) - nu, 0.0, t_hi, self.tol) {
+            Ok(t) => t,
+            // Budget exhaustion leaves a valid (just imprecise) scale.
+            Err(pubopt_num::RootError::MaxIterations { best }) => best,
+            Err(e) => panic!("load is 0 at t=0 and >= nu at t_hi: bracket must hold: {e}"),
+        };
         (0..pop.len())
             .map(|i| pop[i].theta_hat.min(self.rate_at(i, t)))
             .collect()

@@ -27,8 +27,8 @@
 use crate::outcome::{GameOutcome, Partition, ServiceClass};
 use crate::strategy::IspStrategy;
 use pubopt_demand::{ContentProvider, Population};
-use pubopt_eq::solve_maxmin;
-use pubopt_num::Tolerance;
+use pubopt_eq::{solve_maxmin, try_solve_maxmin};
+use pubopt_num::{SolverPolicy, Tolerance};
 use std::collections::HashSet;
 
 /// A solved second-stage partition equilibrium.
@@ -50,14 +50,26 @@ fn rho_estimate(cp: &ContentProvider, water: f64) -> f64 {
 /// Water level of one class of the current partition: solves that class's
 /// rate equilibrium on its capacity share. `∞` when uncongested or empty
 /// with positive capacity; `0` when the class has no capacity.
+///
+/// Uses the recovering solver: if even the recovery policy cannot solve
+/// the class's water-level equation (pathological demand, injected
+/// faults), the class is reported fully congested (`w = 0`) rather than
+/// panicking — a conservative degradation that deters joiners and keeps
+/// the best-response iteration alive.
 fn class_water(pop: &Population, indices: &[usize], capacity: f64, tol: Tolerance) -> f64 {
     if capacity <= 0.0 {
         return 0.0;
     }
     let class_pop = pop.select(indices);
-    solve_maxmin(&class_pop, capacity, tol)
-        .water_level
-        .expect("max-min solver always reports a water level")
+    match try_solve_maxmin(&class_pop, capacity, tol, &SolverPolicy::default()) {
+        Ok((eq, _)) => eq
+            .water_level
+            .expect("max-min solver always reports a water level"),
+        Err(_) => {
+            pubopt_obs::incr("core.class_water.failures");
+            0.0
+        }
+    }
 }
 
 /// Throughput-taking utilities of CP `i` in each class: `(u_ord, u_prem)`.

@@ -48,8 +48,8 @@ pub use extensions::{
     alignment_loss, minimum_po_capacity, po_share_stolen, tradeoff_best_response, TradeoffOutcome,
 };
 pub use market::{
-    duopoly_with_public_option, market_share_equilibrium, tatonnement, DuopolyOutcome, Isp,
-    MarketEquilibrium, MarketGame,
+    duopoly_with_public_option, market_share_equilibrium, tatonnement, tatonnement_with_policy,
+    DuopolyOutcome, Isp, MarketEquilibrium, MarketGame,
 };
 pub use monopoly::{optimal_strategy, revenue_sweep, MonopolyOptimum};
 pub use outcome::{GameOutcome, Partition, ServiceClass};

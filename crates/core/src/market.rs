@@ -24,7 +24,7 @@ use crate::best_response::competitive_equilibrium;
 use crate::outcome::GameOutcome;
 use crate::strategy::IspStrategy;
 use pubopt_demand::Population;
-use pubopt_num::Tolerance;
+use pubopt_num::{SolverPolicy, Tolerance};
 
 /// Smallest share treated as "has subscribers" by the solvers.
 const M_MIN: f64 = 1e-6;
@@ -235,13 +235,17 @@ pub fn market_share_equilibrium(
     } else if total_share(l_hi) > 1.0 {
         l_hi
     } else {
-        pubopt_num::bisect(
+        match pubopt_num::bisect(
             |l| total_share(l) - 1.0,
             l_lo,
             l_hi,
             Tolerance::new(1e-7, 1e-7).with_max_iter(50),
-        )
-        .unwrap_or(l_lo)
+        ) {
+            Ok(l) => l,
+            // Deliberately small budget: the midpoint is still usable.
+            Err(pubopt_num::RootError::MaxIterations { best }) => best,
+            Err(_) => l_lo,
+        }
     };
 
     let mut shares: Vec<f64> = (0..n).map(|i| share_at(i, level)).collect();
@@ -255,13 +259,17 @@ pub fn market_share_equilibrium(
         }
         let cell = m_grid.windows(2).find(|w| w[0] <= *share && *share <= w[1]);
         if let Some(w) = cell {
-            if let Ok(m) = pubopt_num::bisect(
+            // The 15-iteration budget is deliberate (each probe is a full
+            // partition equilibrium); the best-effort midpoint on budget
+            // exhaustion is a strictly better polish than the grid value.
+            match pubopt_num::bisect(
                 |m| game.phi_at(pop, i, m, tol) - level,
                 w[0],
                 w[1],
                 Tolerance::new(1e-6, 1e-6).with_max_iter(15),
             ) {
-                *share = m;
+                Ok(m) | Err(pubopt_num::RootError::MaxIterations { best: m }) => *share = m,
+                Err(_) => {}
             }
         }
     }
@@ -335,12 +343,12 @@ fn duopoly_share_bisection(
             hi,
             Tolerance::new(1e-5, 1e-5).with_max_iter(40),
         ) {
-            Ok(m) => (m, true),
+            Ok(m) | Err(pubopt_num::RootError::MaxIterations { best: m }) => (m, true),
             Err(_) => (0.0, false),
         }
     } else {
         match pubopt_num::bisect(g, lo, hi, Tolerance::new(1e-5, 1e-5).with_max_iter(40)) {
-            Ok(m) => (m, true),
+            Ok(m) | Err(pubopt_num::RootError::MaxIterations { best: m }) => (m, true),
             Err(_) => (game.isps[0].capacity_share, false),
         }
     };
@@ -352,8 +360,60 @@ fn duopoly_share_bisection(
 /// Each round computes every ISP's `Φ_I` at the current shares and moves
 /// share mass from below-average to above-average ISPs (step `eta`),
 /// projecting back onto the simplex. Stops when surpluses equalise within
-/// `phi_tol` or after `max_rounds`.
+/// `phi_tol` or after `max_rounds`. A single attempt — use
+/// [`tatonnement_with_policy`] to retry non-converged runs with a smaller
+/// step and a larger round budget.
 pub fn tatonnement(
+    game: &MarketGame,
+    pop: &Population,
+    eta: f64,
+    max_rounds: usize,
+    phi_tol: f64,
+    tol: Tolerance,
+) -> MarketEquilibrium {
+    tatonnement_with_policy(
+        game,
+        pop,
+        eta,
+        max_rounds,
+        phi_tol,
+        tol,
+        &SolverPolicy::DISABLED,
+    )
+}
+
+/// [`tatonnement`] under a recovery policy: when an attempt ends without
+/// surplus equalisation (too-aggressive `eta` makes the migration dynamic
+/// overshoot and oscillate), retry with the step scaled by
+/// `policy.damping_backoff` and the round budget grown by
+/// `policy.budget_growth`, up to `policy.max_attempts` attempts. Returns
+/// the last attempt's equilibrium (its `converged` flag reports whether
+/// any attempt succeeded).
+pub fn tatonnement_with_policy(
+    game: &MarketGame,
+    pop: &Population,
+    eta: f64,
+    max_rounds: usize,
+    phi_tol: f64,
+    tol: Tolerance,
+    policy: &SolverPolicy,
+) -> MarketEquilibrium {
+    let attempts = policy.max_attempts.max(1);
+    let mut eta_cur = eta;
+    let mut rounds = max_rounds;
+    for attempt in 0..attempts {
+        let eq = tatonnement_once(game, pop, eta_cur, rounds, phi_tol, tol);
+        if eq.converged || attempt + 1 == attempts {
+            return eq;
+        }
+        pubopt_obs::incr("core.market.tatonnement_retries");
+        eta_cur = (eta_cur * policy.damping_backoff).max(f64::MIN_POSITIVE);
+        rounds = ((rounds as f64 * policy.budget_growth).ceil() as usize).max(rounds + 1);
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
+fn tatonnement_once(
     game: &MarketGame,
     pop: &Population,
     eta: f64,
@@ -595,6 +655,39 @@ mod tests {
             "level bisection {} vs tatonnement {}",
             lb.shares[0],
             tt.shares[0]
+        );
+    }
+
+    #[test]
+    fn tatonnement_policy_recovers_budget_exhaustion() {
+        // A one-round budget cannot equalise surpluses that start unequal;
+        // the policy's step backoff + budget growth must still reach the
+        // equilibrium the level bisection finds.
+        let pop = mixed_pop(25);
+        let game = MarketGame::new(
+            vec![
+                Isp::new("a", IspStrategy::new(0.6, 0.2), 0.5),
+                Isp::public_option(0.5),
+            ],
+            0.5,
+        );
+        let bare = tatonnement(&game, &pop, 1.0, 1, 1e-4, Tolerance::default());
+        assert!(!bare.converged, "one round cannot settle unequal surpluses");
+        let policy = SolverPolicy {
+            max_attempts: 8,
+            damping_backoff: 0.7,
+            budget_growth: 4.0,
+            ..SolverPolicy::default()
+        };
+        let robust =
+            tatonnement_with_policy(&game, &pop, 1.0, 1, 1e-4, Tolerance::default(), &policy);
+        assert!(robust.converged, "policy retries should converge");
+        let lb = market_share_equilibrium(&game, &pop, Tolerance::default());
+        assert!(
+            (lb.shares[0] - robust.shares[0]).abs() < 0.02,
+            "level bisection {} vs recovered tatonnement {}",
+            lb.shares[0],
+            robust.shares[0]
         );
     }
 

@@ -32,7 +32,8 @@ pub mod surplus;
 pub mod system;
 
 pub use solver::{
-    solve_generic, solve_maxmin, solve_maxmin_traced, EquilibriumError, RateEquilibrium, SolveStats,
+    generic_default_policy, solve_generic, solve_generic_with_policy, solve_maxmin,
+    solve_maxmin_traced, try_solve_maxmin, EquilibriumError, RateEquilibrium, SolveStats,
 };
 pub use surplus::{consumer_surplus, per_cp_surplus, rho_profile};
 pub use system::System;

@@ -12,7 +12,8 @@
 
 use pubopt_alloc::RateAllocator;
 use pubopt_demand::Population;
-use pubopt_num::{fixed_point, roots::bisect_counted, FixedPointOptions, KahanSum, Tolerance};
+use pubopt_num::recover::{robust_bisect, robust_fixed_point, SolveDiagnostics, SolverPolicy};
+use pubopt_num::{roots::bisect_counted, FixedPointError, FixedPointOptions, KahanSum, Tolerance};
 use std::cell::Cell;
 
 /// A solved rate equilibrium for a system `(ν, N)`.
@@ -45,8 +46,13 @@ impl RateEquilibrium {
     }
 }
 
-/// Errors from the generic solver ([`solve_maxmin`] cannot fail on valid
-/// inputs — its scalar equation is always bracketed).
+/// Errors from the equilibrium solvers.
+///
+/// For valid max-min inputs the water-level equation is always bracketed
+/// (Theorem 1), but pathological demand families — NaN-producing, hard
+/// steps outside Assumption 1 — can break that guarantee, so
+/// [`try_solve_maxmin`] reports [`EquilibriumError::WaterLevel`] once the
+/// recovery policy is exhausted instead of panicking.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EquilibriumError {
     /// The fixed point did not converge within the iteration budget.
@@ -56,6 +62,12 @@ pub enum EquilibriumError {
     },
     /// The allocator produced a non-finite throughput.
     NonFinite,
+    /// The water-level equation could not be solved, even after the
+    /// recovery policy's bracket widening / budget escalation.
+    WaterLevel {
+        /// The root-finder error of the final recovery attempt.
+        error: pubopt_num::RootError,
+    },
 }
 
 impl std::fmt::Display for EquilibriumError {
@@ -68,6 +80,9 @@ impl std::fmt::Display for EquilibriumError {
                 )
             }
             EquilibriumError::NonFinite => write!(f, "allocator produced non-finite throughput"),
+            EquilibriumError::WaterLevel { error } => {
+                write!(f, "water-level equation unsolvable: {error}")
+            }
         }
     }
 }
@@ -103,15 +118,44 @@ pub struct SolveStats {
     /// Whether the capacity constraint was binding (a water level had to
     /// be solved for).
     pub congested: bool,
+    /// Recovery attempts (beyond the first solve) the water-level search
+    /// needed — 0 on the guaranteed-bracketed Theorem-1 fast path.
+    pub recovery_attempts: u32,
 }
 
 /// [`solve_maxmin`], additionally reporting how much work the water-level
 /// search did.
+///
+/// # Panics
+///
+/// Panics if the water-level equation is unsolvable even after recovery —
+/// impossible for populations satisfying Assumption 1 (use
+/// [`try_solve_maxmin`] when sweeping demand families outside it).
 pub fn solve_maxmin_traced(
     pop: &Population,
     nu: f64,
     tol: Tolerance,
 ) -> (RateEquilibrium, SolveStats) {
+    try_solve_maxmin(pop, nu, tol, &SolverPolicy::default())
+        .expect("Λ(0)=0 ≤ ν < Σλ̂ = Λ(max θ̂): root is bracketed for Assumption-1 demand")
+}
+
+/// [`solve_maxmin`] with a recovery policy and a `Result` contract: the
+/// water-level search first takes the guaranteed-bracketed Theorem-1 fast
+/// path, and on failure (NaN-producing or otherwise pathological demand
+/// families) retries under `policy` — bracket widening, budget
+/// escalation, shrinking away from singular abscissae — before giving up
+/// with [`EquilibriumError::WaterLevel`].
+///
+/// # Errors
+///
+/// [`EquilibriumError::WaterLevel`] when every recovery attempt failed.
+pub fn try_solve_maxmin(
+    pop: &Population,
+    nu: f64,
+    tol: Tolerance,
+    policy: &SolverPolicy,
+) -> Result<(RateEquilibrium, SolveStats), EquilibriumError> {
     assert!(
         nu >= 0.0 && nu.is_finite(),
         "nu must be finite and non-negative, got {nu}"
@@ -120,7 +164,7 @@ pub fn solve_maxmin_traced(
     let sw = pubopt_obs::Stopwatch::start("eq.solve_maxmin.ns");
     if pop.is_empty() {
         sw.stop();
-        return (
+        return Ok((
             RateEquilibrium {
                 nu,
                 thetas: Vec::new(),
@@ -129,7 +173,7 @@ pub fn solve_maxmin_traced(
                 water_level: Some(f64::INFINITY),
             },
             SolveStats::default(),
-        );
+        ));
     }
 
     let lambda_evals = Cell::new(0u64);
@@ -146,13 +190,35 @@ pub fn solve_maxmin_traced(
     let total_unconstrained = pop.total_unconstrained_per_capita();
     let congested = total_unconstrained > nu;
     let mut bisect_iters = 0u32;
+    let mut recovery_attempts = 0u32;
     let (water, thetas): (f64, Vec<f64>) = if !congested {
         (f64::INFINITY, pop.iter().map(|cp| cp.theta_hat).collect())
     } else {
         let w_hi = pop.max_theta_hat();
-        let (w, iters) = bisect_counted(|w| lambda_at(w) - nu, 0.0, w_hi, tol)
-            .expect("Λ(0)=0 ≤ ν < Σλ̂ = Λ(max θ̂): root is bracketed");
-        bisect_iters = iters;
+        let w = match bisect_counted(|w| lambda_at(w) - nu, 0.0, w_hi, tol) {
+            Ok((w, iters)) => {
+                bisect_iters = iters;
+                w
+            }
+            Err(_) => {
+                // Theorem 1's bracket guarantee failed — a pathological
+                // demand family. Retry under the recovery policy; Λ is
+                // only meaningful for w ≥ 0, so clamp probes from
+                // bracket widening.
+                pubopt_obs::incr("eq.solve_maxmin.recoveries");
+                match robust_bisect(|w| lambda_at(w.max(0.0)) - nu, 0.0, w_hi, tol, policy) {
+                    Ok(s) => {
+                        recovery_attempts = s.diagnostics.attempts_used() as u32;
+                        s.root.max(0.0)
+                    }
+                    Err(e) => {
+                        sw.stop();
+                        pubopt_obs::incr("eq.solve_maxmin.failures");
+                        return Err(EquilibriumError::WaterLevel { error: e.error });
+                    }
+                }
+            }
+        };
         (w, pop.iter().map(|cp| cp.theta_hat.min(w)).collect())
     };
 
@@ -170,6 +236,7 @@ pub fn solve_maxmin_traced(
         lambda_evals: lambda_evals.get(),
         bisect_iters,
         congested,
+        recovery_attempts,
     };
     pubopt_obs::add("eq.solve_maxmin.lambda_evals", stats.lambda_evals);
     pubopt_obs::add(
@@ -177,7 +244,7 @@ pub fn solve_maxmin_traced(
         u64::from(stats.bisect_iters),
     );
     sw.stop();
-    (
+    Ok((
         RateEquilibrium {
             nu,
             thetas,
@@ -186,7 +253,7 @@ pub fn solve_maxmin_traced(
             water_level: Some(water),
         },
         stats,
-    )
+    ))
 }
 
 /// Solve the rate equilibrium for an arbitrary Axiom-1–4 allocator by
@@ -195,28 +262,63 @@ pub fn solve_maxmin_traced(
 /// Starting from full demand, alternate *(demands → allocation → demands)*
 /// until the demand profile stops moving. The demand↔throughput map is
 /// *antitone* (more demand ⇒ more congestion ⇒ less demand), so the Picard
-/// iteration oscillates for steep demand families; the solver starts from
-/// `opts.damping` and geometrically reduces the damping on failure, down
-/// to `η/32`, before reporting [`EquilibriumError::NoConvergence`].
+/// iteration oscillates for steep demand families; failed attempts are
+/// retried under [`generic_default_policy`] — geometric damping backoff
+/// down to `η/32`, matching the historical six-halvings schedule — before
+/// reporting [`EquilibriumError::NoConvergence`].
 pub fn solve_generic(
     pop: &Population,
     mech: &dyn RateAllocator,
     nu: f64,
     opts: FixedPointOptions,
 ) -> Result<RateEquilibrium, EquilibriumError> {
+    solve_generic_with_policy(pop, mech, nu, opts, &generic_default_policy()).map(|(eq, _)| eq)
+}
+
+/// The recovery policy [`solve_generic`] uses: six attempts with damping
+/// halved between them (`η, η/2, …, η/32`) and no budget escalation —
+/// the schedule the solver has always used, now expressed as a
+/// [`SolverPolicy`].
+pub fn generic_default_policy() -> SolverPolicy {
+    SolverPolicy {
+        max_attempts: 6,
+        damping_backoff: 0.5,
+        budget_growth: 1.0,
+        ..SolverPolicy::default()
+    }
+}
+
+/// [`solve_generic`] with an explicit recovery policy, returning the
+/// attempt-by-attempt [`SolveDiagnostics`] alongside the equilibrium.
+///
+/// # Errors
+///
+/// [`EquilibriumError::NoConvergence`] when every attempt exhausted its
+/// iteration budget, [`EquilibriumError::NonFinite`] when the allocator
+/// kept producing non-finite throughput.
+pub fn solve_generic_with_policy(
+    pop: &Population,
+    mech: &dyn RateAllocator,
+    nu: f64,
+    opts: FixedPointOptions,
+    policy: &SolverPolicy,
+) -> Result<(RateEquilibrium, SolveDiagnostics), EquilibriumError> {
     assert!(
         nu >= 0.0 && nu.is_finite(),
         "nu must be finite and non-negative, got {nu}"
     );
     pubopt_obs::incr("eq.solve_generic.calls");
     if pop.is_empty() {
-        return Ok(RateEquilibrium {
-            nu,
-            thetas: Vec::new(),
-            demands: Vec::new(),
-            aggregate: 0.0,
-            water_level: None,
-        });
+        return Ok((
+            RateEquilibrium {
+                nu,
+                thetas: Vec::new(),
+                demands: Vec::new(),
+                aggregate: 0.0,
+                water_level: None,
+            },
+            SolveDiagnostics::default(),
+        ));
     }
 
     let step = |d: &[f64]| -> Vec<f64> {
@@ -228,33 +330,25 @@ pub fn solve_generic(
     };
 
     let d0 = vec![1.0; pop.len()];
-    let mut last_err = EquilibriumError::NoConvergence {
-        residual: f64::INFINITY,
-    };
-    let mut result = None;
-    for halvings in 0..6 {
-        let attempt = FixedPointOptions {
-            damping: opts.damping / (1 << halvings) as f64,
-            tol: opts.tol,
-        };
-        match fixed_point(step, d0.clone(), attempt) {
-            Ok(r) => {
-                pubopt_obs::add("eq.solve_generic.damping_halvings", halvings as u64);
-                result = Some(r);
-                break;
-            }
-            Err(pubopt_num::FixedPointError::MaxIterations { residual, .. }) => {
-                last_err = EquilibriumError::NoConvergence { residual };
-            }
-            Err(pubopt_num::FixedPointError::NonFinite) => return Err(EquilibriumError::NonFinite),
-            Err(pubopt_num::FixedPointError::DimensionMismatch { .. }) => {
-                unreachable!("step preserves dimension")
-            }
+    let (result, diagnostics) = match robust_fixed_point(step, d0, opts, policy) {
+        Ok(s) => {
+            pubopt_obs::add(
+                "eq.solve_generic.damping_halvings",
+                s.diagnostics.attempts_used().saturating_sub(1) as u64,
+            );
+            (s.result, s.diagnostics)
         }
-    }
-    let result = match result {
-        Some(r) => r,
-        None => return Err(last_err),
+        Err(e) => {
+            return Err(match e.error {
+                FixedPointError::MaxIterations { residual, .. } => {
+                    EquilibriumError::NoConvergence { residual }
+                }
+                FixedPointError::NonFinite => EquilibriumError::NonFinite,
+                FixedPointError::DimensionMismatch { .. } => {
+                    unreachable!("step preserves dimension")
+                }
+            })
+        }
     };
 
     let demands = result.value;
@@ -267,13 +361,16 @@ pub fn solve_generic(
             .zip(demands.iter().zip(thetas.iter()))
             .map(|(cp, (&d, &t))| cp.alpha * d * t),
     );
-    Ok(RateEquilibrium {
-        nu,
-        thetas,
-        demands,
-        aggregate,
-        water_level: None,
-    })
+    Ok((
+        RateEquilibrium {
+            nu,
+            thetas,
+            demands,
+            aggregate,
+            water_level: None,
+        },
+        diagnostics,
+    ))
 }
 
 /// Convenience: solve the max-min equilibrium with default tolerance —

@@ -109,12 +109,7 @@ pub fn run(config: &Config) -> FigureResult {
             10
         )
     );
-    FigureResult {
-        id: "discussion".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("discussion", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -128,6 +123,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-discussion-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

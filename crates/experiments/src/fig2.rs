@@ -75,12 +75,7 @@ pub fn run(config: &Config) -> FigureResult {
         "Figure 2: demand d(ω) for β ∈ {BETAS:?}\n{}",
         ascii_plot("d(ω), β = 5", &omegas, &beta5, 60, 12)
     );
-    FigureResult {
-        id: "fig2".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("fig2", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -92,6 +87,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig2-test"),
             fast: true,
             threads: 1,
+            chaos: None,
         }
     }
 

@@ -119,12 +119,7 @@ pub fn run(config: &Config) -> FigureResult {
             10
         ),
     );
-    FigureResult {
-        id: "fig3".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("fig3", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -137,6 +132,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig3-test"),
             fast: true,
             threads: 2,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

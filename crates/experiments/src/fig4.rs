@@ -124,12 +124,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         ascii_plot("Ψ(c) at ν=200", &cs, psis, 60, 10),
         ascii_plot("Φ(c) at ν=200", &cs, phis, 60, 10),
     );
-    FigureResult {
-        id: id.into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new(id, vec![path], summary, checks)
 }
 
 /// Regenerate Figure 4.
@@ -148,6 +143,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig4-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

@@ -127,12 +127,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         ascii_plot("Ψ_I(c) at ν=200", &cs, psis200, 60, 10),
         ascii_plot("Φ(c) at ν=200", &cs, phis200, 60, 10),
     );
-    FigureResult {
-        id: id.into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new(id, vec![path], summary, checks)
 }
 
 /// Regenerate Figure 7.
@@ -152,6 +147,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig7-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

@@ -133,12 +133,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         ascii_plot("Φ(ν) at (0.9, 0.4)", &nus, phis, 60, 10),
         ascii_plot("m_I(ν) at (0.9, 0.4)", &nus, shares, 60, 10),
     );
-    FigureResult {
-        id: id.into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new(id, vec![path], summary, checks)
 }
 
 /// Regenerate Figure 8.
@@ -158,6 +153,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig8-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

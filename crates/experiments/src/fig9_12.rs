@@ -54,6 +54,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig9-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run_fig9(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

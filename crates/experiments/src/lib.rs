@@ -43,14 +43,16 @@ pub mod fig8;
 pub mod fig9_12;
 pub mod netsim_check;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod shape;
 pub mod solvers;
 pub mod svg;
 pub mod theorems;
 
-pub use report::{ascii_plot, Config, FigureResult, Table};
-pub use runner::parallel_map;
+pub use report::{ascii_plot, Config, FigureResult, FigureStatus, Table};
+pub use resilience::{interpolate_gaps, resilient_sweep, SweepStats};
+pub use runner::{parallel_map, parallel_try_map, TaskOutcome};
 pub use shape::ShapeCheck;
 pub use svg::{render_chart, render_table, ChartConfig, Series};
 

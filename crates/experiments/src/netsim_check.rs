@@ -147,12 +147,7 @@ pub fn run(config: &Config) -> FigureResult {
         .map(|c| c.render())
         .collect::<Vec<_>>()
         .join("\n");
-    FigureResult {
-        id: "netsim".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("netsim", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -166,6 +161,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-netsim-check-test"),
             fast: true,
             threads: 2,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

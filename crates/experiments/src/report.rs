@@ -13,6 +13,10 @@ pub struct Config {
     pub fast: bool,
     /// Worker threads for sweeps (0 = available parallelism).
     pub threads: usize,
+    /// Chaos seed: when set, figures inject deterministic faults
+    /// (NaN/panic at the rates of `ChaosConfig::smoke`) into their sweep
+    /// tasks to exercise the recovery machinery. `None` = no injection.
+    pub chaos: Option<u64>,
 }
 
 impl Default for Config {
@@ -21,6 +25,7 @@ impl Default for Config {
             out_dir: PathBuf::from("out"),
             fast: false,
             threads: 0,
+            chaos: None,
         }
     }
 }
@@ -116,6 +121,31 @@ impl Table {
     }
 }
 
+/// Health of a figure's sweep under fault isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FigureStatus {
+    /// Every sweep task succeeded on the first attempt.
+    #[default]
+    Ok,
+    /// Faults occurred (tasks failed, panicked, or needed recovery) but
+    /// the figure still produced usable output — possibly with skipped
+    /// or interpolated grid points.
+    Degraded,
+    /// The sweep lost too much data to produce a meaningful figure.
+    Failed,
+}
+
+impl FigureStatus {
+    /// Lowercase label for reports (`ok` / `degraded` / `failed`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FigureStatus::Ok => "ok",
+            FigureStatus::Degraded => "degraded",
+            FigureStatus::Failed => "failed",
+        }
+    }
+}
+
 /// Everything a figure run produces.
 #[derive(Debug, Clone)]
 pub struct FigureResult {
@@ -127,9 +157,37 @@ pub struct FigureResult {
     pub summary: String,
     /// Shape-check verdicts.
     pub checks: Vec<ShapeCheck>,
+    /// Sweep health under fault isolation.
+    pub status: FigureStatus,
+    /// Sweep tasks that initially failed or panicked but produced a value
+    /// on retry.
+    pub recovered_points: usize,
+    /// Sweep tasks that never produced a value (skipped or interpolated
+    /// in the output).
+    pub failed_points: usize,
 }
 
 impl FigureResult {
+    /// A healthy result: status [`FigureStatus::Ok`], no fault counts.
+    /// Figures that run resilient sweeps overwrite the status fields from
+    /// their [`SweepStats`](crate::resilience::SweepStats).
+    pub fn new(
+        id: impl Into<String>,
+        files: Vec<PathBuf>,
+        summary: String,
+        checks: Vec<ShapeCheck>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            files,
+            summary,
+            checks,
+            status: FigureStatus::Ok,
+            recovered_points: 0,
+            failed_points: 0,
+        }
+    }
+
     /// `true` when every shape check passed.
     pub fn all_passed(&self) -> bool {
         self.checks.iter().all(|c| c.passed)

@@ -1,0 +1,280 @@
+//! Fault-tolerant sweeps: panic isolation plus a deterministic repair
+//! pass.
+//!
+//! A figure sweep is a grid of independent solves; one pathological grid
+//! point (a solver panic, an injected fault, a non-finite blow-up) should
+//! cost at most that point, never the figure. [`resilient_sweep`] runs the
+//! grid through [`parallel_try_map`](crate::runner::parallel_try_map)
+//! (every task under `catch_unwind`), then serially retries the failed
+//! indices — the serial order makes the repair pass deterministic even
+//! though the first pass is threaded. Points that exhaust their retries
+//! come back as `None`, and the [`SweepStats`] say exactly how many points
+//! recovered or were lost, which the figure surfaces as its
+//! [`FigureStatus`].
+
+use crate::report::FigureStatus;
+use crate::runner::{panic_message, parallel_try_map, TaskOutcome};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Fault accounting for one resilient sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points swept.
+    pub total: usize,
+    /// Points that failed or panicked on the first attempt but produced a
+    /// value during the repair pass.
+    pub recovered: usize,
+    /// Points that never produced a value (reported as `None`).
+    pub failed: usize,
+    /// `(index, last error message)` for every lost point.
+    pub failures: Vec<(usize, String)>,
+}
+
+impl SweepStats {
+    /// Fold another sweep's accounting into this one (figures often run
+    /// one sweep per curve). Failure indices are kept as reported by each
+    /// sweep.
+    pub fn merge(&mut self, other: &SweepStats) {
+        self.total += other.total;
+        self.recovered += other.recovered;
+        self.failed += other.failed;
+        self.failures.extend(other.failures.iter().cloned());
+    }
+
+    /// Status this sweep implies for its figure: `Ok` for a fault-free
+    /// run, `Degraded` as soon as any point needed recovery or was lost.
+    /// (`Failed` is the figure's call — it knows how many points a usable
+    /// curve needs.)
+    pub fn status(&self) -> FigureStatus {
+        if self.recovered == 0 && self.failed == 0 {
+            FigureStatus::Ok
+        } else {
+            FigureStatus::Degraded
+        }
+    }
+
+    /// One-line human summary for figure reports.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "sweep health: {}/{} ok first try, {} recovered, {} lost",
+            self.total - self.recovered - self.failed,
+            self.total,
+            self.recovered,
+            self.failed
+        )
+    }
+}
+
+/// Sweep `f` over `items` with panic isolation and a deterministic repair
+/// pass.
+///
+/// `f(item, index, attempt)` is called with `attempt = 0` from the
+/// parallel first pass and `attempt = 1..=max_retries` from the serial
+/// repair pass — fault injectors use `(index, attempt)` to key their
+/// decisions, so a retried point sees fresh faults deterministically.
+/// Output order matches input order; lost points are `None`.
+pub fn resilient_sweep<T, R, F>(
+    items: &[T],
+    threads: usize,
+    max_retries: u32,
+    f: F,
+) -> (Vec<Option<R>>, SweepStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, usize, u32) -> Result<R, String> + Sync,
+{
+    let indices: Vec<usize> = (0..items.len()).collect();
+    let first = parallel_try_map(&indices, threads, |&i| f(&items[i], i, 0));
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut stats = SweepStats {
+        total: items.len(),
+        ..SweepStats::default()
+    };
+    let mut pending: Vec<(usize, String)> = Vec::new();
+    for (i, outcome) in first.into_iter().enumerate() {
+        match outcome {
+            TaskOutcome::Ok(r) => out.push(Some(r)),
+            TaskOutcome::Failed(m) | TaskOutcome::Panicked(m) => {
+                out.push(None);
+                pending.push((i, m));
+            }
+        }
+    }
+
+    for (i, first_msg) in pending {
+        let mut last = first_msg;
+        let mut repaired = false;
+        for attempt in 1..=max_retries {
+            match catch_unwind(AssertUnwindSafe(|| f(&items[i], i, attempt))) {
+                Ok(Ok(r)) => {
+                    out[i] = Some(r);
+                    stats.recovered += 1;
+                    pubopt_obs::incr("sweep.points_recovered");
+                    repaired = true;
+                    break;
+                }
+                Ok(Err(m)) => last = m,
+                Err(payload) => last = panic_message(payload.as_ref()),
+            }
+        }
+        if !repaired {
+            stats.failed += 1;
+            pubopt_obs::incr("sweep.points_lost");
+            stats.failures.push((i, last));
+        }
+    }
+    (out, stats)
+}
+
+/// Fill `None` gaps in a sampled curve by linear interpolation over `xs`
+/// (edge gaps take the nearest interior value). Returns `None` when fewer
+/// than two points survived — no usable curve to interpolate on.
+pub fn interpolate_gaps(xs: &[f64], ys: &[Option<f64>]) -> Option<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let known: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys.iter())
+        .filter_map(|(&x, y)| y.map(|v| (x, v)))
+        .collect();
+    if known.len() < 2 {
+        return None;
+    }
+    Some(
+        xs.iter()
+            .zip(ys.iter())
+            .map(|(&x, y)| match y {
+                Some(v) => *v,
+                None => {
+                    // Bracket x among the surviving samples.
+                    match known.iter().position(|&(kx, _)| kx >= x) {
+                        Some(0) => known[0].1,
+                        None => known[known.len() - 1].1,
+                        Some(k) => {
+                            let (x0, y0) = known[k - 1];
+                            let (x1, y1) = known[k];
+                            if (x1 - x0).abs() < f64::EPSILON {
+                                y0
+                            } else {
+                                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+                            }
+                        }
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ok_sweep_is_clean() {
+        let items: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let (out, stats) = resilient_sweep(&items, 4, 2, |&x, _, _| Ok::<_, String>(x * 2.0));
+        assert_eq!(stats.total, 20);
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.status(), FigureStatus::Ok);
+        assert!(out.iter().all(|o| o.is_some()));
+    }
+
+    #[test]
+    fn transient_faults_recover_in_repair_pass() {
+        // Fail (and panic) on attempt 0 for some indices; succeed on retry.
+        let items: Vec<usize> = (0..30).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (out, stats) = resilient_sweep(&items, 4, 2, |&x, i, attempt| {
+            if attempt == 0 && i % 5 == 0 {
+                if i % 10 == 0 {
+                    panic!("transient panic at {x}");
+                }
+                return Err(format!("transient failure at {x}"));
+            }
+            Ok(x as f64)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(stats.recovered, 6); // indices 0,5,10,15,20,25
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.status(), FigureStatus::Degraded);
+        assert!(out.iter().all(|o| o.is_some()));
+    }
+
+    #[test]
+    fn persistent_faults_are_reported_lost() {
+        let items: Vec<usize> = (0..10).collect();
+        let (out, stats) = resilient_sweep(&items, 2, 3, |&x, _, _| {
+            if x == 7 {
+                Err("always broken".to_string())
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.failures.len(), 1);
+        assert_eq!(stats.failures[0].0, 7);
+        assert!(stats.failures[0].1.contains("always broken"));
+        assert!(out[7].is_none());
+        assert_eq!(out.iter().filter(|o| o.is_some()).count(), 9);
+    }
+
+    #[test]
+    fn repair_pass_is_deterministic() {
+        // Same inputs → identical outcome lists, regardless of first-pass
+        // thread interleaving.
+        let items: Vec<usize> = (0..40).collect();
+        let run = || {
+            resilient_sweep(&items, 8, 2, |&x, i, attempt| {
+                if (i * 7 + attempt as usize).is_multiple_of(9) {
+                    Err(format!("fault {x}@{attempt}"))
+                } else {
+                    Ok(x * 3)
+                }
+            })
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SweepStats {
+            total: 10,
+            recovered: 1,
+            failed: 1,
+            failures: vec![(3, "x".into())],
+        };
+        let b = SweepStats {
+            total: 5,
+            recovered: 0,
+            failed: 2,
+            failures: vec![(0, "y".into()), (4, "z".into())],
+        };
+        a.merge(&b);
+        assert_eq!(a.total, 15);
+        assert_eq!(a.failed, 3);
+        assert_eq!(a.failures.len(), 3);
+        assert_eq!(a.status(), FigureStatus::Degraded);
+    }
+
+    #[test]
+    fn interpolation_fills_interior_and_edge_gaps() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [None, Some(10.0), None, Some(30.0), None];
+        let filled = interpolate_gaps(&xs, &ys).unwrap();
+        assert_eq!(filled, vec![10.0, 10.0, 20.0, 30.0, 30.0]);
+    }
+
+    #[test]
+    fn interpolation_needs_two_points() {
+        let xs = [0.0, 1.0, 2.0];
+        assert!(interpolate_gaps(&xs, &[None, Some(1.0), None]).is_none());
+        assert!(interpolate_gaps(&xs, &[None, None, None]).is_none());
+    }
+}

@@ -13,8 +13,64 @@
 //! When the observability feature is on, each sweep records task counts,
 //! per-task latency and per-worker busy time under `sweep.*`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Outcome of one sweep task under panic isolation
+/// ([`parallel_try_map`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R> {
+    /// The task returned a value.
+    Ok(R),
+    /// The task returned an application-level error message.
+    Failed(String),
+    /// The task panicked; the payload message was captured.
+    Panicked(String),
+}
+
+impl<R> TaskOutcome<R> {
+    /// The value, when the task succeeded.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrowed value, when the task succeeded.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`TaskOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+
+    /// The failure or panic message, when the task did not succeed.
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            TaskOutcome::Ok(_) => None,
+            TaskOutcome::Failed(m) | TaskOutcome::Panicked(m) => Some(m),
+        }
+    }
+}
+
+/// Extract a readable message from a panic payload (the `&str` / `String`
+/// payloads produced by `panic!` and friends; anything else is opaque).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Apply `f` to every item of `items` across `threads` workers, preserving
 /// input order in the output.
@@ -52,6 +108,71 @@ where
                     }
                     let r = pubopt_obs::time("sweep.task_ns", || f(&items[i]));
                     *results[i].lock().expect("result slot poisoned") = Some(r);
+                }
+                busy.stop();
+            });
+        }
+    });
+    sweep.stop();
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+/// [`parallel_map`] with per-task panic isolation: each task runs under
+/// `catch_unwind`, so one poisoned grid point cannot take down the whole
+/// sweep. `f` returns `Result<R, String>`; an `Err` becomes
+/// [`TaskOutcome::Failed`] and a panic becomes [`TaskOutcome::Panicked`]
+/// with the captured payload message. Output order matches input order.
+///
+/// Workers keep draining the index queue after a panic in a task — only
+/// that task's slot is marked — so a sweep always produces one outcome
+/// per item.
+pub fn parallel_try_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<TaskOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, String> + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    pubopt_obs::incr("sweep.calls");
+    pubopt_obs::add("sweep.tasks", items.len() as u64);
+    pubopt_obs::add("sweep.workers", threads as u64);
+
+    let sweep = pubopt_obs::Stopwatch::start("sweep.total_ns");
+    let results: Vec<Mutex<Option<TaskOutcome<R>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let busy = pubopt_obs::Stopwatch::start("sweep.worker_busy_ns");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let outcome = pubopt_obs::time("sweep.task_ns", || {
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(Ok(r)) => TaskOutcome::Ok(r),
+                            Ok(Err(msg)) => {
+                                pubopt_obs::incr("sweep.task_failures");
+                                TaskOutcome::Failed(msg)
+                            }
+                            Err(payload) => {
+                                pubopt_obs::incr("sweep.task_panics");
+                                TaskOutcome::Panicked(panic_message(payload.as_ref()))
+                            }
+                        }
+                    });
+                    *results[i].lock().expect("result slot poisoned") = Some(outcome);
                 }
                 busy.stop();
             });
@@ -111,6 +232,42 @@ mod tests {
         });
         assert_eq!(out.len(), 64);
         assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_and_failures() {
+        let items: Vec<u32> = (0..32).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let out = parallel_try_map(&items, 4, |&x| {
+            if x % 10 == 3 {
+                panic!("boom at {x}");
+            }
+            if x % 10 == 7 {
+                return Err(format!("failed at {x}"));
+            }
+            Ok(x * 2)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 32);
+        for (i, o) in out.iter().enumerate() {
+            let x = i as u32;
+            match x % 10 {
+                3 => assert_eq!(o.message(), Some(format!("boom at {x}").as_str())),
+                7 => assert_eq!(o.message(), Some(format!("failed at {x}").as_str())),
+                _ => assert_eq!(o.as_ok(), Some(&(x * 2))),
+            }
+        }
+        assert!(matches!(out[3], TaskOutcome::Panicked(_)));
+        assert!(matches!(out[7], TaskOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn try_map_all_ok_round_trips() {
+        let items: Vec<i64> = (0..50).collect();
+        let out = parallel_try_map(&items, 8, |&x| Ok::<_, String>(x + 1));
+        let values: Vec<i64> = out.into_iter().map(|o| o.ok().unwrap()).collect();
+        assert_eq!(values, (1..=50).collect::<Vec<_>>());
     }
 
     #[test]

@@ -47,25 +47,34 @@ pub fn run(config: &Config) -> FigureResult {
             damping: 0.5,
             tol: Tolerance::new(1e-10, 1e-10).with_max_iter(20_000),
         };
-        let slow = solve_generic(&pop, &MaxMinFair, nu, opts).expect("generic solver converges");
-        let max_dev = fast
-            .thetas
-            .iter()
-            .zip(slow.thetas.iter())
-            .map(|(a, b)| (a - b).abs() / (1.0 + a.abs()))
-            .fold(0.0f64, f64::max);
+        // An unsolved capacity degrades the agreement check; it must not
+        // take down the whole validation suite.
+        let max_dev = match solve_generic(&pop, &MaxMinFair, nu, opts) {
+            Ok(slow) => Some(
+                fast.thetas
+                    .iter()
+                    .zip(slow.thetas.iter())
+                    .map(|(a, b)| (a - b).abs() / (1.0 + a.abs()))
+                    .fold(0.0f64, f64::max),
+            ),
+            Err(_) => {
+                pubopt_obs::incr("solvers.generic_failures");
+                None
+            }
+        };
         (f, max_dev)
     });
-    let worst_eq = eq_rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let eq_unsolved = eq_rows.iter().filter(|r| r.1.is_none()).count();
+    let worst_eq = eq_rows.iter().filter_map(|r| r.1).fold(0.0f64, f64::max);
     for (f, d) in &eq_rows {
-        table.push(vec![1.0, *f, *d, 0.0]);
+        table.push(vec![1.0, *f, d.unwrap_or(f64::NAN), 0.0]);
     }
     checks.push(ShapeCheck::new(
         "solvers.equilibrium-agreement",
         "water-level bisection and generic fixed point agree on θ profiles",
-        worst_eq < 1e-4,
+        worst_eq < 1e-4 && eq_unsolved == 0,
         format!(
-            "worst relative θ deviation {worst_eq:.2e} over {} capacities",
+            "worst relative θ deviation {worst_eq:.2e} over {} capacities ({eq_unsolved} unsolved)",
             fracs.len()
         ),
     ));
@@ -141,12 +150,7 @@ pub fn run(config: &Config) -> FigureResult {
         .map(|c| c.render())
         .collect::<Vec<_>>()
         .join("\n");
-    FigureResult {
-        id: "solvers".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("solvers", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -160,6 +164,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-solvers-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

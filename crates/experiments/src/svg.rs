@@ -242,12 +242,18 @@ fn xml_escape(s: &str) -> String {
 
 /// Render a CSV table (first column = x, remaining columns = series) into
 /// an SVG file next to it. Returns the SVG path.
+///
+/// # Errors
+///
+/// IO errors creating the directory or writing the file are returned, not
+/// panicked — callers (the `repro` binary) surface them in the figure
+/// report and carry on; a chart is a diagnostic, never worth the run.
 pub fn render_table(
     table: &crate::report::Table,
     title: &str,
     dir: &std::path::Path,
     name: &str,
-) -> std::path::PathBuf {
+) -> std::io::Result<std::path::PathBuf> {
     assert!(
         table.headers.len() >= 2,
         "need an x column and at least one y column"
@@ -270,10 +276,10 @@ pub fn render_table(
             ..ChartConfig::default()
         },
     );
-    std::fs::create_dir_all(dir).expect("create output dir");
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    std::fs::write(&path, svg).expect("write svg");
-    path
+    std::fs::write(&path, svg)?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -358,9 +364,13 @@ mod tests {
             t.push(vec![i as f64, (i * i) as f64, i as f64 * 0.5]);
         }
         let dir = std::env::temp_dir().join("pubopt-svg-test");
-        let p = render_table(&t, "demo", &dir, "demo.svg");
+        let p = render_table(&t, "demo", &dir, "demo.svg").unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.contains("</svg>"));
         std::fs::remove_file(p).ok();
+
+        // IO failure is an Err, not a panic.
+        let bad = std::path::Path::new("/dev/null/not-a-dir");
+        assert!(render_table(&t, "demo", bad, "demo.svg").is_err());
     }
 }

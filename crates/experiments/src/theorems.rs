@@ -213,12 +213,7 @@ pub fn run(config: &Config) -> FigureResult {
         .map(|c| c.render())
         .collect::<Vec<_>>()
         .join("\n");
-    FigureResult {
-        id: "theorems".into(),
-        files: vec![path],
-        summary,
-        checks,
-    }
+    FigureResult::new("theorems", vec![path], summary, checks)
 }
 
 #[cfg(test)]
@@ -232,6 +227,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-theorems-test"),
             fast: true,
             threads: 4,
+            chaos: None,
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

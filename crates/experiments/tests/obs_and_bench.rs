@@ -43,6 +43,36 @@ fn solve_maxmin_reports_deterministic_nonzero_iterations() {
 }
 
 #[test]
+fn recovery_counters_are_observable() {
+    use pubopt_num::{robust_bisect, SolverPolicy};
+    // Deliberately mis-bracketed: the root of x−2 lies outside [0, 1], so
+    // the first attempt fails NotBracketed and the policy widens the
+    // interval geometrically until the sign change is captured.
+    let before = pubopt_obs::snapshot();
+    let solve = robust_bisect(
+        |x| x - 2.0,
+        0.0,
+        1.0,
+        Tolerance::default(),
+        &SolverPolicy::default(),
+    )
+    .expect("bracket widening must recover");
+    assert!((solve.root - 2.0).abs() < 1e-6);
+    assert!(
+        solve.diagnostics.attempts_used() > 1,
+        "recovery must engage"
+    );
+    let after = pubopt_obs::snapshot();
+    // Counters are monotone, so even with other tests running
+    // concurrently these deltas are valid lower bounds.
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert!(delta("num.recover.bisect.calls") >= 1);
+    assert!(delta("num.recover.attempts") >= 1);
+    assert!(delta("num.recover.widened") >= 1);
+    assert!(delta("num.recover.recovered") >= 1);
+}
+
+#[test]
 fn uncongested_solve_skips_bisection() {
     let pop = paper_ensemble();
     let (_, stats) = solve_maxmin_traced(&pop, 1e6, Tolerance::default());

@@ -31,6 +31,9 @@ pub struct ChurnConfig {
     /// overshoots into a limit cycle at η ≳ 0.5; the default 0.3 converges
     /// for every workload in this repository.
     pub damping: f64,
+    /// Relative flow-count change below which the final epoch counts as
+    /// converged (sets [`ChurnReport::converged`]).
+    pub settle_tol: f64,
 }
 
 impl Default for ChurnConfig {
@@ -41,6 +44,7 @@ impl Default for ChurnConfig {
             sim: SimConfig::default(),
             epochs: 20,
             damping: 0.3,
+            settle_tol: 0.25,
         }
     }
 }
@@ -59,6 +63,12 @@ pub struct ChurnReport {
     /// Max relative change of flow counts in the final epoch (a
     /// convergence indicator).
     pub final_change: f64,
+    /// Whether the final epoch's flow-count change fell within
+    /// [`ChurnConfig::settle_tol`]. `false` means the loop was still
+    /// moving when the epoch budget ran out — typically the limit cycle
+    /// an overdamped update (η ≳ 0.5) falls into on steep demand, and the
+    /// reported `(θ, d)` pair is **not** an emergent equilibrium.
+    pub converged: bool,
 }
 
 /// The churn driver.
@@ -147,6 +157,7 @@ impl ChurnSim {
             flows,
             last_epoch: last_epoch.expect("at least one epoch"),
             final_change,
+            converged: final_change <= self.config.settle_tol,
         }
     }
 }
@@ -220,5 +231,49 @@ mod tests {
             "flow counts should settle, final change {}",
             r.final_change
         );
+        assert!(r.converged, "settled run must report converged");
+    }
+
+    #[test]
+    fn undamped_steep_demand_reports_non_convergence() {
+        // The count→throughput→demand map is antitone: more flows → less
+        // per-flow throughput → less demand → fewer flows. With steep
+        // (β = 5) exponential demand and an aggressive η = 0.9 update the
+        // loop overshoots both ways and falls into a flip-flop limit
+        // cycle instead of settling; the report must say so rather than
+        // present the last sample as an equilibrium.
+        let pop: Population = vec![ContentProvider::new(
+            1.0,
+            10.0,
+            DemandKind::exponential(5.0),
+            0.0,
+            0.0,
+        )]
+        .into();
+        let config = ChurnConfig {
+            damping: 0.9,
+            settle_tol: 0.05,
+            ..quick()
+        };
+        let churn = ChurnSim::new(pop.clone(), 0.4, config);
+        let r = churn.run();
+        assert!(
+            !r.converged,
+            "η = 0.9 on steep demand should limit-cycle, final change {}",
+            r.final_change
+        );
+
+        // The default damping tames the same workload (the doc-comment's
+        // claim that η = 0.3 converges for every workload here).
+        let tame = ChurnSim::new(
+            pop,
+            0.4,
+            ChurnConfig {
+                settle_tol: 0.05,
+                epochs: 30,
+                ..quick()
+            },
+        );
+        assert!(tame.run().converged, "default damping must settle");
     }
 }

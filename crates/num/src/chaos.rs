@@ -1,0 +1,400 @@
+//! Deterministic chaos harness: seeded fault injection for solver inputs.
+//!
+//! Robustness claims are only testable if failures can be manufactured on
+//! demand — and only *debuggable* if the same seed manufactures the same
+//! failures every run. This module injects NaN, ±∞, oscillation and
+//! panics into demand/allocator-style closures at configurable rates,
+//! with two hard guarantees:
+//!
+//! * **No wall-clock randomness.** Every fault decision is a pure
+//!   function of `(seed, site, unit)` — `site` names the injection point
+//!   (e.g. a figure sweep), `unit` the evaluation within it — hashed
+//!   through SplitMix64 into one xoshiro256++ draw (the same generator
+//!   the ensembles use, see [`crate::rng`]).
+//! * **Thread-order independence.** Because the decision is stateless,
+//!   a parallel sweep injects the identical fault pattern regardless of
+//!   how workers interleave, so `repro --chaos <seed>` is reproducible
+//!   bit-for-bit.
+
+use crate::rng::Rng;
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Replace the result with `NaN`.
+    Nan,
+    /// Replace the result with `+∞`.
+    PosInf,
+    /// Replace the result with `−∞`.
+    NegInf,
+    /// Corrupt the result so iterative consumers oscillate (sign flip for
+    /// scalar functions, anti-damped reflection for vector maps).
+    Oscillate,
+    /// Panic mid-evaluation (exercises panic isolation in sweep runners).
+    Panic,
+}
+
+/// Per-fault injection rates (each per evaluation, in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed defining the (deterministic) fault pattern.
+    pub seed: u64,
+    /// Rate of [`Fault::Nan`].
+    pub nan_rate: f64,
+    /// Rate of [`Fault::PosInf`] / [`Fault::NegInf`] combined (split
+    /// evenly).
+    pub inf_rate: f64,
+    /// Rate of [`Fault::Oscillate`].
+    pub oscillate_rate: f64,
+    /// Rate of [`Fault::Panic`].
+    pub panic_rate: f64,
+}
+
+impl ChaosConfig {
+    /// No faults at all (the identity injector).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 0.0,
+        }
+    }
+
+    /// The CI smoke preset: 5% combined NaN + panic faults — enough to
+    /// hit every recovery path on a figure-sized sweep without drowning
+    /// it.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            nan_rate: 0.03,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 0.02,
+        }
+    }
+
+    /// Combined fault probability per evaluation.
+    pub fn total_rate(&self) -> f64 {
+        self.nan_rate + self.inf_rate + self.oscillate_rate + self.panic_rate
+    }
+}
+
+/// The stateless fault injector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosInjector {
+    config: ChaosConfig,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosInjector {
+    /// Build an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` or the rates sum past 1.
+    pub fn new(config: ChaosConfig) -> Self {
+        for r in [
+            config.nan_rate,
+            config.inf_rate,
+            config.oscillate_rate,
+            config.panic_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&r), "fault rate {r} outside [0, 1]");
+        }
+        assert!(
+            config.total_rate() <= 1.0 + 1e-12,
+            "fault rates sum past 1: {}",
+            config.total_rate()
+        );
+        Self { config }
+    }
+
+    /// The configuration this injector was built with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Stable site identifier from a human-readable name (FNV-1a), so
+    /// call sites can write `ChaosInjector::site("fig5")` instead of
+    /// coordinating magic numbers.
+    pub fn site(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// The fault (if any) scheduled for evaluation `unit` at `site` —
+    /// a pure function of `(seed, site, unit)`.
+    pub fn fault_at(&self, site: u64, unit: u64) -> Option<Fault> {
+        let total = self.config.total_rate();
+        if total <= 0.0 {
+            return None;
+        }
+        let key = splitmix64(splitmix64(self.config.seed ^ site) ^ unit);
+        let mut rng = Rng::seed_from_u64(key);
+        let u = rng.next_f64();
+        let c = &self.config;
+        let mut edge = c.nan_rate;
+        if u < edge {
+            return Some(Fault::Nan);
+        }
+        edge += c.inf_rate;
+        if u < edge {
+            // Split ±∞ evenly on an independent bit.
+            return Some(if rng.next_u64() & 1 == 0 {
+                Fault::PosInf
+            } else {
+                Fault::NegInf
+            });
+        }
+        edge += c.oscillate_rate;
+        if u < edge {
+            return Some(Fault::Oscillate);
+        }
+        edge += c.panic_rate;
+        if u < edge {
+            return Some(Fault::Panic);
+        }
+        None
+    }
+
+    /// Wrap a scalar function (a demand family, a water-level equation):
+    /// each call consumes one `unit` in order and may be corrupted.
+    ///
+    /// # Panics
+    ///
+    /// The returned closure panics when a [`Fault::Panic`] is scheduled —
+    /// that is the point.
+    pub fn wrap_scalar<'a>(
+        &'a self,
+        site: u64,
+        mut f: impl FnMut(f64) -> f64 + 'a,
+    ) -> impl FnMut(f64) -> f64 + 'a {
+        let mut calls = 0u64;
+        move |x| {
+            let unit = calls;
+            calls += 1;
+            match self.fault_at(site, unit) {
+                None => f(x),
+                Some(Fault::Nan) => f64::NAN,
+                Some(Fault::PosInf) => f64::INFINITY,
+                Some(Fault::NegInf) => f64::NEG_INFINITY,
+                // A sign flip makes bracketing logic chase a phantom root.
+                Some(Fault::Oscillate) => -f(x),
+                Some(Fault::Panic) => {
+                    panic!("chaos: injected panic (site {site:#x}, call {unit})")
+                }
+            }
+        }
+    }
+
+    /// Wrap a vector map (an allocator step, a demand profile update):
+    /// each call consumes one `unit` in order and may be corrupted.
+    ///
+    /// # Panics
+    ///
+    /// The returned closure panics when a [`Fault::Panic`] is scheduled.
+    pub fn wrap_map<'a>(
+        &'a self,
+        site: u64,
+        mut f: impl FnMut(&[f64]) -> Vec<f64> + 'a,
+    ) -> impl FnMut(&[f64]) -> Vec<f64> + 'a {
+        let mut calls = 0u64;
+        move |x: &[f64]| {
+            let unit = calls;
+            calls += 1;
+            let fault = self.fault_at(site, unit);
+            match fault {
+                Some(Fault::Panic) => {
+                    panic!("chaos: injected panic (site {site:#x}, call {unit})")
+                }
+                None => f(x),
+                Some(kind) => {
+                    let mut out = f(x);
+                    if out.is_empty() {
+                        return out;
+                    }
+                    let slot = (splitmix64(site ^ unit) % out.len() as u64) as usize;
+                    match kind {
+                        Fault::Nan => out[slot] = f64::NAN,
+                        Fault::PosInf => out[slot] = f64::INFINITY,
+                        Fault::NegInf => out[slot] = f64::NEG_INFINITY,
+                        // Reflect past the input: turns a contraction step
+                        // into an anti-damped overshoot.
+                        Fault::Oscillate => {
+                            for (o, &xi) in out.iter_mut().zip(x.iter()) {
+                                *o = xi - (*o - xi);
+                            }
+                        }
+                        Fault::Panic => unreachable!("handled above"),
+                    }
+                    out
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::{robust_bisect, SolverPolicy};
+    use crate::tol::Tolerance;
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let a = ChaosInjector::new(ChaosConfig::smoke(42));
+        let b = ChaosInjector::new(ChaosConfig::smoke(42));
+        let site = ChaosInjector::site("t");
+        for unit in 0..4000 {
+            assert_eq!(a.fault_at(site, unit), b.fault_at(site, unit));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosInjector::new(ChaosConfig::smoke(1));
+        let b = ChaosInjector::new(ChaosConfig::smoke(2));
+        let site = ChaosInjector::site("t");
+        let differs = (0..4000).any(|u| a.fault_at(site, u) != b.fault_at(site, u));
+        assert!(differs, "seeds 1 and 2 produced identical patterns");
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let inj = ChaosInjector::new(ChaosConfig {
+            seed: 7,
+            nan_rate: 0.1,
+            inf_rate: 0.05,
+            oscillate_rate: 0.05,
+            panic_rate: 0.1,
+        });
+        let site = ChaosInjector::site("rates");
+        let n = 20_000u64;
+        let mut counts = [0usize; 5];
+        for u in 0..n {
+            match inj.fault_at(site, u) {
+                Some(Fault::Nan) => counts[0] += 1,
+                Some(Fault::PosInf) => counts[1] += 1,
+                Some(Fault::NegInf) => counts[2] += 1,
+                Some(Fault::Oscillate) => counts[3] += 1,
+                Some(Fault::Panic) => counts[4] += 1,
+                None => {}
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!(
+            (frac(counts[0]) - 0.1).abs() < 0.02,
+            "nan {}",
+            frac(counts[0])
+        );
+        assert!(
+            (frac(counts[1] + counts[2]) - 0.05).abs() < 0.02,
+            "inf {}",
+            frac(counts[1] + counts[2])
+        );
+        assert!(
+            (frac(counts[4]) - 0.1).abs() < 0.02,
+            "panic {}",
+            frac(counts[4])
+        );
+    }
+
+    #[test]
+    fn quiet_config_never_faults() {
+        let inj = ChaosInjector::new(ChaosConfig::quiet(9));
+        let site = ChaosInjector::site("q");
+        assert!((0..1000).all(|u| inj.fault_at(site, u).is_none()));
+    }
+
+    #[test]
+    fn wrapped_scalar_injects_nan() {
+        let inj = ChaosInjector::new(ChaosConfig {
+            seed: 3,
+            nan_rate: 1.0,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 0.0,
+        });
+        let mut f = inj.wrap_scalar(ChaosInjector::site("w"), |x| x);
+        assert!(f(1.0).is_nan());
+    }
+
+    #[test]
+    fn wrapped_panic_is_catchable() {
+        let inj = ChaosInjector::new(ChaosConfig {
+            seed: 3,
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 1.0,
+        });
+        let r = std::panic::catch_unwind(|| {
+            let mut f = inj.wrap_scalar(ChaosInjector::site("p"), |x| x);
+            f(1.0)
+        });
+        assert!(r.is_err(), "scheduled panic must fire");
+    }
+
+    #[test]
+    fn robust_bisect_survives_chaotic_function() {
+        // End-to-end: a root solve whose function sporadically returns
+        // NaN still lands on the root via shrink-and-retry. The wrapped
+        // closure is freshly counted per attempt *inside* robust_bisect,
+        // so the fault pattern shifts with the evaluation index — some
+        // attempt gets a clean run.
+        let inj = ChaosInjector::new(ChaosConfig {
+            seed: 11,
+            nan_rate: 0.02,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 0.0,
+        });
+        let site = ChaosInjector::site("robust");
+        let policy = SolverPolicy {
+            max_attempts: 8,
+            ..SolverPolicy::default()
+        };
+        let f = inj.wrap_scalar(site, |x| x - 3.0);
+        let s = robust_bisect(f, 0.0, 10.0, Tolerance::new(1e-9, 1e-9), &policy)
+            .expect("recovery should outlast 2% NaN faults");
+        assert!((s.root - 3.0).abs() < 1e-6, "root {}", s.root);
+    }
+
+    #[test]
+    fn wrap_map_oscillate_reflects() {
+        let inj = ChaosInjector::new(ChaosConfig {
+            seed: 5,
+            nan_rate: 0.0,
+            inf_rate: 0.0,
+            oscillate_rate: 1.0,
+            panic_rate: 0.0,
+        });
+        let mut m = inj.wrap_map(ChaosInjector::site("osc"), |x| vec![x[0] + 1.0]);
+        // f(x) = x + 1 reflected about x gives x - 1.
+        assert_eq!(m(&[2.0]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn invalid_rate_rejected() {
+        ChaosInjector::new(ChaosConfig {
+            seed: 0,
+            nan_rate: 1.5,
+            inf_rate: 0.0,
+            oscillate_rate: 0.0,
+            panic_rate: 0.0,
+        });
+    }
+}

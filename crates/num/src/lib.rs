@@ -17,6 +17,8 @@
 //! * [`tol`] — centralised floating-point tolerances.
 //! * [`roots`] — bisection and Brent's method for monotone/continuous roots.
 //! * [`fixed_point`] — damped fixed-point iteration with convergence control.
+//! * [`recover`] — retry policies and robust wrappers around the solvers.
+//! * [`chaos`] — deterministic, seeded fault injection for robustness tests.
 //! * [`optimize`] — grid search, golden-section search and refinement sweeps.
 //! * [`sum`] — Kahan (compensated) summation.
 //! * [`interp`] — piecewise-linear interpolation over sampled curves.
@@ -26,18 +28,25 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod fixed_point;
 pub mod interp;
 pub mod optimize;
+pub mod recover;
 pub mod rng;
 pub mod roots;
 pub mod seq;
 pub mod sum;
 pub mod tol;
 
+pub use chaos::{ChaosConfig, ChaosInjector, Fault};
 pub use fixed_point::{fixed_point, FixedPointError, FixedPointOptions, FixedPointResult};
 pub use interp::LinearInterp;
 pub use optimize::{golden_section_max, grid_max, refine_max, GridMax};
+pub use recover::{
+    robust_bisect, robust_brent, robust_fixed_point, FixedPointSolve, RobustFixedPointError,
+    RobustRootError, RootSolve, SolveDiagnostics, SolverPolicy,
+};
 pub use rng::Rng;
 pub use roots::{bisect, brent, RootError};
 pub use seq::{linspace, linspace_excl_zero, logspace};

@@ -26,7 +26,7 @@ pub enum RootError {
         /// Best estimate of the root when the budget ran out.
         best: f64,
     },
-    /// The function returned a NaN, poisoning the bracket.
+    /// The function returned a NaN or ±∞, poisoning the bracket.
     NonFinite {
         /// The abscissa at which the function misbehaved.
         at: f64,
@@ -60,7 +60,9 @@ impl std::error::Error for RootError {}
 /// # Errors
 ///
 /// [`RootError::NotBracketed`] if the signs match, [`RootError::NonFinite`]
-/// if `f` produces a NaN.
+/// if `f` produces a NaN or ±∞, and [`RootError::MaxIterations`] if the
+/// interval did not resolve within `tol.max_iter` halvings (the error
+/// carries the best midpoint estimate).
 pub fn bisect(
     f: impl FnMut(f64) -> f64,
     lo: f64,
@@ -87,10 +89,10 @@ pub fn bisect_counted(
     let (mut lo, mut hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     let mut f_lo = f(lo);
     let f_hi = f(hi);
-    if f_lo.is_nan() {
+    if !f_lo.is_finite() {
         return Err(RootError::NonFinite { at: lo });
     }
-    if f_hi.is_nan() {
+    if !f_hi.is_finite() {
         return Err(RootError::NonFinite { at: hi });
     }
     if f_lo == 0.0 {
@@ -112,7 +114,7 @@ pub fn bisect_counted(
             return Ok(done(mid, iter));
         }
         let f_mid = f(mid);
-        if f_mid.is_nan() {
+        if !f_mid.is_finite() {
             return Err(RootError::NonFinite { at: mid });
         }
         if f_mid == 0.0 {
@@ -125,7 +127,11 @@ pub fn bisect_counted(
             hi = mid;
         }
     }
-    Ok(done(0.5 * (lo + hi), tol.max_iter))
+    pubopt_obs::add("num.bisect.iters", tol.max_iter as u64);
+    pubopt_obs::incr("num.bisect.budget_exhausted");
+    Err(RootError::MaxIterations {
+        best: 0.5 * (lo + hi),
+    })
 }
 
 /// Find a root of a continuous `f` in `[lo, hi]` with Brent's method
@@ -143,10 +149,10 @@ pub fn brent(
     let (mut a, mut b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
     let mut fa = f(a);
     let mut fb = f(b);
-    if fa.is_nan() {
+    if !fa.is_finite() {
         return Err(RootError::NonFinite { at: a });
     }
-    if fb.is_nan() {
+    if !fb.is_finite() {
         return Err(RootError::NonFinite { at: b });
     }
     if fa == 0.0 {
@@ -201,7 +207,7 @@ pub fn brent(
             mflag = false;
         }
         let fs = f(s);
-        if fs.is_nan() {
+        if !fs.is_finite() {
             return Err(RootError::NonFinite { at: s });
         }
         d = c;
@@ -220,7 +226,8 @@ pub fn brent(
         }
     }
     pubopt_obs::add("num.brent.iters", tol.max_iter as u64);
-    Ok(b)
+    pubopt_obs::incr("num.brent.budget_exhausted");
+    Err(RootError::MaxIterations { best: b })
 }
 
 #[cfg(test)]
@@ -300,6 +307,63 @@ mod tests {
     fn brent_not_bracketed() {
         let e = brent(|x| x * x + 1.0, -1.0, 1.0, Tolerance::default()).unwrap_err();
         assert!(matches!(e, RootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn bisect_infinity_detected() {
+        // ±∞ must be rejected like NaN: an infinite value has a signum and
+        // would silently poison the bracket logic otherwise.
+        let e = bisect(
+            |x| if x < 0.5 { -1.0 } else { f64::INFINITY },
+            0.0,
+            1.0,
+            Tolerance::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, RootError::NonFinite { .. }));
+        let e = bisect(|_| f64::NEG_INFINITY, 0.0, 1.0, Tolerance::default()).unwrap_err();
+        assert!(matches!(e, RootError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn brent_infinity_detected() {
+        let e = brent(
+            |x| if x < 0.5 { -1.0 } else { f64::INFINITY },
+            0.0,
+            1.0,
+            Tolerance::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, RootError::NonFinite { .. }));
+    }
+
+    #[test]
+    fn bisect_budget_exhaustion_is_an_error() {
+        // One halving cannot resolve [0, 10] to 1e-10; the documented
+        // MaxIterations error must surface, carrying the best estimate.
+        let e = bisect(
+            |x| x - 3.0,
+            0.0,
+            10.0,
+            Tolerance::default().with_max_iter(1),
+        )
+        .unwrap_err();
+        match e {
+            RootError::MaxIterations { best } => assert!((0.0..=10.0).contains(&best)),
+            other => panic!("expected MaxIterations, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn brent_budget_exhaustion_is_an_error() {
+        let e = brent(
+            |x| (x - 3.0).powi(3),
+            0.0,
+            10.0,
+            Tolerance::new(1e-14, 0.0).with_max_iter(1),
+        )
+        .unwrap_err();
+        assert!(matches!(e, RootError::MaxIterations { .. }));
     }
 
     #[test]
