@@ -34,10 +34,12 @@
 #![forbid(unsafe_code)]
 
 pub mod axioms;
+pub mod fast;
 pub mod maxmin;
 pub mod weighted;
 
 pub use axioms::{check_axioms, AxiomReport, AxiomViolation};
+pub use fast::{MaxMinFast, ScratchArena, SortedDemands};
 pub use maxmin::MaxMinFair;
 pub use weighted::WeightedAlphaFair;
 

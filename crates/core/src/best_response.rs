@@ -27,7 +27,7 @@
 use crate::outcome::{GameOutcome, Partition, ServiceClass};
 use crate::strategy::IspStrategy;
 use pubopt_demand::{ContentProvider, Population};
-use pubopt_eq::{solve_maxmin, try_solve_maxmin};
+use pubopt_eq::{solve_maxmin, try_solve_maxmin, SweepCache, SweepEffort, WarmStart};
 use pubopt_num::{SolverPolicy, Tolerance};
 use std::collections::HashSet;
 
@@ -68,6 +68,117 @@ fn class_water(pop: &Population, indices: &[usize], capacity: f64, tol: Toleranc
         Err(_) => {
             pubopt_obs::incr("core.class_water.failures");
             0.0
+        }
+    }
+}
+
+/// Cross-point warm start for sweeping competitive equilibria over an
+/// adjacent parameter grid (ν, c, or κ).
+///
+/// Carries the previous point's equilibrium partition (the next point's
+/// best-response iteration starts there instead of all-ordinary) and the
+/// per-class water-level segment hints, plus the [`SweepCache`] whose
+/// sorted-prefix tables make every class water solve allocation-free.
+/// The warm start changes the best-response iteration's *starting point*
+/// only: the best-response map, tie-breaking, and water-level refinement
+/// are unchanged; only partitions that reached an exact (ε-)equilibrium
+/// are carried (a fewest-violations compromise is never used as a seed);
+/// and a warm seed whose iteration *cycles* is abandoned in favour of a
+/// rerun of the exact cold trajectory, so the path-dependent Phase-2
+/// compromises come out bit-identical to the cold solver's. Under that
+/// fallback rule the warm sweeps in this repository reproduce the cold
+/// partitions exactly (asserted by tests and the bench A/B). The residual
+/// caveat is theoretical: at a point with multiple cleanly reachable
+/// equilibria a warm seed could converge to a different — equally valid —
+/// fixed point than the all-ordinary start; no such point has been
+/// observed on the figure grids.
+///
+/// Expected savings are modest (≈ 15% fewer best-response iterations on
+/// the figure ν-grids): convergence of the simultaneous iteration is
+/// rate-limited near the fixed point, not by starting distance. The large
+/// win lives one layer down, in the [`SweepCache`]'s segment hints.
+#[derive(Debug, Clone)]
+pub struct GameWarmStart {
+    cache: Option<SweepCache>,
+    partition: Option<Partition>,
+    hint_ord: WarmStart,
+    hint_prem: WarmStart,
+    carry_hints: bool,
+}
+
+impl Default for GameWarmStart {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GameWarmStart {
+    /// A cold start: the first solve builds the cache and starts from the
+    /// all-ordinary profile.
+    pub fn new() -> Self {
+        Self {
+            cache: None,
+            partition: None,
+            hint_ord: WarmStart::COLD,
+            hint_prem: WarmStart::COLD,
+            carry_hints: true,
+        }
+    }
+
+    /// A/B baseline: the same sorted-prefix cache, but every water solve
+    /// runs the full cold binary segment search — no hint is carried, not
+    /// even between best-response rounds at a single point. This is the
+    /// solver as it would behave without the warm-start subsystem;
+    /// results are bit-identical to [`GameWarmStart::new`] (hints change
+    /// effort, never values). Used by the bench harness to measure the
+    /// `num.warmstart.*` savings.
+    pub fn without_hints() -> Self {
+        Self {
+            carry_hints: false,
+            ..Self::new()
+        }
+    }
+
+    /// Water-solver effort accumulated by every solve that used this warm
+    /// start (in-band mirror of the `num.warmstart.*` counters).
+    pub fn effort(&self) -> SweepEffort {
+        self.cache
+            .as_ref()
+            .map(SweepCache::effort)
+            .unwrap_or_default()
+    }
+
+    /// The partition the next solve will start from, when warm.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+}
+
+/// [`class_water`] on the warm-start cache: binds the class as a subset
+/// (no CP clones), solves with the segment hint, and falls back to the
+/// seed select-and-solve path when the cached solve reports a
+/// pathological (non-Assumption-1) system so degradation semantics match.
+fn class_water_cached(
+    pop: &Population,
+    cache: &mut SweepCache,
+    indices: &[usize],
+    capacity: f64,
+    tol: Tolerance,
+    hint: &mut WarmStart,
+    carry_hints: bool,
+) -> f64 {
+    if capacity <= 0.0 {
+        return 0.0;
+    }
+    if !carry_hints {
+        *hint = WarmStart::COLD;
+    }
+    cache.bind_subset(pop, indices);
+    match cache.water_level(pop, capacity, tol, hint) {
+        Ok(w) => w,
+        Err(_) => {
+            pubopt_obs::incr("core.class_water.fallbacks");
+            class_water(pop, indices, capacity, tol)
         }
     }
 }
@@ -132,13 +243,31 @@ pub fn competitive_equilibrium(
     strategy: IspStrategy,
     tol: Tolerance,
 ) -> PartitionSolution {
+    competitive_equilibrium_warm(pop, nu, strategy, tol, &mut GameWarmStart::new())
+}
+
+/// [`competitive_equilibrium`] with a cross-point [`GameWarmStart`]: the
+/// best-response iteration starts from the previous point's partition and
+/// every class water solve reuses the sorted-prefix cache and segment
+/// hints. Pass the same `warm` across adjacent sweep points (ν, c, or κ);
+/// a fresh [`GameWarmStart::new`] reproduces the cold solver exactly.
+pub fn competitive_equilibrium_warm(
+    pop: &Population,
+    nu: f64,
+    strategy: IspStrategy,
+    tol: Tolerance,
+    warm: &mut GameWarmStart,
+) -> PartitionSolution {
     assert!(
         nu >= 0.0 && nu.is_finite(),
         "nu must be finite and non-negative"
     );
     pubopt_obs::incr("core.competitive_eq.calls");
+    if warm.partition.is_some() {
+        pubopt_obs::incr("core.competitive_eq.warm_calls");
+    }
     let sw = pubopt_obs::Stopwatch::start("core.competitive_eq.ns");
-    let solution = competitive_equilibrium_inner(pop, nu, strategy, tol);
+    let solution = competitive_equilibrium_inner(pop, nu, strategy, tol, warm);
     pubopt_obs::add(
         "core.competitive_eq.iters",
         solution.outcome.iterations as u64,
@@ -155,10 +284,30 @@ fn competitive_equilibrium_inner(
     nu: f64,
     strategy: IspStrategy,
     tol: Tolerance,
+    warm: &mut GameWarmStart,
 ) -> PartitionSolution {
     let n = pop.len();
     let cap_ord = strategy.ordinary_fraction() * nu;
     let cap_prem = strategy.kappa * nu;
+
+    // (Re)build the sorted-prefix cache when absent or built for another
+    // population; a stale partition or hint from another population is
+    // discarded with it.
+    if warm.cache.as_ref().is_none_or(|c| c.population_len() != n) {
+        warm.cache = Some(SweepCache::new(pop));
+        warm.partition = None;
+        warm.hint_ord = WarmStart::COLD;
+        warm.hint_prem = WarmStart::COLD;
+    }
+    let GameWarmStart {
+        cache,
+        partition: carried,
+        hint_ord,
+        hint_prem,
+        carry_hints,
+    } = warm;
+    let carry_hints = *carry_hints;
+    let cache = cache.as_mut().expect("cache built above");
 
     // §III-C defines trivial profiles at the κ boundaries: with κ = 0 the
     // premium class does not physically exist (s_N = (N, ∅)); with κ = 1
@@ -170,6 +319,7 @@ fn competitive_equilibrium_inner(
         } else {
             Partition::from_predicate(n, |i| pop[i].v > strategy.c)
         };
+        *carried = Some(partition.clone());
         let mut outcome = GameOutcome::resolve(pop, nu, strategy, partition, tol);
         outcome.converged = true;
         outcome.iterations = 1;
@@ -179,29 +329,74 @@ fn competitive_equilibrium_inner(
         };
     }
 
+    // Warm start: resume from the previous sweep point's equilibrium
+    // partition. At an adjacent parameter the best-response map usually
+    // fixes it in one or two rounds instead of walking the whole adoption
+    // path from all-ordinary. The dynamics, hysteresis, and tie-breaking
+    // are untouched — only the starting point moves — and a warm attempt
+    // that *cycles* is abandoned entirely: the solver reruns the exact
+    // cold trajectory, so Phase-2 compromises (the path-dependent case)
+    // are bit-identical to the cold solver's.
+    let warm_seed = match carried.take() {
+        Some(p) if p.len() == n => Some(p),
+        _ => None,
+    };
     let mut partition = Partition::all_ordinary(n);
-    let mut seen: HashSet<Vec<u64>> = HashSet::new();
     let mut cycle_detected = false;
     let mut iterations = 0usize;
 
-    // Phase 1: simultaneous best responses (with hysteresis).
-    loop {
-        iterations += 1;
-        let w_ord = class_water(pop, &partition.ordinary_indices(), cap_ord, tol);
-        let w_prem = class_water(pop, &partition.premium_indices(), cap_prem, tol);
-        let next = Partition::from_predicate(n, |i| {
-            preferred_class(&pop[i], strategy.c, w_ord, w_prem, partition.class_of(i))
-                == ServiceClass::Premium
-        });
-        if next == partition {
-            break;
-        }
-        if !seen.insert(signature(&next)) || iterations >= 60 {
-            cycle_detected = true;
+    // Phase 1: simultaneous best responses (with hysteresis), warm seed
+    // first (when present), cold restart if it cycles.
+    let warm_attempts = usize::from(warm_seed.is_some());
+    let starts = warm_seed
+        .into_iter()
+        .chain(std::iter::once(Partition::all_ordinary(n)));
+    for (attempt, start) in starts.enumerate() {
+        partition = start;
+        let mut seen: HashSet<Vec<u64>> = HashSet::new();
+        let mut rounds = 0usize;
+        cycle_detected = false;
+        loop {
+            iterations += 1;
+            rounds += 1;
+            let w_ord = class_water_cached(
+                pop,
+                cache,
+                &partition.ordinary_indices(),
+                cap_ord,
+                tol,
+                hint_ord,
+                carry_hints,
+            );
+            let w_prem = class_water_cached(
+                pop,
+                cache,
+                &partition.premium_indices(),
+                cap_prem,
+                tol,
+                hint_prem,
+                carry_hints,
+            );
+            let next = Partition::from_predicate(n, |i| {
+                preferred_class(&pop[i], strategy.c, w_ord, w_prem, partition.class_of(i))
+                    == ServiceClass::Premium
+            });
+            if next == partition {
+                break;
+            }
+            if !seen.insert(signature(&next)) || rounds >= 60 {
+                cycle_detected = true;
+                partition = next;
+                break;
+            }
             partition = next;
+        }
+        if !cycle_detected {
             break;
         }
-        partition = next;
+        if attempt < warm_attempts {
+            pubopt_obs::incr("core.competitive_eq.warm_restarts");
+        }
     }
 
     // Phase 2 (only on cycles): halving-cohort dynamics. A pure-strategy
@@ -213,14 +408,31 @@ fn competitive_equilibrium_inner(
     // round — a damped adjustment that settles bands — and finishes with
     // single-CP moves. If violations never reach zero we keep the
     // partition with the fewest ε-violations encountered.
+    let mut settled = !cycle_detected;
     if cycle_detected {
         let max_rounds = 60 + 3 * n.min(200);
         let mut cohort = (n / 8).max(1);
         let mut best: Option<(usize, Partition)> = None;
         for _ in 0..max_rounds {
             iterations += 1;
-            let w_ord = class_water(pop, &partition.ordinary_indices(), cap_ord, tol);
-            let w_prem = class_water(pop, &partition.premium_indices(), cap_prem, tol);
+            let w_ord = class_water_cached(
+                pop,
+                cache,
+                &partition.ordinary_indices(),
+                cap_ord,
+                tol,
+                hint_ord,
+                carry_hints,
+            );
+            let w_prem = class_water_cached(
+                pop,
+                cache,
+                &partition.premium_indices(),
+                cap_prem,
+                tol,
+                hint_prem,
+                carry_hints,
+            );
             // Collect violators with their gains.
             let mut violators: Vec<(f64, usize)> = Vec::new();
             for i in 0..n {
@@ -238,6 +450,7 @@ fn competitive_equilibrium_inner(
                 best = Some((violators.len(), partition.clone()));
             }
             if violators.is_empty() {
+                settled = true;
                 break; // exact (ε-)equilibrium reached
             }
             violators.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("gains are finite"));
@@ -257,6 +470,16 @@ fn competitive_equilibrium_inner(
         }
     }
 
+    // Carry only partitions that reached an exact (ε-)equilibrium —
+    // Phase-1 fixed points and Phase-2 empty-violator settlements. A
+    // fewest-violations compromise (no equilibrium found) is the most
+    // path-dependent object in the solver, and seeding the next point
+    // with one would spread that path dependence across the sweep.
+    *carried = if settled {
+        Some(partition.clone())
+    } else {
+        None
+    };
     let mut outcome = GameOutcome::resolve(pop, nu, strategy, partition, tol);
     outcome.converged = verify_competitive(pop, &outcome, tol);
     outcome.iterations = iterations;
@@ -613,6 +836,98 @@ mod tests {
         let a = competitive_equilibrium(&pop, 1.25, strat, Tolerance::default());
         let b = competitive_equilibrium(&pop, 1.25, strat, Tolerance::default());
         assert_eq!(a.outcome.partition, b.outcome.partition);
+    }
+
+    /// A tie-free population in the figure-ensemble regime: parameters are
+    /// golden-ratio low-discrepancy draws, so no two CPs share a `v` and
+    /// the best-response dynamics converge cleanly (unlike [`mixed_pop`],
+    /// whose quantized `v` creates bands that flip together and cycle).
+    pub(super) fn smooth_pop(n: usize) -> Population {
+        let frac = |x: f64| x - x.floor();
+        (0..n)
+            .map(|i| {
+                let t = i as f64 + 1.0;
+                ContentProvider::new(
+                    0.1 + 0.9 * frac(t * 0.618_033_988_749_894_9),
+                    0.2 + 5.0 * frac(t * 0.381_966_011_250_105_2),
+                    DemandKind::exponential(8.0 * frac(t * 0.236_067_977_499_789_7)),
+                    frac(t * 0.754_877_666_246_692_8),
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_exactly_with_less_effort() {
+        // The game-layer warm-start A/B: carrying one GameWarmStart across
+        // adjacent ν points must reproduce the cold partitions exactly —
+        // the cycle-fallback rule reruns the cold trajectory whenever a
+        // warm seed cycles, so Phase-2 compromises are bit-identical —
+        // while spending strictly less solver effort. (The headline ≥ 3×
+        // iteration reduction is a property of the water-level kernel's
+        // segment hints, asserted in pubopt-eq and measured at figure
+        // scale by the bench harness; partition seeding on top of it is a
+        // modest win because best-response convergence is rate-limited
+        // near the fixed point, not by starting distance.)
+        let pop = smooth_pop(120);
+        let sat = pop.total_unconstrained_per_capita();
+        let strat = IspStrategy::new(0.5, 0.4);
+        // Dense grid over a mostly-clean window of the congestion range.
+        let nus: Vec<f64> = (0..=56)
+            .map(|j| sat * (0.81 + 0.19 * j as f64 / 56.0))
+            .collect();
+        let tol = Tolerance::default();
+
+        let mut cold_effort = SweepEffort::default();
+        let mut cold_iters = 0usize;
+        let mut cold_parts = Vec::new();
+        for &nu in &nus {
+            let mut ws = GameWarmStart::new();
+            let sol = competitive_equilibrium_warm(&pop, nu, strat, tol, &mut ws);
+            cold_effort.merge(&ws.effort());
+            cold_iters += sol.outcome.iterations;
+            cold_parts.push(sol.outcome.partition.clone());
+        }
+
+        let mut ws = GameWarmStart::new();
+        let mut warm_iters = 0usize;
+        for (k, &nu) in nus.iter().enumerate() {
+            let sol = competitive_equilibrium_warm(&pop, nu, strat, tol, &mut ws);
+            warm_iters += sol.outcome.iterations;
+            assert_eq!(
+                sol.outcome.partition, cold_parts[k],
+                "nu={nu}: warm partition diverged from cold"
+            );
+        }
+        let warm_effort = ws.effort();
+
+        assert!(warm_effort.solves > 0 && cold_effort.solves > 0);
+        assert!(
+            warm_iters < cold_iters,
+            "warm sweep took {warm_iters} BR iterations vs cold {cold_iters}"
+        );
+        assert!(
+            warm_effort.lambda_evals < cold_effort.lambda_evals,
+            "warm sweep spent {} Λ evals vs cold {}",
+            warm_effort.lambda_evals,
+            cold_effort.lambda_evals
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_population_swap() {
+        // A GameWarmStart built for one population must quietly rebuild
+        // (not panic or corrupt) when reused on a different-sized one.
+        let strat = IspStrategy::new(0.5, 0.3);
+        let tol = Tolerance::default();
+        let mut ws = GameWarmStart::new();
+        let a = smooth_pop(30);
+        competitive_equilibrium_warm(&a, 1.0, strat, tol, &mut ws);
+        let b = smooth_pop(45);
+        let warm = competitive_equilibrium_warm(&b, 1.0, strat, tol, &mut ws);
+        let cold = competitive_equilibrium(&b, 1.0, strat, tol);
+        assert_eq!(warm.outcome.partition, cold.outcome.partition);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod regimes;
 pub mod strategy;
 
 pub use best_response::{
-    competitive_equilibrium, count_violations, count_violations_rel, nash_equilibrium,
-    verify_competitive, verify_nash, PartitionSolution,
+    competitive_equilibrium, competitive_equilibrium_warm, count_violations, count_violations_rel,
+    nash_equilibrium, verify_competitive, verify_nash, GameWarmStart, PartitionSolution,
 };
 pub use epsilon::{delta_metric, epsilon_metric, SweepCurve};
 pub use extensions::{

@@ -29,11 +29,16 @@
 
 pub mod solver;
 pub mod surplus;
+pub mod sweep;
 pub mod system;
 
 pub use solver::{
-    generic_default_policy, solve_generic, solve_generic_with_policy, solve_maxmin,
-    solve_maxmin_traced, try_solve_maxmin, EquilibriumError, RateEquilibrium, SolveStats,
+    generic_default_policy, solve_generic, solve_generic_warm, solve_generic_with_policy,
+    solve_maxmin, solve_maxmin_traced, try_solve_maxmin, EquilibriumError, RateEquilibrium,
+    SolveStats,
 };
 pub use surplus::{consumer_surplus, per_cp_surplus, rho_profile};
+pub use sweep::{
+    solve_sweep, solve_sweep_traced, try_solve_maxmin_warm, SweepCache, SweepEffort, WarmStart,
+};
 pub use system::System;

@@ -303,6 +303,34 @@ pub fn solve_generic_with_policy(
     opts: FixedPointOptions,
     policy: &SolverPolicy,
 ) -> Result<(RateEquilibrium, SolveDiagnostics), EquilibriumError> {
+    solve_generic_warm(pop, mech, nu, opts, policy, None)
+}
+
+/// [`solve_generic_with_policy`] with a warm start: `warm` carries the
+/// demand profile of an adjacent sweep point (e.g.
+/// [`RateEquilibrium::demands`] from the previous ν), used as the initial
+/// fixed-point iterate instead of the cold full-demand profile
+/// `d_i = 1 ∀i`. On a fine sweep grid the equilibrium profile moves
+/// little between points, so the iteration converges in a handful of
+/// steps — this fixes the cold-start waste where every point paid the
+/// full contraction from `d = 1`. A warm profile of the wrong length is
+/// ignored (cold start), so callers can pass the previous result
+/// unconditionally.
+///
+/// The converged fixed point is unique for Assumption-1 demand (Theorem
+/// 1), so the warm start changes the iteration count, not the answer.
+///
+/// # Errors
+///
+/// Same contract as [`solve_generic_with_policy`].
+pub fn solve_generic_warm(
+    pop: &Population,
+    mech: &dyn RateAllocator,
+    nu: f64,
+    opts: FixedPointOptions,
+    policy: &SolverPolicy,
+    warm: Option<&[f64]>,
+) -> Result<(RateEquilibrium, SolveDiagnostics), EquilibriumError> {
     assert!(
         nu >= 0.0 && nu.is_finite(),
         "nu must be finite and non-negative, got {nu}"
@@ -329,7 +357,13 @@ pub fn solve_generic_with_policy(
             .collect()
     };
 
-    let d0 = vec![1.0; pop.len()];
+    let d0 = match warm {
+        Some(d) if d.len() == pop.len() && d.iter().all(|x| x.is_finite()) => {
+            pubopt_obs::incr("num.warmstart.generic_starts");
+            d.to_vec()
+        }
+        _ => vec![1.0; pop.len()],
+    };
     let (result, diagnostics) = match robust_fixed_point(step, d0, opts, policy) {
         Ok(s) => {
             pubopt_obs::add(
@@ -516,6 +550,87 @@ mod tests {
         let eq = solve(&p, 1.0);
         for (cp, &t) in p.iter().zip(eq.thetas.iter()) {
             assert!(t <= cp.theta_hat + 1e-9);
+        }
+    }
+
+    #[test]
+    fn generic_warm_start_cuts_allocator_probes() {
+        // Regression test for the cold-start waste: a warm start from the
+        // adjacent sweep point must reach the same equilibrium with
+        // strictly fewer allocator probes than restarting from d = 1.
+        use std::cell::Cell;
+        struct Counting(Cell<u64>);
+        impl RateAllocator for Counting {
+            fn allocate(&self, pop: &Population, demands: &[f64], nu: f64) -> Vec<f64> {
+                self.0.set(self.0.get() + 1);
+                MaxMinFair.allocate(pop, demands, nu)
+            }
+            fn name(&self) -> &'static str {
+                "counting max-min"
+            }
+        }
+        let p = trio();
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: Tolerance::new(1e-11, 1e-11).with_max_iter(20_000),
+        };
+        let policy = generic_default_policy();
+        let mech = Counting(Cell::new(0));
+        let (prev, _) = solve_generic_warm(&p, &mech, 1.5, opts, &policy, None).unwrap();
+
+        mech.0.set(0);
+        let (cold, _) = solve_generic_warm(&p, &mech, 1.6, opts, &policy, None).unwrap();
+        let cold_probes = mech.0.get();
+
+        mech.0.set(0);
+        let (warm, _) =
+            solve_generic_warm(&p, &mech, 1.6, opts, &policy, Some(&prev.demands)).unwrap();
+        let warm_probes = mech.0.get();
+
+        // The Picard iteration contracts linearly, so an adjacent-point
+        // warm start saves the initial transient — strictly fewer probes,
+        // same answer.
+        assert!(
+            warm_probes < cold_probes,
+            "warm {warm_probes} probes vs cold {cold_probes}"
+        );
+        for i in 0..p.len() {
+            assert!(
+                (warm.thetas[i] - cold.thetas[i]).abs() < 1e-7,
+                "i={i}: warm {} vs cold {}",
+                warm.thetas[i],
+                cold.thetas[i]
+            );
+        }
+
+        // Re-solving the *same* point from its own converged profile is
+        // the degenerate warm start: the iteration should terminate
+        // almost immediately.
+        mech.0.set(0);
+        solve_generic_warm(&p, &mech, 1.6, opts, &policy, Some(&cold.demands)).unwrap();
+        let resolve_probes = mech.0.get();
+        assert!(
+            resolve_probes * 10 <= cold_probes,
+            "re-solve {resolve_probes} probes vs cold {cold_probes}"
+        );
+    }
+
+    #[test]
+    fn generic_warm_start_ignores_bad_profiles() {
+        // Wrong length or non-finite warm profiles fall back to the cold
+        // start instead of poisoning the iteration.
+        let p = trio();
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            tol: Tolerance::new(1e-10, 1e-10).with_max_iter(10_000),
+        };
+        let policy = generic_default_policy();
+        let cold = solve_generic_warm(&p, &MaxMinFair, 2.0, opts, &policy, None).unwrap();
+        for bad in [vec![0.5; 2], vec![f64::NAN; 3]] {
+            let warm = solve_generic_warm(&p, &MaxMinFair, 2.0, opts, &policy, Some(&bad)).unwrap();
+            for i in 0..p.len() {
+                assert!((warm.0.thetas[i] - cold.0.thetas[i]).abs() < 1e-9);
+            }
         }
     }
 

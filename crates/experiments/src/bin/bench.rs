@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v1`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v2`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
@@ -72,6 +72,36 @@ fn main() -> ExitCode {
             p.speedup
         );
     }
+    println!();
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>9} {:>12}",
+        "alloc n_cps", "queries", "fast", "reference", "speedup", "max|diff|"
+    );
+    for a in &report.alloc_scaling {
+        println!(
+            "{:<12} {:>8} {:>14} {:>14} {:>8.1}x {:>12.2e}",
+            a.n_cps,
+            a.queries,
+            fmt_ns(a.fast_ns),
+            fmt_ns(a.reference_ns),
+            a.speedup,
+            a.max_abs_diff
+        );
+    }
+    println!();
+    let w = &report.warmstart;
+    println!(
+        "warmstart A/B (n={} CPs, {} grid points): identical={}",
+        w.n_cps, w.grid_points, w.identical
+    );
+    println!(
+        "  segment probes: cold={} warm={}  ratio {:.2}x",
+        w.cold.segment_probes, w.warm.segment_probes, w.probe_ratio
+    );
+    println!(
+        "  lambda evals:   cold={} warm={}  ratio {:.2}x",
+        w.cold.lambda_evals, w.warm.lambda_evals, w.eval_ratio
+    );
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());

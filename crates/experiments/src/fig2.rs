@@ -87,7 +87,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig2-test"),
             fast: true,
             threads: 1,
-            chaos: None,
+            ..Config::default()
         }
     }
 

@@ -12,11 +12,17 @@
 //! * aggregate rate equals `min(ν, 5.5)` (Axiom 2 at equilibrium).
 
 use crate::report::{ascii_plot, Config, FigureResult, Table};
-use crate::runner::parallel_map;
+use crate::runner::parallel_chunk_map;
 use crate::shape::{non_decreasing, ShapeCheck};
-use pubopt_eq::solve_maxmin;
+use pubopt_eq::solve_sweep;
 use pubopt_num::Tolerance;
 use pubopt_workload::{Scenario, ScenarioKind};
+
+/// ν points solved serially per chunk: each chunk owns one
+/// [`pubopt_eq::SweepCache`] and warm-starts every point from its left
+/// neighbour's breakpoint segment. Chunk boundaries are fixed, so the CSV
+/// is identical at any thread count.
+const CHUNK: usize = 64;
 
 /// Regenerate Figure 3.
 pub fn run(config: &Config) -> FigureResult {
@@ -25,17 +31,21 @@ pub fn run(config: &Config) -> FigureResult {
     let n = config.grid(600, 60);
     let nus = pubopt_num::linspace_excl_zero(scenario.nu_max, n);
 
-    let rows = parallel_map(&nus, config.worker_threads(), |&nu| {
-        let eq = solve_maxmin(pop, nu, Tolerance::default());
-        let mut row = vec![nu];
-        for i in 0..3 {
-            row.push(pop[i].alpha * eq.demands[i] * eq.thetas[i]); // λ_i per capita
-        }
-        for i in 0..3 {
-            row.push(eq.demands[i]);
-        }
-        row.push(eq.aggregate);
-        row
+    let rows = parallel_chunk_map(&nus, config.worker_threads(), CHUNK, |chunk, _| {
+        solve_sweep(pop, chunk, Tolerance::default())
+            .into_iter()
+            .map(|eq| {
+                let mut row = vec![eq.nu];
+                for i in 0..3 {
+                    row.push(pop[i].alpha * eq.demands[i] * eq.thetas[i]); // λ_i per capita
+                }
+                for i in 0..3 {
+                    row.push(eq.demands[i]);
+                }
+                row.push(eq.aggregate);
+                row
+            })
+            .collect()
     });
 
     let mut table = Table::new(vec![
@@ -132,7 +142,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig3-test"),
             fast: true,
             threads: 2,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

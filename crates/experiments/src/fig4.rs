@@ -19,7 +19,7 @@ use crate::shape::{argmax, ShapeCheck};
 use pubopt_core::{competitive_equilibrium, IspStrategy};
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
-use pubopt_workload::{Scenario, ScenarioKind};
+use pubopt_workload::ScenarioKind;
 
 /// The ν values the paper plots.
 pub const NUS: [f64; 5] = [20.0, 50.0, 100.0, 150.0, 200.0];
@@ -49,11 +49,15 @@ pub(crate) fn sweep_kappa1(
 pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
     let n = config.grid(121, 25);
     let cs = pubopt_num::linspace(0.0, 1.2, n);
+    // Capacities are calibrated to the 1000-CP ensemble; rescale with the
+    // population so every ν stays in its original congestion regime
+    // (prices don't scale: v ~ U[0,1] regardless of CP count).
+    let nus: Vec<f64> = NUS.iter().map(|&nu| nu * config.nu_scale()).collect();
 
     let mut table = Table::new(vec!["nu", "c", "psi", "phi", "premium_full"]);
     let mut psi_by_nu = Vec::new();
     let mut phi_by_nu = Vec::new();
-    for &nu in &NUS {
+    for &nu in &nus {
         let rows = sweep_kappa1(pop, nu, &cs, config.worker_threads());
         let psis: Vec<f64> = rows.iter().map(|r| r.1).collect();
         let phis: Vec<f64> = rows.iter().map(|r| r.2).collect();
@@ -71,7 +75,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     // smallest positive charge).
     let mut linear_ok = true;
     let mut linear_detail = String::new();
-    for (k, &nu) in NUS.iter().enumerate() {
+    for (k, &nu) in nus.iter().enumerate() {
         let c1 = cs[1];
         let psi1 = psi_by_nu[k][1];
         let ok = (psi1 - c1 * nu).abs() < 1e-3 * (1.0 + c1 * nu);
@@ -100,7 +104,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     // Regime 3: misalignment at abundant capacity. At ν = 200 the
     // revenue-optimal c must leave capacity under-utilised and deliver a
     // LOWER Φ than the small-c regime.
-    let k200 = NUS.len() - 1;
+    let k200 = nus.len() - 1;
     let psis = &psi_by_nu[k200];
     let phis = &phi_by_nu[k200];
     let c_star_idx = argmax(psis);
@@ -129,7 +133,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
 
 /// Regenerate Figure 4.
 pub fn run(config: &Config) -> FigureResult {
-    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    let scenario = crate::scaled_scenario(ScenarioKind::PaperEnsemble, config);
     run_on(&scenario.pop, "fig4", "fig4_monopoly_kappa1.csv", config)
 }
 
@@ -143,7 +147,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig4-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

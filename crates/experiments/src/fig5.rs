@@ -12,21 +12,25 @@
 //!    scale when |N| is large — the paper's "when |N| is large, ε_sI is
 //!    quite small".
 //!
-//! The sweep runs under [`resilient_sweep`]: each grid point is
-//! panic-isolated, failed points are retried serially, and surviving gaps
-//! are linearly interpolated for the shape checks (the CSV keeps only
-//! measured points). With `Config::chaos` set, a deterministic fault
-//! injector perturbs the grid (NaN + panic at the smoke rates) to prove
-//! the machinery end to end.
+//! The sweep runs under [`resilient_sweep_chunked`]: the ν grid is cut
+//! into fixed chunks, each chunk solved serially through one
+//! [`GameWarmStart`] (adjacent ν points reuse the previous partition and
+//! the water-level kernel's segment hints — exact, see
+//! `pubopt_core::best_response`), and the chunks fan out in parallel.
+//! Each grid point is panic-isolated, failed points are retried serially
+//! on a cold state, and surviving gaps are linearly interpolated for the
+//! shape checks (the CSV keeps only measured points). With
+//! `Config::chaos` set, a deterministic fault injector perturbs the grid
+//! (NaN + panic at the smoke rates) to prove the machinery end to end.
 
 use crate::report::{ascii_plot, Config, FigureResult, FigureStatus, Table};
-use crate::resilience::{interpolate_gaps, resilient_sweep, SweepStats};
+use crate::resilience::{interpolate_gaps, resilient_sweep_chunked, SweepStats, SWEEP_CHUNK};
 use crate::shape::ShapeCheck;
-use pubopt_core::{competitive_equilibrium, IspStrategy};
+use pubopt_core::{competitive_equilibrium_warm, GameWarmStart, IspStrategy};
 use pubopt_demand::Population;
 use pubopt_num::chaos::{ChaosConfig, ChaosInjector, Fault};
 use pubopt_num::Tolerance;
-use pubopt_workload::{Scenario, ScenarioKind};
+use pubopt_workload::ScenarioKind;
 
 /// The κ values of the paper's strategy grid.
 pub const KAPPAS: [f64; 3] = [0.2, 0.5, 0.9];
@@ -39,14 +43,16 @@ const MAX_RETRIES: u32 = 3;
 /// Regenerate Figure 5 on the given population (Figure 10 reuses this).
 pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
     let n = config.grid(100, 16);
-    let nus = pubopt_num::linspace_excl_zero(500.0, n);
+    let nu_max = 500.0 * config.nu_scale();
+    let nus = pubopt_num::linspace_excl_zero(nu_max, n);
     let injector = config
         .chaos
         .map(|seed| ChaosInjector::new(ChaosConfig::smoke(seed)));
     let site = ChaosInjector::site("fig5.sweep");
 
-    // One resilient sweep per strategy, parallel over ν with a serial
-    // repair pass for faulted points.
+    // One resilient sweep per strategy: parallel over fixed ν chunks
+    // (each chunk warm-starting left to right through one
+    // `GameWarmStart`) with a serial cold repair pass for faulted points.
     let mut table = Table::new(vec!["kappa", "c", "nu", "psi", "phi", "premium_count"]);
     type Curve = ((f64, f64), Vec<f64>, Vec<f64>);
     let mut curves: Vec<Curve> = Vec::new();
@@ -56,11 +62,13 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         for (sj, &c) in CS.iter().enumerate() {
             let strategy = IspStrategy::new(kappa, c);
             let curve_offset = ((si * CS.len() + sj) as u64) << 32;
-            let (rows, curve_stats) = resilient_sweep(
+            let (rows, curve_stats) = resilient_sweep_chunked(
                 &nus,
                 config.worker_threads(),
                 MAX_RETRIES,
-                |&nu, i, attempt| {
+                SWEEP_CHUNK,
+                GameWarmStart::new,
+                |warm, &nu, i, attempt| {
                     if let Some(inj) = &injector {
                         // Key the fault on (curve, point, attempt) so a
                         // retried point re-rolls deterministically.
@@ -77,7 +85,8 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
                             None => {}
                         }
                     }
-                    let sol = competitive_equilibrium(pop, nu, strategy, Tolerance::COARSE);
+                    let sol =
+                        competitive_equilibrium_warm(pop, nu, strategy, Tolerance::COARSE, warm);
                     let out = &sol.outcome;
                     let psi = out.isp_surplus(pop);
                     let phi = out.consumer_surplus(pop);
@@ -166,8 +175,10 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     };
     let small_kappa_dies = CS
         .iter()
-        .all(|&c| psi_end(0.2, c) < 0.05 * (0.2 * 0.2 * 500.0));
-    let big_kappa_survives = CS.iter().any(|&c| psi_end(0.9, c) > 1.0);
+        .all(|&c| psi_end(0.2, c) < 0.05 * (0.2 * 0.2 * nu_max));
+    let big_kappa_survives = CS
+        .iter()
+        .any(|&c| psi_end(0.9, c) > 1.0 * config.nu_scale());
     checks.push(ShapeCheck::new(
         "fig5.abundance-regime",
         "at ν = 500, κ = 0.2 earns ≈ 0 while κ = 0.9 retains revenue",
@@ -201,7 +212,11 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         format!("checked at ν = {:.0}", nus[mid]),
     ));
 
-    // 4. ε_sI small relative to the Φ scale.
+    // 4. ε_sI small relative to the Φ scale. The paper's claim is
+    // asymptotic — each CP's decision moves Φ by O(1/|N|) — so the budget
+    // scales inversely with the population when `--scale` shrinks it
+    // below the paper's 1000 (and stays at 5% for |N| ≥ 1000).
+    let eps_budget = 0.05 * (1000.0 / pop.len() as f64).max(1.0);
     let mut worst_eps_ratio = 0.0f64;
     for (_, _, phis) in &curves {
         let eps = crate::shape::max_downward_gap(phis);
@@ -210,9 +225,9 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     }
     checks.push(ShapeCheck::new(
         "fig5.epsilon-small",
-        "with |N| = 1000 the downward gaps of Φ(ν) are small (ε_sI ≪ max Φ)",
-        worst_eps_ratio < 0.05,
-        format!("worst ε/maxΦ = {worst_eps_ratio:.4}"),
+        "when |N| is large the downward gaps of Φ(ν) are small (ε_sI ≪ max Φ)",
+        worst_eps_ratio < eps_budget,
+        format!("worst ε/maxΦ = {worst_eps_ratio:.4} (budget {eps_budget:.4})"),
     ));
 
     let (_, psis09, phis09) = curves
@@ -236,7 +251,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
 
 /// Regenerate Figure 5.
 pub fn run(config: &Config) -> FigureResult {
-    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    let scenario = crate::scaled_scenario(ScenarioKind::PaperEnsemble, config);
     run_on(&scenario.pop, "fig5", "fig5_monopoly_grid.csv", config)
 }
 
@@ -252,7 +267,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig5-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);
@@ -287,6 +302,7 @@ mod tests {
                 fast: true,
                 threads: 4,
                 chaos: Some(42),
+                ..Config::default()
             };
             run_on(&pop, "fig5", "fig5_chaos_test.csv", &config)
         };
@@ -320,7 +336,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig5-quiet"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run_on(&pop, "fig5", "fig5_quiet_test.csv", &config);
         assert_eq!(r.status, FigureStatus::Ok);

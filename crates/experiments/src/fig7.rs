@@ -22,7 +22,7 @@ use crate::shape::{argmax, ShapeCheck};
 use pubopt_core::{duopoly_with_public_option, IspStrategy};
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
-use pubopt_workload::{Scenario, ScenarioKind};
+use pubopt_workload::ScenarioKind;
 
 /// The ν values the paper plots (system-wide per-capita capacity).
 pub const NUS: [f64; 5] = [20.0, 50.0, 100.0, 150.0, 200.0];
@@ -31,10 +31,12 @@ pub const NUS: [f64; 5] = [20.0, 50.0, 100.0, 150.0, 200.0];
 pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
     let n = config.grid(61, 13);
     let cs = pubopt_num::linspace(0.0, 1.05, n);
+    // Capacities rescale with the population; prices don't (v ~ U[0,1]).
+    let nus: Vec<f64> = NUS.iter().map(|&nu| nu * config.nu_scale()).collect();
 
     let mut table = Table::new(vec!["nu", "c", "share_i", "psi_i", "phi"]);
     let mut by_nu: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
-    for &nu in &NUS {
+    for &nu in &nus {
         let rows = parallel_map(&cs, config.worker_threads(), |&c| {
             let out = duopoly_with_public_option(
                 pop,
@@ -61,7 +63,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     //    interior peak above the c→max level).
     let mut rise_fall_ok = true;
     let mut detail = String::new();
-    for (k, &nu) in NUS.iter().enumerate() {
+    for (k, &nu) in nus.iter().enumerate() {
         let shares = &by_nu[k].0;
         let peak_idx = argmax(shares);
         let peak = shares[peak_idx];
@@ -120,7 +122,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
         "Ψ(c_max) < 2% of peak for every ν".to_string(),
     ));
 
-    let (shares200, psis200, phis200) = &by_nu[NUS.len() - 1];
+    let (shares200, psis200, phis200) = &by_nu[nus.len() - 1];
     let summary = format!(
         "{id}: duopoly vs Public Option, κ_I = 1\n{}{}{}",
         ascii_plot("m_I(c) at ν=200", &cs, shares200, 60, 10),
@@ -132,7 +134,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
 
 /// Regenerate Figure 7.
 pub fn run(config: &Config) -> FigureResult {
-    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    let scenario = crate::scaled_scenario(ScenarioKind::PaperEnsemble, config);
     run_on(&scenario.pop, "fig7", "fig7_duopoly_kappa1.csv", config)
 }
 
@@ -147,7 +149,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig7-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

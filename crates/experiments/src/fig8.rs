@@ -16,14 +16,14 @@ use crate::shape::ShapeCheck;
 use pubopt_core::{duopoly_with_public_option, IspStrategy};
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
-use pubopt_workload::{Scenario, ScenarioKind};
+use pubopt_workload::ScenarioKind;
 
 pub use crate::fig5::{CS, KAPPAS};
 
 /// Regenerate Figure 8 on the given population (Figure 12 reuses this).
 pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> FigureResult {
     let n = config.grid(60, 10);
-    let nus = pubopt_num::linspace_excl_zero(500.0, n);
+    let nus = pubopt_num::linspace_excl_zero(500.0 * config.nu_scale(), n);
 
     let mut table = Table::new(vec!["kappa", "c", "nu", "psi_i", "phi", "share_i"]);
     type Curve = ((f64, f64), Vec<f64>, Vec<f64>, Vec<f64>);
@@ -138,7 +138,7 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
 
 /// Regenerate Figure 8.
 pub fn run(config: &Config) -> FigureResult {
-    let scenario = Scenario::load(ScenarioKind::PaperEnsemble);
+    let scenario = crate::scaled_scenario(ScenarioKind::PaperEnsemble, config);
     run_on(&scenario.pop, "fig8", "fig8_duopoly_grid.csv", config)
 }
 
@@ -153,7 +153,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig8-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

@@ -12,23 +12,23 @@
 //! *shape* checks still pass).
 
 use crate::report::{Config, FigureResult};
-use pubopt_workload::{Scenario, ScenarioKind};
+use pubopt_workload::ScenarioKind;
 
 /// Figure 9: Figure 4's experiment on the independent-φ ensemble.
 pub fn run_fig9(config: &Config) -> FigureResult {
-    let s = Scenario::load(ScenarioKind::PaperEnsembleIndependentPhi);
+    let s = crate::scaled_scenario(ScenarioKind::PaperEnsembleIndependentPhi, config);
     crate::fig4::run_on(&s.pop, "fig9", "fig9_monopoly_kappa1_indep_phi.csv", config)
 }
 
 /// Figure 10: Figure 5's experiment on the independent-φ ensemble.
 pub fn run_fig10(config: &Config) -> FigureResult {
-    let s = Scenario::load(ScenarioKind::PaperEnsembleIndependentPhi);
+    let s = crate::scaled_scenario(ScenarioKind::PaperEnsembleIndependentPhi, config);
     crate::fig5::run_on(&s.pop, "fig10", "fig10_monopoly_grid_indep_phi.csv", config)
 }
 
 /// Figure 11: Figure 7's experiment on the independent-φ ensemble.
 pub fn run_fig11(config: &Config) -> FigureResult {
-    let s = Scenario::load(ScenarioKind::PaperEnsembleIndependentPhi);
+    let s = crate::scaled_scenario(ScenarioKind::PaperEnsembleIndependentPhi, config);
     crate::fig7::run_on(
         &s.pop,
         "fig11",
@@ -39,7 +39,7 @@ pub fn run_fig11(config: &Config) -> FigureResult {
 
 /// Figure 12: Figure 8's experiment on the independent-φ ensemble.
 pub fn run_fig12(config: &Config) -> FigureResult {
-    let s = Scenario::load(ScenarioKind::PaperEnsembleIndependentPhi);
+    let s = crate::scaled_scenario(ScenarioKind::PaperEnsembleIndependentPhi, config);
     crate::fig8::run_on(&s.pop, "fig12", "fig12_duopoly_grid_indep_phi.csv", config)
 }
 
@@ -54,7 +54,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-fig9-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run_fig9(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

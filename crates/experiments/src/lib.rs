@@ -51,10 +51,28 @@ pub mod svg;
 pub mod theorems;
 
 pub use report::{ascii_plot, Config, FigureResult, FigureStatus, Table};
-pub use resilience::{interpolate_gaps, resilient_sweep, SweepStats};
-pub use runner::{parallel_map, parallel_try_map, TaskOutcome};
+pub use resilience::{
+    interpolate_gaps, resilient_sweep, resilient_sweep_chunked, SweepStats, SWEEP_CHUNK,
+};
+pub use runner::{parallel_chunk_map, parallel_map, parallel_try_map, TaskOutcome};
 pub use shape::ShapeCheck;
 pub use svg::{render_chart, render_table, ChartConfig, Series};
+
+/// Load `kind` honouring [`Config::scale`]: ensemble workloads are
+/// regenerated at the requested CP count (same seed and parameter
+/// distributions, `nu_max` rescaled by `n / 1000`), fixed workloads are
+/// returned unchanged. Figures should pair this with
+/// [`Config::nu_scale`] on any hard-coded capacity grid so the sweep
+/// stays in the same congestion regime.
+pub fn scaled_scenario(
+    kind: pubopt_workload::ScenarioKind,
+    config: &Config,
+) -> pubopt_workload::Scenario {
+    match config.scale {
+        Some(n) => pubopt_workload::Scenario::load_scaled(kind, n),
+        None => pubopt_workload::Scenario::load(kind),
+    }
+}
 
 /// Discrete analogue of the paper's δ metric over an unordered sweep:
 /// `max { m_a − m_b : Φ_a ≤ Φ_b }` across sweep-point pairs.

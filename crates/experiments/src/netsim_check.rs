@@ -161,7 +161,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-netsim-check-test"),
             fast: true,
             threads: 2,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

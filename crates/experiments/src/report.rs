@@ -17,6 +17,11 @@ pub struct Config {
     /// (NaN/panic at the rates of `ChaosConfig::smoke`) into their sweep
     /// tasks to exercise the recovery machinery. `None` = no injection.
     pub chaos: Option<u64>,
+    /// Population rescale: when set, ensemble figures run on an `n`-CP
+    /// ensemble (the paper uses 1000) with every capacity grid scaled by
+    /// `n / 1000` so the congestion regimes are preserved. Figures whose
+    /// workload is fixed (fig2's demand curves, fig3's trio) ignore it.
+    pub scale: Option<usize>,
 }
 
 impl Default for Config {
@@ -26,6 +31,7 @@ impl Default for Config {
             fast: false,
             threads: 0,
             chaos: None,
+            scale: None,
         }
     }
 }
@@ -38,6 +44,15 @@ impl Config {
         } else {
             full
         }
+    }
+
+    /// Capacity scale factor implied by [`Config::scale`]: per-capita
+    /// capacities in the paper's figures are calibrated to the 1000-CP
+    /// ensemble, and the ensemble's saturation point `Σ α θ̂` grows
+    /// linearly with the CP count, so an `n`-CP rerun multiplies every ν
+    /// by `n / 1000` to stay in the same congestion regime.
+    pub fn nu_scale(&self) -> f64 {
+        self.scale.map_or(1.0, |n| n as f64 / 1000.0)
     }
 
     /// Effective worker-thread count.

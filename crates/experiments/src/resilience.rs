@@ -13,8 +13,13 @@
 //! [`FigureStatus`].
 
 use crate::report::FigureStatus;
-use crate::runner::{panic_message, parallel_try_map, TaskOutcome};
+use crate::runner::{panic_message, parallel_chunk_map, parallel_try_map, TaskOutcome};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default chunk length for [`resilient_sweep_chunked`]: long enough to
+/// amortise a warm start across neighbours, short enough that a figure
+/// grid still fans out over all workers.
+pub const SWEEP_CHUNK: usize = 8;
 
 /// Fault accounting for one resilient sweep.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -108,6 +113,103 @@ where
         let mut repaired = false;
         for attempt in 1..=max_retries {
             match catch_unwind(AssertUnwindSafe(|| f(&items[i], i, attempt))) {
+                Ok(Ok(r)) => {
+                    out[i] = Some(r);
+                    stats.recovered += 1;
+                    pubopt_obs::incr("sweep.points_recovered");
+                    repaired = true;
+                    break;
+                }
+                Ok(Err(m)) => last = m,
+                Err(payload) => last = panic_message(payload.as_ref()),
+            }
+        }
+        if !repaired {
+            stats.failed += 1;
+            pubopt_obs::incr("sweep.points_lost");
+            stats.failures.push((i, last));
+        }
+    }
+    (out, stats)
+}
+
+/// [`resilient_sweep`] with per-chunk solver state: `items` is split into
+/// fixed chunks of `chunk_len`, each chunk is processed serially by one
+/// worker through a state built by `init` (a warm-start cache, a scratch
+/// arena), and the chunks fan out in parallel.
+///
+/// `f(state, item, index, attempt)` sees `attempt = 0` on the first pass.
+/// Fault isolation is still per *point*: a failed or panicking point only
+/// loses itself, and — since a panic can leave the state mid-update — the
+/// state is rebuilt fresh with `init` before the chunk continues. The
+/// repair pass retries lost points serially with a cold state per point
+/// (`attempt = 1..=max_retries`).
+///
+/// Determinism: chunk boundaries depend only on `chunk_len` and the state
+/// trajectory within a chunk is serial, so outputs and [`SweepStats`] are
+/// independent of the thread count (given a deterministic `f`). Warm
+/// starts that are *exact* (same result as a cold solve, like
+/// [`pubopt_core::GameWarmStart`]) additionally make the outputs
+/// independent of `chunk_len`.
+pub fn resilient_sweep_chunked<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    max_retries: u32,
+    chunk_len: usize,
+    init: I,
+    f: F,
+) -> (Vec<Option<R>>, SweepStats)
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T, usize, u32) -> Result<R, String> + Sync,
+{
+    let first: Vec<(Option<R>, Option<String>)> =
+        parallel_chunk_map(items, threads, chunk_len, |chunk, start| {
+            let mut state = init();
+            let mut out = Vec::with_capacity(chunk.len());
+            for (j, item) in chunk.iter().enumerate() {
+                let i = start + j;
+                match catch_unwind(AssertUnwindSafe(|| f(&mut state, item, i, 0))) {
+                    Ok(Ok(r)) => out.push((Some(r), None)),
+                    Ok(Err(m)) => {
+                        pubopt_obs::incr("sweep.task_failures");
+                        out.push((None, Some(m)));
+                        state = init();
+                    }
+                    Err(payload) => {
+                        pubopt_obs::incr("sweep.task_panics");
+                        out.push((None, Some(panic_message(payload.as_ref()))));
+                        state = init();
+                    }
+                }
+            }
+            out
+        });
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut stats = SweepStats {
+        total: items.len(),
+        ..SweepStats::default()
+    };
+    let mut pending: Vec<(usize, String)> = Vec::new();
+    for (i, (r, err)) in first.into_iter().enumerate() {
+        match r {
+            Some(r) => out.push(Some(r)),
+            None => {
+                out.push(None);
+                pending.push((i, err.unwrap_or_default()));
+            }
+        }
+    }
+
+    for (i, first_msg) in pending {
+        let mut last = first_msg;
+        let mut repaired = false;
+        for attempt in 1..=max_retries {
+            let mut state = init();
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, &items[i], i, attempt))) {
                 Ok(Ok(r)) => {
                     out[i] = Some(r);
                     stats.recovered += 1;
@@ -261,6 +363,108 @@ mod tests {
         assert_eq!(a.failed, 3);
         assert_eq!(a.failures.len(), 3);
         assert_eq!(a.status(), FigureStatus::Degraded);
+    }
+
+    #[test]
+    fn chunked_sweep_carries_state_within_a_chunk() {
+        // One chunk covering everything: the result encodes the running
+        // state, so the expected values pin the serial trajectory.
+        let items: Vec<u64> = vec![1, 2, 3, 4];
+        let (out, stats) = resilient_sweep_chunked(
+            &items,
+            4,
+            1,
+            64,
+            || 0u64,
+            |acc, &x, _, _| {
+                *acc += x;
+                Ok::<_, String>(*acc)
+            },
+        );
+        assert_eq!(
+            out.into_iter().flatten().collect::<Vec<_>>(),
+            vec![1, 3, 6, 10]
+        );
+        assert_eq!(stats.status(), FigureStatus::Ok);
+    }
+
+    #[test]
+    fn chunked_sweep_resets_state_after_a_faulted_point() {
+        // A panic mid-chunk may leave the state half-updated, so the
+        // survivor after the fault must see a freshly built state; the
+        // repaired point itself runs on a cold state too.
+        let items: Vec<u64> = vec![10, 20, 30, 40];
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (out, stats) = resilient_sweep_chunked(
+            &items,
+            1,
+            2,
+            64,
+            || 0u64,
+            |acc, &x, i, attempt| {
+                if i == 1 && attempt == 0 {
+                    panic!("poisoned point");
+                }
+                *acc += x;
+                Ok::<_, String>(*acc)
+            },
+        );
+        std::panic::set_hook(hook);
+        // 10 | fault (state reset) | 30 | 70; repair of index 1 is cold.
+        assert_eq!(
+            out.into_iter().flatten().collect::<Vec<_>>(),
+            vec![10, 20, 30, 70]
+        );
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    /// The ISSUE 3 satellite in full: a chaos-seeded 10k-point chunked
+    /// sweep — stateful chunks, injected failures *and* panics, a repair
+    /// pass — is bit-for-bit deterministic, including across thread
+    /// counts.
+    #[test]
+    fn chunked_chaos_sweep_at_10k_points_is_deterministic() {
+        let items: Vec<u64> = (0..10_000).map(|i| i * 31 % 257).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = |threads| {
+            resilient_sweep_chunked(
+                &items,
+                threads,
+                2,
+                SWEEP_CHUNK,
+                || 0u64,
+                |acc, &x, i, attempt| {
+                    // Deterministic fault injector keyed on (i, attempt):
+                    // ~1% persistent losses, ~2% transient faults split
+                    // between Err and panic.
+                    let key = i * 3 + attempt as usize;
+                    if i % 101 == 5 {
+                        return Err(format!("persistent fault at {i}"));
+                    }
+                    if attempt == 0 && i % 53 == 11 {
+                        if i % 2 == 0 {
+                            panic!("chaos panic at {i}");
+                        }
+                        return Err(format!("chaos failure at {i}"));
+                    }
+                    *acc = acc.wrapping_add(x * key as u64);
+                    Ok::<_, String>(*acc)
+                },
+            )
+        };
+        let (out_a, stats_a) = run(3);
+        let (out_b, stats_b) = run(16);
+        std::panic::set_hook(hook);
+        assert_eq!(out_a, out_b, "outputs must not depend on thread count");
+        assert_eq!(stats_a, stats_b, "stats must not depend on thread count");
+        assert_eq!(stats_a.total, 10_000);
+        assert!(stats_a.recovered > 0, "transient faults must recover");
+        assert!(stats_a.failed > 0, "persistent faults must be reported");
+        assert_eq!(stats_a.failed, (0..10_000).filter(|i| i % 101 == 5).count());
+        assert_eq!(stats_a.status(), FigureStatus::Degraded);
     }
 
     #[test]

@@ -125,6 +125,46 @@ where
         .collect()
 }
 
+/// Apply `f` to fixed-length chunks of `items` across `threads` workers,
+/// flattening the per-chunk outputs back into input order.
+///
+/// `f(chunk, start)` receives a chunk and the index of its first item in
+/// `items`, and must return exactly `chunk.len()` results. Chunk
+/// boundaries depend only on `chunk_len`, never on the thread count, so a
+/// deterministic `f` yields thread-count-independent output — the
+/// property stateful sweeps need (a warm-started solver carries state
+/// *within* a chunk; whichever worker runs the chunk, the state
+/// trajectory is the same).
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` or a chunk closure returns the wrong number
+/// of results; worker panics propagate as in [`parallel_map`].
+pub fn parallel_chunk_map<T, R, F>(items: &[T], threads: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T], usize) -> Vec<R> + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_len, chunk))
+        .collect();
+    let nested = parallel_map(&chunks, threads, |&(start, chunk)| f(chunk, start));
+    let mut out = Vec::with_capacity(items.len());
+    for ((_, chunk), part) in chunks.iter().zip(nested) {
+        assert_eq!(
+            part.len(),
+            chunk.len(),
+            "chunk closure must return one result per item"
+        );
+        out.extend(part);
+    }
+    out
+}
+
 /// [`parallel_map`] with per-task panic isolation: each task runs under
 /// `catch_unwind`, so one poisoned grid point cannot take down the whole
 /// sweep. `f` returns `Result<R, String>`; an `Err` becomes
@@ -268,6 +308,85 @@ mod tests {
         let out = parallel_try_map(&items, 8, |&x| Ok::<_, String>(x + 1));
         let values: Vec<i64> = out.into_iter().map(|o| o.ok().unwrap()).collect();
         assert_eq!(values, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_map_flattens_in_order_with_correct_starts() {
+        let items: Vec<usize> = (0..103).collect(); // deliberately ragged tail
+        let out = parallel_chunk_map(&items, 4, 10, |chunk, start| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| (start + j, x * 2))
+                .collect()
+        });
+        assert_eq!(out.len(), 103);
+        for (i, &(idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(idx, i, "start offsets must reconstruct global indices");
+            assert_eq!(doubled, i * 2);
+        }
+    }
+
+    #[test]
+    fn chunk_map_output_is_thread_count_independent_for_stateful_chunks() {
+        // The whole point of chunking: per-chunk state (here a running
+        // sum) must produce identical output at any worker count, because
+        // chunk boundaries are fixed by chunk_len alone.
+        let items: Vec<u64> = (0..1000).map(|i| i * 7 % 113).collect();
+        let run = |threads| {
+            parallel_chunk_map(&items, threads, 64, |chunk, _| {
+                let mut acc = 0u64; // chunk-local state
+                chunk
+                    .iter()
+                    .map(|&x| {
+                        acc = acc.wrapping_add(x);
+                        acc
+                    })
+                    .collect()
+            })
+        };
+        let one = run(1);
+        assert_eq!(run(3), one);
+        assert_eq!(run(16), one);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per item")]
+    fn chunk_map_rejects_wrong_arity() {
+        let items: Vec<u32> = (0..10).collect();
+        let _ = parallel_chunk_map(&items, 2, 4, |_, _| vec![0u32]);
+    }
+
+    #[test]
+    fn try_map_contention_stress_preserves_order_under_mixed_faults() {
+        // Satellite stress shape: far more items than threads × chunk
+        // (10_000 ≫ 16 × 64), tiny tasks, a deterministic mix of Ok /
+        // Err / panic outcomes. Slot-disjoint writes must keep every
+        // outcome at its own index at any interleaving.
+        let items: Vec<u32> = (0..10_000).collect();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = parallel_try_map(&items, 16, |&x| {
+            if x % 97 == 13 {
+                panic!("stress panic {x}");
+            }
+            if x % 89 == 7 {
+                return Err(format!("stress failure {x}"));
+            }
+            Ok(x ^ 0x5A5A)
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 10_000);
+        for (i, o) in out.iter().enumerate() {
+            let x = i as u32;
+            if x % 97 == 13 {
+                assert!(matches!(o, TaskOutcome::Panicked(m) if m == &format!("stress panic {x}")));
+            } else if x % 89 == 7 {
+                assert!(matches!(o, TaskOutcome::Failed(m) if m == &format!("stress failure {x}")));
+            } else {
+                assert_eq!(o.as_ok(), Some(&(x ^ 0x5A5A)));
+            }
+        }
     }
 
     #[test]

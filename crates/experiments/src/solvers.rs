@@ -164,7 +164,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-solvers-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

@@ -227,7 +227,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("pubopt-theorems-test"),
             fast: true,
             threads: 4,
-            chaos: None,
+            ..Config::default()
         };
         let r = run(&config);
         assert!(r.all_passed(), "{:#?}", r.checks);

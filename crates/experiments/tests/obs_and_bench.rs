@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v1"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v2"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -126,4 +126,21 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
         (scaling[0]["speedup"].as_f64().unwrap() - 1.0).abs() < 1e-9,
         "1-worker speedup is the baseline"
     );
+
+    let alloc = v["alloc_scaling"].as_array().expect("alloc_scaling array");
+    assert!(!alloc.is_empty());
+    for a in alloc {
+        assert!(a["n_cps"].as_u64().unwrap() >= 1_000);
+        assert!(a["speedup"].as_f64().unwrap() > 1.0, "kernel slower in {a}");
+        assert!(
+            a["max_abs_diff"].as_f64().unwrap() < 1e-9,
+            "kernel disagrees with reference in {a}"
+        );
+    }
+
+    let ab = &v["warmstart_ab"];
+    assert_eq!(ab["identical"].as_bool(), Some(true));
+    assert!(ab["probe_ratio"].as_f64().unwrap() > 1.0);
+    assert!(ab["cold"]["segment_probes"].as_u64().unwrap() > 0);
+    assert!(ab["warm"]["segment_probes"].as_u64().unwrap() > 0);
 }

@@ -4,7 +4,8 @@
 //! to be swept over, so experiment binaries and benchmarks share one
 //! source of truth for workload setup.
 
-use crate::ensemble::{paper_ensemble, paper_ensemble_independent_phi};
+use crate::ensemble::{paper_ensemble, paper_ensemble_independent_phi, EnsembleConfig};
+use crate::PhiDistribution;
 use pubopt_demand::archetypes::figure3_trio;
 use pubopt_demand::Population;
 
@@ -56,6 +57,32 @@ impl Scenario {
         }
     }
 
+    /// Like [`Scenario::load`], but with ensemble workloads regenerated at
+    /// `n` CPs instead of the paper's 1000 (same seed, same parameter
+    /// distributions) and `nu_max` rescaled by `n / 1000` so the sweep
+    /// still covers ≈ 2× the saturation point — the per-CP parameter
+    /// distributions are n-independent, so `Σ α θ̂` grows linearly with
+    /// the CP count. The trio workload is a fixed 3-CP example and is
+    /// returned unchanged.
+    pub fn load_scaled(kind: ScenarioKind, n: usize) -> Self {
+        let phi = match kind {
+            ScenarioKind::Trio => return Self::load(kind),
+            ScenarioKind::PaperEnsemble => PhiDistribution::CoupledToBeta,
+            ScenarioKind::PaperEnsembleIndependentPhi => PhiDistribution::IndependentUniform,
+        };
+        let pop = EnsembleConfig {
+            n,
+            phi,
+            ..EnsembleConfig::default()
+        }
+        .generate();
+        Scenario {
+            kind,
+            pop,
+            nu_max: 500.0 * (n as f64 / 1000.0),
+        }
+    }
+
     /// The per-capita capacity at which this scenario saturates
     /// (`Σ α θ̂`).
     pub fn nu_saturation(&self) -> f64 {
@@ -85,6 +112,28 @@ mod tests {
             assert_eq!(s.pop.len(), 1000);
             assert!(s.nu_max > 1.5 * s.nu_saturation());
         }
+    }
+
+    #[test]
+    fn scaled_scenarios_preserve_congestion_regime() {
+        for kind in [
+            ScenarioKind::PaperEnsemble,
+            ScenarioKind::PaperEnsembleIndependentPhi,
+        ] {
+            let s = Scenario::load_scaled(kind, 200);
+            assert_eq!(s.pop.len(), 200);
+            // nu_max scaled by 200/1000 still covers ~2× saturation.
+            assert!((s.nu_max - 100.0).abs() < 1e-12);
+            assert!(s.nu_max > 1.5 * s.nu_saturation());
+        }
+        // Scale 1000 reproduces the paper ensemble exactly.
+        let a = Scenario::load(ScenarioKind::PaperEnsemble);
+        let b = Scenario::load_scaled(ScenarioKind::PaperEnsemble, 1000);
+        assert_eq!(a.pop, b.pop);
+        assert_eq!(a.nu_max, b.nu_max);
+        // The trio is a fixed workload: scaling is a no-op.
+        let t = Scenario::load_scaled(ScenarioKind::Trio, 500);
+        assert_eq!(t.pop.len(), 3);
     }
 
     #[test]
