@@ -20,6 +20,7 @@
 //! exists for.
 
 use crate::parallel_map;
+use crate::serveload::{serving_bench, ServingBench};
 use pubopt_alloc::{MaxMinFair, SortedDemands};
 use pubopt_core::{
     competitive_equilibrium, competitive_equilibrium_warm, duopoly_with_public_option,
@@ -148,10 +149,13 @@ pub struct BenchReport {
     pub alloc_scaling: Vec<AllocScalePoint>,
     /// Warm-vs-cold kernel A/B on the Figure-5 ν grid.
     pub warmstart: WarmstartAb,
+    /// Cold-vs-warm daemon A/B on the seeded serving workload (the
+    /// `pubopt-serve` cache acceptance numbers).
+    pub serving: ServingBench,
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v1`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v3`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -234,8 +238,22 @@ impl BenchReport {
             ),
             ("eval_ratio".into(), Value::from(self.warmstart.eval_ratio)),
         ]);
+        let serving = Value::Object(vec![
+            ("distinct".into(), Value::from(self.serving.distinct)),
+            ("repeats".into(), Value::from(self.serving.repeats)),
+            ("cold_rps".into(), Value::from(self.serving.cold_rps)),
+            ("warm_rps".into(), Value::from(self.serving.warm_rps)),
+            ("speedup".into(), Value::from(self.serving.speedup)),
+            ("hit_rate".into(), Value::from(self.serving.hit_rate)),
+            ("warm_p50_us".into(), Value::from(self.serving.warm_p50_us)),
+            ("warm_p99_us".into(), Value::from(self.serving.warm_p99_us)),
+            (
+                "byte_identical".into(),
+                Value::from(self.serving.byte_identical),
+            ),
+        ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v2")),
+            ("schema".into(), Value::from("pubopt-bench/v3")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
@@ -243,6 +261,7 @@ impl BenchReport {
             ("parallel_map_scaling".into(), Value::Array(scaling)),
             ("alloc_scaling".into(), Value::Array(alloc_scaling)),
             ("warmstart_ab".into(), warmstart),
+            ("serving".into(), serving),
         ])
         .to_string()
     }
@@ -577,6 +596,11 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     let ab_nus = pubopt_num::linspace_excl_zero(500.0 * scale, if quick { 16 } else { 100 });
     let warmstart = warmstart_ab(&pop, &ab_nus, IspStrategy::new(0.5, 0.4), Tolerance::COARSE);
 
+    // Cold-vs-warm daemon A/B (the pubopt-serve response cache): spawns a
+    // loopback daemon, so this is the one section that leaves the
+    // process — still deterministic in outputs, only the timings vary.
+    let serving = serving_bench(quick);
+
     BenchReport {
         date: pubopt_obs::clock::utc_date_string(),
         quick,
@@ -585,6 +609,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         scaling,
         alloc_scaling,
         warmstart,
+        serving,
     }
 }
 
@@ -668,13 +693,27 @@ mod tests {
                 probe_ratio: 4.0,
                 eval_ratio: 1.5,
             },
+            serving: ServingBench {
+                distinct: 16,
+                repeats: 8,
+                cold_rps: 50.0,
+                warm_rps: 4000.0,
+                speedup: 80.0,
+                hit_rate: 0.94,
+                warm_p50_us: 150,
+                warm_p99_us: 900,
+                byte_identical: true,
+            },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v2\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v3\""));
         assert!(json.contains("\"alloc_scaling\""));
         assert!(json.contains("\"warmstart_ab\""));
         assert!(json.contains("\"probe_ratio\":4"));
         assert!(json.contains("\"identical\":true"));
+        assert!(json.contains("\"serving\""));
+        assert!(json.contains("\"speedup\":80"));
+        assert!(json.contains("\"byte_identical\":true"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v2`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v3`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
@@ -101,6 +101,22 @@ fn main() -> ExitCode {
     println!(
         "  lambda evals:   cold={} warm={}  ratio {:.2}x",
         w.cold.lambda_evals, w.warm.lambda_evals, w.eval_ratio
+    );
+    println!();
+    let s = &report.serving;
+    println!(
+        "serving A/B ({} distinct queries, warm pass x{}): byte_identical={}",
+        s.distinct, s.repeats, s.byte_identical
+    );
+    println!(
+        "  throughput: cold={:.1} rps  warm={:.1} rps  speedup {:.1}x",
+        s.cold_rps, s.warm_rps, s.speedup
+    );
+    println!(
+        "  warm latency: p50={} us  p99={} us  cache hit rate {:.1}%",
+        s.warm_p50_us,
+        s.warm_p99_us,
+        100.0 * s.hit_rate
     );
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

@@ -1,0 +1,165 @@
+//! Seeded load generator for the `pubopt-serve` daemon.
+//!
+//! ```text
+//! cargo run --release -p pubopt-experiments --bin loadgen -- \
+//!     [--addr HOST:PORT | --spawn] [--requests N] [--clients N] \
+//!     [--seed N] [--pool N] [--scenario-n N] [--chaos SEED] [--shutdown]
+//! ```
+//!
+//! Replays the deterministic mixed workload of
+//! [`pubopt_experiments::serveload`] and prints a one-line JSON summary
+//! to stdout — the CI smoke job greps it for `"failed":0` and a nonzero
+//! `"cache_hits"`. Exits nonzero if any request failed. With `--spawn`
+//! the daemon runs in-process (no external setup needed); `--chaos SEED`
+//! then injects deterministic worker panics to exercise the isolation
+//! path. `--shutdown` sends `POST /v1/shutdown` to an external daemon
+//! after the run, so a CI script can tear down cleanly without a second
+//! client.
+
+use pubopt_experiments::serveload::{mixed_workload, replay, LoadOptions};
+use pubopt_serve::{client, spawn, ServeConfig};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::str::FromStr;
+
+fn parse_flag<T: FromStr>(name: &str, value: Option<String>) -> Result<T, String> {
+    value
+        .ok_or_else(|| format!("{name} requires a value"))?
+        .parse()
+        .map_err(|_| format!("{name}: invalid value"))
+}
+
+fn main() -> ExitCode {
+    let mut opts = LoadOptions::default();
+    let mut addr: Option<SocketAddr> = None;
+    let mut do_spawn = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut shutdown_after = false;
+
+    let mut args = std::env::args().skip(1);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--addr" => addr = Some(parse_flag("--addr", args.next())?),
+                "--spawn" => do_spawn = true,
+                "--requests" => opts.requests = parse_flag("--requests", args.next())?,
+                "--clients" => opts.clients = parse_flag("--clients", args.next())?,
+                "--seed" => opts.seed = parse_flag("--seed", args.next())?,
+                "--pool" => opts.pool = parse_flag("--pool", args.next())?,
+                "--scenario-n" => opts.scenario_n = parse_flag("--scenario-n", args.next())?,
+                "--chaos" => chaos_seed = Some(parse_flag("--chaos", args.next())?),
+                "--shutdown" => shutdown_after = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] \
+                         [--clients N] [--seed N] [--pool N] [--scenario-n N] \
+                         [--chaos SEED] [--shutdown]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument: {other} (try --help)")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = parsed {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    if addr.is_some() && do_spawn {
+        eprintln!("--addr and --spawn are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if chaos_seed.is_some() && addr.is_some() {
+        eprintln!("--chaos only applies to a --spawn daemon");
+        return ExitCode::FAILURE;
+    }
+
+    // Target: an external daemon, or a private in-process one.
+    let server = if addr.is_none() {
+        let config = ServeConfig {
+            chaos: chaos_seed.map(|seed| pubopt_num::chaos::ChaosConfig {
+                panic_rate: 0.05,
+                ..pubopt_num::chaos::ChaosConfig::quiet(seed)
+            }),
+            ..ServeConfig::default()
+        };
+        match spawn(&config) {
+            Ok(handle) => Some(handle),
+            Err(e) => {
+                eprintln!("cannot spawn daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let target = addr.unwrap_or_else(|| server.as_ref().expect("spawned").addr());
+
+    eprintln!(
+        "replaying {} requests ({} distinct, seed {}) against {target} with {} clients",
+        opts.requests, opts.pool, opts.seed, opts.clients
+    );
+    let workload = mixed_workload(&opts);
+    let summary = replay(target, &workload, opts.clients);
+
+    // Cache counters: straight off the handle when in-process, else from
+    // the daemon's own /v1/stats.
+    let (cache_hits, cache_misses) = match &server {
+        Some(handle) => {
+            let stats = handle.cache_stats();
+            (stats.hits, stats.misses)
+        }
+        None => match client::get(target, "/v1/stats") {
+            Ok((200, body)) => {
+                let v = pubopt_obs::json::parse(&body).unwrap_or(pubopt_obs::json::Value::Null);
+                (
+                    v["cache_hits"].as_u64().unwrap_or(0),
+                    v["cache_misses"].as_u64().unwrap_or(0),
+                )
+            }
+            _ => {
+                eprintln!("warning: /v1/stats unavailable, cache counters unknown");
+                (0, 0)
+            }
+        },
+    };
+
+    println!(
+        "{{\"requests\":{},\"ok\":{},\"failed\":{},\"shed\":{},\"server_errors\":{},\
+         \"transport_errors\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
+         \"throughput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{}}}",
+        summary.requests,
+        summary.ok,
+        summary.failed(),
+        summary.shed,
+        summary.server_errors,
+        summary.transport_errors,
+        summary.throughput_rps,
+        summary.p50_us,
+        summary.p99_us
+    );
+
+    if shutdown_after {
+        if let Err(e) = client::post(target, "/v1/shutdown", "") {
+            eprintln!("shutdown request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(handle) = server {
+        eprintln!(
+            "daemon: {} served, {} shed, {} panics survived",
+            handle.requests_served(),
+            handle.requests_shed(),
+            handle.panics_survived()
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    if summary.failed() > 0 {
+        eprintln!("{} request(s) failed", summary.failed());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -27,7 +27,10 @@
 //! threads writing disjoint result slots ([`runner`]). The
 //! [`bench_harness`] module drives the same per-figure kernels as the
 //! criterion benches, with no dependencies outside the workspace
-//! (`cargo run --release -p pubopt-experiments --bin bench`).
+//! (`cargo run --release -p pubopt-experiments --bin bench`), and
+//! [`serveload`] replays seeded mixed workloads against the
+//! `pubopt-serve` daemon — the `loadgen` binary and the bench report's
+//! `serving` section.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -45,6 +48,7 @@ pub mod netsim_check;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod serveload;
 pub mod shape;
 pub mod solvers;
 pub mod svg;
@@ -55,6 +59,9 @@ pub use resilience::{
     interpolate_gaps, resilient_sweep, resilient_sweep_chunked, SweepStats, SWEEP_CHUNK,
 };
 pub use runner::{parallel_chunk_map, parallel_map, parallel_try_map, TaskOutcome};
+pub use serveload::{
+    mixed_workload, replay, serving_bench, LoadOptions, LoadSummary, ServingBench,
+};
 pub use shape::ShapeCheck;
 pub use svg::{render_chart, render_table, ChartConfig, Series};
 

@@ -230,12 +230,20 @@ where
     (out, stats)
 }
 
-/// Fill `None` gaps in a sampled curve by linear interpolation over `xs`
-/// (edge gaps take the nearest interior value). Returns `None` when fewer
-/// than two points survived — no usable curve to interpolate on.
+/// Fill `None` gaps in a sampled curve by linear interpolation over `xs`.
+/// Returns `None` when fewer than two points survived — no usable curve
+/// to interpolate on.
+///
+/// Contract: `xs` may be in **any order** (ascending, descending, or
+/// shuffled — resilient sweeps hand points back in completion order).
+/// Each gap is bracketed by the two surviving samples nearest in
+/// *x-value*, not in slice position; a gap outside the surviving x-range
+/// takes the value of the nearest surviving sample. Surviving entries are
+/// returned exactly as given, never re-fitted. Non-finite `xs` are not
+/// supported (`NaN` has no place on a sweep grid).
 pub fn interpolate_gaps(xs: &[f64], ys: &[Option<f64>]) -> Option<Vec<f64>> {
     assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
-    let known: Vec<(f64, f64)> = xs
+    let mut known: Vec<(f64, f64)> = xs
         .iter()
         .zip(ys.iter())
         .filter_map(|(&x, y)| y.map(|v| (x, v)))
@@ -243,17 +251,23 @@ pub fn interpolate_gaps(xs: &[f64], ys: &[Option<f64>]) -> Option<Vec<f64>> {
     if known.len() < 2 {
         return None;
     }
+    // The bracket search below requires `known` ascending in x. The
+    // original grid order is irrelevant here: interpolation is a function
+    // of x-values, and sorting survivors is what makes that true for
+    // descending or shuffled grids (the former silently produced
+    // nearest-edge fills for every gap).
+    known.sort_by(|a, b| a.0.total_cmp(&b.0));
     Some(
         xs.iter()
             .zip(ys.iter())
             .map(|(&x, y)| match y {
                 Some(v) => *v,
                 None => {
-                    // Bracket x among the surviving samples.
-                    match known.iter().position(|&(kx, _)| kx >= x) {
-                        Some(0) => known[0].1,
-                        None => known[known.len() - 1].1,
-                        Some(k) => {
+                    // First survivor with kx >= x, by binary search.
+                    match known.partition_point(|&(kx, _)| kx < x) {
+                        0 => known[0].1,
+                        k if k == known.len() => known[known.len() - 1].1,
+                        k => {
                             let (x0, y0) = known[k - 1];
                             let (x1, y1) = known[k];
                             if (x1 - x0).abs() < f64::EPSILON {

@@ -1,0 +1,381 @@
+//! Seeded load generation against the `pubopt-serve` daemon.
+//!
+//! The serving tentpole's acceptance criteria are throughput claims, and
+//! throughput claims need a workload. This module is the single source of
+//! that workload: a seed expands deterministically into a mixed request
+//! stream over the three query endpoints, drawn from a bounded parameter
+//! pool so repeats land in the daemon's response cache. The same
+//! generator drives the `loadgen` binary (CI smoke + ad-hoc probing) and
+//! the bench harness's `serving` section (the cold-vs-warm A/B behind the
+//! ≥ 10× claim in `EXPERIMENTS.md`), so the numbers in both places are
+//! the same experiment at different sizes.
+
+use pubopt_num::Rng;
+use pubopt_serve::{client, spawn, ServeConfig};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Workload-shape options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Workload seed: same seed ⇒ same request stream, byte for byte.
+    pub seed: u64,
+    /// Distinct parameter tuples in the pool. The expected cache hit rate
+    /// of a long run approaches `1 − pool/requests`.
+    pub pool: usize,
+    /// CP count for the ensemble-scenario requests.
+    pub scenario_n: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            requests: 200,
+            clients: 4,
+            seed: 7,
+            pool: 24,
+            scenario_n: 60,
+        }
+    }
+}
+
+/// Outcome of replaying one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// Requests issued.
+    pub requests: usize,
+    /// `2xx` responses.
+    pub ok: usize,
+    /// `429` responses (queue-full shedding).
+    pub shed: usize,
+    /// `5xx` responses (worker panics surface as `500`).
+    pub server_errors: usize,
+    /// Other non-`2xx` responses (should be zero: the generator only
+    /// emits valid queries).
+    pub client_errors: usize,
+    /// Requests that failed at the socket level.
+    pub transport_errors: usize,
+    /// Wall time for the whole replay, microseconds.
+    pub elapsed_us: u64,
+    /// `requests / elapsed` in requests per second.
+    pub throughput_rps: f64,
+    /// Nearest-rank median per-request latency, microseconds.
+    pub p50_us: u64,
+    /// Nearest-rank 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl LoadSummary {
+    /// Everything that is not a `2xx`: the count CI asserts to be zero.
+    pub fn failed(&self) -> usize {
+        self.requests - self.ok
+    }
+}
+
+/// The `serving` section of the bench report: a cold-vs-warm A/B of the
+/// daemon on one seeded workload pool.
+///
+/// The cold pass issues each distinct request once (every one a cache
+/// miss: the full solve plus HTTP round trip). The warm pass replays the
+/// identical pool `repeats` times (every request a hit: cached bytes
+/// plus the same round trip). The ISSUE acceptance criterion is
+/// `speedup ≥ 10` with warm bodies bit-identical to a cold daemon's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBench {
+    /// Distinct requests in the pool.
+    pub distinct: usize,
+    /// Warm-pass replays of the pool.
+    pub repeats: usize,
+    /// Cold-pass throughput (all misses), requests per second.
+    pub cold_rps: f64,
+    /// Warm-pass throughput (all hits), requests per second.
+    pub warm_rps: f64,
+    /// `warm_rps / cold_rps`.
+    pub speedup: f64,
+    /// Cache hit fraction over both passes, from the daemon's counters.
+    pub hit_rate: f64,
+    /// Warm-pass median latency, microseconds.
+    pub warm_p50_us: u64,
+    /// Warm-pass p99 latency, microseconds.
+    pub warm_p99_us: u64,
+    /// Whether warm responses matched a fresh cold daemon byte for byte
+    /// on the probed subset.
+    pub byte_identical: bool,
+}
+
+/// Render an `f64` for a JSON body. Rust's `Display` emits the shortest
+/// string that round-trips, so the daemon parses back the exact bits and
+/// two textually identical bodies share a cache key.
+fn num(x: f64) -> String {
+    format!("{x}")
+}
+
+/// One pool entry: `(path, body)` for a valid query. The mixture is
+/// roughly 45% equilibrium, 45% strategy, 10% capacity — strategy solves
+/// dominate cold cost, equilibrium dominates count in real use, capacity
+/// keeps the slowest endpoint honest.
+fn pool_entry(rng: &mut Rng, scenario_n: usize) -> (String, String) {
+    let kind = rng.next_f64();
+    if kind < 0.45 {
+        // Rate equilibrium on the paper ensemble, congested regime
+        // (ν* ≈ 0.25·n for the default ensemble).
+        let nu = rng.uniform(0.02, 0.3) * scenario_n as f64;
+        let profile = rng.next_f64() < 0.25;
+        (
+            "/v1/equilibrium".to_owned(),
+            format!(
+                "{{\"scenario\":\"paper\",\"n\":{scenario_n},\"nu\":{},\"include_profile\":{profile}}}",
+                num(nu)
+            ),
+        )
+    } else if kind < 0.9 {
+        // Monopoly charge sweep: the expensive family (one competitive
+        // equilibrium per grid point).
+        let nu = rng.uniform(0.05, 0.25) * scenario_n as f64;
+        let kappa = [0.25, 0.5, 1.0][rng.below(3) as usize];
+        let c_max = rng.uniform(0.4, 1.2);
+        (
+            "/v1/strategy".to_owned(),
+            format!(
+                "{{\"scenario\":\"paper\",\"n\":{scenario_n},\"nu\":{},\"kappa\":{},\"c_max\":{},\"c_steps\":5}}",
+                num(nu),
+                num(kappa),
+                num(c_max)
+            ),
+        )
+    } else {
+        // Public Option sizing on the trio (small grid: the γ search runs
+        // a duopoly solve per candidate).
+        let nu = rng.uniform(0.8, 2.0);
+        let target = rng.uniform(0.5, 0.95);
+        (
+            "/v1/capacity".to_owned(),
+            format!(
+                "{{\"scenario\":\"trio\",\"nu\":{},\"target_fraction\":{},\"c_max\":2.0,\"grid_n\":3}}",
+                num(nu),
+                num(target)
+            ),
+        )
+    }
+}
+
+/// Expand `opts` into the request stream: a pool of
+/// [`LoadOptions::pool`] distinct queries, sampled uniformly (with the
+/// same seeded generator) for [`LoadOptions::requests`] draws. Pure
+/// function of the options.
+pub fn mixed_workload(opts: &LoadOptions) -> Vec<(String, String)> {
+    assert!(opts.pool > 0, "pool must be non-empty");
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let pool: Vec<(String, String)> = (0..opts.pool)
+        .map(|_| pool_entry(&mut rng, opts.scenario_n))
+        .collect();
+    (0..opts.requests)
+        .map(|_| pool[rng.below(opts.pool as u64) as usize].clone())
+        .collect()
+}
+
+/// Replay `workload` against a daemon at `addr` from `clients` threads
+/// (round-robin split) and tally the outcome.
+pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -> LoadSummary {
+    let clients = clients.clamp(1, workload.len().max(1));
+    let start = Instant::now();
+    // Each worker returns (status codes, latencies); transport errors
+    // record as status 0.
+    let per_client: Vec<Vec<(u16, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|tid| {
+                scope.spawn(move || {
+                    workload
+                        .iter()
+                        .skip(tid)
+                        .step_by(clients)
+                        .map(|(path, body)| {
+                            let t = Instant::now();
+                            let status = match client::post(addr, path, body) {
+                                Ok((status, _)) => status,
+                                Err(_) => 0,
+                            };
+                            let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            (status, us)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client thread panicked"))
+            .collect()
+    });
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    let mut summary = LoadSummary {
+        requests: workload.len(),
+        ok: 0,
+        shed: 0,
+        server_errors: 0,
+        client_errors: 0,
+        transport_errors: 0,
+        elapsed_us,
+        throughput_rps: workload.len() as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        p50_us: 0,
+        p99_us: 0,
+    };
+    let mut latencies = Vec::with_capacity(workload.len());
+    for (status, us) in per_client.into_iter().flatten() {
+        latencies.push(us);
+        match status {
+            200..=299 => summary.ok += 1,
+            429 => summary.shed += 1,
+            500..=599 => summary.server_errors += 1,
+            0 => summary.transport_errors += 1,
+            _ => summary.client_errors += 1,
+        }
+    }
+    latencies.sort_unstable();
+    let rank = |q: f64| {
+        let r = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len().max(1));
+        latencies.get(r - 1).copied().unwrap_or(0)
+    };
+    if !latencies.is_empty() {
+        summary.p50_us = rank(0.5);
+        summary.p99_us = rank(0.99);
+    }
+    summary
+}
+
+/// Run the cold-vs-warm serving A/B for the bench report.
+///
+/// Spawns a private daemon, issues the pool once cold (all misses), then
+/// replays it `repeats` times warm (all hits), and finally probes a
+/// subset of warm responses against a *fresh* daemon to certify the hits
+/// byte-identical to cold solves.
+///
+/// # Panics
+///
+/// Panics if a daemon fails to bind a loopback port or a request fails
+/// at the socket level — both mean the bench environment is broken.
+pub fn serving_bench(quick: bool) -> ServingBench {
+    let opts = LoadOptions {
+        pool: if quick { 6 } else { 16 },
+        scenario_n: if quick { 24 } else { 200 },
+        seed: 7,
+        clients: 4,
+        requests: 0, // the A/B builds its own passes from the pool
+    };
+    let repeats = if quick { 3 } else { 8 };
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let pool: Vec<(String, String)> = (0..opts.pool)
+        .map(|_| pool_entry(&mut rng, opts.scenario_n))
+        .collect();
+
+    let server = spawn(&ServeConfig::default()).expect("bind loopback daemon");
+    let addr = server.addr();
+
+    // Cold pass: every distinct query once, nothing cached.
+    let cold = replay(addr, &pool, opts.clients);
+    assert_eq!(cold.failed(), 0, "cold pass must succeed: {cold:?}");
+
+    // Warm pass: the same pool repeated — every request is a cache hit.
+    let warm_stream: Vec<(String, String)> = (0..repeats).flat_map(|_| pool.clone()).collect();
+    let warm = replay(addr, &warm_stream, opts.clients);
+    assert_eq!(warm.failed(), 0, "warm pass must succeed: {warm:?}");
+    let stats = server.cache_stats();
+    let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+
+    // Byte-identity probe: warm hits vs a daemon that has never seen the
+    // query. Three probes cover all three endpoint families in any pool
+    // ordering without re-paying the whole cold pass.
+    let probe = spawn(&ServeConfig::default()).expect("bind probe daemon");
+    let byte_identical = pool.iter().take(3).all(|(path, body)| {
+        let warm_body = client::post(addr, path, body).expect("warm probe").1;
+        let cold_body = client::post(probe.addr(), path, body)
+            .expect("cold probe")
+            .1;
+        warm_body == cold_body
+    });
+    probe.shutdown();
+    probe.join();
+    server.shutdown();
+    server.join();
+
+    ServingBench {
+        distinct: opts.pool,
+        repeats,
+        cold_rps: cold.throughput_rps,
+        warm_rps: warm.throughput_rps,
+        speedup: warm.throughput_rps / cold.throughput_rps.max(f64::MIN_POSITIVE),
+        hit_rate,
+        warm_p50_us: warm.p50_us,
+        warm_p99_us: warm.p99_us,
+        byte_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_pool_bounded() {
+        let opts = LoadOptions {
+            requests: 60,
+            pool: 5,
+            ..LoadOptions::default()
+        };
+        let a = mixed_workload(&opts);
+        let b = mixed_workload(&opts);
+        assert_eq!(a, b, "same seed must give the same stream");
+        let distinct: std::collections::HashSet<&(String, String)> = a.iter().collect();
+        assert!(distinct.len() <= 5, "draws must come from the pool");
+        assert!(distinct.len() >= 2, "a 60-draw stream should mix");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = mixed_workload(&LoadOptions::default());
+        let b = mixed_workload(&LoadOptions {
+            seed: 8,
+            ..LoadOptions::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_generated_request_parses_and_validates() {
+        let opts = LoadOptions {
+            requests: 40,
+            pool: 40,
+            scenario_n: 12,
+            ..LoadOptions::default()
+        };
+        for (path, body) in mixed_workload(&opts) {
+            pubopt_serve::ApiRequest::parse(&path, &body)
+                .unwrap_or_else(|e| panic!("generated invalid request {path} {body}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn replay_tallies_against_a_live_daemon() {
+        let server = spawn(&ServeConfig::default()).expect("bind");
+        let workload = mixed_workload(&LoadOptions {
+            requests: 20,
+            pool: 4,
+            scenario_n: 8,
+            ..LoadOptions::default()
+        });
+        let summary = replay(server.addr(), &workload, 3);
+        assert_eq!(summary.requests, 20);
+        assert_eq!(summary.failed(), 0, "all queries valid: {summary:?}");
+        assert!(summary.p50_us <= summary.p99_us);
+        let stats = server.cache_stats();
+        assert!(stats.hits > 0, "a 4-entry pool over 20 draws must hit");
+        assert!(stats.misses <= 4);
+        server.shutdown();
+        server.join();
+    }
+}

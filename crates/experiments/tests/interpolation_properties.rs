@@ -1,0 +1,135 @@
+//! Property tests for [`interpolate_gaps`]: the gap filler behind
+//! degraded figure sweeps must honour its contract on grids in *any*
+//! order — the regression this pins down returned nearest-edge fills for
+//! every gap on descending grids.
+
+use proptest::prelude::*;
+use pubopt_experiments::resilience::interpolate_gaps;
+
+// A strictly ascending grid (cumulative positive steps), sample values,
+// and a gap mask. At least two survivors are guaranteed by construction
+// below.
+prop_compose! {
+    fn arb_curve()(
+        steps in prop::collection::vec((0.01f64..2.0, -5.0f64..5.0, 0u8..3), 2..24)
+    ) -> (Vec<f64>, Vec<Option<f64>>) {
+        let mut x = 0.0;
+        let mut xs = Vec::with_capacity(steps.len());
+        let mut ys = Vec::with_capacity(steps.len());
+        let last = steps.len() - 1;
+        for (i, (dx, y, gap)) in steps.into_iter().enumerate() {
+            x += dx;
+            xs.push(x);
+            // Mask ≈ 1/3 of samples, but keep both endpoints alive so at
+            // least two points always survive.
+            ys.push(if gap == 0 && i != 0 && i != last { None } else { Some(y) });
+        }
+        (xs, ys)
+    }
+}
+
+/// The survivors of a masked curve, ascending in x.
+fn survivors(xs: &[f64], ys: &[Option<f64>]) -> Vec<(f64, f64)> {
+    let mut known: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys)
+        .filter_map(|(&x, y)| y.map(|v| (x, v)))
+        .collect();
+    known.sort_by(|a, b| a.0.total_cmp(&b.0));
+    known
+}
+
+/// Deterministic reorderings that exercise the unsorted-grid contract.
+fn reorderings(n: usize) -> Vec<Vec<usize>> {
+    let ascending: Vec<usize> = (0..n).collect();
+    let descending: Vec<usize> = (0..n).rev().collect();
+    // Evens then odds: a grid that is neither sorted nor reversed.
+    let interleaved: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
+    vec![ascending, descending, interleaved]
+}
+
+proptest! {
+    /// Surviving samples are returned exactly — interpolation never
+    /// re-fits a point that was actually measured.
+    #[test]
+    fn survivors_are_exact(curve in arb_curve()) {
+        let (xs, ys) = curve;
+        let filled = interpolate_gaps(&xs, &ys).expect("two survivors guaranteed");
+        for (i, y) in ys.iter().enumerate() {
+            if let Some(v) = y {
+                prop_assert_eq!(filled[i], *v, "survivor {} was altered", i);
+            }
+        }
+    }
+
+    /// Every fill lies between its x-bracketing survivors (linear
+    /// interpolation is a convex combination); fills outside the
+    /// surviving x-range equal the nearest surviving value.
+    #[test]
+    fn fills_are_bracketed(curve in arb_curve()) {
+        let (xs, ys) = curve;
+        let filled = interpolate_gaps(&xs, &ys).expect("two survivors guaranteed");
+        let known = survivors(&xs, &ys);
+        for (i, y) in ys.iter().enumerate() {
+            if y.is_some() {
+                continue;
+            }
+            let x = xs[i];
+            let k = known.partition_point(|&(kx, _)| kx < x);
+            if k == 0 {
+                prop_assert_eq!(filled[i], known[0].1);
+            } else if k == known.len() {
+                prop_assert_eq!(filled[i], known[known.len() - 1].1);
+            } else {
+                let (lo, hi) = (known[k - 1].1, known[k].1);
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                prop_assert!(
+                    filled[i] >= lo - 1e-12 && filled[i] <= hi + 1e-12,
+                    "fill {} at x={} outside bracket [{}, {}]",
+                    filled[i], x, lo, hi
+                );
+            }
+        }
+    }
+
+    /// Grid order is irrelevant: descending and shuffled grids fill each
+    /// (x, gap) with exactly the value the ascending grid fills.
+    #[test]
+    fn order_invariance(curve in arb_curve()) {
+        let (xs, ys) = curve;
+        let reference = interpolate_gaps(&xs, &ys).expect("two survivors guaranteed");
+        for perm in reorderings(xs.len()) {
+            let pxs: Vec<f64> = perm.iter().map(|&i| xs[i]).collect();
+            let pys: Vec<Option<f64>> = perm.iter().map(|&i| ys[i]).collect();
+            let filled = interpolate_gaps(&pxs, &pys).expect("same survivors");
+            for (slot, &i) in perm.iter().enumerate() {
+                prop_assert_eq!(
+                    filled[slot], reference[i],
+                    "x={} fills differently on a reordered grid", pxs[slot]
+                );
+            }
+        }
+    }
+
+    /// Fewer than two survivors means no curve: all-gaps and
+    /// single-survivor inputs return `None` whatever the grid looks like.
+    #[test]
+    fn too_few_survivors_is_none(xs in prop::collection::vec(-10.0f64..10.0, 1..12), keep in 0usize..2) {
+        let n = xs.len();
+        let all_none: Vec<Option<f64>> = vec![None; n];
+        prop_assert_eq!(interpolate_gaps(&xs, &all_none), None);
+        let mut one: Vec<Option<f64>> = vec![None; n];
+        one[keep.min(n - 1)] = Some(1.25);
+        prop_assert_eq!(interpolate_gaps(&xs, &one), None);
+    }
+}
+
+/// The concrete regression: a descending grid with an interior gap must
+/// interpolate between its x-neighbors, not clamp to an edge value.
+#[test]
+fn descending_grid_interpolates_interior_gaps() {
+    let xs = [3.0, 2.0, 1.0];
+    let ys = [Some(30.0), None, Some(10.0)];
+    let filled = interpolate_gaps(&xs, &ys).unwrap();
+    assert_eq!(filled, vec![30.0, 20.0, 10.0]);
+}

@@ -34,6 +34,15 @@ pub struct ChurnConfig {
     /// Relative flow-count change below which the final epoch counts as
     /// converged (sets [`ChurnReport::converged`]).
     pub settle_tol: f64,
+    /// Carry transport state (windows, queue) across epochs instead of
+    /// rebuilding the simulator from scratch: each epoch updates the flow
+    /// counts in place via [`FluidSim::try_set_flow_count`], so congestion
+    /// windows re-converge from where the last epoch left them — the
+    /// behaviour of a real network under churn, and cheaper per epoch
+    /// once warm. Off by default: the rebuild mode's
+    /// identical-initial-conditions epochs are easier to reason about in
+    /// the equilibrium-comparison experiments.
+    pub carry_transport_state: bool,
 }
 
 impl Default for ChurnConfig {
@@ -45,6 +54,7 @@ impl Default for ChurnConfig {
             epochs: 20,
             damping: 0.3,
             settle_tol: 0.25,
+            carry_transport_state: false,
         }
     }
 }
@@ -93,6 +103,23 @@ impl ChurnSim {
         Self { pop, config }
     }
 
+    /// One flow group per CP at the given active flow counts.
+    fn build_groups(&self, flows: &[usize]) -> Vec<FlowGroup> {
+        self.pop
+            .iter()
+            .zip(flows.iter())
+            .enumerate()
+            .map(|(i, (cp, &f))| {
+                FlowGroup::new(
+                    cp.name.clone().unwrap_or_else(|| format!("cp-{i}")),
+                    f,
+                    cp.theta_hat,
+                    self.config.rtt_base,
+                )
+            })
+            .collect()
+    }
+
     /// Run the demand-update loop.
     pub fn run(&self) -> ChurnReport {
         let n = self.pop.len();
@@ -107,23 +134,23 @@ impl ChurnSim {
         let mut last_epoch = None;
         let mut final_change = f64::INFINITY;
 
+        let mut carried: Option<FluidSim> = None;
         for _ in 0..self.config.epochs {
-            let groups: Vec<FlowGroup> = self
-                .pop
-                .iter()
-                .zip(flows.iter())
-                .enumerate()
-                .map(|(i, (cp, &f))| {
-                    FlowGroup::new(
-                        cp.name.clone().unwrap_or_else(|| format!("cp-{i}")),
-                        f,
-                        cp.theta_hat,
-                        self.config.rtt_base,
-                    )
-                })
-                .collect();
-            let mut sim = FluidSim::new(groups, self.config.sim.clone());
-            let report = sim.run();
+            let report = if self.config.carry_transport_state {
+                // Keep windows and queue across epochs; only the flow
+                // counts change. The checked setter makes the contract
+                // explicit: group g exists iff CP g does.
+                let sim = carried.get_or_insert_with(|| {
+                    FluidSim::new(self.build_groups(&flows), self.config.sim.clone())
+                });
+                for (g, &f) in flows.iter().enumerate() {
+                    sim.try_set_flow_count(g, f)
+                        .expect("one flow group per CP by construction");
+                }
+                sim.run()
+            } else {
+                FluidSim::new(self.build_groups(&flows), self.config.sim.clone()).run()
+            };
             thetas.clone_from(&report.per_flow_rate);
 
             // Demand update with damping.
@@ -215,6 +242,32 @@ mod tests {
             "starved sensitive demand should collapse, got {}",
             r.demands[0]
         );
+    }
+
+    #[test]
+    fn carried_transport_state_reaches_the_same_equilibrium() {
+        // Carrying windows/queue across epochs changes the transient, not
+        // the fixed point: both modes must settle to the same demand.
+        let pop: Population = vec![ContentProvider::new(
+            0.5,
+            2.0,
+            DemandKind::Constant,
+            0.0,
+            0.0,
+        )]
+        .into();
+        let rebuild = ChurnSim::new(pop.clone(), 1.2, quick()).run();
+        let carried = ChurnSim::new(
+            pop,
+            1.2,
+            ChurnConfig {
+                carry_transport_state: true,
+                ..quick()
+            },
+        )
+        .run();
+        assert_eq!(carried.flows, rebuild.flows);
+        assert!(carried.converged);
     }
 
     #[test]

@@ -60,6 +60,6 @@ pub use event::EventQueue;
 pub use flow::{FlowGroup, FlowState};
 pub use queue::{DropTailQueue, RedConfig, RedQueue};
 pub use scenario::{groups_from_population, RttModel};
-pub use sim::{FluidSim, SimConfig, SimReport};
+pub use sim::{FluidSim, GroupIndexError, SimConfig, SimReport};
 pub use trace::{record, Trace, TraceSample};
 pub use validate::{compare_to_maxmin, jain_index, MaxMinComparison};

@@ -72,6 +72,27 @@ pub struct SimReport {
     pub duration: f64,
 }
 
+/// An out-of-range group index handed to a checked [`FluidSim`] accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupIndexError {
+    /// The offending index.
+    pub index: usize,
+    /// Number of groups in the simulator.
+    pub groups: usize,
+}
+
+impl std::fmt::Display for GroupIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "group index {} out of range ({} groups)",
+            self.index, self.groups
+        )
+    }
+}
+
+impl std::error::Error for GroupIndexError {}
+
 /// Internal scheduled events (measurement phase boundary / end).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
@@ -145,17 +166,65 @@ impl FluidSim {
         }
     }
 
+    /// Number of flow groups under simulation.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
     /// Replace the active flow count of group `g` (used by the churn
     /// driver when demand reacts to congestion).
+    ///
+    /// # Errors
+    ///
+    /// [`GroupIndexError`] when `g` is out of range; the simulator is
+    /// unchanged.
+    pub fn try_set_flow_count(&mut self, g: usize, flows: usize) -> Result<(), GroupIndexError> {
+        match self.groups.get_mut(g) {
+            Some(group) => {
+                group.flows = flows;
+                Ok(())
+            }
+            None => Err(GroupIndexError {
+                index: g,
+                groups: self.groups.len(),
+            }),
+        }
+    }
+
+    /// Replace the active flow count of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is out of range; use
+    /// [`FluidSim::try_set_flow_count`] to handle that case.
     pub fn set_flow_count(&mut self, g: usize, flows: usize) {
-        self.groups[g].flows = flows;
+        self.try_set_flow_count(g, flows)
+            .expect("flow group index out of range");
+    }
+
+    /// Current per-flow instantaneous rate of group `g`, or `None` when
+    /// `g` is out of range.
+    pub fn try_instantaneous_rate(&self, g: usize) -> Option<f64> {
+        let group = self.groups.get(g)?;
+        let rtt = group.rtt_base + self.queue.delay();
+        Some(self.states[g].rate(self.config.mss, rtt, group.rate_cap))
     }
 
     /// Current per-flow instantaneous rate of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is out of range; use
+    /// [`FluidSim::try_instantaneous_rate`] to handle that case.
     pub fn instantaneous_rate(&self, g: usize) -> f64 {
-        let group = &self.groups[g];
-        let rtt = group.rtt_base + self.queue.delay();
-        self.states[g].rate(self.config.mss, rtt, group.rate_cap)
+        self.try_instantaneous_rate(g)
+            .expect("flow group index out of range")
+    }
+
+    /// Current effective RTT of group `g` — its base RTT plus the
+    /// bottleneck's queueing delay — or `None` when `g` is out of range.
+    pub fn group_rtt(&self, g: usize) -> Option<f64> {
+        Some(self.groups.get(g)?.rtt_base + self.queue.delay())
     }
 
     /// Advance the dynamics by one step of length `dt`; returns the loss
@@ -379,5 +448,50 @@ mod tests {
     #[should_panic(expected = "need at least one flow group")]
     fn rejects_empty_groups() {
         FluidSim::new(vec![], SimConfig::default());
+    }
+
+    #[test]
+    fn checked_accessors_reject_out_of_range_groups() {
+        let mut sim = FluidSim::new(
+            vec![FlowGroup::new("only", 1, 1e9, 0.1)],
+            quick_config(100.0),
+        );
+        assert_eq!(sim.group_count(), 1);
+        assert_eq!(
+            sim.try_set_flow_count(1, 5),
+            Err(GroupIndexError {
+                index: 1,
+                groups: 1
+            })
+        );
+        assert_eq!(sim.groups[0].flows, 1, "failed update must not mutate");
+        assert_eq!(sim.try_instantaneous_rate(7), None);
+        assert_eq!(sim.group_rtt(7), None);
+
+        assert_eq!(sim.try_set_flow_count(0, 5), Ok(()));
+        assert_eq!(sim.groups[0].flows, 5);
+        assert!(sim.try_instantaneous_rate(0).unwrap() >= 0.0);
+        let rtt = sim.group_rtt(0).unwrap();
+        assert!((rtt - (0.1 + sim.queue_delay())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow group index out of range")]
+    fn unchecked_set_flow_count_panics_out_of_range() {
+        let mut sim = FluidSim::new(
+            vec![FlowGroup::new("only", 1, 1e9, 0.1)],
+            quick_config(100.0),
+        );
+        sim.set_flow_count(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow group index out of range")]
+    fn unchecked_instantaneous_rate_panics_out_of_range() {
+        let sim = FluidSim::new(
+            vec![FlowGroup::new("only", 1, 1e9, 0.1)],
+            quick_config(100.0),
+        );
+        let _ = sim.instantaneous_rate(3);
     }
 }

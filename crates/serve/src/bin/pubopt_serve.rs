@@ -1,0 +1,92 @@
+//! The `pubopt-serve` daemon binary.
+//!
+//! ```text
+//! cargo run --release -p pubopt-serve --bin pubopt-serve -- \
+//!     [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+//!     [--cache-shards N] [--cache-capacity N] [--chaos SEED]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (port 0 resolves
+//! to the OS-assigned port, so harnesses can parse the line), then serves
+//! until `POST /v1/shutdown`.
+
+use pubopt_num::chaos::ChaosConfig;
+use pubopt_serve::ServeConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7411".to_owned(),
+        ..ServeConfig::default()
+    };
+    let mut cache_capacity = config.cache_shards * config.cache_per_shard;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| config.addr = v),
+            "--workers" => parse_into(&mut value, "--workers", &mut config.workers),
+            "--queue-depth" => parse_into(&mut value, "--queue-depth", &mut config.queue_depth),
+            "--cache-shards" => parse_into(&mut value, "--cache-shards", &mut config.cache_shards),
+            "--cache-capacity" => parse_into(&mut value, "--cache-capacity", &mut cache_capacity),
+            "--chaos" => {
+                let mut seed = 0u64;
+                let r = parse_into(&mut value, "--chaos", &mut seed);
+                if r.is_ok() {
+                    // The smoke preset's panic rate, panics only: the
+                    // serve layer turns every scheduled fault into a
+                    // worker panic (see `server::serve_query`).
+                    config.chaos = Some(ChaosConfig {
+                        panic_rate: 0.05,
+                        ..ChaosConfig::quiet(seed)
+                    });
+                }
+                r
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: pubopt-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                     [--cache-shards N] [--cache-capacity N] [--chaos SEED]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument: {other} (try --help)")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if config.workers == 0 || config.queue_depth == 0 || config.cache_shards == 0 {
+        eprintln!("--workers, --queue-depth and --cache-shards must be positive");
+        return ExitCode::FAILURE;
+    }
+    config.cache_per_shard = (cache_capacity / config.cache_shards).max(1);
+
+    let server = match pubopt_serve::spawn(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.join();
+    eprintln!("daemon stopped");
+    ExitCode::SUCCESS
+}
+
+fn parse_into<T: std::str::FromStr>(
+    value: &mut impl FnMut(&str) -> Result<String, String>,
+    name: &str,
+    slot: &mut T,
+) -> Result<(), String> {
+    let raw = value(name)?;
+    *slot = raw
+        .parse()
+        .map_err(|_| format!("{name}: cannot parse {raw:?}"))?;
+    Ok(())
+}

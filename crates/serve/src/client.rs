@@ -1,0 +1,68 @@
+//! A minimal blocking HTTP client for the daemon's protocol.
+//!
+//! One request per connection, mirroring the server's `Connection: close`
+//! discipline. Used by the loadgen harness, the CI smoke test, and the
+//! serve integration tests — anything in-repo that needs to speak to the
+//! daemon without an external HTTP library.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Connect/read timeout for a single request.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Issue one request and return `(status, body)`.
+///
+/// # Errors
+///
+/// Socket failures, or a response too mangled to split into head and
+/// body.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, TIMEOUT)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: pubopt\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body split"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("response has no status code"))?;
+    Ok((status, body.to_owned()))
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, body)
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, "")
+}

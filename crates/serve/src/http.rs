@@ -1,0 +1,253 @@
+//! Minimal HTTP/1.1 framing: just enough protocol for the query daemon.
+//!
+//! One request per connection (`Connection: close` on every response), a
+//! strict size-bounded reader, and a tiny response writer. No chunked
+//! transfer, no keep-alive, no TLS — the daemon speaks to trusted
+//! clients (the loadgen harness, CI, notebooks) on a local socket, and
+//! per-request connections keep worker state machines trivial. Bodies
+//! are JSON both ways, written with the in-repo `pubopt_obs::json`
+//! writer.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// Request target as sent (query strings are not split off; the API
+    /// layer treats the path as an opaque route key).
+    pub path: String,
+    /// Raw body bytes decoded to UTF-8.
+    pub body: String,
+}
+
+/// Protocol-level failures while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket error (peer reset, timeout, …).
+    Io(std::io::Error),
+    /// The bytes on the wire were not a well-formed HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The head or body exceeded the hard size bounds.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from `stream`.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for garbage on the wire, [`HttpError::TooLarge`]
+/// past the size bounds, [`HttpError::Io`] for socket failures.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    read_line_bounded(&mut reader, &mut line, MAX_HEAD_BYTES)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?
+        .to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("not an HTTP/1.x request"));
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        read_line_bounded(&mut reader, &mut line, MAX_HEAD_BYTES)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("body"));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+fn read_line_bounded(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    max: usize,
+) -> Result<(), HttpError> {
+    let mut taken = reader.take(max as u64 + 1);
+    let n = taken.read_line(line)?;
+    if n > max {
+        return Err(HttpError::TooLarge("request line"));
+    }
+    if n == 0 {
+        return Err(HttpError::Malformed("connection closed mid-request"));
+    }
+    Ok(())
+}
+
+/// Human reason phrase for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a JSON response with `Connection: close` and return the number
+/// of body bytes written. Flushes before returning.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the peer may have hung up; callers
+/// treat that as a lost client, not a daemon fault).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+) -> Result<usize, std::io::Error> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(body.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = round_trip(
+            b"POST /v1/equilibrium HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"nu\": 2.0}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/equilibrium");
+        assert_eq!(req.body, "{\"nu\": 2.0}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            round_trip(b"\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"POST /x SMTP/1.0\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            round_trip(raw.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            write_response(&mut s, 200, "{\"ok\":true}").unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        server.join().unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

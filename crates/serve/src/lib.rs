@@ -1,0 +1,38 @@
+//! Equilibrium-as-a-service: a long-running query daemon over the Public
+//! Option solvers.
+//!
+//! The paper's questions — "what does the rate equilibrium look like at
+//! this capacity?", "what does a monopolist charge on this workload?",
+//! "how big must the Public Option be?" — are each a parameterized solve
+//! over a deterministic scenario. This crate turns the batch solvers into
+//! a service: a dependency-free HTTP/1.1 + JSON daemon on
+//! `std::net::TcpListener` with
+//!
+//! * three query endpoints (`/v1/equilibrium`, `/v1/strategy`,
+//!   `/v1/capacity`) plus `/healthz`, `/v1/stats` and `/v1/shutdown`;
+//! * a sharded LRU **response cache** keyed by canonicalized parameters
+//!   ([`api`]) — repeated questions replay the first solve's exact bytes;
+//! * a **warm pool** ([`state`]) carrying `SweepCache`/`WarmStart`/
+//!   `GameWarmStart` solver state across requests, exact by the PR 3
+//!   contract (hints change effort, never values);
+//! * a fixed worker pool behind a bounded queue with `429` shedding, and
+//!   per-request panic isolation so an injected chaos fault never drops
+//!   the listener ([`server`]).
+//!
+//! The [`client`] module is the matching one-connection-per-request
+//! blocking client used by the loadgen harness and CI smoke test.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use api::{ApiError, ApiRequest};
+pub use cache::{CacheStats, ShardedCache};
+pub use server::{spawn, ServeConfig, ServerHandle};
+pub use state::{ScenarioStore, WarmPool};

@@ -1,0 +1,450 @@
+//! The daemon: listener thread, bounded connection queue, worker pool.
+//!
+//! Threading model. One listener thread accepts connections (non-blocking
+//! accept polled against the shutdown flag) and pushes each accepted
+//! stream onto a bounded queue; `workers` worker threads pop streams,
+//! read one request, serve it, and close. When the queue is full the
+//! *listener* answers `429 Too Many Requests` immediately — backpressure
+//! is explicit and cheap rather than an unbounded backlog with silent
+//! tail latency.
+//!
+//! Fault isolation. Workers run the solver step inside `catch_unwind`: a
+//! panicking solve (or an injected chaos fault) costs that request a
+//! `500` and nothing else — the worker loops on, the listener never
+//! stops, and no lock is held across the unwind boundary. The optional
+//! [`ChaosInjector`] schedules panics as a pure function of the request
+//! sequence number, so a chaos run is reproducible bit-for-bit.
+//!
+//! Shutdown. `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips a
+//! flag; the listener stops accepting, workers drain the queue, and
+//! [`ServerHandle::join`] reaps every thread. In-flight requests finish.
+
+use crate::api::ApiRequest;
+use crate::cache::{CacheStats, ShardedCache};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::state::{ScenarioStore, WarmPool};
+use pubopt_num::chaos::{ChaosConfig, ChaosInjector};
+use pubopt_obs::json::Value;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address is
+    /// available from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads solving requests.
+    pub workers: usize,
+    /// Accepted-connection queue bound; beyond it the listener sheds load
+    /// with `429`.
+    pub queue_depth: usize,
+    /// Response-cache shard count.
+    pub cache_shards: usize,
+    /// Response-cache entries per shard.
+    pub cache_per_shard: usize,
+    /// Optional deterministic fault injection on the worker compute path
+    /// (only [`Fault::Panic`](pubopt_num::chaos::Fault::Panic) is
+    /// meaningful here; other fault kinds are treated as panics too).
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 128,
+            cache_shards: 8,
+            cache_per_shard: 64,
+            chaos: None,
+        }
+    }
+}
+
+/// Shared daemon state.
+struct Inner {
+    cache: ShardedCache,
+    scenarios: ScenarioStore,
+    warm: WarmPool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    seq: AtomicU64,
+    chaos: Option<ChaosInjector>,
+    workers: usize,
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server; call
+/// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// Start a daemon per `config` and return its handle once the socket is
+/// bound and the workers are running.
+///
+/// # Errors
+///
+/// Propagates the bind failure if the address is unavailable.
+pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let inner = Arc::new(Inner {
+        cache: ShardedCache::new(config.cache_shards, config.cache_per_shard),
+        scenarios: ScenarioStore::default(),
+        warm: WarmPool::default(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        queue_depth: config.queue_depth.max(1),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        panics: AtomicU64::new(0),
+        seq: AtomicU64::new(0),
+        chaos: config.chaos.map(ChaosInjector::new),
+        workers: config.workers.max(1),
+    });
+
+    let mut threads = Vec::with_capacity(inner.workers + 1);
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-listener".into())
+                .spawn(move || listen_loop(&listener, &inner))?,
+        );
+    }
+    for w in 0..inner.workers {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{w}"))
+                .spawn(move || worker_loop(&inner))?,
+        );
+    }
+    Ok(ServerHandle {
+        inner,
+        addr,
+        threads,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Response-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Requests fully served (any status except shed `429`s).
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with `429`.
+    pub fn requests_shed(&self) -> u64 {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// Worker panics survived (each answered `500`).
+    pub fn panics_survived(&self) -> u64 {
+        self.inner.panics.load(Ordering::Relaxed)
+    }
+
+    /// Ask the daemon to stop: the listener closes after its next poll,
+    /// workers drain the queue and exit.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+    }
+
+    /// Wait for every daemon thread to exit. Call after
+    /// [`ServerHandle::shutdown`] (or after a client hit `/v1/shutdown`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a daemon thread itself panicked — worker panics are
+    /// caught per-request, so this indicates a daemon bug.
+    pub fn join(self) {
+        for t in self.threads {
+            t.join().expect("daemon thread panicked");
+        }
+    }
+}
+
+fn listen_loop(listener: &TcpListener, inner: &Inner) {
+    // Non-blocking accept polled against the shutdown flag: plain
+    // blocking accept would park the thread with no portable way to
+    // interrupt it.
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let mut queue = inner.queue.lock().expect("queue poisoned");
+                if queue.len() >= inner.queue_depth {
+                    drop(queue);
+                    // Shed load here, on the listener: a full queue must
+                    // answer in bounded time, not wait for a worker.
+                    inner.shed.fetch_add(1, Ordering::Relaxed);
+                    pubopt_obs::incr("serve.shed");
+                    shed(&mut stream);
+                } else {
+                    queue.push_back(stream);
+                    pubopt_obs::observe("serve.queue_depth", queue.len() as u64);
+                    drop(queue);
+                    inner.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Answer `429` on a connection that will not be queued. The request
+/// bytes already in flight are drained first: closing a socket with
+/// unread input resets the connection on most TCP stacks, which would
+/// destroy the `429` before the client reads it. The drain is bounded
+/// (time and bytes), so a hostile trickler cannot pin the listener.
+fn shed(stream: &mut TcpStream) {
+    use std::io::Read;
+    // Accepted sockets are blocking (they do not inherit the listener's
+    // non-blocking flag on Linux); the drain must not park the listener.
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_millis(20);
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.set_nonblocking(false);
+    let _ = write_response(stream, 429, "{\"error\":\"queue full, retry later\"}");
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = inner
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        // Accepted sockets inherit the listener's non-blocking flag on
+        // some platforms; workers want plain blocking reads.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        serve_connection(inner, &mut stream);
+    }
+}
+
+fn serve_connection(inner: &Inner, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let req = match read_request(stream) {
+        Ok(r) => r,
+        Err(HttpError::TooLarge(what)) => {
+            let body = format!("{{\"error\":\"request too large: {what}\"}}");
+            let _ = write_response(stream, 400, &body);
+            return;
+        }
+        Err(_) => {
+            // Garbage or a peer that hung up mid-request; best-effort
+            // reject and move on.
+            let _ = write_response(stream, 400, "{\"error\":\"malformed request\"}");
+            return;
+        }
+    };
+    let (status, body) = respond(inner, &req);
+    inner.requests.fetch_add(1, Ordering::Relaxed);
+    pubopt_obs::incr("serve.requests");
+    pubopt_obs::observe("serve.latency_us", started.elapsed().as_micros() as u64);
+    let _ = write_response(stream, status, &body);
+}
+
+/// Route a request to its response. Pure with respect to the socket, so
+/// tests can exercise routing without TCP.
+fn respond(inner: &Inner, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"ok\":true}".to_owned()),
+        ("GET", "/v1/stats") => (200, stats_body(inner)),
+        ("POST", "/v1/shutdown") => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.queue_cv.notify_all();
+            (200, "{\"shutting_down\":true}".to_owned())
+        }
+        ("POST", path) => match ApiRequest::parse(path, &req.body) {
+            Ok(api) => serve_query(inner, &api),
+            Err(e) => (e.status, e.body()),
+        },
+        (_, path) => {
+            let e = crate::api::ApiError {
+                status: 405,
+                message: format!("use POST for {path}"),
+            };
+            (e.status, e.body())
+        }
+    }
+}
+
+fn serve_query(inner: &Inner, api: &ApiRequest) -> (u16, String) {
+    let key = api.canonical_key();
+    if let Some(body) = inner.cache.get(&key) {
+        return (200, (*body).clone());
+    }
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    let chaos = inner.chaos;
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(injector) = &chaos {
+            // Any scheduled fault becomes a worker panic: the serve layer
+            // has no numeric result to corrupt, and panic survival is the
+            // property under test.
+            if injector
+                .fault_at(ChaosInjector::site("serve.worker"), seq)
+                .is_some()
+            {
+                panic!("chaos: injected worker fault (request {seq})");
+            }
+        }
+        api.handle(&inner.scenarios, &inner.warm)
+    }));
+    match solved {
+        Ok(Ok(body)) => {
+            inner.cache.insert(&key, Arc::new(body.clone()));
+            (200, body)
+        }
+        Ok(Err(e)) => (e.status, e.body()),
+        Err(_) => {
+            inner.panics.fetch_add(1, Ordering::Relaxed);
+            pubopt_obs::incr("serve.worker_panics");
+            (
+                500,
+                "{\"error\":\"worker panicked; request not served\"}".to_owned(),
+            )
+        }
+    }
+}
+
+fn stats_body(inner: &Inner) -> String {
+    let cache = inner.cache.stats();
+    let queue_len = inner.queue.lock().expect("queue poisoned").len();
+    Value::Object(vec![
+        ("schema".into(), Value::from("pubopt-serve/v1")),
+        (
+            "requests".into(),
+            Value::from(inner.requests.load(Ordering::Relaxed)),
+        ),
+        (
+            "shed".into(),
+            Value::from(inner.shed.load(Ordering::Relaxed)),
+        ),
+        (
+            "worker_panics".into(),
+            Value::from(inner.panics.load(Ordering::Relaxed)),
+        ),
+        ("cache_hits".into(), Value::from(cache.hits)),
+        ("cache_misses".into(), Value::from(cache.misses)),
+        ("cache_evictions".into(), Value::from(cache.evictions)),
+        ("cache_entries".into(), Value::from(cache.entries)),
+        ("queue_depth".into(), Value::from(queue_len)),
+        ("workers".into(), Value::from(inner.workers)),
+        (
+            "scenarios_resident".into(),
+            Value::from(inner.scenarios.resident()),
+        ),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn spawn_serve_shutdown_lifecycle() {
+        let server = spawn(&test_config()).unwrap();
+        let addr = server.addr();
+        let (status, body) = crate::client::get(addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"ok\":true}"));
+        let (status, _) = crate::client::post(addr, "/v1/shutdown", "").unwrap();
+        assert_eq!(status, 200);
+        server.join();
+    }
+
+    #[test]
+    fn equilibrium_round_trip_and_cache_hit() {
+        let server = spawn(&test_config()).unwrap();
+        let addr = server.addr();
+        let body = r#"{"scenario":"trio","n":3,"nu":2.0}"#;
+        let (s1, b1) = crate::client::post(addr, "/v1/equilibrium", body).unwrap();
+        let (s2, b2) = crate::client::post(addr, "/v1/equilibrium", body).unwrap();
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(b1, b2, "cache hit must replay the first body");
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let server = spawn(&test_config()).unwrap();
+        let addr = server.addr();
+        assert_eq!(crate::client::post(addr, "/v1/nope", "{}").unwrap().0, 404);
+        assert_eq!(crate::client::get(addr, "/v1/equilibrium").unwrap().0, 405);
+        assert_eq!(
+            crate::client::post(addr, "/v1/equilibrium", "{oops")
+                .unwrap()
+                .0,
+            400
+        );
+        server.shutdown();
+        server.join();
+    }
+}

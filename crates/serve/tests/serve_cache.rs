@@ -1,0 +1,236 @@
+//! End-to-end daemon tests: cache determinism under concurrent clients,
+//! warm-vs-cold byte-identity, backpressure, and chaos survival.
+
+use pubopt_num::chaos::ChaosConfig;
+use pubopt_serve::{client, spawn, ServeConfig};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn eq_body(nu: f64) -> String {
+    format!(r#"{{"scenario":"trio","n":3,"nu":{nu}}}"#)
+}
+
+/// Disjoint per-client keyspaces make hit/miss totals independent of
+/// thread interleaving: each key is missed exactly once and hit on every
+/// repeat, whatever order the workers run in.
+#[test]
+fn concurrent_clients_see_deterministic_hit_miss_totals() {
+    let run = || {
+        let server = spawn(&config()).unwrap();
+        let addr = server.addr();
+        let clients: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for rep in 0..3 {
+                        for k in 0..5 {
+                            let nu = 1.0 + t as f64 + k as f64 / 10.0;
+                            let (status, body) =
+                                client::post(addr, "/v1/equilibrium", &eq_body(nu)).unwrap();
+                            assert_eq!(status, 200, "rep {rep}: {body}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let stats = server.cache_stats();
+        server.shutdown();
+        server.join();
+        stats
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "replayed workload must reproduce the cache stats");
+    assert_eq!(a.misses, 4 * 5, "each distinct key misses exactly once");
+    assert_eq!(a.hits, 4 * 5 * 2, "every repeat is a hit");
+    assert_eq!(a.evictions, 0);
+}
+
+/// A single client against a tiny single-shard cache: the full
+/// hit/miss/evict trace is determined by the LRU discipline alone.
+#[test]
+fn eviction_trace_is_reproducible() {
+    let run = || {
+        let server = spawn(&ServeConfig {
+            workers: 1,
+            cache_shards: 1,
+            cache_per_shard: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        // a, b fill the cache; a refreshed; c evicts b; b misses again.
+        for nu in [1.0, 2.0, 1.0, 3.0, 2.0] {
+            let (status, _) = client::post(addr, "/v1/equilibrium", &eq_body(nu)).unwrap();
+            assert_eq!(status, 200);
+        }
+        let stats = server.cache_stats();
+        server.shutdown();
+        server.join();
+        stats
+    };
+    let a = run();
+    assert_eq!((a.hits, a.misses, a.evictions), (1, 4, 2));
+    assert_eq!(a, run());
+}
+
+/// The acceptance contract: a warm daemon (warm pool seeded by a stream
+/// of near-neighbor queries) answers byte-for-byte what a cold daemon
+/// answers to the same request. Exercises both the rate-equilibrium warm
+/// path (`SweepCache` + `WarmStart`) and the strategy-game warm path
+/// (`GameWarmStart`).
+#[test]
+fn warm_daemon_responses_are_byte_identical_to_cold() {
+    let warm_server = spawn(&config()).unwrap();
+    let warm_addr = warm_server.addr();
+    // Warm the solver state with a ν-ramp and a few charge sweeps.
+    for i in 0..10 {
+        let nu = 0.5 + 0.35 * i as f64;
+        let (s, _) = client::post(warm_addr, "/v1/equilibrium", &eq_body(nu)).unwrap();
+        assert_eq!(s, 200);
+    }
+    let strat = |c_lo: f64| {
+        format!(
+            r#"{{"scenario":"paper","n":50,"nu":5.0,"kappa":1.0,"cs":[{c_lo},{},{}]}}"#,
+            c_lo + 0.2,
+            c_lo + 0.4
+        )
+    };
+    for i in 0..4 {
+        let (s, _) = client::post(warm_addr, "/v1/strategy", &strat(0.05 * i as f64)).unwrap();
+        assert_eq!(s, 200);
+    }
+
+    // Probe requests the warm daemon has *not* cached (fresh parameters)
+    // but will answer with hot warm-pool state.
+    let probes = [
+        ("/v1/equilibrium", eq_body(2.345)),
+        ("/v1/equilibrium", eq_body(0.123)),
+        ("/v1/strategy", strat(0.33)),
+    ];
+    for (path, body) in &probes {
+        let (sw, warm_resp) = client::post(warm_addr, path, body).unwrap();
+        // A cold daemon: fresh process state, first request ever.
+        let cold_server = spawn(&config()).unwrap();
+        let (sc, cold_resp) = client::post(cold_server.addr(), path, body).unwrap();
+        cold_server.shutdown();
+        cold_server.join();
+        assert_eq!((sw, sc), (200, 200));
+        assert_eq!(
+            warm_resp, cold_resp,
+            "{path} {body}: warm state must never change response bytes"
+        );
+    }
+    warm_server.shutdown();
+    warm_server.join();
+}
+
+/// Injected worker panics cost the faulted requests a 500 and nothing
+/// else: the listener keeps accepting, healthy requests keep succeeding,
+/// and shutdown still drains cleanly.
+#[test]
+fn chaos_panics_never_drop_the_listener() {
+    let server = spawn(&ServeConfig {
+        workers: 2,
+        chaos: Some(ChaosConfig {
+            panic_rate: 0.4,
+            ..ChaosConfig::quiet(7)
+        }),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut failed = 0;
+    for i in 0..30 {
+        // Unique ν per request: every request takes the compute (chaos)
+        // path rather than the cache hit path.
+        let nu = 1.0 + i as f64 * 0.01;
+        let (status, _) = client::post(addr, "/v1/equilibrium", &eq_body(nu)).unwrap();
+        assert!(status == 200 || status == 500, "unexpected status {status}");
+        if status == 500 {
+            failed += 1;
+        }
+    }
+    assert!(failed > 0, "panic_rate 0.4 over 30 requests must fire");
+    assert_eq!(server.panics_survived(), failed);
+    let (status, _) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200, "listener must survive worker panics");
+    server.shutdown();
+    server.join();
+}
+
+/// With one worker parked on a stalled connection and the depth-1 queue
+/// holding another, the listener must shed further connections with 429
+/// immediately — backpressure never waits on a worker.
+#[test]
+fn full_queue_sheds_with_429() {
+    let server = spawn(&ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // Park the worker: a connection that never sends its request blocks
+    // the worker inside read_request (bounded by its read timeout).
+    let parked = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Fill the queue behind the parked worker.
+    let queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // Everything further must bounce.
+    let (status, body) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 429, "expected shed, got {status}: {body}");
+    assert!(server.requests_shed() >= 1);
+    // Unpark: closing the stalled connections lets the worker fail them
+    // fast and drain.
+    drop(parked);
+    drop(queued);
+    server.shutdown();
+    server.join();
+}
+
+/// `/v1/stats` exposes the counters the CI smoke job asserts on.
+#[test]
+fn stats_endpoint_reports_cache_counters() {
+    let server = spawn(&config()).unwrap();
+    let addr = server.addr();
+    for _ in 0..2 {
+        let (s, _) = client::post(addr, "/v1/equilibrium", &eq_body(1.5)).unwrap();
+        assert_eq!(s, 200);
+    }
+    let (status, body) = client::get(addr, "/v1/stats").unwrap();
+    assert_eq!(status, 200);
+    let v = pubopt_obs::json::parse(&body).unwrap();
+    assert_eq!(v["cache_hits"].as_u64(), Some(1));
+    assert_eq!(v["cache_misses"].as_u64(), Some(1));
+    assert!(v["requests"].as_u64().unwrap() >= 2);
+    server.shutdown();
+    server.join();
+}
+
+/// A mid-write client hangup must not take a worker down with it.
+#[test]
+fn half_closed_connections_are_tolerated() {
+    let server = spawn(&config()).unwrap();
+    let addr = server.addr();
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"POST /v1/equilibrium HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"nu\"")
+            .unwrap();
+        // Drop with the body half-sent.
+    }
+    let (status, _) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+    server.join();
+}

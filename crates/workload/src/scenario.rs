@@ -10,7 +10,7 @@ use pubopt_demand::archetypes::figure3_trio;
 use pubopt_demand::Population;
 
 /// The workloads used by the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScenarioKind {
     /// The 3-CP Google/Netflix/Skype example of §II-D (Figure 3).
     Trio,

@@ -13,6 +13,8 @@
 //!   assumption (§II-D.2);
 //! * [`workload`] — the paper's synthetic CP ensembles;
 //! * [`experiments`] — figure-by-figure reproduction harness;
+//! * [`serve`] — equilibrium-as-a-service: the HTTP/JSON query daemon
+//!   with its sharded scenario cache;
 //! * [`num`] — the numeric substrate underneath all of it.
 //!
 //! ## Quickstart
@@ -47,6 +49,7 @@ pub use pubopt_eq as eq;
 pub use pubopt_experiments as experiments;
 pub use pubopt_netsim as netsim;
 pub use pubopt_num as num;
+pub use pubopt_serve as serve;
 pub use pubopt_workload as workload;
 
 /// The most commonly used items in one import.
