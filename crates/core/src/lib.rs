@@ -48,8 +48,9 @@ pub use extensions::{
     alignment_loss, minimum_po_capacity, po_share_stolen, tradeoff_best_response, TradeoffOutcome,
 };
 pub use market::{
-    duopoly_with_public_option, market_share_equilibrium, tatonnement, tatonnement_with_policy,
-    DuopolyOutcome, Isp, MarketEquilibrium, MarketGame,
+    duopoly_with_public_option, duopoly_with_public_option_warm, market_share_equilibrium,
+    market_share_equilibrium_warm, tatonnement, tatonnement_with_policy, DuopolyOutcome, Isp,
+    MarketEquilibrium, MarketGame, MarketWarmStart,
 };
 pub use monopoly::{optimal_strategy, revenue_sweep, MonopolyOptimum};
 pub use outcome::{GameOutcome, Partition, ServiceClass};

@@ -20,10 +20,13 @@
 //!   share from below-average-surplus ISPs to above-average ones. Slower,
 //!   but it *is* the behavioural story; tests verify both agree.
 
-use crate::best_response::competitive_equilibrium;
+use crate::best_response::{
+    competitive_equilibrium, competitive_equilibrium_warm, GameWarmStart, PartitionSolution,
+};
 use crate::outcome::GameOutcome;
 use crate::strategy::IspStrategy;
 use pubopt_demand::Population;
+use pubopt_eq::SweepEffort;
 use pubopt_num::{SolverPolicy, Tolerance};
 
 /// Smallest share treated as "has subscribers" by the solvers.
@@ -103,9 +106,24 @@ impl MarketGame {
     /// Per-subscriber consumer surplus `Φ_I` delivered by ISP `idx` at
     /// market share `m` (resolving its CP partition equilibrium).
     pub fn phi_at(&self, pop: &Population, idx: usize, m: f64, tol: Tolerance) -> f64 {
+        self.phi_at_warm(pop, idx, m, tol, &mut MarketWarmStart::cold())
+    }
+
+    /// [`MarketGame::phi_at`] through a [`MarketWarmStart`]: the inner
+    /// partition-equilibrium solve reuses ISP `idx`'s carried
+    /// [`GameWarmStart`] (sorted-prefix cache, segment hints, settled
+    /// partition) when the warm start is in carry mode.
+    pub fn phi_at_warm(
+        &self,
+        pop: &Population,
+        idx: usize,
+        m: f64,
+        tol: Tolerance,
+        warm: &mut MarketWarmStart,
+    ) -> f64 {
         pubopt_obs::incr("core.market.phi_evals");
         let nu = self.nu_of(idx, m);
-        competitive_equilibrium(pop, nu, self.isps[idx].strategy, tol)
+        warm.solve(pop, nu, self.isps[idx].strategy, idx, tol)
             .outcome
             .consumer_surplus(pop)
     }
@@ -121,6 +139,138 @@ impl MarketGame {
         competitive_equilibrium(pop, nu, s, tol)
             .outcome
             .consumer_surplus(pop)
+    }
+}
+
+/// How a [`MarketWarmStart`] treats the per-ISP partition solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarmMode {
+    /// One persistent [`GameWarmStart`] per ISP index, carried across
+    /// every `Φ_I` evaluation — and, when the same warm start is reused
+    /// across a parameter sweep, across grid points too.
+    Carry,
+    /// A fresh [`GameWarmStart::new`] per evaluation: exactly the cold
+    /// public entry points' behaviour (hints live only *within* one
+    /// partition solve). Used to implement [`market_share_equilibrium`]
+    /// and friends, so the refactor cannot drift from the old code path.
+    PerEvalFresh,
+    /// A fresh [`GameWarmStart::without_hints`] per evaluation: the
+    /// solver as it would behave without the warm-start subsystem at
+    /// all. The A/B baseline — bit-identical outputs (hints change
+    /// effort, never values), maximal effort.
+    PerEvalBaseline,
+}
+
+/// Warm-start state for the market-share solvers (§IV), extending the
+/// game-layer [`GameWarmStart`] reuse to the duopoly/oligopoly path.
+///
+/// A market-share solve evaluates `Φ_I(m)` dozens of times per ISP —
+/// every evaluation a full partition equilibrium. The cold entry points
+/// start each of those solves from scratch; a carried `MarketWarmStart`
+/// keeps one [`GameWarmStart`] per ISP index, so the sorted-prefix cache
+/// is built once, segment hints persist across evaluations, and each
+/// best-response iteration seeds from the previously settled partition.
+/// Pass the same value across adjacent sweep points (a ν or c grid) to
+/// carry the state across the whole sweep, exactly as the monopoly
+/// fig5 sweep carries its `GameWarmStart`.
+///
+/// Outputs are unaffected: a warm attempt that cycles is abandoned and
+/// rerun cold (see [`competitive_equilibrium_warm`]), and the
+/// [`MarketWarmStart::without_hints`] baseline exists so benches and
+/// tests can assert bit-identical outputs while measuring the effort
+/// gap.
+#[derive(Debug, Clone)]
+pub struct MarketWarmStart {
+    mode: WarmMode,
+    /// Per-ISP-index carried states (carry mode only).
+    states: Vec<GameWarmStart>,
+    /// Effort of per-eval states that were discarded after one solve, so
+    /// [`MarketWarmStart::effort`] is comparable across modes.
+    accum: SweepEffort,
+}
+
+impl Default for MarketWarmStart {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MarketWarmStart {
+    /// Carry mode: persistent per-ISP warm state, reused across every
+    /// `Φ_I` evaluation this value sees.
+    pub fn new() -> Self {
+        Self {
+            mode: WarmMode::Carry,
+            states: Vec::new(),
+            accum: SweepEffort::default(),
+        }
+    }
+
+    /// A/B baseline: every partition solve runs the full cold binary
+    /// segment search ([`GameWarmStart::without_hints`], fresh per
+    /// evaluation). Bit-identical outputs to [`MarketWarmStart::new`];
+    /// used to measure what the carried state saves.
+    pub fn without_hints() -> Self {
+        Self {
+            mode: WarmMode::PerEvalBaseline,
+            states: Vec::new(),
+            accum: SweepEffort::default(),
+        }
+    }
+
+    /// The cold entry points' exact behaviour: a fresh
+    /// [`GameWarmStart::new`] per evaluation.
+    fn cold() -> Self {
+        Self {
+            mode: WarmMode::PerEvalFresh,
+            states: Vec::new(),
+            accum: SweepEffort::default(),
+        }
+    }
+
+    /// Whether this warm start carries state across evaluations.
+    pub fn carries(&self) -> bool {
+        self.mode == WarmMode::Carry
+    }
+
+    /// Accumulated water-solver effort across every partition solve this
+    /// warm start has performed (all modes, all ISPs).
+    pub fn effort(&self) -> SweepEffort {
+        let mut total = self.accum;
+        for s in &self.states {
+            total.merge(&s.effort());
+        }
+        total
+    }
+
+    /// Solve ISP `idx`'s partition equilibrium at per-capita capacity
+    /// `nu` through this warm start's mode.
+    fn solve(
+        &mut self,
+        pop: &Population,
+        nu: f64,
+        strategy: IspStrategy,
+        idx: usize,
+        tol: Tolerance,
+    ) -> PartitionSolution {
+        match self.mode {
+            WarmMode::Carry => {
+                if self.states.len() <= idx {
+                    self.states.resize_with(idx + 1, GameWarmStart::new);
+                }
+                competitive_equilibrium_warm(pop, nu, strategy, tol, &mut self.states[idx])
+            }
+            WarmMode::PerEvalFresh | WarmMode::PerEvalBaseline => {
+                let mut state = if self.mode == WarmMode::PerEvalFresh {
+                    GameWarmStart::new()
+                } else {
+                    GameWarmStart::without_hints()
+                };
+                let sol = competitive_equilibrium_warm(pop, nu, strategy, tol, &mut state);
+                self.accum.merge(&state.effort());
+                sol
+            }
+        }
     }
 }
 
@@ -157,11 +307,30 @@ pub fn market_share_equilibrium(
     pop: &Population,
     tol: Tolerance,
 ) -> MarketEquilibrium {
+    market_share_equilibrium_warm(game, pop, tol, &mut MarketWarmStart::cold())
+}
+
+/// [`market_share_equilibrium`] through a [`MarketWarmStart`]: every
+/// inner `Φ_I` evaluation and the final per-ISP resolve reuse the warm
+/// start's per-ISP [`GameWarmStart`] states. Pass the same `warm` across
+/// adjacent sweep points to carry caches, segment hints, and settled
+/// partitions along the sweep; a fresh [`MarketWarmStart::without_hints`]
+/// reproduces the no-warm-start solver exactly.
+pub fn market_share_equilibrium_warm(
+    game: &MarketGame,
+    pop: &Population,
+    tol: Tolerance,
+    warm: &mut MarketWarmStart,
+) -> MarketEquilibrium {
     pubopt_obs::incr("core.market.solves");
+    if warm.carries() && !warm.states.is_empty() {
+        pubopt_obs::incr("core.market.warm_solves");
+    }
     let n = game.isps.len();
     if n == 1 {
-        let outcome =
-            competitive_equilibrium(pop, game.nu_total, game.isps[0].strategy, tol).outcome;
+        let outcome = warm
+            .solve(pop, game.nu_total, game.isps[0].strategy, 0, tol)
+            .outcome;
         let phi = outcome.consumer_surplus(pop);
         return MarketEquilibrium {
             shares: vec![1.0],
@@ -172,7 +341,7 @@ pub fn market_share_equilibrium(
         };
     }
     if n == 2 {
-        return duopoly_share_bisection(game, pop, tol);
+        return duopoly_share_bisection(game, pop, tol, warm);
     }
 
     // Each exact Φ_I(m) evaluation costs a full partition equilibrium, and
@@ -186,7 +355,7 @@ pub fn market_share_equilibrium(
         .map(|i| {
             m_grid
                 .iter()
-                .map(|&m| game.phi_at(pop, i, m, tol))
+                .map(|&m| game.phi_at_warm(pop, i, m, tol, warm))
                 .collect()
         })
         .collect();
@@ -263,7 +432,7 @@ pub fn market_share_equilibrium(
             // partition equilibrium); the best-effort midpoint on budget
             // exhaustion is a strictly better polish than the grid value.
             match pubopt_num::bisect(
-                |m| game.phi_at(pop, i, m, tol) - level,
+                |m| game.phi_at_warm(pop, i, m, tol, warm) - level,
                 w[0],
                 w[1],
                 Tolerance::new(1e-6, 1e-6).with_max_iter(15),
@@ -293,7 +462,7 @@ pub fn market_share_equilibrium(
         }
     }
 
-    finish(game, pop, shares, converged, tol)
+    finish(game, pop, shares, converged, tol, warm)
 }
 
 /// Specialised two-ISP solver: one bisection on `m_0` for the root of
@@ -304,21 +473,24 @@ fn duopoly_share_bisection(
     game: &MarketGame,
     pop: &Population,
     tol: Tolerance,
+    warm: &mut MarketWarmStart,
 ) -> MarketEquilibrium {
-    let g = |m: f64| game.phi_at(pop, 0, m, tol) - game.phi_at(pop, 1, 1.0 - m, tol);
-
     // Lemma 4 / saturation plateau: if surpluses already equalise at
     // capacity-proportional shares (within solver noise), that is the
     // equilibrium — this also resolves the knife-edge where capacity is so
     // ample that *any* split delivers the saturated Φ and consumers are
     // indifferent.
     let prop = game.isps[0].capacity_share;
-    let phi_prop0 = game.phi_at(pop, 0, prop, tol);
-    let phi_prop1 = game.phi_at(pop, 1, 1.0 - prop, tol);
+    let phi_prop0 = game.phi_at_warm(pop, 0, prop, tol, warm);
+    let phi_prop1 = game.phi_at_warm(pop, 1, 1.0 - prop, tol, warm);
     let scale = phi_prop0.abs().max(phi_prop1.abs()).max(1e-12);
     if (phi_prop0 - phi_prop1).abs() <= 1e-6 * scale {
-        return finish(game, pop, vec![prop, 1.0 - prop], true, tol);
+        return finish(game, pop, vec![prop, 1.0 - prop], true, tol, warm);
     }
+
+    let mut g = |m: f64| {
+        game.phi_at_warm(pop, 0, m, tol, warm) - game.phi_at_warm(pop, 1, 1.0 - m, tol, warm)
+    };
 
     let lo = M_MIN;
     let hi = 1.0 - M_MIN;
@@ -347,12 +519,12 @@ fn duopoly_share_bisection(
             Err(_) => (0.0, false),
         }
     } else {
-        match pubopt_num::bisect(g, lo, hi, Tolerance::new(1e-5, 1e-5).with_max_iter(40)) {
+        match pubopt_num::bisect(&mut g, lo, hi, Tolerance::new(1e-5, 1e-5).with_max_iter(40)) {
             Ok(m) | Err(pubopt_num::RootError::MaxIterations { best: m }) => (m, true),
             Err(_) => (game.isps[0].capacity_share, false),
         }
     };
-    finish(game, pop, vec![share0, 1.0 - share0], converged, tol)
+    finish(game, pop, vec![share0, 1.0 - share0], converged, tol, warm)
 }
 
 /// The literal Assumption-5 migration dynamic.
@@ -454,7 +626,14 @@ fn tatonnement_once(
         }
     }
 
-    finish(game, pop, shares, converged, tol)
+    finish(
+        game,
+        pop,
+        shares,
+        converged,
+        tol,
+        &mut MarketWarmStart::cold(),
+    )
 }
 
 fn finish(
@@ -463,12 +642,13 @@ fn finish(
     shares: Vec<f64>,
     converged: bool,
     tol: Tolerance,
+    warm: &mut MarketWarmStart,
 ) -> MarketEquilibrium {
     let n = game.isps.len();
     let outcomes: Vec<GameOutcome> = (0..n)
         .map(|i| {
             let nu = game.nu_of(i, shares[i]);
-            competitive_equilibrium(pop, nu, game.isps[i].strategy, tol).outcome
+            warm.solve(pop, nu, game.isps[i].strategy, i, tol).outcome
         })
         .collect();
     let phis: Vec<f64> = outcomes.iter().map(|o| o.consumer_surplus(pop)).collect();
@@ -511,6 +691,29 @@ pub fn duopoly_with_public_option(
     gamma_i: f64,
     tol: Tolerance,
 ) -> DuopolyOutcome {
+    duopoly_with_public_option_warm(
+        pop,
+        nu_total,
+        s_i,
+        gamma_i,
+        tol,
+        &mut MarketWarmStart::cold(),
+    )
+}
+
+/// [`duopoly_with_public_option`] through a [`MarketWarmStart`]: carry
+/// the same `warm` across adjacent grid points (a ν or c sweep) to reuse
+/// each ISP's sorted-prefix cache, segment hints, and settled partition
+/// across the whole sweep, the way fig7/fig8 chunks do. Outputs are
+/// identical to the cold entry point; only solver effort changes.
+pub fn duopoly_with_public_option_warm(
+    pop: &Population,
+    nu_total: f64,
+    s_i: IspStrategy,
+    gamma_i: f64,
+    tol: Tolerance,
+    warm: &mut MarketWarmStart,
+) -> DuopolyOutcome {
     let game = MarketGame::new(
         vec![
             Isp::new("strategic", s_i, gamma_i),
@@ -518,7 +721,7 @@ pub fn duopoly_with_public_option(
         ],
         nu_total,
     );
-    let market = market_share_equilibrium(&game, pop, tol);
+    let market = market_share_equilibrium_warm(&game, pop, tol, warm);
     DuopolyOutcome {
         share_i: market.shares[0],
         psi_i: market.system_isp_surplus(pop, 0),
@@ -545,6 +748,87 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Tie-free golden-ratio population (same construction as the
+    /// best-response tests' `smooth_pop`): no two CPs share a `v`, so the
+    /// best-response dynamics converge cleanly and the warm/cold
+    /// comparison below exercises the normal path, not the cycle
+    /// fallback.
+    fn smooth_pop(n: usize) -> Population {
+        let frac = |x: f64| x - x.floor();
+        (0..n)
+            .map(|i| {
+                let t = i as f64 + 1.0;
+                ContentProvider::new(
+                    0.1 + 0.9 * frac(t * 0.618_033_988_749_894_9),
+                    0.2 + 5.0 * frac(t * 0.381_966_011_250_105_2),
+                    DemandKind::exponential(8.0 * frac(t * 0.236_067_977_499_789_7)),
+                    frac(t * 0.754_877_666_246_692_8),
+                    1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn duopoly_warm_sweep_matches_baseline_exactly_with_less_effort() {
+        // The market-layer warm-start A/B (the fig7/fig8 analogue of the
+        // game-layer `warm_sweep_matches_cold_exactly_with_less_effort`):
+        // carrying one MarketWarmStart across a ν grid of duopoly solves
+        // must reproduce (1) the cold entry point and (2) the
+        // without_hints baseline bit-for-bit, while spending strictly
+        // fewer segment probes and Λ evaluations.
+        let pop = smooth_pop(120);
+        let tol = Tolerance::COARSE;
+        let s_i = IspStrategy::new(0.5, 0.4);
+        let sat = pop.total_unconstrained_per_capita();
+        let nus: Vec<f64> = (0..16)
+            .map(|j| sat * (0.3 + 1.4 * j as f64 / 15.0))
+            .collect();
+
+        let mut warm = MarketWarmStart::new();
+        let warm_outs: Vec<DuopolyOutcome> = nus
+            .iter()
+            .map(|&nu| duopoly_with_public_option_warm(&pop, nu, s_i, 0.5, tol, &mut warm))
+            .collect();
+        let warm_effort = warm.effort();
+
+        let mut base = MarketWarmStart::without_hints();
+        for (k, &nu) in nus.iter().enumerate() {
+            let b = duopoly_with_public_option_warm(&pop, nu, s_i, 0.5, tol, &mut base);
+            let c = duopoly_with_public_option(&pop, nu, s_i, 0.5, tol);
+            let w = &warm_outs[k];
+            for (label, got, want) in [
+                ("baseline share", b.share_i, w.share_i),
+                ("baseline psi", b.psi_i, w.psi_i),
+                ("baseline phi", b.phi, w.phi),
+                ("cold share", c.share_i, w.share_i),
+                ("cold psi", c.psi_i, w.psi_i),
+                ("cold phi", c.phi, w.phi),
+            ] {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "nu={nu}: {label} diverged from the carried warm start"
+                );
+            }
+        }
+        let base_effort = base.effort();
+
+        assert!(warm_effort.solves > 0 && base_effort.solves > 0);
+        assert!(
+            warm_effort.segment_probes < base_effort.segment_probes,
+            "carried warm start must probe fewer segments: warm={} baseline={}",
+            warm_effort.segment_probes,
+            base_effort.segment_probes
+        );
+        assert!(
+            warm_effort.lambda_evals < base_effort.lambda_evals,
+            "carried warm start must spend fewer Λ evals: warm={} baseline={}",
+            warm_effort.lambda_evals,
+            base_effort.lambda_evals
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::serveload::{serving_bench, ServingBench};
 use pubopt_alloc::{MaxMinFair, SortedDemands};
 use pubopt_core::{
     competitive_equilibrium, competitive_equilibrium_warm, duopoly_with_public_option,
-    GameWarmStart, IspStrategy,
+    duopoly_with_public_option_warm, GameWarmStart, IspStrategy, MarketWarmStart,
 };
 use pubopt_demand::{Demand, DemandKind, Population};
 use pubopt_eq::{solve_maxmin, solve_maxmin_traced, SolveStats, SweepEffort};
@@ -70,6 +70,10 @@ pub struct ScalePoint {
     pub median_ns: u64,
     /// Speedup relative to the 1-worker run of the same workload.
     pub speedup: f64,
+    /// Parallel efficiency: `speedup / workers` (1.0 = perfect linear
+    /// scaling; bounded by `cores / workers` on a machine with fewer
+    /// cores than workers).
+    pub efficiency: f64,
 }
 
 /// One size point of the sorted-prefix kernel vs reference scaling sweep
@@ -149,13 +153,17 @@ pub struct BenchReport {
     pub alloc_scaling: Vec<AllocScalePoint>,
     /// Warm-vs-cold kernel A/B on the Figure-5 ν grid.
     pub warmstart: WarmstartAb,
+    /// Warm-vs-baseline A/B of the duopoly market solver on the Figure-8
+    /// ν grid (one [`pubopt_core::MarketWarmStart`] carried across the
+    /// grid vs. the no-hint per-evaluation baseline).
+    pub duopoly_warmstart: WarmstartAb,
     /// Cold-vs-warm daemon A/B on the seeded serving workload (the
     /// `pubopt-serve` cache acceptance numbers).
     pub serving: ServingBench,
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v3`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v4`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -196,6 +204,7 @@ impl BenchReport {
                     ("workers".into(), Value::from(p.workers)),
                     ("median_ns".into(), Value::from(p.median_ns)),
                     ("speedup".into(), Value::from(p.speedup)),
+                    ("efficiency".into(), Value::from(p.efficiency)),
                 ])
             })
             .collect();
@@ -223,21 +232,19 @@ impl BenchReport {
                 ("bisect_iters".into(), Value::from(e.bisect_iters)),
             ])
         };
-        let warmstart = Value::Object(vec![
-            ("n_cps".into(), Value::from(self.warmstart.n_cps)),
-            (
-                "grid_points".into(),
-                Value::from(self.warmstart.grid_points),
-            ),
-            ("identical".into(), Value::from(self.warmstart.identical)),
-            ("cold".into(), effort_json(&self.warmstart.cold)),
-            ("warm".into(), effort_json(&self.warmstart.warm)),
-            (
-                "probe_ratio".into(),
-                Value::from(self.warmstart.probe_ratio),
-            ),
-            ("eval_ratio".into(), Value::from(self.warmstart.eval_ratio)),
-        ]);
+        let ab_json = |ab: &WarmstartAb| {
+            Value::Object(vec![
+                ("n_cps".into(), Value::from(ab.n_cps)),
+                ("grid_points".into(), Value::from(ab.grid_points)),
+                ("identical".into(), Value::from(ab.identical)),
+                ("cold".into(), effort_json(&ab.cold)),
+                ("warm".into(), effort_json(&ab.warm)),
+                ("probe_ratio".into(), Value::from(ab.probe_ratio)),
+                ("eval_ratio".into(), Value::from(ab.eval_ratio)),
+            ])
+        };
+        let warmstart = ab_json(&self.warmstart);
+        let duopoly_warmstart = ab_json(&self.duopoly_warmstart);
         let serving = Value::Object(vec![
             ("distinct".into(), Value::from(self.serving.distinct)),
             ("repeats".into(), Value::from(self.serving.repeats)),
@@ -253,7 +260,7 @@ impl BenchReport {
             ),
         ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v3")),
+            ("schema".into(), Value::from("pubopt-bench/v4")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
@@ -261,6 +268,7 @@ impl BenchReport {
             ("parallel_map_scaling".into(), Value::Array(scaling)),
             ("alloc_scaling".into(), Value::Array(alloc_scaling)),
             ("warmstart_ab".into(), warmstart),
+            ("duopoly_warmstart_ab".into(), duopoly_warmstart),
             ("serving".into(), serving),
         ])
         .to_string()
@@ -405,6 +413,68 @@ pub fn warmstart_ab(
     }
 }
 
+/// The duopoly analogue of [`warmstart_ab`], on the Figure-8 workload:
+/// sweep `duopoly_with_public_option` over a ν grid twice — warm (one
+/// [`MarketWarmStart`] carried across the grid, as the fig7/fig8 chunks
+/// do) and baseline ([`MarketWarmStart::without_hints`]: every one of the
+/// dozens of partition solves behind each grid point pays the full cold
+/// segment search) — and compare `(m_I, Ψ_I, Φ)` bit-for-bit. Each grid
+/// point runs an entire market-share bisection, so the effort gap
+/// compounds across far more inner solves than the monopoly A/B.
+pub fn duopoly_warmstart_ab(
+    pop: &Population,
+    nus: &[f64],
+    s_i: IspStrategy,
+    gamma_i: f64,
+    tol: Tolerance,
+) -> WarmstartAb {
+    let mut warm_state = MarketWarmStart::new();
+    let warm_outs: Vec<(f64, f64, f64)> = nus
+        .iter()
+        .map(|&nu| {
+            let out = duopoly_with_public_option_warm(pop, nu, s_i, gamma_i, tol, &mut warm_state);
+            (out.share_i, out.psi_i, out.phi)
+        })
+        .collect();
+    let warm = warm_state.effort();
+
+    let mut base_state = MarketWarmStart::without_hints();
+    let mut identical = true;
+    for (i, &nu) in nus.iter().enumerate() {
+        let out = duopoly_with_public_option_warm(pop, nu, s_i, gamma_i, tol, &mut base_state);
+        let (w_share, w_psi, w_phi) = warm_outs[i];
+        identical &= out.share_i.to_bits() == w_share.to_bits()
+            && out.psi_i.to_bits() == w_psi.to_bits()
+            && out.phi.to_bits() == w_phi.to_bits();
+    }
+    let cold = base_state.effort();
+    let ratio = |a: u64, b: u64| a as f64 / b.max(1) as f64;
+    WarmstartAb {
+        n_cps: pop.len(),
+        grid_points: nus.len(),
+        identical,
+        probe_ratio: ratio(cold.segment_probes, warm.segment_probes),
+        eval_ratio: ratio(cold.lambda_evals, warm.lambda_evals),
+        cold,
+        warm,
+    }
+}
+
+/// Register-only LCG spin: `rounds` steps of a 64-bit linear
+/// congruential recurrence seeded by `x`. No memory traffic and a
+/// loop-carried multiply dependency (so the loop cannot be vectorised or
+/// folded away): parallel speedup on it is bounded only by core count
+/// and executor overhead.
+fn lcg_spin(x: u64, rounds: u32) -> u64 {
+    let mut s = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..rounds {
+        s = s
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+    }
+    s
+}
+
 /// Run the full suite and assemble the report.
 pub fn run(opts: BenchOptions) -> BenchReport {
     let quick = opts.quick;
@@ -519,13 +589,17 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         black_box(sim.run());
     }));
 
-    // The contention shape the disjoint-slot runner fixes: tasks so cheap
-    // that a shared whole-results mutex would serialise all 8 workers.
-    let tiny_items: Vec<u64> = (0..if quick { 2_000 } else { 100_000 }).collect();
+    // Executor overhead + scaling under many small *compute-bound* tasks.
+    // The old kernel mapped a single `wrapping_mul` per item, so the
+    // measurement was pure scheduling overhead — a regression tripwire
+    // for the runner, but useless as a speedup number (the work per item
+    // was smaller than a cache miss). Each task now spins a short LCG
+    // loop (~1–2 µs of register-only arithmetic, no memory traffic), so
+    // the timing reflects how the work-stealing pool schedules real work
+    // while the adaptive chunking still has thousands of tasks to carve.
+    let tiny_items: Vec<u64> = (0..if quick { 500 } else { 20_000 }).collect();
     kernels.push(time_kernel(KERNEL_NAMES[9], light, || {
-        black_box(parallel_map(&tiny_items, 8, |&x| {
-            x.wrapping_mul(0x9E37_79B9)
-        }));
+        black_box(parallel_map(&tiny_items, 8, |&x| lcg_spin(x, 400)));
     }));
 
     // Deterministic solver effort (identical across runs at a fixed seed).
@@ -544,16 +618,18 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         },
     ];
 
-    // Thread-scaling on a fixed equilibrium sweep: real per-item work, so
-    // the curve reflects compute scaling rather than scheduler noise.
-    let nus: Vec<f64> = pubopt_num::linspace_excl_zero(300.0 * scale, if quick { 32 } else { 128 });
+    // Thread-scaling on a strictly compute-bound workload: every item is
+    // a register-only LCG spin, so the curve isolates the executor
+    // (stealing, chunk claiming, park/unpark) from memory-bandwidth
+    // effects. On an N-core machine the speedup ceiling at w ≤ N workers
+    // is w (efficiency 1.0); on a single-core container the whole curve
+    // is flat at 1.0 by physics, whatever the executor does.
+    let spin_items: Vec<u64> = (0..if quick { 512 } else { 4096 }).collect();
     let scaling = [1usize, 2, 4, 8]
         .iter()
         .map(|&workers| {
             let r = time_kernel("scaling", light, || {
-                black_box(parallel_map(&nus, workers, |&nu| {
-                    solve_maxmin(&pop, nu, Tolerance::COARSE).aggregate
-                }));
+                black_box(parallel_map(&spin_items, workers, |&x| lcg_spin(x, 2_000)));
             });
             (workers, r.median_ns)
         })
@@ -561,10 +637,14 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     let base = scaling[0].1.max(1) as f64;
     let scaling = scaling
         .into_iter()
-        .map(|(workers, median_ns)| ScalePoint {
-            workers,
-            median_ns,
-            speedup: base / median_ns.max(1) as f64,
+        .map(|(workers, median_ns)| {
+            let speedup = base / median_ns.max(1) as f64;
+            ScalePoint {
+                workers,
+                median_ns,
+                speedup,
+                efficiency: speedup / workers as f64,
+            }
         })
         .collect();
 
@@ -596,6 +676,19 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     let ab_nus = pubopt_num::linspace_excl_zero(500.0 * scale, if quick { 16 } else { 100 });
     let warmstart = warmstart_ab(&pop, &ab_nus, IspStrategy::new(0.5, 0.4), Tolerance::COARSE);
 
+    // The duopoly analogue on the fig8 workload (its summary strategy,
+    // (κ, c) = (0.9, 0.4), over the fig8 ν range): each point is a full
+    // market-share solve, so the grid is kept smaller than the monopoly
+    // A/B's.
+    let duo_nus = pubopt_num::linspace_excl_zero(500.0 * scale, if quick { 6 } else { 24 });
+    let duopoly_warmstart = duopoly_warmstart_ab(
+        &pop,
+        &duo_nus,
+        IspStrategy::new(0.9, 0.4),
+        0.5,
+        Tolerance::COARSE,
+    );
+
     // Cold-vs-warm daemon A/B (the pubopt-serve response cache): spawns a
     // loopback daemon, so this is the one section that leaves the
     // process — still deterministic in outputs, only the timings vary.
@@ -609,6 +702,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         scaling,
         alloc_scaling,
         warmstart,
+        duopoly_warmstart,
         serving,
     }
 }
@@ -693,6 +787,15 @@ mod tests {
                 probe_ratio: 4.0,
                 eval_ratio: 1.5,
             },
+            duopoly_warmstart: WarmstartAb {
+                n_cps: 1000,
+                grid_points: 24,
+                identical: true,
+                cold: SweepEffort::default(),
+                warm: SweepEffort::default(),
+                probe_ratio: 2.5,
+                eval_ratio: 1.2,
+            },
             serving: ServingBench {
                 distinct: 16,
                 repeats: 8,
@@ -706,14 +809,104 @@ mod tests {
             },
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v3\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v4\""));
         assert!(json.contains("\"alloc_scaling\""));
         assert!(json.contains("\"warmstart_ab\""));
+        assert!(json.contains("\"duopoly_warmstart_ab\""));
         assert!(json.contains("\"probe_ratio\":4"));
+        assert!(json.contains("\"probe_ratio\":2.5"));
         assert!(json.contains("\"identical\":true"));
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"speedup\":80"));
         assert!(json.contains("\"byte_identical\":true"));
+    }
+
+    /// The scaling section's `efficiency` column must be `speedup /
+    /// workers`, serialised per point.
+    #[test]
+    fn scale_points_carry_efficiency() {
+        let report = BenchReport {
+            date: "2026-01-01".into(),
+            quick: true,
+            kernels: Vec::new(),
+            solver: Vec::new(),
+            scaling: vec![ScalePoint {
+                workers: 4,
+                median_ns: 25,
+                speedup: 4.0,
+                efficiency: 1.0,
+            }],
+            alloc_scaling: Vec::new(),
+            warmstart: WarmstartAb {
+                n_cps: 0,
+                grid_points: 0,
+                identical: true,
+                cold: SweepEffort::default(),
+                warm: SweepEffort::default(),
+                probe_ratio: 1.0,
+                eval_ratio: 1.0,
+            },
+            duopoly_warmstart: WarmstartAb {
+                n_cps: 0,
+                grid_points: 0,
+                identical: true,
+                cold: SweepEffort::default(),
+                warm: SweepEffort::default(),
+                probe_ratio: 1.0,
+                eval_ratio: 1.0,
+            },
+            serving: ServingBench {
+                distinct: 0,
+                repeats: 0,
+                cold_rps: 0.0,
+                warm_rps: 0.0,
+                speedup: 0.0,
+                hit_rate: 0.0,
+                warm_p50_us: 0,
+                warm_p99_us: 0,
+                byte_identical: true,
+            },
+        };
+        assert!(report.to_json().contains("\"efficiency\":1"));
+    }
+
+    /// The duopoly warm-start acceptance criterion on (a debug-sized
+    /// slice of) the Figure-8 workload: a carried [`MarketWarmStart`]
+    /// must reproduce the no-hint baseline bit for bit while spending
+    /// strictly fewer segment probes and Λ evaluations. (The release
+    /// bench runs the 1000-CP, 24-point grid and reports the ratios in
+    /// `BENCH_*.json`.)
+    #[test]
+    fn duopoly_warmstart_ab_on_fig8_workload_is_exact_and_saves_effort() {
+        let pop = EnsembleConfig {
+            n: 120,
+            ..EnsembleConfig::default()
+        }
+        .generate();
+        let nus = pubopt_num::linspace_excl_zero(500.0 * 0.12, 6);
+        let ab = duopoly_warmstart_ab(
+            &pop,
+            &nus,
+            IspStrategy::new(0.9, 0.4),
+            0.5,
+            Tolerance::COARSE,
+        );
+        assert!(
+            ab.identical,
+            "warm duopoly outputs must match the baseline exactly"
+        );
+        assert!(
+            ab.warm.segment_probes < ab.cold.segment_probes,
+            "probe_ratio must exceed 1: cold={} warm={}",
+            ab.cold.segment_probes,
+            ab.warm.segment_probes
+        );
+        assert!(
+            ab.warm.lambda_evals < ab.cold.lambda_evals,
+            "eval_ratio must exceed 1: cold={} warm={}",
+            ab.cold.lambda_evals,
+            ab.warm.lambda_evals
+        );
     }
 
     #[test]

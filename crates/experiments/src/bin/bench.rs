@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v3`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v4`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
@@ -66,10 +66,11 @@ fn main() -> ExitCode {
     println!();
     for p in &report.scaling {
         println!(
-            "parallel_map {} worker(s): {:>12}  speedup {:.2}x",
+            "parallel_map {} worker(s): {:>12}  speedup {:.2}x  efficiency {:.2}",
             p.workers,
             fmt_ns(p.median_ns),
-            p.speedup
+            p.speedup,
+            p.efficiency
         );
     }
     println!();
@@ -101,6 +102,20 @@ fn main() -> ExitCode {
     println!(
         "  lambda evals:   cold={} warm={}  ratio {:.2}x",
         w.cold.lambda_evals, w.warm.lambda_evals, w.eval_ratio
+    );
+    println!();
+    let d = &report.duopoly_warmstart;
+    println!(
+        "duopoly warmstart A/B (n={} CPs, {} grid points): identical={}",
+        d.n_cps, d.grid_points, d.identical
+    );
+    println!(
+        "  segment probes: baseline={} warm={}  ratio {:.2}x",
+        d.cold.segment_probes, d.warm.segment_probes, d.probe_ratio
+    );
+    println!(
+        "  lambda evals:   baseline={} warm={}  ratio {:.2}x",
+        d.cold.lambda_evals, d.warm.lambda_evals, d.eval_ratio
     );
     println!();
     let s = &report.serving;

@@ -17,9 +17,10 @@
 //!    near (slightly above) one half around its best price.
 
 use crate::report::{ascii_plot, Config, FigureResult, Table};
-use crate::runner::parallel_map;
+use crate::resilience::SWEEP_CHUNK;
+use crate::runner::parallel_chunk_map;
 use crate::shape::{argmax, ShapeCheck};
-use pubopt_core::{duopoly_with_public_option, IspStrategy};
+use pubopt_core::{duopoly_with_public_option_warm, IspStrategy, MarketWarmStart};
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
 use pubopt_workload::ScenarioKind;
@@ -37,15 +38,27 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     let mut table = Table::new(vec!["nu", "c", "share_i", "psi_i", "phi"]);
     let mut by_nu: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
     for &nu in &nus {
-        let rows = parallel_map(&cs, config.worker_threads(), |&c| {
-            let out = duopoly_with_public_option(
-                pop,
-                nu,
-                IspStrategy::premium_only(c),
-                0.5,
-                Tolerance::COARSE,
-            );
-            (out.share_i, out.psi_i, out.phi)
+        // Parallel over fixed c chunks; within a chunk the duopoly solves
+        // run left to right through one `MarketWarmStart`, carrying each
+        // ISP's cache/hints/partition across adjacent prices. Chunk
+        // boundaries are thread-count independent, and the warm start is
+        // exact, so the rows match a cold sweep bit for bit.
+        let rows = parallel_chunk_map(&cs, config.worker_threads(), SWEEP_CHUNK, |chunk, _| {
+            let mut warm = MarketWarmStart::new();
+            chunk
+                .iter()
+                .map(|&c| {
+                    let out = duopoly_with_public_option_warm(
+                        pop,
+                        nu,
+                        IspStrategy::premium_only(c),
+                        0.5,
+                        Tolerance::COARSE,
+                        &mut warm,
+                    );
+                    (out.share_i, out.psi_i, out.phi)
+                })
+                .collect::<Vec<_>>()
         });
         let shares: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let psis: Vec<f64> = rows.iter().map(|r| r.1).collect();

@@ -11,9 +11,10 @@
 //! 3. when ν is abundant, ISP I gets at most ≈ half of the market.
 
 use crate::report::{ascii_plot, Config, FigureResult, Table};
-use crate::runner::parallel_map;
+use crate::resilience::SWEEP_CHUNK;
+use crate::runner::parallel_chunk_map;
 use crate::shape::ShapeCheck;
-use pubopt_core::{duopoly_with_public_option, IspStrategy};
+use pubopt_core::{duopoly_with_public_option_warm, IspStrategy, MarketWarmStart};
 use pubopt_demand::Population;
 use pubopt_num::Tolerance;
 use pubopt_workload::ScenarioKind;
@@ -31,10 +32,29 @@ pub(crate) fn run_on(pop: &Population, id: &str, csv: &str, config: &Config) -> 
     for &kappa in &KAPPAS {
         for &c in &CS {
             let strategy = IspStrategy::new(kappa, c);
-            let rows = parallel_map(&nus, config.worker_threads(), |&nu| {
-                let out = duopoly_with_public_option(pop, nu, strategy, 0.5, Tolerance::COARSE);
-                (out.psi_i, out.phi, out.share_i)
-            });
+            // Fixed ν chunks, each swept left to right through one
+            // `MarketWarmStart` (the fig5 warm-chunk pattern applied to
+            // the duopoly path): adjacent ν points reuse each ISP's
+            // cache, segment hints, and settled partition. Outputs are
+            // bit-identical to the cold per-point sweep.
+            let rows =
+                parallel_chunk_map(&nus, config.worker_threads(), SWEEP_CHUNK, |chunk, _| {
+                    let mut warm = MarketWarmStart::new();
+                    chunk
+                        .iter()
+                        .map(|&nu| {
+                            let out = duopoly_with_public_option_warm(
+                                pop,
+                                nu,
+                                strategy,
+                                0.5,
+                                Tolerance::COARSE,
+                                &mut warm,
+                            );
+                            (out.psi_i, out.phi, out.share_i)
+                        })
+                        .collect::<Vec<_>>()
+                });
             let psis: Vec<f64> = rows.iter().map(|r| r.0).collect();
             let phis: Vec<f64> = rows.iter().map(|r| r.1).collect();
             let shares: Vec<f64> = rows.iter().map(|r| r.2).collect();

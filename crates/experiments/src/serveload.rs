@@ -13,6 +13,7 @@
 use pubopt_num::Rng;
 use pubopt_serve::{client, spawn, ServeConfig};
 use std::net::SocketAddr;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Workload-shape options.
@@ -178,38 +179,37 @@ pub fn mixed_workload(opts: &LoadOptions) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Replay `workload` against a daemon at `addr` from `clients` threads
-/// (round-robin split) and tally the outcome.
+/// Process-wide pool of loadgen client threads, shared by every
+/// [`replay`] call and reused across request batches. The old replay
+/// spawned (and joined) `clients` fresh OS threads per batch, so a
+/// multi-batch experiment like [`serving_bench`] — cold pass, warm pass,
+/// probes — paid thread setup per pass; the persistent pool pays it once
+/// per process. The clients deliberately do *not* share
+/// `pubopt_sched::Pool::global()`: these tasks block on sockets, and
+/// parking a compute worker behind peer I/O would stall any equilibrium
+/// sweep running in the same process. Per-call concurrency is still the
+/// `clients` argument; the pool's 32 threads are the process-wide cap.
+fn client_pool() -> &'static pubopt_sched::Pool {
+    static POOL: OnceLock<pubopt_sched::Pool> = OnceLock::new();
+    POOL.get_or_init(|| pubopt_sched::Pool::new(32))
+}
+
+/// Replay `workload` against a daemon at `addr` from up to `clients`
+/// concurrent client threads (drawn from the shared [`client_pool`]) and
+/// tally the outcome.
 pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -> LoadSummary {
     let clients = clients.clamp(1, workload.len().max(1));
     let start = Instant::now();
-    // Each worker returns (status codes, latencies); transport errors
-    // record as status 0.
-    let per_client: Vec<Vec<(u16, u64)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|tid| {
-                scope.spawn(move || {
-                    workload
-                        .iter()
-                        .skip(tid)
-                        .step_by(clients)
-                        .map(|(path, body)| {
-                            let t = Instant::now();
-                            let status = match client::post(addr, path, body) {
-                                Ok((status, _)) => status,
-                                Err(_) => 0,
-                            };
-                            let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
-                            (status, us)
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen client thread panicked"))
-            .collect()
+    // Status and latency per request, in workload order; transport
+    // errors record as status 0.
+    let outcomes: Vec<(u16, u64)> = client_pool().map(workload, clients, |(path, body)| {
+        let t = Instant::now();
+        let status = match client::post(addr, path, body) {
+            Ok((status, _)) => status,
+            Err(_) => 0,
+        };
+        let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+        (status, us)
     });
     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
@@ -226,7 +226,7 @@ pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -
         p99_us: 0,
     };
     let mut latencies = Vec::with_capacity(workload.len());
-    for (status, us) in per_client.into_iter().flatten() {
+    for (status, us) in outcomes {
         latencies.push(us);
         match status {
             200..=299 => summary.ok += 1,
@@ -375,6 +375,29 @@ mod tests {
         let stats = server.cache_stats();
         assert!(stats.hits > 0, "a 4-entry pool over 20 draws must hit");
         assert!(stats.misses <= 4);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn replay_reuses_client_threads_across_batches() {
+        // Back-to-back batches (the serving_bench shape: cold pass, then
+        // warm passes) run on the one shared client pool rather than
+        // spawning threads per batch; its worker count is a process-wide
+        // constant across batches.
+        let server = spawn(&ServeConfig::default()).expect("bind");
+        let workload = mixed_workload(&LoadOptions {
+            requests: 8,
+            pool: 2,
+            scenario_n: 8,
+            ..LoadOptions::default()
+        });
+        let before = client_pool().workers();
+        let a = replay(server.addr(), &workload, 3);
+        let b = replay(server.addr(), &workload, 3);
+        assert_eq!(a.failed(), 0, "{a:?}");
+        assert_eq!(b.failed(), 0, "{b:?}");
+        assert_eq!(client_pool().workers(), before);
         server.shutdown();
         server.join();
     }

@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v3"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v4"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -126,6 +126,15 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
         (scaling[0]["speedup"].as_f64().unwrap() - 1.0).abs() < 1e-9,
         "1-worker speedup is the baseline"
     );
+    for p in scaling {
+        let speedup = p["speedup"].as_f64().unwrap();
+        let workers = p["workers"].as_u64().unwrap() as f64;
+        let efficiency = p["efficiency"].as_f64().unwrap();
+        assert!(
+            (efficiency - speedup / workers).abs() < 1e-9,
+            "efficiency must be speedup/workers in {p}"
+        );
+    }
 
     let alloc = v["alloc_scaling"].as_array().expect("alloc_scaling array");
     assert!(!alloc.is_empty());
@@ -143,6 +152,15 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     assert!(ab["probe_ratio"].as_f64().unwrap() > 1.0);
     assert!(ab["cold"]["segment_probes"].as_u64().unwrap() > 0);
     assert!(ab["warm"]["segment_probes"].as_u64().unwrap() > 0);
+
+    // The duopoly analogue: identical outputs, strictly cheaper than the
+    // no-hint baseline (acceptance: probe and eval ratios above 1).
+    let duo = &v["duopoly_warmstart_ab"];
+    assert_eq!(duo["identical"].as_bool(), Some(true));
+    assert!(duo["probe_ratio"].as_f64().unwrap() > 1.0);
+    assert!(duo["eval_ratio"].as_f64().unwrap() > 1.0);
+    assert!(duo["cold"]["segment_probes"].as_u64().unwrap() > 0);
+    assert!(duo["warm"]["segment_probes"].as_u64().unwrap() > 0);
 
     // The serving A/B ran against a real loopback daemon. Timings are
     // machine-dependent (debug builds especially), so assert correctness

@@ -1,23 +1,31 @@
 //! The daemon: listener thread, bounded connection queue, worker pool.
 //!
 //! Threading model. One listener thread accepts connections (non-blocking
-//! accept polled against the shutdown flag) and pushes each accepted
-//! stream onto a bounded queue; `workers` worker threads pop streams,
-//! read one request, serve it, and close. When the queue is full the
-//! *listener* answers `429 Too Many Requests` immediately — backpressure
-//! is explicit and cheap rather than an unbounded backlog with silent
-//! tail latency.
+//! accept polled against the shutdown flag) and submits each accepted
+//! stream as a job to a *dedicated* `pubopt-sched` pool of `workers`
+//! threads; each job reads one request, serves it, and closes. The pool
+//! is dedicated — not [`pubopt_sched::Pool::global`] — because connection
+//! handlers block on sockets, and blocking tasks must never occupy the
+//! process-wide compute pool's workers (a daemon and a sweep in one
+//! process would otherwise starve each other). The job backlog is
+//! bounded: when [`pubopt_sched::Pool::queued_jobs`] reaches
+//! `queue_depth` the *listener* answers `429 Too Many Requests`
+//! immediately — backpressure is explicit and cheap rather than an
+//! unbounded backlog with silent tail latency.
 //!
 //! Fault isolation. Workers run the solver step inside `catch_unwind`: a
 //! panicking solve (or an injected chaos fault) costs that request a
 //! `500` and nothing else — the worker loops on, the listener never
 //! stops, and no lock is held across the unwind boundary. The optional
 //! [`ChaosInjector`] schedules panics as a pure function of the request
-//! sequence number, so a chaos run is reproducible bit-for-bit.
+//! sequence number, so a chaos run is reproducible bit-for-bit. (The
+//! executor adds a second net: even a panic escaping the request handler
+//! is caught at the job boundary and never kills a pool thread.)
 //!
 //! Shutdown. `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips a
-//! flag; the listener stops accepting, workers drain the queue, and
-//! [`ServerHandle::join`] reaps every thread. In-flight requests finish.
+//! flag; the listener stops accepting, the pool's workers drain the
+//! queued connections, and [`ServerHandle::join`] reaps every thread.
+//! In-flight requests finish.
 
 use crate::api::ApiRequest;
 use crate::cache::{CacheStats, ShardedCache};
@@ -25,12 +33,11 @@ use crate::http::{read_request, write_response, HttpError, Request};
 use crate::state::{ScenarioStore, WarmPool};
 use pubopt_num::chaos::{ChaosConfig, ChaosInjector};
 use pubopt_obs::json::Value;
-use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -73,8 +80,9 @@ struct Inner {
     cache: ShardedCache,
     scenarios: ScenarioStore,
     warm: WarmPool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    /// Dedicated connection-handling pool (see the module docs for why
+    /// it is not the global compute pool).
+    pool: pubopt_sched::Pool,
     queue_depth: usize,
     shutdown: AtomicBool,
     requests: AtomicU64,
@@ -103,12 +111,12 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let workers = config.workers.max(1);
     let inner = Arc::new(Inner {
         cache: ShardedCache::new(config.cache_shards, config.cache_per_shard),
         scenarios: ScenarioStore::default(),
         warm: WarmPool::default(),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
+        pool: pubopt_sched::Pool::new(workers),
         queue_depth: config.queue_depth.max(1),
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
@@ -116,24 +124,16 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
         panics: AtomicU64::new(0),
         seq: AtomicU64::new(0),
         chaos: config.chaos.map(ChaosInjector::new),
-        workers: config.workers.max(1),
+        workers,
     });
 
-    let mut threads = Vec::with_capacity(inner.workers + 1);
+    let mut threads = Vec::with_capacity(1);
     {
         let inner = Arc::clone(&inner);
         threads.push(
             std::thread::Builder::new()
                 .name("serve-listener".into())
                 .spawn(move || listen_loop(&listener, &inner))?,
-        );
-    }
-    for w in 0..inner.workers {
-        let inner = Arc::clone(&inner);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("serve-worker-{w}"))
-                .spawn(move || worker_loop(&inner))?,
         );
     }
     Ok(ServerHandle {
@@ -170,10 +170,10 @@ impl ServerHandle {
     }
 
     /// Ask the daemon to stop: the listener closes after its next poll,
-    /// workers drain the queue and exit.
+    /// the pool's workers drain the queued connections and exit.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.queue_cv.notify_all();
+        self.inner.pool.shutdown();
     }
 
     /// Wait for every daemon thread to exit. Call after
@@ -187,29 +187,33 @@ impl ServerHandle {
         for t in self.threads {
             t.join().expect("daemon thread panicked");
         }
+        self.inner.pool.join();
     }
 }
 
-fn listen_loop(listener: &TcpListener, inner: &Inner) {
+fn listen_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     // Non-blocking accept polled against the shutdown flag: plain
     // blocking accept would park the thread with no portable way to
     // interrupt it.
     while !inner.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((mut stream, _)) => {
-                let mut queue = inner.queue.lock().expect("queue poisoned");
-                if queue.len() >= inner.queue_depth {
-                    drop(queue);
+                // The executor's job backlog is the bounded queue. Only
+                // the listener enqueues, so the depth check cannot race
+                // upward past the bound.
+                let backlog = inner.pool.queued_jobs();
+                if backlog >= inner.queue_depth {
                     // Shed load here, on the listener: a full queue must
                     // answer in bounded time, not wait for a worker.
                     inner.shed.fetch_add(1, Ordering::Relaxed);
                     pubopt_obs::incr("serve.shed");
                     shed(&mut stream);
                 } else {
-                    queue.push_back(stream);
-                    pubopt_obs::observe("serve.queue_depth", queue.len() as u64);
-                    drop(queue);
-                    inner.queue_cv.notify_one();
+                    pubopt_obs::observe("serve.queue_depth", backlog as u64 + 1);
+                    let job_inner = Arc::clone(inner);
+                    inner.pool.spawn_job(move || {
+                        handle_connection(&job_inner, stream);
+                    });
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -251,31 +255,13 @@ fn shed(stream: &mut TcpStream) {
     let _ = write_response(stream, 429, "{\"error\":\"queue full, retry later\"}");
 }
 
-fn worker_loop(inner: &Inner) {
-    loop {
-        let stream = {
-            let mut queue = inner.queue.lock().expect("queue poisoned");
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break Some(s);
-                }
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (q, _) = inner
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("queue poisoned");
-                queue = q;
-            }
-        };
-        let Some(mut stream) = stream else { return };
-        // Accepted sockets inherit the listener's non-blocking flag on
-        // some platforms; workers want plain blocking reads.
-        let _ = stream.set_nonblocking(false);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        serve_connection(inner, &mut stream);
-    }
+/// One pool job: serve a single accepted connection.
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    // Accepted sockets inherit the listener's non-blocking flag on
+    // some platforms; workers want plain blocking reads.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    serve_connection(inner, &mut stream);
 }
 
 fn serve_connection(inner: &Inner, stream: &mut TcpStream) {
@@ -309,7 +295,9 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
         ("GET", "/v1/stats") => (200, stats_body(inner)),
         ("POST", "/v1/shutdown") => {
             inner.shutdown.store(true, Ordering::SeqCst);
-            inner.queue_cv.notify_all();
+            // Runs on a pool worker: flag the pool too (no join here —
+            // this worker finishes writing the response, then exits).
+            inner.pool.shutdown();
             (200, "{\"shutting_down\":true}".to_owned())
         }
         ("POST", path) => match ApiRequest::parse(path, &req.body) {
@@ -366,7 +354,7 @@ fn serve_query(inner: &Inner, api: &ApiRequest) -> (u16, String) {
 
 fn stats_body(inner: &Inner) -> String {
     let cache = inner.cache.stats();
-    let queue_len = inner.queue.lock().expect("queue poisoned").len();
+    let queue_len = inner.pool.queued_jobs();
     Value::Object(vec![
         ("schema".into(), Value::from("pubopt-serve/v1")),
         (

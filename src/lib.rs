@@ -15,6 +15,8 @@
 //! * [`experiments`] — figure-by-figure reproduction harness;
 //! * [`serve`] — equilibrium-as-a-service: the HTTP/JSON query daemon
 //!   with its sharded scenario cache;
+//! * [`sched`] — the persistent work-stealing executor behind every
+//!   parallel sweep and the serve daemon's worker pool;
 //! * [`num`] — the numeric substrate underneath all of it.
 //!
 //! ## Quickstart
@@ -49,6 +51,7 @@ pub use pubopt_eq as eq;
 pub use pubopt_experiments as experiments;
 pub use pubopt_netsim as netsim;
 pub use pubopt_num as num;
+pub use pubopt_sched as sched;
 pub use pubopt_serve as serve;
 pub use pubopt_workload as workload;
 
