@@ -20,7 +20,7 @@
 //! exists for.
 
 use crate::parallel_map;
-use crate::serveload::{serving_bench, ServingBench};
+use crate::serveload::{connection_bench, serving_bench, ServingBench, ServingConnections};
 use pubopt_alloc::{MaxMinFair, SortedDemands};
 use pubopt_core::{
     competitive_equilibrium, competitive_equilibrium_warm, duopoly_with_public_option,
@@ -160,10 +160,14 @@ pub struct BenchReport {
     /// Cold-vs-warm daemon A/B on the seeded serving workload (the
     /// `pubopt-serve` cache acceptance numbers).
     pub serving: ServingBench,
+    /// Connection-layer A/Bs (close vs keep-alive vs pipelined vs
+    /// batched, plus open-loop percentiles) on a cache-prewarmed
+    /// workload — the event-driven front end's acceptance numbers.
+    pub serving_connections: ServingConnections,
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v4`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v5`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -259,8 +263,28 @@ impl BenchReport {
                 Value::from(self.serving.byte_identical),
             ),
         ]);
+        let sc = &self.serving_connections;
+        let serving_connections = Value::Object(vec![
+            ("requests".into(), Value::from(sc.requests)),
+            ("close_rps".into(), Value::from(sc.close_rps)),
+            ("reuse_rps".into(), Value::from(sc.reuse_rps)),
+            ("reuse_speedup".into(), Value::from(sc.reuse_speedup)),
+            ("pipeline_rps".into(), Value::from(sc.pipeline_rps)),
+            ("pipeline_depth".into(), Value::from(sc.pipeline_depth)),
+            ("batch_size".into(), Value::from(sc.batch_size)),
+            ("batch_rps".into(), Value::from(sc.batch_rps)),
+            ("batch_speedup".into(), Value::from(sc.batch_speedup)),
+            (
+                "open_loop_rate_rps".into(),
+                Value::from(sc.open_loop_rate_rps),
+            ),
+            ("open_loop_p50_us".into(), Value::from(sc.open_loop_p50_us)),
+            ("open_loop_p95_us".into(), Value::from(sc.open_loop_p95_us)),
+            ("open_loop_p99_us".into(), Value::from(sc.open_loop_p99_us)),
+            ("byte_identical".into(), Value::from(sc.byte_identical)),
+        ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v4")),
+            ("schema".into(), Value::from("pubopt-bench/v5")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
@@ -270,6 +294,7 @@ impl BenchReport {
             ("warmstart_ab".into(), warmstart),
             ("duopoly_warmstart_ab".into(), duopoly_warmstart),
             ("serving".into(), serving),
+            ("serving_connections".into(), serving_connections),
         ])
         .to_string()
     }
@@ -689,10 +714,12 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         Tolerance::COARSE,
     );
 
-    // Cold-vs-warm daemon A/B (the pubopt-serve response cache): spawns a
-    // loopback daemon, so this is the one section that leaves the
-    // process — still deterministic in outputs, only the timings vary.
+    // Daemon A/Bs (cache cold-vs-warm, then the connection-layer
+    // transport passes): these spawn loopback daemons, so they are the
+    // sections that leave the process — still deterministic in outputs,
+    // only the timings vary.
     let serving = serving_bench(quick);
+    let serving_connections = connection_bench(quick);
 
     BenchReport {
         date: pubopt_obs::clock::utc_date_string(),
@@ -704,12 +731,32 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         warmstart,
         duopoly_warmstart,
         serving,
+        serving_connections,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn stub_connections() -> ServingConnections {
+        ServingConnections {
+            requests: 96,
+            close_rps: 600.0,
+            reuse_rps: 1500.0,
+            reuse_speedup: 2.5,
+            pipeline_rps: 2400.0,
+            pipeline_depth: 8,
+            batch_size: 8,
+            batch_rps: 3000.0,
+            batch_speedup: 2.0,
+            open_loop_rate_rps: 750.0,
+            open_loop_p50_us: 400,
+            open_loop_p95_us: 1200,
+            open_loop_p99_us: 2500,
+            byte_identical: true,
+        }
+    }
 
     #[test]
     fn quantile_nearest_rank() {
@@ -807,9 +854,10 @@ mod tests {
                 warm_p99_us: 900,
                 byte_identical: true,
             },
+            serving_connections: stub_connections(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v4\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v5\""));
         assert!(json.contains("\"alloc_scaling\""));
         assert!(json.contains("\"warmstart_ab\""));
         assert!(json.contains("\"duopoly_warmstart_ab\""));
@@ -819,6 +867,9 @@ mod tests {
         assert!(json.contains("\"serving\""));
         assert!(json.contains("\"speedup\":80"));
         assert!(json.contains("\"byte_identical\":true"));
+        assert!(json.contains("\"serving_connections\""));
+        assert!(json.contains("\"reuse_speedup\":2.5"));
+        assert!(json.contains("\"open_loop_p95_us\":1200"));
     }
 
     /// The scaling section's `efficiency` column must be `speedup /
@@ -866,6 +917,7 @@ mod tests {
                 warm_p99_us: 0,
                 byte_identical: true,
             },
+            serving_connections: stub_connections(),
         };
         assert!(report.to_json().contains("\"efficiency\":1"));
     }

@@ -3,7 +3,9 @@
 //! ```text
 //! cargo run --release -p pubopt-experiments --bin loadgen -- \
 //!     [--addr HOST:PORT | --spawn] [--requests N] [--clients N] \
-//!     [--seed N] [--pool N] [--scenario-n N] [--chaos SEED] [--shutdown]
+//!     [--seed N] [--pool N] [--scenario-n N] [--chaos SEED] [--shutdown] \
+//!     [--keep-alive] [--pipeline N] [--batch N] [--rate RPS] \
+//!     [--ab-connections]
 //! ```
 //!
 //! Replays the deterministic mixed workload of
@@ -15,8 +17,25 @@
 //! path. `--shutdown` sends `POST /v1/shutdown` to an external daemon
 //! after the run, so a CI script can tear down cleanly without a second
 //! client.
+//!
+//! Transport flags: `--keep-alive` reuses one connection per client
+//! thread instead of one per request; `--pipeline N` writes bursts of N
+//! requests before reading responses (implies keep-alive); `--batch N`
+//! wraps every N consecutive requests into one `/v1/batch` envelope;
+//! `--rate RPS` paces arrivals open-loop at RPS across all clients, with
+//! latency percentiles measured from each request's *scheduled* start so
+//! overload shows up as queueing delay rather than being hidden by
+//! coordinated omission.
+//!
+//! `--ab-connections` runs the keep-alive A/B instead of a single
+//! replay: the same workload once with fresh connections and once with
+//! keep-alive, printing `{"close_rps":…,"reuse_rps":…,"speedup":…,…}` —
+//! the CI serve-smoke job gates on `speedup >= 1.5` on multi-core
+//! runners.
 
-use pubopt_experiments::serveload::{mixed_workload, replay, LoadOptions};
+use pubopt_experiments::serveload::{
+    mixed_workload, replay_with, ConnMode, LoadOptions, ReplayOptions,
+};
 use pubopt_serve::{client, spawn, ServeConfig};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -35,6 +54,11 @@ fn main() -> ExitCode {
     let mut do_spawn = false;
     let mut chaos_seed: Option<u64> = None;
     let mut shutdown_after = false;
+    let mut keep_alive = false;
+    let mut pipeline = 1usize;
+    let mut batch: Option<usize> = None;
+    let mut rate: Option<f64> = None;
+    let mut ab_connections = false;
 
     let mut args = std::env::args().skip(1);
     let parsed = (|| -> Result<(), String> {
@@ -49,11 +73,17 @@ fn main() -> ExitCode {
                 "--scenario-n" => opts.scenario_n = parse_flag("--scenario-n", args.next())?,
                 "--chaos" => chaos_seed = Some(parse_flag("--chaos", args.next())?),
                 "--shutdown" => shutdown_after = true,
+                "--keep-alive" => keep_alive = true,
+                "--pipeline" => pipeline = parse_flag("--pipeline", args.next())?,
+                "--batch" => batch = Some(parse_flag("--batch", args.next())?),
+                "--rate" => rate = Some(parse_flag("--rate", args.next())?),
+                "--ab-connections" => ab_connections = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] \
                          [--clients N] [--seed N] [--pool N] [--scenario-n N] \
-                         [--chaos SEED] [--shutdown]"
+                         [--chaos SEED] [--shutdown] [--keep-alive] [--pipeline N] \
+                         [--batch N] [--rate RPS] [--ab-connections]"
                     );
                     std::process::exit(0);
                 }
@@ -72,6 +102,14 @@ fn main() -> ExitCode {
     }
     if chaos_seed.is_some() && addr.is_some() {
         eprintln!("--chaos only applies to a --spawn daemon");
+        return ExitCode::FAILURE;
+    }
+    if pipeline == 0 || batch == Some(0) {
+        eprintln!("--pipeline and --batch must be positive");
+        return ExitCode::FAILURE;
+    }
+    if pipeline > 1 && batch.is_some() {
+        eprintln!("--pipeline and --batch are mutually exclusive");
         return ExitCode::FAILURE;
     }
 
@@ -95,13 +133,87 @@ fn main() -> ExitCode {
         None
     };
     let target = addr.unwrap_or_else(|| server.as_ref().expect("spawned").addr());
+    let workload = mixed_workload(&opts);
 
+    if ab_connections {
+        // Prewarm: solve the pool once so both arms measure transport,
+        // not first-touch solver cost.
+        let distinct = mixed_workload(&LoadOptions {
+            requests: opts.pool,
+            ..opts.clone()
+        });
+        let prewarm = replay_with(
+            target,
+            &distinct,
+            &ReplayOptions {
+                clients: opts.clients,
+                ..ReplayOptions::default()
+            },
+        );
+        if prewarm.failed() > 0 {
+            eprintln!("prewarm failed: {prewarm:?}");
+            return ExitCode::FAILURE;
+        }
+        let run = |mode: ConnMode| {
+            replay_with(
+                target,
+                &workload,
+                &ReplayOptions {
+                    clients: opts.clients,
+                    mode,
+                    pipeline: 1,
+                    rate_rps: rate,
+                    batch,
+                },
+            )
+        };
+        let close = run(ConnMode::Close);
+        let reuse = run(ConnMode::Reuse);
+        let speedup = reuse.throughput_rps / close.throughput_rps.max(f64::MIN_POSITIVE);
+        println!(
+            "{{\"requests\":{},\"close_rps\":{:.1},\"reuse_rps\":{:.1},\"speedup\":{:.3},\
+             \"close_failed\":{},\"reuse_failed\":{},\"close_p50_us\":{},\"reuse_p50_us\":{}}}",
+            workload.len(),
+            close.throughput_rps,
+            reuse.throughput_rps,
+            speedup,
+            close.failed(),
+            reuse.failed(),
+            close.p50_us,
+            reuse.p50_us
+        );
+        if let Some(handle) = server {
+            handle.shutdown();
+            handle.join();
+        }
+        if close.failed() + reuse.failed() > 0 {
+            eprintln!("A/B had failed requests");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mode = if keep_alive || pipeline > 1 {
+        ConnMode::Reuse
+    } else {
+        ConnMode::Close
+    };
     eprintln!(
-        "replaying {} requests ({} distinct, seed {}) against {target} with {} clients",
+        "replaying {} requests ({} distinct, seed {}) against {target} with {} clients \
+         (mode {mode:?}, pipeline {pipeline}, batch {batch:?}, rate {rate:?})",
         opts.requests, opts.pool, opts.seed, opts.clients
     );
-    let workload = mixed_workload(&opts);
-    let summary = replay(target, &workload, opts.clients);
+    let summary = replay_with(
+        target,
+        &workload,
+        &ReplayOptions {
+            clients: opts.clients,
+            mode,
+            pipeline,
+            rate_rps: rate,
+            batch,
+        },
+    );
 
     // Cache counters: straight off the handle when in-process, else from
     // the daemon's own /v1/stats.
@@ -128,7 +240,7 @@ fn main() -> ExitCode {
     println!(
         "{{\"requests\":{},\"ok\":{},\"failed\":{},\"shed\":{},\"server_errors\":{},\
          \"transport_errors\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
-         \"throughput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{}}}",
+         \"throughput_rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
         summary.requests,
         summary.ok,
         summary.failed(),
@@ -137,6 +249,7 @@ fn main() -> ExitCode {
         summary.transport_errors,
         summary.throughput_rps,
         summary.p50_us,
+        summary.p95_us,
         summary.p99_us
     );
 
@@ -148,10 +261,11 @@ fn main() -> ExitCode {
     }
     if let Some(handle) = server {
         eprintln!(
-            "daemon: {} served, {} shed, {} panics survived",
+            "daemon: {} served, {} shed, {} panics survived, {} keep-alive reuses",
             handle.requests_served(),
             handle.requests_shed(),
-            handle.panics_survived()
+            handle.panics_survived(),
+            handle.keepalive_reuses()
         );
         handle.shutdown();
         handle.join();

@@ -11,10 +11,10 @@
 //! the same experiment at different sizes.
 
 use pubopt_num::Rng;
-use pubopt_serve::{client, spawn, ServeConfig};
+use pubopt_serve::{client, client::Client, spawn, ServeConfig};
 use std::net::SocketAddr;
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Workload-shape options.
 #[derive(Debug, Clone)]
@@ -66,6 +66,8 @@ pub struct LoadSummary {
     pub throughput_rps: f64,
     /// Nearest-rank median per-request latency, microseconds.
     pub p50_us: u64,
+    /// Nearest-rank 95th-percentile latency, microseconds.
+    pub p95_us: u64,
     /// Nearest-rank 99th-percentile latency, microseconds.
     pub p99_us: u64,
 }
@@ -194,22 +196,159 @@ fn client_pool() -> &'static pubopt_sched::Pool {
     POOL.get_or_init(|| pubopt_sched::Pool::new(32))
 }
 
+/// Connection discipline for a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// A fresh TCP connection per request, `Connection: close` — the
+    /// pre-keep-alive baseline, and one arm of the CI A/B.
+    Close,
+    /// One persistent keep-alive connection per client thread.
+    Reuse,
+}
+
+/// Replay shape beyond the workload itself.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Connection discipline.
+    pub mode: ConnMode,
+    /// Requests written per pipelined burst (1 = no pipelining; > 1
+    /// implies [`ConnMode::Reuse`]).
+    pub pipeline: usize,
+    /// Open-loop arrival rate in requests/second across all clients.
+    /// Request `i` is *scheduled* at `i / rate`, and its latency is
+    /// measured from that scheduled start, not from when the client got
+    /// around to sending it — so queueing delay under overload shows up
+    /// in the percentiles instead of being coordinated-omission'd away.
+    /// `None` = closed loop (send as fast as responses return).
+    pub rate_rps: Option<f64>,
+    /// Wrap consecutive same-client requests into `/v1/batch` envelopes
+    /// of this size (`None` = plain single queries).
+    pub batch: Option<usize>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            mode: ConnMode::Close,
+            pipeline: 1,
+            rate_rps: None,
+            batch: None,
+        }
+    }
+}
+
 /// Replay `workload` against a daemon at `addr` from up to `clients`
 /// concurrent client threads (drawn from the shared [`client_pool`]) and
-/// tally the outcome.
+/// tally the outcome. Equivalent to [`replay_with`] in [`ConnMode::Close`]
+/// with no pipelining, batching or rate pacing.
 pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -> LoadSummary {
-    let clients = clients.clamp(1, workload.len().max(1));
+    replay_with(
+        addr,
+        workload,
+        &ReplayOptions {
+            clients,
+            ..ReplayOptions::default()
+        },
+    )
+}
+
+/// The endpoint name `/v1/batch` sub-queries use for `path`.
+fn endpoint_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Rewrite a single-query `(path, body)` as a batch sub-query object by
+/// splicing the `endpoint` discriminator into the JSON body.
+fn batch_entry(path: &str, body: &str) -> String {
+    let rest = body.trim_start().strip_prefix('{').unwrap_or(body);
+    let sep = if rest.trim_start().starts_with('}') {
+        ""
+    } else {
+        ","
+    };
+    format!("{{\"endpoint\":\"{}\"{sep}{rest}", endpoint_name(path))
+}
+
+/// Replay `workload` with explicit connection discipline, pipelining,
+/// batching, and open-loop pacing. Requests are dealt round-robin to the
+/// client threads, so every mode replays the identical per-client
+/// subsequences — an A/B between two modes differs only in transport.
+pub fn replay_with(
+    addr: SocketAddr,
+    workload: &[(String, String)],
+    opts: &ReplayOptions,
+) -> LoadSummary {
+    let clients = opts.clients.clamp(1, workload.len().max(1));
+    let pipeline = opts.pipeline.max(1);
+    // Deal requests round-robin: client k gets indices k, k+clients, …
+    let lanes: Vec<Vec<usize>> = (0..clients)
+        .map(|k| (k..workload.len()).step_by(clients).collect())
+        .collect();
     let start = Instant::now();
-    // Status and latency per request, in workload order; transport
-    // errors record as status 0.
-    let outcomes: Vec<(u16, u64)> = client_pool().map(workload, clients, |(path, body)| {
-        let t = Instant::now();
-        let status = match client::post(addr, path, body) {
-            Ok((status, _)) => status,
-            Err(_) => 0,
+    // (status, latency_us) per request; transport errors record status 0.
+    let outcomes: Vec<Vec<(u16, u64)>> = client_pool().map(&lanes, clients, |lane| {
+        let mut conn = Client::new(addr);
+        let mut out = Vec::with_capacity(lane.len());
+        // The scheduled start of request `idx` under open-loop pacing.
+        let scheduled = |idx: usize| -> Instant {
+            match opts.rate_rps {
+                Some(rate) if rate > 0.0 => start + Duration::from_secs_f64(idx as f64 / rate),
+                _ => Instant::now(),
+            }
         };
-        let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
-        (status, us)
+        let lat = |from: Instant| u64::try_from(from.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let group = opts.batch.unwrap_or(pipeline).max(1);
+        for burst in lane.chunks(group) {
+            // Open loop: wait for the burst's first scheduled arrival.
+            let t0 = scheduled(burst[0]);
+            if let Some(wait) = t0.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            if let Some(batch) = opts.batch {
+                debug_assert!(batch >= 1);
+                let subs: Vec<String> = burst
+                    .iter()
+                    .map(|&i| batch_entry(&workload[i].0, &workload[i].1))
+                    .collect();
+                let body = format!("{{\"queries\":[{}]}}", subs.join(","));
+                let sent = match opts.mode {
+                    ConnMode::Reuse => conn.post("/v1/batch", &body),
+                    ConnMode::Close => client::post(addr, "/v1/batch", &body),
+                };
+                let us = lat(t0);
+                let statuses = batch_statuses(sent.ok(), burst.len());
+                out.extend(statuses.into_iter().map(|s| (s, us)));
+            } else if pipeline > 1 {
+                let reqs: Vec<(String, String)> =
+                    burst.iter().map(|&i| workload[i].clone()).collect();
+                match conn.pipeline(&reqs) {
+                    Ok(responses) => {
+                        let us = lat(t0);
+                        out.extend(responses.into_iter().map(|(s, _)| (s, us)));
+                    }
+                    Err(_) => out.extend(burst.iter().map(|_| (0u16, lat(t0)))),
+                }
+            } else {
+                for &i in burst {
+                    let t = scheduled(i);
+                    if let Some(wait) = t.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let (path, body) = &workload[i];
+                    let status = match opts.mode {
+                        ConnMode::Reuse => conn.post(path, body),
+                        ConnMode::Close => client::post(addr, path, body),
+                    }
+                    .map(|(s, _)| s)
+                    .unwrap_or(0);
+                    out.push((status, lat(t)));
+                }
+            }
+        }
+        out
     });
     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
 
@@ -223,10 +362,11 @@ pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -
         elapsed_us,
         throughput_rps: workload.len() as f64 / (elapsed_us.max(1) as f64 / 1e6),
         p50_us: 0,
+        p95_us: 0,
         p99_us: 0,
     };
     let mut latencies = Vec::with_capacity(workload.len());
-    for (status, us) in outcomes {
+    for (status, us) in outcomes.into_iter().flatten() {
         latencies.push(us);
         match status {
             200..=299 => summary.ok += 1,
@@ -243,9 +383,35 @@ pub fn replay(addr: SocketAddr, workload: &[(String, String)], clients: usize) -
     };
     if !latencies.is_empty() {
         summary.p50_us = rank(0.5);
+        summary.p95_us = rank(0.95);
         summary.p99_us = rank(0.99);
     }
     summary
+}
+
+/// Per-sub-query statuses out of one `/v1/batch` exchange. A transport
+/// failure or non-200 envelope marks every sub-query failed.
+fn batch_statuses(sent: Option<(u16, String)>, n: usize) -> Vec<u16> {
+    let Some((status, body)) = sent else {
+        return vec![0; n];
+    };
+    if status != 200 {
+        return vec![status; n];
+    }
+    let Ok(v) = pubopt_obs::json::parse(&body) else {
+        return vec![0; n];
+    };
+    match v.get("results").and_then(pubopt_obs::json::Value::as_array) {
+        Some(results) if results.len() == n => results
+            .iter()
+            .map(|r| {
+                r.get("status")
+                    .and_then(pubopt_obs::json::Value::as_u64)
+                    .map_or(0, |s| s as u16)
+            })
+            .collect(),
+        _ => vec![0; n],
+    }
 }
 
 /// Run the cold-vs-warm serving A/B for the bench report.
@@ -312,6 +478,181 @@ pub fn serving_bench(quick: bool) -> ServingBench {
         hit_rate,
         warm_p50_us: warm.p50_us,
         warm_p99_us: warm.p99_us,
+        byte_identical,
+    }
+}
+
+/// The `serving_connections` section of the bench report: the transport
+/// A/Bs behind the event-driven front end.
+///
+/// All passes replay the same cache-prewarmed workload (every request a
+/// hit), so the solver contributes nothing and the deltas are pure
+/// transport: connection setup (close vs reuse), per-request round trips
+/// (single vs pipelined vs batched), and queueing under an open-loop
+/// arrival schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConnections {
+    /// Requests per pass.
+    pub requests: usize,
+    /// Fresh-connection-per-request throughput (the baseline).
+    pub close_rps: f64,
+    /// Keep-alive (one connection per client) throughput.
+    pub reuse_rps: f64,
+    /// `reuse_rps / close_rps` — the CI A/B gate is ≥ 1.5 on ≥ 4 cores.
+    pub reuse_speedup: f64,
+    /// Keep-alive + pipelined bursts throughput.
+    pub pipeline_rps: f64,
+    /// Pipelined burst depth.
+    pub pipeline_depth: usize,
+    /// Sub-queries per `/v1/batch` envelope.
+    pub batch_size: usize,
+    /// Batched throughput in sub-queries per second.
+    pub batch_rps: f64,
+    /// `batch_rps / reuse_rps` — what the batch envelope buys over
+    /// keep-alive singles.
+    pub batch_speedup: f64,
+    /// Open-loop arrival rate of the pacing pass, requests per second.
+    pub open_loop_rate_rps: f64,
+    /// Open-loop median latency from *scheduled* start, microseconds.
+    pub open_loop_p50_us: u64,
+    /// Open-loop p95 latency, microseconds.
+    pub open_loop_p95_us: u64,
+    /// Open-loop p99 latency, microseconds.
+    pub open_loop_p99_us: u64,
+    /// Whether a cold daemon's `/v1/batch` response embedded, byte for
+    /// byte, the responses a second cold daemon gave the same queries
+    /// issued singly.
+    pub byte_identical: bool,
+}
+
+/// Run the connection-layer A/Bs for the bench report.
+///
+/// # Panics
+///
+/// Panics if a daemon fails to bind, a pass drops requests, or the
+/// batch byte-identity probe fails — all mean the serving path is broken,
+/// which the bench must not paper over.
+pub fn connection_bench(quick: bool) -> ServingConnections {
+    let opts = LoadOptions {
+        pool: if quick { 4 } else { 12 },
+        scenario_n: if quick { 16 } else { 120 },
+        seed: 11,
+        clients: 4,
+        requests: if quick { 96 } else { 480 },
+    };
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let pool: Vec<(String, String)> = (0..opts.pool)
+        .map(|_| pool_entry(&mut rng, opts.scenario_n))
+        .collect();
+    let workload: Vec<(String, String)> = (0..opts.requests)
+        .map(|i| pool[i % pool.len()].clone())
+        .collect();
+
+    let server = spawn(&ServeConfig::default()).expect("bind loopback daemon");
+    let addr = server.addr();
+    // Prewarm: every pool entry solved and cached once, so the passes
+    // below measure transport, not solver.
+    let prewarm = replay(addr, &pool, opts.clients);
+    assert_eq!(prewarm.failed(), 0, "prewarm must succeed: {prewarm:?}");
+
+    let pass = |mode: ConnMode, pipeline: usize, batch: Option<usize>| {
+        let summary = replay_with(
+            addr,
+            &workload,
+            &ReplayOptions {
+                clients: opts.clients,
+                mode,
+                pipeline,
+                rate_rps: None,
+                batch,
+            },
+        );
+        assert_eq!(summary.failed(), 0, "pass must succeed: {summary:?}");
+        summary
+    };
+    let close = pass(ConnMode::Close, 1, None);
+    let reuse = pass(ConnMode::Reuse, 1, None);
+    let pipeline_depth = 8;
+    let pipelined = pass(ConnMode::Reuse, pipeline_depth, None);
+    let batch_size = 8;
+    let batched = pass(ConnMode::Reuse, 1, Some(batch_size));
+
+    // Open loop at half the keep-alive capacity: stable queueing, honest
+    // percentiles (latency from scheduled start).
+    let rate = (reuse.throughput_rps * 0.5).max(1.0);
+    let open = replay_with(
+        addr,
+        &workload,
+        &ReplayOptions {
+            clients: opts.clients,
+            mode: ConnMode::Reuse,
+            pipeline: 1,
+            rate_rps: Some(rate),
+            batch: None,
+        },
+    );
+    assert_eq!(open.failed(), 0, "open-loop pass must succeed: {open:?}");
+    server.shutdown();
+    server.join();
+
+    // Batch byte-identity on cold daemons: one answers the pool as a
+    // batch, the other answers it singly; the batch envelope must embed
+    // the single bodies exactly.
+    let cold_batch = spawn(&ServeConfig::default()).expect("bind batch daemon");
+    let subs: Vec<String> = pool
+        .iter()
+        .map(|(path, body)| batch_entry(path, body))
+        .collect();
+    let (status, batch_resp) = client::post(
+        cold_batch.addr(),
+        "/v1/batch",
+        &format!("{{\"queries\":[{}]}}", subs.join(",")),
+    )
+    .expect("batch probe");
+    assert_eq!(status, 200, "{batch_resp}");
+    cold_batch.shutdown();
+    cold_batch.join();
+    let cold_single = spawn(&ServeConfig::default()).expect("bind single daemon");
+    let singles: Vec<String> = pool
+        .iter()
+        .map(|(path, body)| {
+            let (s, b) = client::post(cold_single.addr(), path, body).expect("single probe");
+            assert_eq!(s, 200, "{b}");
+            b
+        })
+        .collect();
+    cold_single.shutdown();
+    cold_single.join();
+    let expected = format!(
+        "{{\"schema\":\"pubopt-serve/v1\",\"endpoint\":\"batch\",\"count\":{},\"ok\":{},\"results\":[{}]}}",
+        pool.len(),
+        pool.len(),
+        singles
+            .iter()
+            .map(|b| format!("{{\"status\":200,\"response\":{b}}}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let byte_identical = batch_resp == expected;
+    assert!(
+        byte_identical,
+        "batch bytes diverged from singles:\n{batch_resp}\nvs\n{expected}"
+    );
+
+    ServingConnections {
+        requests: opts.requests,
+        close_rps: close.throughput_rps,
+        reuse_rps: reuse.throughput_rps,
+        reuse_speedup: reuse.throughput_rps / close.throughput_rps.max(f64::MIN_POSITIVE),
+        pipeline_rps: pipelined.throughput_rps,
+        pipeline_depth,
+        batch_size,
+        batch_rps: batched.throughput_rps,
+        batch_speedup: batched.throughput_rps / reuse.throughput_rps.max(f64::MIN_POSITIVE),
+        open_loop_rate_rps: rate,
+        open_loop_p50_us: open.p50_us,
+        open_loop_p95_us: open.p95_us,
+        open_loop_p99_us: open.p99_us,
         byte_identical,
     }
 }
@@ -400,5 +741,89 @@ mod tests {
         assert_eq!(client_pool().workers(), before);
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn replay_modes_all_succeed_on_the_same_workload() {
+        let server = spawn(&ServeConfig::default()).expect("bind");
+        let addr = server.addr();
+        let workload = mixed_workload(&LoadOptions {
+            requests: 24,
+            pool: 3,
+            scenario_n: 8,
+            ..LoadOptions::default()
+        });
+        for (label, opts) in [
+            (
+                "reuse",
+                ReplayOptions {
+                    clients: 3,
+                    mode: ConnMode::Reuse,
+                    ..ReplayOptions::default()
+                },
+            ),
+            (
+                "pipeline",
+                ReplayOptions {
+                    clients: 2,
+                    mode: ConnMode::Reuse,
+                    pipeline: 4,
+                    ..ReplayOptions::default()
+                },
+            ),
+            (
+                "batch",
+                ReplayOptions {
+                    clients: 2,
+                    mode: ConnMode::Reuse,
+                    batch: Some(4),
+                    ..ReplayOptions::default()
+                },
+            ),
+            (
+                "open-loop",
+                ReplayOptions {
+                    clients: 2,
+                    mode: ConnMode::Reuse,
+                    rate_rps: Some(500.0),
+                    ..ReplayOptions::default()
+                },
+            ),
+        ] {
+            let summary = replay_with(addr, &workload, &opts);
+            assert_eq!(summary.requests, 24, "{label}");
+            assert_eq!(summary.failed(), 0, "{label}: {summary:?}");
+            assert!(
+                summary.p50_us <= summary.p95_us && summary.p95_us <= summary.p99_us,
+                "{label}: percentiles must be ordered: {summary:?}"
+            );
+        }
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn batch_entry_splices_the_endpoint_discriminator() {
+        assert_eq!(
+            batch_entry("/v1/equilibrium", r#"{"nu":1.0}"#),
+            r#"{"endpoint":"equilibrium","nu":1.0}"#
+        );
+        assert_eq!(
+            batch_entry("/v1/capacity", "{}"),
+            r#"{"endpoint":"capacity"}"#
+        );
+    }
+
+    #[test]
+    fn connection_bench_quick_holds_its_invariants() {
+        let bench = connection_bench(true);
+        assert_eq!(bench.requests, 96);
+        assert!(bench.byte_identical, "batch must match singles: {bench:?}");
+        assert!(bench.close_rps > 0.0 && bench.reuse_rps > 0.0);
+        assert!(bench.batch_rps > 0.0 && bench.pipeline_rps > 0.0);
+        assert!(
+            bench.open_loop_p50_us <= bench.open_loop_p95_us
+                && bench.open_loop_p95_us <= bench.open_loop_p99_us
+        );
     }
 }

@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v4"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v5"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -172,5 +172,23 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     assert!(
         serving["hit_rate"].as_f64().unwrap() > 0.5,
         "warm replays must dominate the cache traffic: {serving}"
+    );
+
+    // The connection-layer A/Bs: same caveat on timings, so assert the
+    // correctness invariants (byte-identical batches, every pass
+    // produced throughput, percentiles ordered).
+    let sc = &v["serving_connections"];
+    assert_eq!(sc["byte_identical"].as_bool(), Some(true));
+    for key in ["close_rps", "reuse_rps", "pipeline_rps", "batch_rps"] {
+        assert!(sc[key].as_f64().unwrap() > 0.0, "missing {key}: {sc}");
+    }
+    let (p50, p95, p99) = (
+        sc["open_loop_p50_us"].as_u64().unwrap(),
+        sc["open_loop_p95_us"].as_u64().unwrap(),
+        sc["open_loop_p99_us"].as_u64().unwrap(),
+    );
+    assert!(
+        p50 <= p95 && p95 <= p99,
+        "open-loop percentiles out of order"
     );
 }

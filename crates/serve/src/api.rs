@@ -44,6 +44,8 @@ const MAX_GRID: usize = 256;
 /// CP-count bound for `/v1/capacity` (each probe is a full strategy grid
 /// search; million-CP capacity sizing is a batch job, not a query).
 const MAX_CAPACITY_CPS: usize = 5_000;
+/// Most sub-queries one `/v1/batch` request may carry.
+pub const MAX_BATCH: usize = 64;
 
 /// A rejected request: HTTP status plus a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,11 +191,24 @@ impl ApiRequest {
         } else {
             parse(body).map_err(|e| ApiError::bad(format!("body is not valid JSON: {e}")))?
         };
+        Self::parse_value(path, &v)
+    }
+
+    /// Parse and validate an already-decoded JSON body routed to `path`.
+    /// This is [`ApiRequest::parse`] minus the JSON decode — the shared
+    /// entry point for single queries and `/v1/batch` sub-queries, so a
+    /// batched query passes exactly the validation its single-query twin
+    /// does and canonicalizes to the same cache key.
+    ///
+    /// # Errors
+    ///
+    /// `404` for unknown routes, `400` for bodies that fail validation.
+    pub fn parse_value(path: &str, v: &Value) -> Result<Self, ApiError> {
         match path {
             "/v1/equilibrium" => {
-                let scenario = scenario_of(&v)?;
-                let n = check_n(usize_field(&v, "n", 1000)?, MAX_CPS)?;
-                let nu = check_nu(f64_field(&v, "nu")?)?;
+                let scenario = scenario_of(v)?;
+                let n = check_n(usize_field(v, "n", 1000)?, MAX_CPS)?;
+                let nu = check_nu(f64_field(v, "nu")?)?;
                 let include_profile = v
                     .get("include_profile")
                     .and_then(Value::as_bool)
@@ -211,10 +226,10 @@ impl ApiRequest {
                 }))
             }
             "/v1/strategy" => {
-                let scenario = scenario_of(&v)?;
-                let n = check_n(usize_field(&v, "n", 1000)?, MAX_CPS)?;
-                let nu = check_nu(f64_field(&v, "nu")?)?;
-                let kappa = f64_field(&v, "kappa").unwrap_or(1.0);
+                let scenario = scenario_of(v)?;
+                let n = check_n(usize_field(v, "n", 1000)?, MAX_CPS)?;
+                let nu = check_nu(f64_field(v, "nu")?)?;
+                let kappa = f64_field(v, "kappa").unwrap_or(1.0);
                 if !(0.0..=1.0).contains(&kappa) {
                     return Err(ApiError::bad("kappa must be in [0, 1]"));
                 }
@@ -234,11 +249,11 @@ impl ApiRequest {
                     None => {
                         // Shorthand: canonicalize {c_max, c_steps} to the
                         // grid it denotes, so both spellings share a key.
-                        let c_max = f64_field(&v, "c_max").unwrap_or(1.0);
+                        let c_max = f64_field(v, "c_max").unwrap_or(1.0);
                         if !c_max.is_finite() || c_max <= 0.0 {
                             return Err(ApiError::bad("c_max must be finite and positive"));
                         }
-                        let steps = usize_field(&v, "c_steps", 9)?;
+                        let steps = usize_field(v, "c_steps", 9)?;
                         if !(2..=MAX_GRID).contains(&steps) {
                             return Err(ApiError::bad(format!(
                                 "c_steps must be in 2..={MAX_GRID}"
@@ -261,18 +276,18 @@ impl ApiRequest {
                 }))
             }
             "/v1/capacity" => {
-                let scenario = scenario_of(&v)?;
-                let n = check_n(usize_field(&v, "n", 100)?, MAX_CAPACITY_CPS)?;
-                let nu = check_nu(f64_field(&v, "nu")?)?;
-                let target_fraction = f64_field(&v, "target_fraction")?;
+                let scenario = scenario_of(v)?;
+                let n = check_n(usize_field(v, "n", 100)?, MAX_CAPACITY_CPS)?;
+                let nu = check_nu(f64_field(v, "nu")?)?;
+                let target_fraction = f64_field(v, "target_fraction")?;
                 if !(0.0..=1.0).contains(&target_fraction) {
                     return Err(ApiError::bad("target_fraction must be in [0, 1]"));
                 }
-                let c_max = f64_field(&v, "c_max").unwrap_or(1.0);
+                let c_max = f64_field(v, "c_max").unwrap_or(1.0);
                 if !c_max.is_finite() || c_max <= 0.0 {
                     return Err(ApiError::bad("c_max must be finite and positive"));
                 }
-                let grid_n = usize_field(&v, "grid_n", 4)?;
+                let grid_n = usize_field(v, "grid_n", 4)?;
                 if !(2..=12).contains(&grid_n) {
                     return Err(ApiError::bad("grid_n must be in 2..=12"));
                 }
@@ -350,6 +365,56 @@ impl ApiRequest {
             ApiRequest::Capacity(p) => handle_capacity(p, scenarios),
         }
     }
+}
+
+/// Parse a `/v1/batch` body: `{"queries": [{"endpoint": "equilibrium" |
+/// "strategy" | "capacity", ...params}, ...]}` where each element carries
+/// the same parameter fields its single-query endpoint takes. Validation
+/// is all-or-nothing — one malformed sub-query rejects the whole batch,
+/// so a batch never partially executes on a client-side bug.
+///
+/// # Errors
+///
+/// `400` when the body is not valid JSON, `queries` is missing, empty or
+/// longer than [`MAX_BATCH`], or any sub-query fails its endpoint's
+/// validation (the error names the offending index).
+pub fn parse_batch(body: &str) -> Result<Vec<ApiRequest>, ApiError> {
+    let v = parse(body).map_err(|e| ApiError::bad(format!("body is not valid JSON: {e}")))?;
+    let queries = v
+        .get("queries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ApiError::bad("batch body must carry a \"queries\" array"))?;
+    if queries.is_empty() || queries.len() > MAX_BATCH {
+        return Err(ApiError::bad(format!(
+            "queries must have 1..={MAX_BATCH} entries, got {}",
+            queries.len()
+        )));
+    }
+    queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let endpoint = q
+                .get("endpoint")
+                .and_then(Value::as_str)
+                .ok_or_else(|| ApiError::bad(format!("queries[{i}]: missing \"endpoint\"")))?;
+            let path = match endpoint {
+                "equilibrium" => "/v1/equilibrium",
+                "strategy" => "/v1/strategy",
+                "capacity" => "/v1/capacity",
+                other => {
+                    return Err(ApiError::bad(format!(
+                        "queries[{i}]: unknown endpoint {other:?} \
+                         (expected equilibrium | strategy | capacity)"
+                    )))
+                }
+            };
+            ApiRequest::parse_value(path, q).map_err(|e| ApiError {
+                status: 400,
+                message: format!("queries[{i}]: {}", e.message),
+            })
+        })
+        .collect()
 }
 
 fn handle_equilibrium(

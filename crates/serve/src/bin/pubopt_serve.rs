@@ -3,7 +3,9 @@
 //! ```text
 //! cargo run --release -p pubopt-serve --bin pubopt-serve -- \
 //!     [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-//!     [--cache-shards N] [--cache-capacity N] [--chaos SEED]
+//!     [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
+//!     [--max-connections N] [--max-pipeline N] \
+//!     [--read-timeout-ms MS] [--idle-timeout-ms MS]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (port 0 resolves
@@ -32,6 +34,16 @@ fn main() -> ExitCode {
             "--queue-depth" => parse_into(&mut value, "--queue-depth", &mut config.queue_depth),
             "--cache-shards" => parse_into(&mut value, "--cache-shards", &mut config.cache_shards),
             "--cache-capacity" => parse_into(&mut value, "--cache-capacity", &mut cache_capacity),
+            "--max-connections" => {
+                parse_into(&mut value, "--max-connections", &mut config.max_connections)
+            }
+            "--max-pipeline" => parse_into(&mut value, "--max-pipeline", &mut config.max_pipeline),
+            "--read-timeout-ms" => {
+                parse_into(&mut value, "--read-timeout-ms", &mut config.read_timeout_ms)
+            }
+            "--idle-timeout-ms" => {
+                parse_into(&mut value, "--idle-timeout-ms", &mut config.idle_timeout_ms)
+            }
             "--chaos" => {
                 let mut seed = 0u64;
                 let r = parse_into(&mut value, "--chaos", &mut seed);
@@ -49,7 +61,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: pubopt-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-                     [--cache-shards N] [--cache-capacity N] [--chaos SEED]"
+                     [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
+                     [--max-connections N] [--max-pipeline N] \
+                     [--read-timeout-ms MS] [--idle-timeout-ms MS]"
                 );
                 return ExitCode::SUCCESS;
             }

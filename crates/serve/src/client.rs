@@ -1,8 +1,18 @@
 //! A minimal blocking HTTP client for the daemon's protocol.
 //!
-//! One request per connection, mirroring the server's `Connection: close`
-//! discipline. Used by the loadgen harness, the CI smoke test, and the
-//! serve integration tests — anything in-repo that needs to speak to the
+//! Two disciplines, matching the two sides of the serving A/B:
+//!
+//! * The free functions ([`request`], [`post`], [`get`]) open a fresh
+//!   connection per request and send `Connection: close` — the
+//!   pre-keep-alive behaviour, kept as the A/B baseline and for one-shot
+//!   callers (smoke probes, shutdown pokes).
+//! * [`Client`] holds one connection open across requests (HTTP/1.1
+//!   keep-alive), reconnecting transparently when the daemon closed it
+//!   (idle timeout, restart), and can [`Client::pipeline`] several
+//!   requests down the socket before reading any response back.
+//!
+//! Used by the loadgen harness, the CI smoke job, and the serve
+//! integration tests — anything in-repo that needs to speak to the
 //! daemon without an external HTTP library.
 
 use std::io::{Read, Write};
@@ -12,7 +22,8 @@ use std::time::Duration;
 /// Connect/read timeout for a single request.
 const TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Issue one request and return `(status, body)`.
+/// Issue one request on a fresh connection (`Connection: close`) and
+/// return `(status, body)`.
 ///
 /// # Errors
 ///
@@ -27,17 +38,18 @@ pub fn request(
     let mut stream = TcpStream::connect_timeout(&addr, TIMEOUT)?;
     stream.set_read_timeout(Some(TIMEOUT))?;
     stream.set_write_timeout(Some(TIMEOUT))?;
-    let head = format!(
+    stream.set_nodelay(true)?;
+    let mut wire = format!(
         "{method} {path} HTTP/1.1\r\nHost: pubopt\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    )
+    .into_bytes();
+    wire.extend_from_slice(body.as_bytes());
+    stream.write_all(&wire)?;
     stream.flush()?;
 
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
-    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned());
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| bad("response has no header/body split"))?;
@@ -49,7 +61,7 @@ pub fn request(
     Ok((status, body.to_owned()))
 }
 
-/// `POST path` with a JSON body.
+/// `POST path` with a JSON body on a fresh connection.
 ///
 /// # Errors
 ///
@@ -58,11 +70,227 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<(u16, S
     request(addr, "POST", path, body)
 }
 
-/// `GET path`.
+/// `GET path` on a fresh connection.
 ///
 /// # Errors
 ///
 /// See [`request`].
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, "")
+}
+
+fn bad(m: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_owned())
+}
+
+/// A keep-alive client: one TCP connection reused across requests.
+///
+/// The connection is opened lazily on the first request and re-opened
+/// transparently if the daemon closed it between requests (idle timeout,
+/// `Connection: close` response, restart). Responses are framed by
+/// `Content-Length`, so pipelined responses can be peeled off one
+/// persistent buffer in order.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Response bytes read but not yet consumed (tail of a read that
+    /// crossed a response boundary).
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// A client for `addr`. Does not connect yet — the first request
+    /// does.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Issue one request on the persistent connection and return
+    /// `(status, body)`. If the daemon had closed the idle connection,
+    /// reconnects and retries once.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures (after the one reconnect attempt) or an unframeable
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(e) if reused => {
+                // A reused connection may have died between requests —
+                // that's the keep-alive race, not a server error. One
+                // fresh-connection retry is safe: the failed request
+                // never completed.
+                self.reset();
+                self.try_request(method, path, body).map_err(|_| e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `POST path` with a JSON body on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET path` on the persistent connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request("GET", path, "")
+    }
+
+    /// Pipeline: write every `(path, body)` POST down the socket, then
+    /// read the responses back in order. The daemon guarantees response
+    /// order matches request order (asserted by `tests/serve_transport`).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures or an unframeable response. No retry — a pipelined
+    /// burst that fails mid-flight is ambiguous, and the harness treats
+    /// it as failed requests.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(String, String)],
+    ) -> std::io::Result<Vec<(u16, String)>> {
+        let mut wire = Vec::new();
+        for (path, body) in requests {
+            write_request(&mut wire, "POST", path, body);
+        }
+        let stream = self.ensure_stream()?;
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        let mut out = Vec::with_capacity(requests.len());
+        for _ in requests {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
+    }
+
+    /// Drop the persistent connection (the next request reconnects).
+    pub fn reset(&mut self) {
+        self.stream = None;
+        self.buf.clear();
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let mut wire = Vec::new();
+        write_request(&mut wire, method, path, body);
+        let stream = self.ensure_stream()?;
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn ensure_stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, TIMEOUT)?;
+            stream.set_read_timeout(Some(TIMEOUT))?;
+            stream.set_write_timeout(Some(TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.buf.clear();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just ensured"))
+    }
+
+    /// Read one `Content-Length`-framed response off the persistent
+    /// buffer, reading more bytes as needed.
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("response has no status code"))?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in head.lines().skip(1) {
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| bad("response Content-Length is not a number"))?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        let body_end = head_end + content_length;
+        while self.buf.len() < body_end {
+            self.fill()?;
+        }
+        let body = String::from_utf8_lossy(&self.buf[head_end..body_end]).into_owned();
+        self.buf.drain(..body_end);
+        if close {
+            // The daemon is done with this connection; don't let the next
+            // request write into a dead socket.
+            self.reset();
+        }
+        Ok((status, body))
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| bad("connection closed mid-response"))?;
+        let mut tmp = [0u8; 4096];
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            self.stream = None;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&tmp[..n]);
+        Ok(())
+    }
+}
+
+/// Serialize one keep-alive request (HTTP/1.1 default: persistent).
+fn write_request(wire: &mut Vec<u8>, method: &str, path: &str, body: &str) {
+    wire.extend_from_slice(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: pubopt\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    wire.extend_from_slice(body.as_bytes());
+}
+
+/// Position just past the `\r\n\r\n` head terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }

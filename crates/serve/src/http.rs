@@ -1,22 +1,31 @@
-//! Minimal HTTP/1.1 framing: just enough protocol for the query daemon.
+//! HTTP/1.1 framing for the query daemon: incremental parsing over a
+//! byte buffer, keep-alive negotiation, and a tiny response writer.
 //!
-//! One request per connection (`Connection: close` on every response), a
-//! strict size-bounded reader, and a tiny response writer. No chunked
-//! transfer, no keep-alive, no TLS — the daemon speaks to trusted
-//! clients (the loadgen harness, CI, notebooks) on a local socket, and
-//! per-request connections keep worker state machines trivial. Bodies
-//! are JSON both ways, written with the in-repo `pubopt_obs::json`
-//! writer.
+//! The parser is *pull-based*: [`parse_request`] inspects a borrowed
+//! byte buffer and either yields one complete request plus the number of
+//! bytes it consumed, reports "not enough bytes yet", or rejects the
+//! prefix as malformed/oversized. Nothing here reads a socket — the
+//! reactor ([`crate::server`]) owns all socket reads (nonblocking) and
+//! simply re-offers its growing buffer, which is what makes pipelining
+//! free: a buffer holding three back-to-back requests parses three times
+//! in arrival order. [`drain_requests`] wraps that loop and compacts the
+//! consumed prefix.
+//!
+//! Keep-alive follows the HTTP/1.x defaults: 1.1 connections persist
+//! unless the client sends `Connection: close`; 1.0 connections close
+//! unless the client asks `Connection: keep-alive`. The response writer
+//! mirrors the decision in its own `Connection` header. No chunked
+//! transfer, no TLS — the daemon speaks to trusted clients (the loadgen
+//! harness, CI, notebooks) on a local socket. Bodies are JSON both ways.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::Write;
 
 /// Upper bound on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub(crate) const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Upper bound on a request body.
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+pub(crate) const MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// A parsed request: method, path and the (possibly empty) body.
+/// A parsed request: method, path, body, and its connection intent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, … (uppercased as received).
@@ -26,9 +35,12 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes decoded to UTF-8.
     pub body: String,
+    /// Whether the connection should persist after this exchange, per
+    /// the version default and any `Connection` header.
+    pub keep_alive: bool,
 }
 
-/// Protocol-level failures while reading a request.
+/// Protocol-level failures while parsing a request.
 #[derive(Debug)]
 pub enum HttpError {
     /// Underlying socket error (peer reset, timeout, …).
@@ -57,17 +69,54 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Read one request from `stream`.
+/// Locate the end of the head: the index one past the blank line.
+/// Accepts both CRLF and bare-LF line endings (the old streaming parser
+/// tolerated bare LF, and in-repo test fixtures use it).
+fn head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // A line just ended; a following "\r\n" or "\n" blank line
+            // terminates the head.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Try to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix of a request
+/// (read more and retry), `Ok(Some((req, consumed)))` when a full
+/// request parsed (`consumed` bytes belong to it), and an error when the
+/// prefix can never become a valid request.
 ///
 /// # Errors
 ///
-/// [`HttpError::Malformed`] for garbage on the wire, [`HttpError::TooLarge`]
-/// past the size bounds, [`HttpError::Io`] for socket failures.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    read_line_bounded(&mut reader, &mut line, MAX_HEAD_BYTES)?;
-    let mut parts = line.split_whitespace();
+/// [`HttpError::Malformed`] for garbage on the wire,
+/// [`HttpError::TooLarge`] when the head or declared body exceeds the
+/// hard size bounds.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("header block"));
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge("header block"));
+    }
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::Malformed("head not UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
         .ok_or(HttpError::Malformed("empty request line"))?
@@ -80,53 +129,76 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("not an HTTP/1.x request"));
     }
+    // Persistence default per version, overridable by `Connection`.
+    let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
-    let mut head_bytes = line.len();
-    loop {
-        line.clear();
-        read_line_bounded(&mut reader, &mut line, MAX_HEAD_BYTES)?;
-        head_bytes += line.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge("header block"));
-        }
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
+    for line in lines {
+        if line.is_empty() {
             break;
         }
-        if let Some((name, value)) = trimmed.split_once(':') {
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge("body"));
     }
-
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf[head_len..total].to_vec())
+        .map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    Ok(Some((
+        Request {
+            method,
+            path,
+            body,
+            keep_alive,
+        },
+        total,
+    )))
 }
 
-fn read_line_bounded(
-    reader: &mut BufReader<&mut TcpStream>,
-    line: &mut String,
-    max: usize,
-) -> Result<(), HttpError> {
-    let mut taken = reader.take(max as u64 + 1);
-    let n = taken.read_line(line)?;
-    if n > max {
-        return Err(HttpError::TooLarge("request line"));
+/// Parse up to `max` complete requests off the front of `buf`, compacting
+/// the consumed prefix. A partial request (or an empty buffer) yields an
+/// empty vec; later bytes stay put for the next offer. This is the
+/// pipelining entry point: arrival order in the buffer *is* response
+/// order, because the caller serves the returned vec sequentially.
+///
+/// # Errors
+///
+/// Propagates the first parse error; the buffer is left as-is (the
+/// connection is doomed — framing cannot be re-synchronized after
+/// garbage).
+pub fn drain_requests(buf: &mut Vec<u8>, max: usize) -> Result<Vec<Request>, HttpError> {
+    let mut out = Vec::new();
+    let mut consumed = 0;
+    while out.len() < max {
+        match parse_request(&buf[consumed..])? {
+            Some((req, n)) => {
+                out.push(req);
+                consumed += n;
+            }
+            None => break,
+        }
     }
-    if n == 0 {
-        return Err(HttpError::Malformed("connection closed mid-request"));
+    if consumed > 0 {
+        buf.drain(..consumed);
     }
-    Ok(())
+    Ok(out)
 }
 
 /// Human reason phrase for the status codes the daemon emits.
@@ -136,6 +208,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -143,26 +216,34 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a JSON response with `Connection: close` and return the number
-/// of body bytes written. Flushes before returning.
+/// Write a JSON response, advertising `Connection: keep-alive` or
+/// `close` per `keep_alive`, and return the number of body bytes
+/// written. Flushes before returning.
 ///
 /// # Errors
 ///
 /// Propagates socket write failures (the peer may have hung up; callers
 /// treat that as a lost client, not a daemon fault).
 pub fn write_response(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     body: &str,
+    keep_alive: bool,
 ) -> Result<usize, std::io::Error> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    // One buffer, one write: a head-then-body pair of small writes on a
+    // keep-alive connection stalls ~40ms on Nagle + delayed-ACK (the
+    // body segment waits for the ACK of the head segment once the
+    // peer's quickack grace period decays).
+    let mut wire = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         status,
         reason(status),
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes();
+    wire.extend_from_slice(body.as_bytes());
+    stream.write_all(&wire)?;
     stream.flush()?;
     Ok(body.len())
 }
@@ -170,84 +251,122 @@ pub fn write_response(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
-    use std::thread;
 
-    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let client = thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&raw).unwrap();
-        });
-        let (mut server_side, _) = listener.accept().unwrap();
-        let req = read_request(&mut server_side);
-        client.join().unwrap();
-        req
+    fn one(raw: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+        parse_request(raw)
     }
 
     #[test]
     fn parses_post_with_body() {
-        let req = round_trip(
-            b"POST /v1/equilibrium HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"nu\": 2.0}",
-        )
-        .unwrap();
+        let raw: &[u8] =
+            b"POST /v1/equilibrium HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"nu\": 2.0}";
+        let (req, n) = one(raw).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/equilibrium");
         assert_eq!(req.body, "{\"nu\": 2.0}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(n, raw.len(), "consumed must cover the exact request");
     }
 
     #[test]
-    fn parses_get_without_body() {
-        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    fn parses_get_without_body_and_bare_lf() {
+        let (req, _) = one(b"GET /healthz HTTP/1.1\n\n").unwrap().unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
     }
 
     #[test]
+    fn connection_header_overrides_version_default() {
+        let (req, _) = one(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let (req, _) = one(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+        let (req, _) = one(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more_bytes() {
+        assert!(one(b"").unwrap().is_none());
+        assert!(one(b"POST /x HTT").unwrap().is_none());
+        assert!(one(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab")
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
     fn rejects_garbage() {
+        assert!(matches!(one(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
         assert!(matches!(
-            round_trip(b"\r\n\r\n"),
+            one(b"POST /x SMTP/1.0\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
         assert!(matches!(
-            round_trip(b"POST /x SMTP/1.0\r\n\r\n"),
-            Err(HttpError::Malformed(_))
-        ));
-        assert!(matches!(
-            round_trip(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            one(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
     }
 
     #[test]
-    fn rejects_oversized_body_declaration() {
+    fn rejects_oversized_body_declaration_and_head() {
         let raw = format!(
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
-        assert!(matches!(
-            round_trip(raw.as_bytes()),
-            Err(HttpError::TooLarge(_))
-        ));
+        assert!(matches!(one(raw.as_bytes()), Err(HttpError::TooLarge(_))));
+        let huge = vec![b'A'; MAX_HEAD_BYTES + 2];
+        assert!(matches!(one(&huge), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn drain_parses_pipelined_requests_in_order() {
+        let mut buf = Vec::new();
+        for path in ["/a", "/b", "/c"] {
+            buf.extend_from_slice(
+                format!("POST {path} HTTP/1.1\r\nContent-Length: 2\r\n\r\n{{}}").as_bytes(),
+            );
+        }
+        // And a trailing partial request.
+        buf.extend_from_slice(b"POST /d HTTP/1.1\r\nContent-Le");
+        let reqs = drain_requests(&mut buf, 16).unwrap();
+        let paths: Vec<&str> = reqs.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+        assert_eq!(buf, b"POST /d HTTP/1.1\r\nContent-Le");
+        assert!(drain_requests(&mut buf, 16).unwrap().is_empty());
+    }
+
+    #[test]
+    fn drain_honors_the_pipeline_bound() {
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        }
+        let first = drain_requests(&mut buf, 2).unwrap();
+        assert_eq!(first.len(), 2);
+        let rest = drain_requests(&mut buf, 16).unwrap();
+        assert_eq!(rest.len(), 3);
+        assert!(buf.is_empty());
     }
 
     #[test]
     fn response_is_well_formed() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let server = thread::spawn(move || {
-            let (mut s, _) = listener.accept().unwrap();
-            write_response(&mut s, 200, "{\"ok\":true}").unwrap();
-        });
-        let mut s = TcpStream::connect(addr).unwrap();
-        let mut text = String::new();
-        s.read_to_string(&mut text).unwrap();
-        server.join().unwrap();
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: keep-alive\r\n"));
     }
 }

@@ -9,18 +9,29 @@
 //! `std::net::TcpListener` with
 //!
 //! * three query endpoints (`/v1/equilibrium`, `/v1/strategy`,
-//!   `/v1/capacity`) plus `/healthz`, `/v1/stats` and `/v1/shutdown`;
+//!   `/v1/capacity`), a `/v1/batch` endpoint solving an array of queries
+//!   through one warm pass, plus `/healthz`, `/v1/stats` and
+//!   `/v1/shutdown`;
+//! * an **event-driven connection layer** ([`server`]): one
+//!   readiness-polling reactor owns every socket read (nonblocking
+//!   accept, HTTP/1.1 keep-alive, bounded pipelining, read/idle
+//!   timeouts), so a slow or half-closed client can never occupy a
+//!   worker thread;
 //! * a sharded LRU **response cache** keyed by canonicalized parameters
 //!   ([`api`]) — repeated questions replay the first solve's exact bytes;
 //! * a **warm pool** ([`state`]) carrying `SweepCache`/`WarmStart`/
 //!   `GameWarmStart` solver state across requests, exact by the PR 3
-//!   contract (hints change effort, never values);
+//!   contract (hints change effort, never values) — batch sub-queries
+//!   run the identical path, so batch responses are byte-identical to
+//!   singles;
 //! * a fixed worker pool behind a bounded queue with `429` shedding, and
 //!   per-request panic isolation so an injected chaos fault never drops
-//!   the listener ([`server`]).
+//!   the listener.
 //!
-//! The [`client`] module is the matching one-connection-per-request
-//! blocking client used by the loadgen harness and CI smoke test.
+//! The [`client`] module is the matching blocking client: one-shot
+//! free functions (the `Connection: close` baseline) and a keep-alive
+//! [`client::Client`] with pipelining, used by the loadgen harness and
+//! CI smoke job.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -32,7 +43,8 @@ pub mod http;
 pub mod server;
 pub mod state;
 
-pub use api::{ApiError, ApiRequest};
+pub use api::{parse_batch, ApiError, ApiRequest};
 pub use cache::{CacheStats, ShardedCache};
+pub use client::Client;
 pub use server::{spawn, ServeConfig, ServerHandle};
 pub use state::{ScenarioStore, WarmPool};

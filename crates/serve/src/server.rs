@@ -1,45 +1,76 @@
-//! The daemon: listener thread, bounded connection queue, worker pool.
+//! The daemon: a readiness-polling reactor, a worker pool, and the
+//! per-connection state machine.
 //!
-//! Threading model. One listener thread accepts connections (non-blocking
-//! accept polled against the shutdown flag) and submits each accepted
-//! stream as a job to a *dedicated* `pubopt-sched` pool of `workers`
-//! threads; each job reads one request, serves it, and closes. The pool
-//! is dedicated — not [`pubopt_sched::Pool::global`] — because connection
-//! handlers block on sockets, and blocking tasks must never occupy the
-//! process-wide compute pool's workers (a daemon and a sweep in one
-//! process would otherwise starve each other). The job backlog is
-//! bounded: when [`pubopt_sched::Pool::queued_jobs`] reaches
-//! `queue_depth` the *listener* answers `429 Too Many Requests`
-//! immediately — backpressure is explicit and cheap rather than an
-//! unbounded backlog with silent tail latency.
+//! Threading model. One *reactor* thread owns every socket read: it
+//! accepts new connections (nonblocking), polls every resident
+//! connection's socket with nonblocking reads into a per-connection
+//! buffer, enforces the timeout policy, and — once a buffer holds at
+//! least one complete request — hands the connection (stream + parsed
+//! requests + leftover bytes) to a dedicated `pubopt-sched` pool of
+//! `workers` threads. Workers never read a socket: they solve, write
+//! responses in arrival order, parse any further requests already
+//! buffered (pipelining), and then either close the connection or send
+//! it back to the reactor to await the next request. A connection
+//! therefore moves through the state machine
 //!
-//! Fault isolation. Workers run the solver step inside `catch_unwind`: a
+//! ```text
+//! reading ──complete request(s)──▶ solving ──▶ writing ──keep-alive──▶ reading
+//!    │                                              │
+//!    ├─ read/idle timeout ▶ closed                  └─ close/EOF ▶ closed
+//! ```
+//!
+//! with ownership transferring wholesale between reactor and worker, so
+//! no per-connection lock exists and responses cannot interleave. The
+//! payoff over the old thread-per-connection design: a slow, stalled, or
+//! half-closed client sits in the reactor's connection table (cheap — a
+//! buffer and a timestamp) and *can never occupy a worker thread*;
+//! workers only ever hold connections whose requests are fully buffered.
+//!
+//! Timeout policy (all configurable on [`ServeConfig`]):
+//! * **read timeout** — a connection whose request started arriving must
+//!   deliver a complete head+body within `read_timeout_ms` of its first
+//!   byte, or it is closed (slow-loris trickle included: the clock runs
+//!   from the first byte of the *current* request, not the last byte
+//!   received).
+//! * **idle timeout** — a keep-alive connection with no buffered bytes
+//!   may sit for `idle_timeout_ms` before the daemon closes it.
+//!
+//! Backpressure. The worker pool's job backlog is bounded: a connection
+//! whose requests are ready but would push [`pubopt_sched::Pool::queued_jobs`]
+//! past `queue_depth` is answered `429 Too Many Requests` and closed —
+//! explicit, cheap shedding instead of unbounded queueing. A connection
+//! cap (`max_connections`) bounds the reactor table the same way.
+//!
+//! Fault isolation. Workers run each solve inside `catch_unwind`: a
 //! panicking solve (or an injected chaos fault) costs that request a
-//! `500` and nothing else — the worker loops on, the listener never
-//! stops, and no lock is held across the unwind boundary. The optional
-//! [`ChaosInjector`] schedules panics as a pure function of the request
-//! sequence number, so a chaos run is reproducible bit-for-bit. (The
-//! executor adds a second net: even a panic escaping the request handler
-//! is caught at the job boundary and never kills a pool thread.)
+//! `500` and nothing else. The optional [`ChaosInjector`] schedules
+//! panics as a pure function of the solved-request sequence number, so a
+//! chaos run is reproducible bit-for-bit.
 //!
 //! Shutdown. `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips a
-//! flag; the listener stops accepting, the pool's workers drain the
-//! queued connections, and [`ServerHandle::join`] reaps every thread.
-//! In-flight requests finish.
+//! flag; the reactor closes its table and exits, the pool's workers
+//! drain in-flight jobs (responses to requests being solved are still
+//! written, marked `Connection: close`), and [`ServerHandle::join`]
+//! reaps every thread.
 
 use crate::api::ApiRequest;
 use crate::cache::{CacheStats, ShardedCache};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{drain_requests, write_response, HttpError, Request};
 use crate::state::{ScenarioStore, WarmPool};
 use pubopt_num::chaos::{ChaosConfig, ChaosInjector};
 use pubopt_obs::json::Value;
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Hard cap on a connection's buffered-but-unparsed bytes: one maximal
+/// head+body plus slack for a pipelined successor's head.
+const BUF_CAP: usize = crate::http::MAX_HEAD_BYTES * 2 + crate::http::MAX_BODY_BYTES;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -49,8 +80,8 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads solving requests.
     pub workers: usize,
-    /// Accepted-connection queue bound; beyond it the listener sheds load
-    /// with `429`.
+    /// Worker-job queue bound; a connection whose requests would exceed
+    /// it is shed with `429`.
     pub queue_depth: usize,
     /// Response-cache shard count.
     pub cache_shards: usize,
@@ -60,6 +91,23 @@ pub struct ServeConfig {
     /// (only [`Fault::Panic`](pubopt_num::chaos::Fault::Panic) is
     /// meaningful here; other fault kinds are treated as panics too).
     pub chaos: Option<ChaosConfig>,
+    /// Most connections the reactor will hold; beyond it new accepts are
+    /// shed with `429`.
+    pub max_connections: usize,
+    /// Most pipelined requests dispatched to a worker per hand-off;
+    /// further buffered requests wait for the next hand-off (fairness
+    /// bound, not a correctness bound — order is preserved regardless).
+    pub max_pipeline: usize,
+    /// Reactor poll interval in microseconds when no event arrived on
+    /// the previous sweep (accept + read readiness are polled; the
+    /// reactor never blocks).
+    pub poll_interval_us: u64,
+    /// A started request must arrive completely within this budget,
+    /// measured from its first byte (slow-loris bound).
+    pub read_timeout_ms: u64,
+    /// A keep-alive connection with nothing buffered is closed after
+    /// this long.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,8 +119,60 @@ impl Default for ServeConfig {
             cache_shards: 8,
             cache_per_shard: 64,
             chaos: None,
+            max_connections: 1024,
+            max_pipeline: 16,
+            poll_interval_us: 200,
+            read_timeout_ms: 5_000,
+            idle_timeout_ms: 10_000,
         }
     }
+}
+
+/// A connection parked in the reactor (or in flight to/from a worker).
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into requests.
+    buf: Vec<u8>,
+    /// When the current partially-buffered request started arriving
+    /// (`None` while the buffer is empty).
+    request_started: Option<Instant>,
+    /// Last transition into the reactor table or byte received — the
+    /// idle clock.
+    idle_since: Instant,
+    /// Responses written on this connection so far.
+    served: u64,
+    /// The peer closed its write side (EOF seen); serve what is buffered
+    /// then close.
+    peer_closed: bool,
+    /// Accepted past `max_connections`: answer the first request with a
+    /// `429` and close, instead of dispatching. Waiting for the request
+    /// before responding lets the kernel deliver our bytes (closing with
+    /// unread input would RST the response away).
+    reject: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            request_started: None,
+            idle_since: Instant::now(),
+            served: 0,
+            peer_closed: false,
+            reject: false,
+        }
+    }
+}
+
+/// What the reactor decides for one connection on one sweep.
+enum Sweep {
+    /// Nothing to do; keep parked.
+    Keep,
+    /// Complete request(s) buffered: hand to a worker.
+    Dispatch(Vec<Request>),
+    /// Close now (EOF with nothing buffered, error, malformed, timeout).
+    Close,
 }
 
 /// Shared daemon state.
@@ -84,13 +184,22 @@ struct Inner {
     /// it is not the global compute pool).
     pool: pubopt_sched::Pool,
     queue_depth: usize,
+    max_pipeline: usize,
     shutdown: AtomicBool,
     requests: AtomicU64,
     shed: AtomicU64,
     panics: AtomicU64,
     seq: AtomicU64,
+    accepted: AtomicU64,
+    reused: AtomicU64,
+    timeouts: AtomicU64,
+    batches: AtomicU64,
     chaos: Option<ChaosInjector>,
     workers: usize,
+    /// Return channel: workers send keep-alive connections back to the
+    /// reactor here. Senders are cloned per job; when the reactor exits
+    /// the sends fail and the connections drop closed.
+    back_tx: Mutex<Sender<Conn>>,
 }
 
 /// A running daemon. Dropping the handle does *not* stop the server; call
@@ -102,7 +211,7 @@ pub struct ServerHandle {
 }
 
 /// Start a daemon per `config` and return its handle once the socket is
-/// bound and the workers are running.
+/// bound and the reactor is running.
 ///
 /// # Errors
 ///
@@ -112,28 +221,36 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let workers = config.workers.max(1);
+    let (back_tx, back_rx) = std::sync::mpsc::channel();
     let inner = Arc::new(Inner {
         cache: ShardedCache::new(config.cache_shards, config.cache_per_shard),
         scenarios: ScenarioStore::default(),
         warm: WarmPool::default(),
         pool: pubopt_sched::Pool::new(workers),
         queue_depth: config.queue_depth.max(1),
+        max_pipeline: config.max_pipeline.max(1),
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         panics: AtomicU64::new(0),
         seq: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+        reused: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        batches: AtomicU64::new(0),
         chaos: config.chaos.map(ChaosInjector::new),
         workers,
+        back_tx: Mutex::new(back_tx),
     });
 
     let mut threads = Vec::with_capacity(1);
     {
         let inner = Arc::clone(&inner);
+        let config = config.clone();
         threads.push(
             std::thread::Builder::new()
-                .name("serve-listener".into())
-                .spawn(move || listen_loop(&listener, &inner))?,
+                .name("serve-reactor".into())
+                .spawn(move || reactor_loop(&listener, &inner, &back_rx, &config))?,
         );
     }
     Ok(ServerHandle {
@@ -169,8 +286,23 @@ impl ServerHandle {
         self.inner.panics.load(Ordering::Relaxed)
     }
 
-    /// Ask the daemon to stop: the listener closes after its next poll,
-    /// the pool's workers drain the queued connections and exit.
+    /// Connections accepted over the daemon's lifetime.
+    pub fn connections_accepted(&self) -> u64 {
+        self.inner.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests served on an already-used (kept-alive) connection.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.inner.reused.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed by the read/idle timeout policy.
+    pub fn connection_timeouts(&self) -> u64 {
+        self.inner.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Ask the daemon to stop: the reactor closes its table and exits,
+    /// the pool's workers drain in-flight jobs and exit.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.pool.shutdown();
@@ -191,100 +323,282 @@ impl ServerHandle {
     }
 }
 
-fn listen_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    // Non-blocking accept polled against the shutdown flag: plain
-    // blocking accept would park the thread with no portable way to
-    // interrupt it.
+fn reactor_loop(
+    listener: &TcpListener,
+    inner: &Arc<Inner>,
+    back_rx: &Receiver<Conn>,
+    config: &ServeConfig,
+) {
+    let poll_interval = Duration::from_micros(config.poll_interval_us.max(1));
+    let read_timeout = Duration::from_millis(config.read_timeout_ms.max(1));
+    let idle_timeout = Duration::from_millis(config.idle_timeout_ms.max(1));
+    let max_connections = config.max_connections.max(1);
+    let mut conns: Vec<Conn> = Vec::new();
+
     while !inner.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                // The executor's job backlog is the bounded queue. Only
-                // the listener enqueues, so the depth check cannot race
-                // upward past the bound.
-                let backlog = inner.pool.queued_jobs();
-                if backlog >= inner.queue_depth {
-                    // Shed load here, on the listener: a full queue must
-                    // answer in bounded time, not wait for a worker.
-                    inner.shed.fetch_add(1, Ordering::Relaxed);
-                    pubopt_obs::incr("serve.shed");
-                    shed(&mut stream);
-                } else {
-                    pubopt_obs::observe("serve.queue_depth", backlog as u64 + 1);
-                    let job_inner = Arc::clone(inner);
-                    inner.pool.spawn_job(move || {
-                        handle_connection(&job_inner, stream);
-                    });
+        let mut progressed = false;
+
+        // New connections. Nonblocking accept drains the backlog; a
+        // table past the cap sheds at the door in bounded time.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    inner.accepted.fetch_add(1, Ordering::Relaxed);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Responses must not sit in Nagle's buffer waiting
+                    // for a delayed ACK on keep-alive connections.
+                    let _ = stream.set_nodelay(true);
+                    let mut conn = Conn::new(stream);
+                    if conns.len() >= 2 * max_connections {
+                        // Grace table exhausted too: hard-close. At this
+                        // accept rate a reset is the honest signal.
+                        inner.shed.fetch_add(1, Ordering::Relaxed);
+                        pubopt_obs::incr("serve.shed");
+                        continue;
+                    }
+                    if conns.len() >= max_connections {
+                        inner.shed.fetch_add(1, Ordering::Relaxed);
+                        pubopt_obs::incr("serve.shed");
+                        conn.reject = true;
+                    }
+                    conns.push(conn);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Keep-alive connections coming back from workers.
+        while let Ok(mut conn) = back_rx.try_recv() {
+            progressed = true;
+            conn.idle_since = Instant::now();
+            conn.request_started = if conn.buf.is_empty() {
+                None
+            } else {
+                Some(Instant::now())
+            };
+            if conns.len() >= max_connections {
+                // The table filled while the worker held the connection.
+                // Its requests are all answered, so dropping is a normal
+                // keep-alive close — the client reconnects.
+                drop(conn);
+            } else {
+                conns.push(conn);
+            }
+        }
+
+        // Readiness sweep: poll every parked connection.
+        let mut i = 0;
+        while i < conns.len() {
+            match sweep_conn(&mut conns[i], inner, read_timeout, idle_timeout) {
+                Sweep::Keep => i += 1,
+                Sweep::Dispatch(reqs) => {
+                    progressed = true;
+                    let conn = conns.swap_remove(i);
+                    dispatch(inner, conn, reqs);
+                }
+                Sweep::Close => {
+                    progressed = true;
+                    drop(conns.swap_remove(i));
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+
+        if !progressed {
+            std::thread::sleep(poll_interval);
         }
     }
+    // Shutdown: the table drops (closing every parked connection);
+    // workers drain their in-flight jobs via the pool's own shutdown.
 }
 
-/// Answer `429` on a connection that will not be queued. The request
-/// bytes already in flight are drained first: closing a socket with
-/// unread input resets the connection on most TCP stacks, which would
-/// destroy the `429` before the client reads it. The drain is bounded
-/// (time and bytes), so a hostile trickler cannot pin the listener.
-fn shed(stream: &mut TcpStream) {
-    use std::io::Read;
-    // Accepted sockets are blocking (they do not inherit the listener's
-    // non-blocking flag on Linux); the drain must not park the listener.
-    if stream.set_nonblocking(true).is_err() {
-        return;
-    }
-    let mut sink = [0u8; 4096];
-    let deadline = Instant::now() + Duration::from_millis(20);
+/// Poll one parked connection: read whatever is available, enforce the
+/// timeout policy, and parse buffered bytes into dispatchable requests.
+fn sweep_conn(
+    conn: &mut Conn,
+    inner: &Inner,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+) -> Sweep {
+    let mut tmp = [0u8; 4096];
     loop {
-        match stream.read(&mut sink) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(1));
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
             }
-            Err(_) => break,
+            Ok(n) => {
+                if conn.buf.is_empty() {
+                    conn.request_started = Some(Instant::now());
+                }
+                conn.idle_since = Instant::now();
+                conn.buf.extend_from_slice(&tmp[..n]);
+                if conn.buf.len() > BUF_CAP {
+                    let _ = write_response(
+                        &mut conn.stream,
+                        400,
+                        "{\"error\":\"request too large\"}",
+                        false,
+                    );
+                    return Sweep::Close;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Sweep::Close,
         }
     }
-    let _ = stream.set_nonblocking(false);
-    let _ = write_response(stream, 429, "{\"error\":\"queue full, retry later\"}");
-}
 
-/// One pool job: serve a single accepted connection.
-fn handle_connection(inner: &Inner, mut stream: TcpStream) {
-    // Accepted sockets inherit the listener's non-blocking flag on
-    // some platforms; workers want plain blocking reads.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    serve_connection(inner, &mut stream);
-}
-
-fn serve_connection(inner: &Inner, stream: &mut TcpStream) {
-    let started = Instant::now();
-    let req = match read_request(stream) {
-        Ok(r) => r,
+    match drain_requests(&mut conn.buf, inner.max_pipeline) {
+        Ok(reqs) if !reqs.is_empty() => {
+            if conn.reject {
+                // Over the connection cap: the request has fully arrived
+                // (so the kernel will deliver our reply), answer 429 and
+                // close.
+                let _ = write_response(
+                    &mut conn.stream,
+                    429,
+                    "{\"error\":\"connection limit\"}",
+                    false,
+                );
+                return Sweep::Close;
+            }
+            if conn.buf.is_empty() {
+                conn.request_started = None;
+            } else {
+                conn.request_started = Some(Instant::now());
+            }
+            Sweep::Dispatch(reqs)
+        }
+        Ok(_) => {
+            if conn.peer_closed {
+                // EOF with no complete request buffered: nothing left to
+                // serve.
+                return Sweep::Close;
+            }
+            // Timeout policy: a started request must complete within the
+            // read budget; an idle keep-alive connection expires on the
+            // idle budget.
+            if let Some(started) = conn.request_started {
+                if started.elapsed() >= read_timeout {
+                    inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                    pubopt_obs::incr("serve.conn_timeouts");
+                    let _ = write_response(
+                        &mut conn.stream,
+                        408,
+                        "{\"error\":\"request read timed out\"}",
+                        false,
+                    );
+                    return Sweep::Close;
+                }
+            } else if conn.idle_since.elapsed() >= idle_timeout {
+                inner.timeouts.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.conn_timeouts");
+                return Sweep::Close;
+            }
+            Sweep::Keep
+        }
         Err(HttpError::TooLarge(what)) => {
             let body = format!("{{\"error\":\"request too large: {what}\"}}");
-            let _ = write_response(stream, 400, &body);
-            return;
+            let _ = write_response(&mut conn.stream, 400, &body, false);
+            Sweep::Close
         }
         Err(_) => {
-            // Garbage or a peer that hung up mid-request; best-effort
-            // reject and move on.
-            let _ = write_response(stream, 400, "{\"error\":\"malformed request\"}");
-            return;
+            let _ = write_response(
+                &mut conn.stream,
+                400,
+                "{\"error\":\"malformed request\"}",
+                false,
+            );
+            Sweep::Close
         }
-    };
-    let (status, body) = respond(inner, &req);
-    inner.requests.fetch_add(1, Ordering::Relaxed);
-    pubopt_obs::incr("serve.requests");
-    pubopt_obs::observe("serve.latency_us", started.elapsed().as_micros() as u64);
-    let _ = write_response(stream, status, &body);
+    }
+}
+
+/// Hand a connection with ready requests to the worker pool, or shed it
+/// if the job queue is at its bound.
+fn dispatch(inner: &Arc<Inner>, mut conn: Conn, reqs: Vec<Request>) {
+    // Only the reactor enqueues, so the depth check cannot race upward
+    // past the bound.
+    let backlog = inner.pool.queued_jobs();
+    if backlog >= inner.queue_depth {
+        inner.shed.fetch_add(1, Ordering::Relaxed);
+        pubopt_obs::incr("serve.shed");
+        let _ = write_response(
+            &mut conn.stream,
+            429,
+            "{\"error\":\"queue full, retry later\"}",
+            false,
+        );
+        return;
+    }
+    pubopt_obs::observe("serve.queue_depth", backlog as u64 + 1);
+    let job_inner = Arc::clone(inner);
+    inner.pool.spawn_job(move || {
+        handle_requests(&job_inner, conn, reqs);
+    });
+}
+
+/// One pool job: serve a batch of fully-buffered requests on one
+/// connection, in arrival order, then recycle or close the connection.
+/// Never reads the socket — pipelined successors must already be in
+/// `conn.buf` (the reactor's job to gather).
+fn handle_requests(inner: &Arc<Inner>, mut conn: Conn, mut reqs: Vec<Request>) {
+    // Writes are blocking but bounded: a peer that stops reading cannot
+    // hold the worker past the write timeout.
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        for req in reqs.drain(..) {
+            let started = Instant::now();
+            let shutting = inner.shutdown.load(Ordering::SeqCst);
+            let keep = req.keep_alive && !conn.peer_closed && !shutting;
+            let (status, body) = respond(inner, &req);
+            inner.requests.fetch_add(1, Ordering::Relaxed);
+            if conn.served > 0 {
+                inner.reused.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.keepalive_reuses");
+            }
+            pubopt_obs::incr("serve.requests");
+            pubopt_obs::observe("serve.latency_us", started.elapsed().as_micros() as u64);
+            // Re-check shutdown after the solve: /v1/shutdown must close
+            // its own connection.
+            let keep = keep && !inner.shutdown.load(Ordering::SeqCst);
+            if write_response(&mut conn.stream, status, &body, keep).is_err() {
+                return; // lost client; drop closes the socket
+            }
+            conn.served += 1;
+            if !keep {
+                return;
+            }
+        }
+        // Pipelining: serve requests the reactor already buffered without
+        // a round trip through the table. Parsing a bounded buffer, never
+        // reading, keeps this loop finite.
+        match drain_requests(&mut conn.buf, inner.max_pipeline) {
+            Ok(more) if !more.is_empty() => reqs = more,
+            Ok(_) => break,
+            Err(_) => {
+                let _ = write_response(
+                    &mut conn.stream,
+                    400,
+                    "{\"error\":\"malformed request\"}",
+                    false,
+                );
+                return;
+            }
+        }
+    }
+    // Keep-alive: park the connection back in the reactor. If the
+    // reactor is gone (shutdown), the send fails and the drop closes.
+    if conn.stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let back = inner.back_tx.lock().expect("back channel poisoned").clone();
+    let _ = back.send(conn);
 }
 
 /// Route a request to its response. Pure with respect to the socket, so
@@ -300,6 +614,7 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
             inner.pool.shutdown();
             (200, "{\"shutting_down\":true}".to_owned())
         }
+        ("POST", "/v1/batch") => serve_batch(inner, &req.body),
         ("POST", path) => match ApiRequest::parse(path, &req.body) {
             Ok(api) => serve_query(inner, &api),
             Err(e) => (e.status, e.body()),
@@ -314,15 +629,48 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
     }
 }
 
+/// `/v1/batch`: an array of equilibrium/strategy/capacity queries solved
+/// in one request. Each sub-query runs the exact single-query path —
+/// same response cache, same warm pool — so its `response` bytes are
+/// byte-identical to the body the same query gets when issued singly
+/// (asserted by `tests/serve_transport.rs`). The batch's win is
+/// amortization: one HTTP exchange and one worker dispatch for the whole
+/// array, with `SweepCache`/`GameWarmStart` carry flowing uninterrupted
+/// from entry to entry the way fig5/fig8 sweep points feed each other.
+fn serve_batch(inner: &Inner, body: &str) -> (u16, String) {
+    let queries = match crate::api::parse_batch(body) {
+        Ok(q) => q,
+        Err(e) => return (e.status, e.body()),
+    };
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    pubopt_obs::incr("serve.batches");
+    let mut parts = Vec::with_capacity(queries.len());
+    let mut ok = 0usize;
+    for q in &queries {
+        let (status, sub) = serve_query(inner, q);
+        if (200..300).contains(&status) {
+            ok += 1;
+        }
+        // Sub-bodies are JSON; splicing them raw keeps the single-query
+        // bytes intact inside the envelope.
+        parts.push(format!("{{\"status\":{status},\"response\":{sub}}}"));
+    }
+    let body = format!(
+        "{{\"schema\":\"pubopt-serve/v1\",\"endpoint\":\"batch\",\"count\":{},\"ok\":{ok},\"results\":[{}]}}",
+        queries.len(),
+        parts.join(",")
+    );
+    (200, body)
+}
+
 fn serve_query(inner: &Inner, api: &ApiRequest) -> (u16, String) {
     let key = api.canonical_key();
     if let Some(body) = inner.cache.get(&key) {
         return (200, (*body).clone());
     }
     let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-    let chaos = inner.chaos;
     let solved = catch_unwind(AssertUnwindSafe(|| {
-        if let Some(injector) = &chaos {
+        if let Some(injector) = &inner.chaos {
             // Any scheduled fault becomes a worker panic: the serve layer
             // has no numeric result to corrupt, and panic survival is the
             // property under test.
@@ -376,8 +724,28 @@ fn stats_body(inner: &Inner) -> String {
         ("queue_depth".into(), Value::from(queue_len)),
         ("workers".into(), Value::from(inner.workers)),
         (
+            "connections_accepted".into(),
+            Value::from(inner.accepted.load(Ordering::Relaxed)),
+        ),
+        (
+            "keepalive_reuses".into(),
+            Value::from(inner.reused.load(Ordering::Relaxed)),
+        ),
+        (
+            "connection_timeouts".into(),
+            Value::from(inner.timeouts.load(Ordering::Relaxed)),
+        ),
+        (
+            "batches".into(),
+            Value::from(inner.batches.load(Ordering::Relaxed)),
+        ),
+        (
             "scenarios_resident".into(),
             Value::from(inner.scenarios.resident()),
+        ),
+        (
+            "warm_entries".into(),
+            Value::from(inner.warm.resident_entries()),
         ),
     ])
     .to_string()

@@ -107,6 +107,13 @@ impl WarmPool {
         }))
     }
 
+    /// Number of resident warm entries across both maps (equilibrium and
+    /// game), for `/v1/stats`.
+    pub fn resident_entries(&self) -> usize {
+        self.eq.lock().expect("warm pool poisoned").len()
+            + self.game.lock().expect("warm pool poisoned").len()
+    }
+
     /// The strategy-game warm start for `(kind, n, κ)`, built cold on
     /// first use. Keyed by the κ bit pattern: carrying a partition across
     /// κ values would still be exact, but κ moves the premium capacity

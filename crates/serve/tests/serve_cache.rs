@@ -168,11 +168,13 @@ fn chaos_panics_never_drop_the_listener() {
     server.join();
 }
 
-/// With one worker parked on a stalled connection and the depth-1 queue
-/// holding another, the listener must shed further connections with 429
-/// immediately — backpressure never waits on a worker.
+/// The reactor win over the old thread-per-connection design: silent
+/// connections (accepted, never sending a byte) park in the reactor's
+/// table and cost nothing — a single worker keeps serving real requests
+/// behind any number of them. Under the old design each one occupied the
+/// worker and request three would have shed.
 #[test]
-fn full_queue_sheds_with_429() {
+fn stalled_connections_never_occupy_the_worker() {
     let server = spawn(&ServeConfig {
         workers: 1,
         queue_depth: 1,
@@ -180,21 +182,37 @@ fn full_queue_sheds_with_429() {
     })
     .unwrap();
     let addr = server.addr();
-    // Park the worker: a connection that never sends its request blocks
-    // the worker inside read_request (bounded by its read timeout).
-    let parked = TcpStream::connect(addr).unwrap();
+    let parked: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
     std::thread::sleep(std::time::Duration::from_millis(100));
-    // Fill the queue behind the parked worker.
-    let queued = TcpStream::connect(addr).unwrap();
+    for i in 0..5 {
+        let (status, body) =
+            client::post(addr, "/v1/equilibrium", &eq_body(1.0 + i as f64)).unwrap();
+        assert_eq!(status, 200, "request {i} behind 8 stalled conns: {body}");
+    }
+    assert_eq!(server.requests_shed(), 0);
+    drop(parked);
+    server.shutdown();
+    server.join();
+}
+
+/// Past `max_connections` the reactor sheds new connections at the door
+/// with 429 — the parked-connection table is bounded like the job queue.
+#[test]
+fn connection_cap_sheds_with_429() {
+    let server = spawn(&ServeConfig {
+        workers: 1,
+        max_connections: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // Fill the table with silent connections.
+    let parked: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
     std::thread::sleep(std::time::Duration::from_millis(100));
-    // Everything further must bounce.
     let (status, body) = client::get(addr, "/healthz").unwrap();
     assert_eq!(status, 429, "expected shed, got {status}: {body}");
     assert!(server.requests_shed() >= 1);
-    // Unpark: closing the stalled connections lets the worker fail them
-    // fast and drain.
     drop(parked);
-    drop(queued);
     server.shutdown();
     server.join();
 }
