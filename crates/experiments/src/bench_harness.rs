@@ -20,7 +20,9 @@
 //! exists for.
 
 use crate::parallel_map;
-use crate::serveload::{connection_bench, serving_bench, ServingBench, ServingConnections};
+use crate::serveload::{
+    connection_bench, fault_bench, serving_bench, ServingBench, ServingConnections, ServingFaults,
+};
 use pubopt_alloc::{MaxMinFair, SortedDemands};
 use pubopt_core::{
     competitive_equilibrium, competitive_equilibrium_warm, duopoly_with_public_option,
@@ -164,10 +166,14 @@ pub struct BenchReport {
     /// batched, plus open-loop percentiles) on a cache-prewarmed
     /// workload — the event-driven front end's acceptance numbers.
     pub serving_connections: ServingConnections,
+    /// Availability / goodput / tail latency under a deterministic
+    /// fault-rate grid (chaos proxy + resilient clients) — the
+    /// hostile-network hardening acceptance numbers.
+    pub serving_faults: ServingFaults,
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v5`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v6`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -283,8 +289,39 @@ impl BenchReport {
             ("open_loop_p99_us".into(), Value::from(sc.open_loop_p99_us)),
             ("byte_identical".into(), Value::from(sc.byte_identical)),
         ]);
+        let sf = &self.serving_faults;
+        let drills = sf
+            .drills
+            .iter()
+            .map(|d| {
+                Value::Object(vec![
+                    ("fault_rate".into(), Value::from(d.fault_rate)),
+                    ("availability".into(), Value::from(d.availability)),
+                    ("goodput_rps".into(), Value::from(d.goodput_rps)),
+                    ("p50_us".into(), Value::from(d.p50_us)),
+                    ("p99_us".into(), Value::from(d.p99_us)),
+                    ("hard_failures".into(), Value::from(d.hard_failures)),
+                    ("retries".into(), Value::from(d.retries)),
+                    ("faults_injected".into(), Value::from(d.faults_injected)),
+                    ("refusals".into(), Value::from(d.refusals)),
+                    ("breaker_opens".into(), Value::from(d.breaker_opens)),
+                    ("breaker_closes".into(), Value::from(d.breaker_closes)),
+                    (
+                        "schedule_digest".into(),
+                        Value::from(format!("{:016x}", d.schedule_digest)),
+                    ),
+                    ("byte_identical".into(), Value::from(d.byte_identical)),
+                ])
+            })
+            .collect();
+        let serving_faults = Value::Object(vec![
+            ("requests".into(), Value::from(sf.requests)),
+            ("seed".into(), Value::from(sf.seed)),
+            ("drills".into(), Value::Array(drills)),
+            ("byte_identical".into(), Value::from(sf.byte_identical)),
+        ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v5")),
+            ("schema".into(), Value::from("pubopt-bench/v6")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
@@ -295,6 +332,7 @@ impl BenchReport {
             ("duopoly_warmstart_ab".into(), duopoly_warmstart),
             ("serving".into(), serving),
             ("serving_connections".into(), serving_connections),
+            ("serving_faults".into(), serving_faults),
         ])
         .to_string()
     }
@@ -720,6 +758,9 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     // only the timings vary.
     let serving = serving_bench(quick);
     let serving_connections = connection_bench(quick);
+    // Failure drills: the same daemon behind a deterministic chaos proxy
+    // at 10% and 30% fault rates, driven by resilient clients.
+    let serving_faults = fault_bench(quick);
 
     BenchReport {
         date: pubopt_obs::clock::utc_date_string(),
@@ -732,12 +773,36 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         duopoly_warmstart,
         serving,
         serving_connections,
+        serving_faults,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn stub_faults() -> ServingFaults {
+        ServingFaults {
+            requests: 80,
+            seed: 7,
+            drills: vec![crate::serveload::FaultDrill {
+                fault_rate: 0.1,
+                availability: 1.0,
+                goodput_rps: 120.0,
+                p50_us: 400,
+                p99_us: 90_000,
+                hard_failures: 0,
+                retries: 3,
+                faults_injected: 12,
+                refusals: 1,
+                breaker_opens: 2,
+                breaker_closes: 2,
+                schedule_digest: 0xabcd,
+                byte_identical: true,
+            }],
+            byte_identical: true,
+        }
+    }
 
     fn stub_connections() -> ServingConnections {
         ServingConnections {
@@ -855,9 +920,10 @@ mod tests {
                 byte_identical: true,
             },
             serving_connections: stub_connections(),
+            serving_faults: stub_faults(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v5\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v6\""));
         assert!(json.contains("\"alloc_scaling\""));
         assert!(json.contains("\"warmstart_ab\""));
         assert!(json.contains("\"duopoly_warmstart_ab\""));
@@ -870,6 +936,10 @@ mod tests {
         assert!(json.contains("\"serving_connections\""));
         assert!(json.contains("\"reuse_speedup\":2.5"));
         assert!(json.contains("\"open_loop_p95_us\":1200"));
+        assert!(json.contains("\"serving_faults\""));
+        assert!(json.contains("\"fault_rate\":0.1"));
+        assert!(json.contains("\"hard_failures\":0"));
+        assert!(json.contains("\"schedule_digest\":\"000000000000abcd\""));
     }
 
     /// The scaling section's `efficiency` column must be `speedup /
@@ -918,6 +988,7 @@ mod tests {
                 byte_identical: true,
             },
             serving_connections: stub_connections(),
+            serving_faults: stub_faults(),
         };
         assert!(report.to_json().contains("\"efficiency\":1"));
     }

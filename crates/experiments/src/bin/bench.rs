@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v4`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v6`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
@@ -133,6 +133,27 @@ fn main() -> ExitCode {
         s.warm_p99_us,
         100.0 * s.hit_rate
     );
+    println!();
+    let f = &report.serving_faults;
+    println!(
+        "failure drills ({} requests per rate, seed {}): byte_identical={}",
+        f.requests, f.seed, f.byte_identical
+    );
+    for drill in &f.drills {
+        println!(
+            "  {:>4.0}% faults: availability {:.4}  goodput {:.1} rps  p99 {} us  \
+             hard_failures={}  retries={}  injected={}  breaker open/close {}/{}",
+            100.0 * drill.fault_rate,
+            drill.availability,
+            drill.goodput_rps,
+            drill.p99_us,
+            drill.hard_failures,
+            drill.retries,
+            drill.faults_injected,
+            drill.breaker_opens,
+            drill.breaker_closes
+        );
+    }
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());

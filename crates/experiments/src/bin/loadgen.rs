@@ -32,9 +32,18 @@
 //! keep-alive, printing `{"close_rps":…,"reuse_rps":…,"speedup":…,…}` —
 //! the CI serve-smoke job gates on `speedup >= 1.5` on multi-core
 //! runners.
+//!
+//! `--chaos-net SEED` runs the hostile-network soak instead: a private
+//! daemon behind a deterministic TCP chaos proxy keyed by SEED, driven
+//! by resilient clients (seeded backoff, retry budget, circuit
+//! breakers) at `--fault-rate F` (default 0.1). Prints the availability
+//! / goodput / breaker summary plus a timing-free `determinism_key` —
+//! two same-seed single-client runs print the same key, which is the CI
+//! chaos-soak replay gate. Exits nonzero on any hard failure or a
+//! byte-identity miss.
 
 use pubopt_experiments::serveload::{
-    mixed_workload, replay_with, ConnMode, LoadOptions, ReplayOptions,
+    chaos_soak, mixed_workload, replay_with, ChaosSoakOptions, ConnMode, LoadOptions, ReplayOptions,
 };
 use pubopt_serve::{client, spawn, ServeConfig};
 use std::net::SocketAddr;
@@ -59,6 +68,9 @@ fn main() -> ExitCode {
     let mut batch: Option<usize> = None;
     let mut rate: Option<f64> = None;
     let mut ab_connections = false;
+    let mut chaos_net: Option<u64> = None;
+    let mut fault_rate = 0.1f64;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     let parsed = (|| -> Result<(), String> {
@@ -78,12 +90,16 @@ fn main() -> ExitCode {
                 "--batch" => batch = Some(parse_flag("--batch", args.next())?),
                 "--rate" => rate = Some(parse_flag("--rate", args.next())?),
                 "--ab-connections" => ab_connections = true,
+                "--chaos-net" => chaos_net = Some(parse_flag("--chaos-net", args.next())?),
+                "--fault-rate" => fault_rate = parse_flag("--fault-rate", args.next())?,
+                "--deadline-ms" => deadline_ms = Some(parse_flag("--deadline-ms", args.next())?),
                 "--help" | "-h" => {
                     println!(
                         "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] \
                          [--clients N] [--seed N] [--pool N] [--scenario-n N] \
                          [--chaos SEED] [--shutdown] [--keep-alive] [--pipeline N] \
-                         [--batch N] [--rate RPS] [--ab-connections]"
+                         [--batch N] [--rate RPS] [--ab-connections] \
+                         [--chaos-net SEED] [--fault-rate F] [--deadline-ms MS]"
                     );
                     std::process::exit(0);
                 }
@@ -111,6 +127,76 @@ fn main() -> ExitCode {
     if pipeline > 1 && batch.is_some() {
         eprintln!("--pipeline and --batch are mutually exclusive");
         return ExitCode::FAILURE;
+    }
+    if let Some(seed) = chaos_net {
+        // The soak owns its daemon, proxy, and transport discipline:
+        // everything except the workload shape is off the table.
+        if addr.is_some() || chaos_seed.is_some() || ab_connections {
+            eprintln!("--chaos-net is incompatible with --addr, --chaos and --ab-connections");
+            return ExitCode::FAILURE;
+        }
+        if !(0.0..=1.0).contains(&fault_rate) {
+            eprintln!("--fault-rate must be in [0, 1]");
+            return ExitCode::FAILURE;
+        }
+        let soak_opts = ChaosSoakOptions {
+            requests: opts.requests,
+            clients: opts.clients,
+            seed,
+            fault_rate,
+            pool: opts.pool,
+            scenario_n: opts.scenario_n,
+            deadline_ms,
+        };
+        eprintln!(
+            "chaos soak: {} requests through a seed-{seed} proxy at {fault_rate} fault rate \
+             with {} resilient clients",
+            soak_opts.requests, soak_opts.clients
+        );
+        let soak = chaos_soak(&soak_opts);
+        println!(
+            "{{\"requests\":{},\"ok\":{},\"hard_failures\":{},\"availability\":{:.4},\
+             \"goodput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"attempts\":{},\"retries\":{},\
+             \"first_try_ok\":{},\"budget_exhausted\":{},\"faults_injected\":{},\"refusals\":{},\
+             \"breaker_opens\":{},\"breaker_half_opens\":{},\"breaker_closes\":{},\
+             \"breaker_short_circuits\":{},\"retry_after_honored\":{},\"degraded_responses\":{},\
+             \"deadline_shed\":{},\"degraded_served\":{},\"worker_respawns\":{},\
+             \"byte_identical\":{},\"schedule_digest\":\"{:016x}\",\"determinism_key\":\"{}\"}}",
+            soak.requests,
+            soak.ok,
+            soak.hard_failures,
+            soak.availability,
+            soak.goodput_rps,
+            soak.p50_us,
+            soak.p99_us,
+            soak.attempts,
+            soak.retries,
+            soak.first_try_ok,
+            soak.budget_exhausted,
+            soak.faults_injected,
+            soak.refusals,
+            soak.breaker_opens,
+            soak.breaker_half_opens,
+            soak.breaker_closes,
+            soak.breaker_short_circuits,
+            soak.retry_after_honored,
+            soak.degraded_responses,
+            soak.deadline_shed,
+            soak.degraded_served,
+            soak.worker_respawns,
+            soak.byte_identical,
+            soak.schedule_digest,
+            soak.determinism_key()
+        );
+        if soak.hard_failures > 0 {
+            eprintln!("{} hard failure(s) under fault", soak.hard_failures);
+            return ExitCode::FAILURE;
+        }
+        if !soak.byte_identical {
+            eprintln!("fault-surviving responses diverged from the unfaulted bytes");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     // Target: an external daemon, or a private in-process one.

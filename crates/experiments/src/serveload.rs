@@ -9,9 +9,19 @@
 //! the bench harness's `serving` section (the cold-vs-warm A/B behind the
 //! ≥ 10× claim in `EXPERIMENTS.md`), so the numbers in both places are
 //! the same experiment at different sizes.
+//!
+//! The failure drills live here too: [`chaos_soak`] replays the same
+//! seeded workload through a [`ChaosProxy`] with [`ResilientClient`]s
+//! and tallies availability, goodput, and tail latency under fault —
+//! the `serving_faults` bench section ([`fault_bench`]) and the CI
+//! `chaos-soak` task are that soak at two fault rates.
 
 use pubopt_num::Rng;
-use pubopt_serve::{client, client::Client, spawn, ServeConfig};
+use pubopt_serve::client::{CircuitBreaker, ResilienceStats, RetryBudget};
+use pubopt_serve::{
+    client, client::Client, spawn, ChaosNetConfig, ChaosProxy, ResilientClient, RetryPolicy,
+    ServeConfig,
+};
 use std::net::SocketAddr;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
@@ -657,6 +667,391 @@ pub fn connection_bench(quick: bool) -> ServingConnections {
     }
 }
 
+/// Options for a chaos soak: the hostile-network drill behind the
+/// `serving_faults` bench section and the CI `chaos-soak` task.
+#[derive(Debug, Clone)]
+pub struct ChaosSoakOptions {
+    /// Total requests issued through the proxy.
+    pub requests: usize,
+    /// Concurrent resilient clients. The schedule digest and resilience
+    /// counters are deterministic only at `clients == 1` — with more,
+    /// proxy connection ids depend on accept interleaving.
+    pub clients: usize,
+    /// One seed keys everything: the workload stream, the proxy's fault
+    /// schedule, and every client's backoff jitter.
+    pub seed: u64,
+    /// Aggregate fault rate handed to [`ChaosNetConfig::uniform`].
+    pub fault_rate: f64,
+    /// Distinct queries in the workload pool.
+    pub pool: usize,
+    /// CP count for the ensemble-scenario queries.
+    pub scenario_n: usize,
+    /// Optional `X-Deadline-Ms` attached to every request.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ChaosSoakOptions {
+    fn default() -> Self {
+        Self {
+            requests: 160,
+            clients: 2,
+            seed: 7,
+            fault_rate: 0.1,
+            pool: 8,
+            scenario_n: 16,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Outcome of one chaos soak: availability and latency under fault plus
+/// the proxy's and clients' resilience counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSoakSummary {
+    /// Requests issued (excluding the byte-identity probes).
+    pub requests: usize,
+    /// Requests that ended in a `2xx` response.
+    pub ok: usize,
+    /// Requests that exhausted retries/budget without a final response.
+    pub hard_failures: u64,
+    /// `ok / requests` — the CI gate is ≥ 0.99 at a 10% fault rate.
+    pub availability: f64,
+    /// `ok / elapsed`, successful requests per second under fault.
+    pub goodput_rps: f64,
+    /// Soak wall time, microseconds.
+    pub elapsed_us: u64,
+    /// Nearest-rank median per-request latency (includes retries).
+    pub p50_us: u64,
+    /// Nearest-rank p99 latency under fault, microseconds.
+    pub p99_us: u64,
+    /// Network attempts that reached the wire.
+    pub attempts: u64,
+    /// Backoff waits taken.
+    pub retries: u64,
+    /// Requests answered on the first attempt.
+    pub first_try_ok: u64,
+    /// Retries abandoned because the token bucket was dry.
+    pub budget_exhausted: u64,
+    /// Faults the proxy actually injected (post-accept).
+    pub faults_injected: u64,
+    /// Connections refused at accept time.
+    pub refusals: u64,
+    /// Order-independent FNV digest of the proxy's fault log — the
+    /// replay-determinism witness (same seed ⇒ same digest).
+    pub schedule_digest: u64,
+    /// Breaker trips (→ Open).
+    pub breaker_opens: u64,
+    /// Open → Half-Open probe admissions.
+    pub breaker_half_opens: u64,
+    /// Half-Open → Closed recoveries.
+    pub breaker_closes: u64,
+    /// Attempts short-circuited by an open breaker.
+    pub breaker_short_circuits: u64,
+    /// Waits that honored a server `Retry-After` hint.
+    pub retry_after_honored: u64,
+    /// Responses carrying `Degraded: stale`, from the client's counters.
+    pub degraded_responses: u64,
+    /// Requests the daemon shed as past their `X-Deadline-Ms`.
+    pub deadline_shed: u64,
+    /// Cache hits the daemon served from the reactor in degraded mode.
+    pub degraded_served: u64,
+    /// Serve workers the supervisor respawned after a panic.
+    pub worker_respawns: u64,
+    /// Whether responses that survived faults (via retries) matched a
+    /// direct unfaulted connection to the same daemon byte for byte.
+    pub byte_identical: bool,
+}
+
+impl ChaosSoakSummary {
+    /// The timing-free fingerprint CI compares across two same-seed runs:
+    /// the fault-schedule digest plus every counter that is a pure
+    /// function of the seed at `clients == 1`. Excludes wall-clock
+    /// derived fields (goodput, percentiles) and saturation-dependent
+    /// counters (`retry_after_honored`, `degraded_responses`).
+    pub fn determinism_key(&self) -> String {
+        format!(
+            "{:016x}-{}-{}-{}-{}-{}-{}-{}-{}-{}-{}",
+            self.schedule_digest,
+            self.ok,
+            self.hard_failures,
+            self.attempts,
+            self.retries,
+            self.faults_injected,
+            self.refusals,
+            self.breaker_opens,
+            self.breaker_half_opens,
+            self.breaker_closes,
+            self.breaker_short_circuits,
+        )
+    }
+}
+
+/// Per-connect/read/write timeout for soak clients. Generous relative to
+/// every injected delay (black holes close after ~300 ms) so the timeout
+/// never fires on a fault the schedule will resolve by itself.
+const SOAK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The resilient client every soak lane uses. The jitter seed mixes the
+/// lane id so concurrent lanes don't sleep in lockstep; attempts and
+/// budget are sized so a 30% fault rate stays short of hard failure.
+/// The breaker is a hair trigger (trip on 1 failure, probe after 2
+/// short circuits) so every transport fault walks the full
+/// Closed → Open → Half-Open → Closed cycle inside one retry loop —
+/// the CI gate that breaker recovery *happens* must not hinge on the
+/// schedule producing consecutive same-endpoint faults.
+fn soak_client(addr: SocketAddr, opts: &ChaosSoakOptions, lane: u64) -> ResilientClient {
+    let policy = RetryPolicy {
+        max_attempts: 12,
+        base_backoff_ms: 2,
+        max_backoff_ms: 50,
+        seed: opts.seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    };
+    let mut client = ResilientClient::new(addr, SOAK_TIMEOUT, policy)
+        .with_budget(RetryBudget::new(opts.requests.max(8) as f64, 1.0))
+        .with_breaker(CircuitBreaker::new(1, 2));
+    if let Some(ms) = opts.deadline_ms {
+        client = client.with_deadline_ms(ms);
+    }
+    client
+}
+
+/// Field-wise sum of two [`ResilienceStats`].
+fn add_stats(a: ResilienceStats, b: ResilienceStats) -> ResilienceStats {
+    ResilienceStats {
+        requests: a.requests + b.requests,
+        attempts: a.attempts + b.attempts,
+        retries: a.retries + b.retries,
+        first_try_ok: a.first_try_ok + b.first_try_ok,
+        ok: a.ok + b.ok,
+        hard_failures: a.hard_failures + b.hard_failures,
+        breaker_opens: a.breaker_opens + b.breaker_opens,
+        breaker_half_opens: a.breaker_half_opens + b.breaker_half_opens,
+        breaker_closes: a.breaker_closes + b.breaker_closes,
+        breaker_short_circuits: a.breaker_short_circuits + b.breaker_short_circuits,
+        budget_exhausted: a.budget_exhausted + b.budget_exhausted,
+        retry_after_honored: a.retry_after_honored + b.retry_after_honored,
+        degraded_responses: a.degraded_responses + b.degraded_responses,
+    }
+}
+
+/// Soak the daemon through a seeded chaos proxy with resilient clients
+/// and tally availability, goodput, and the resilience counters.
+///
+/// One private daemon, one [`ChaosProxy`] in front of it, `clients`
+/// concurrent [`ResilientClient`]s replaying the seeded workload through
+/// the proxy. After the soak, a byte-identity probe re-asks the first
+/// pool entries through the still-faulting proxy and compares the final
+/// bodies against a direct connection to the same daemon — a response
+/// that survived a mid-stream reset via retry must be exactly the bytes
+/// an unfaulted client sees, never a truncated splice.
+///
+/// # Panics
+///
+/// Panics if the daemon or the proxy cannot bind a loopback port.
+pub fn chaos_soak(opts: &ChaosSoakOptions) -> ChaosSoakSummary {
+    let server = spawn(&ServeConfig::default()).expect("bind loopback daemon");
+    let proxy = ChaosProxy::spawn(
+        server.addr(),
+        ChaosNetConfig::uniform(opts.seed, opts.fault_rate),
+    )
+    .expect("bind chaos proxy");
+    let proxy_addr = proxy.addr();
+    let workload = mixed_workload(&LoadOptions {
+        requests: opts.requests,
+        clients: opts.clients,
+        seed: opts.seed,
+        pool: opts.pool,
+        scenario_n: opts.scenario_n,
+    });
+    let clients = opts.clients.clamp(1, workload.len().max(1));
+    let lanes: Vec<(u64, Vec<usize>)> = (0..clients)
+        .map(|k| (k as u64, (k..workload.len()).step_by(clients).collect()))
+        .collect();
+    let start = Instant::now();
+    let outcomes: Vec<(Vec<(u16, u64)>, ResilienceStats)> =
+        client_pool().map(&lanes, clients, |(lane_id, lane)| {
+            let mut conn = soak_client(proxy_addr, opts, *lane_id);
+            let mut out = Vec::with_capacity(lane.len());
+            for &i in lane {
+                let (path, body) = &workload[i];
+                let t = Instant::now();
+                let status = conn.post(path, body).map(|(s, _)| s).unwrap_or(0);
+                let us = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                out.push((status, us));
+            }
+            (out, conn.stats())
+        });
+    let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    let mut ok = 0usize;
+    let mut stats = ResilienceStats::default();
+    let mut latencies = Vec::with_capacity(workload.len());
+    for (lane_out, lane_stats) in outcomes {
+        for (status, us) in lane_out {
+            latencies.push(us);
+            if (200..300).contains(&status) {
+                ok += 1;
+            }
+        }
+        stats = add_stats(stats, lane_stats);
+    }
+    latencies.sort_unstable();
+    let rank = |q: f64| {
+        let r = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len().max(1));
+        latencies.get(r - 1).copied().unwrap_or(0)
+    };
+
+    // Byte-identity probe: the first pool entries (regenerated from the
+    // workload seed) through the chaos path vs the daemon directly. The
+    // soak has cached them, so both sides replay the same stored bytes —
+    // unless a fault corrupted what the retry loop accepted.
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    let probes: Vec<(String, String)> = (0..opts.pool.min(3))
+        .map(|_| pool_entry(&mut rng, opts.scenario_n))
+        .collect();
+    let mut prober = soak_client(proxy_addr, opts, clients as u64);
+    let byte_identical = probes.iter().all(|(path, body)| {
+        match (
+            prober.post(path, body),
+            client::post(server.addr(), path, body),
+        ) {
+            (Ok((200, via_chaos)), Ok((200, direct))) => via_chaos == direct,
+            _ => false,
+        }
+    });
+
+    let faults_injected = proxy.faults_injected();
+    let refusals = proxy.refusals();
+    let schedule_digest = proxy.schedule_digest();
+    proxy.shutdown();
+    let deadline_shed = server.deadline_shed();
+    let degraded_served = server.degraded_served();
+    let worker_respawns = server.workers_respawned();
+    server.shutdown();
+    server.join();
+
+    ChaosSoakSummary {
+        requests: workload.len(),
+        ok,
+        hard_failures: stats.hard_failures,
+        availability: ok as f64 / workload.len().max(1) as f64,
+        goodput_rps: ok as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        elapsed_us,
+        p50_us: if latencies.is_empty() { 0 } else { rank(0.5) },
+        p99_us: if latencies.is_empty() { 0 } else { rank(0.99) },
+        attempts: stats.attempts,
+        retries: stats.retries,
+        first_try_ok: stats.first_try_ok,
+        budget_exhausted: stats.budget_exhausted,
+        faults_injected,
+        refusals,
+        schedule_digest,
+        breaker_opens: stats.breaker_opens,
+        breaker_half_opens: stats.breaker_half_opens,
+        breaker_closes: stats.breaker_closes,
+        breaker_short_circuits: stats.breaker_short_circuits,
+        retry_after_honored: stats.retry_after_honored,
+        degraded_responses: stats.degraded_responses,
+        deadline_shed,
+        degraded_served,
+        worker_respawns,
+        byte_identical,
+    }
+}
+
+/// One row of the `serving_faults` bench section: a soak at one rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDrill {
+    /// Aggregate fault rate of the drill.
+    pub fault_rate: f64,
+    /// `ok / requests` under that rate.
+    pub availability: f64,
+    /// Successful requests per second under fault.
+    pub goodput_rps: f64,
+    /// Median latency including retries, microseconds.
+    pub p50_us: u64,
+    /// p99 latency under fault, microseconds.
+    pub p99_us: u64,
+    /// Requests that never got a final response.
+    pub hard_failures: u64,
+    /// Backoff waits taken across the soak.
+    pub retries: u64,
+    /// Faults the proxy injected.
+    pub faults_injected: u64,
+    /// Connections refused at accept time.
+    pub refusals: u64,
+    /// Breaker trips during the soak.
+    pub breaker_opens: u64,
+    /// Half-Open → Closed recoveries during the soak.
+    pub breaker_closes: u64,
+    /// Fault-schedule digest (the replay witness for this drill).
+    pub schedule_digest: u64,
+    /// Whether fault-surviving responses matched the unfaulted bytes.
+    pub byte_identical: bool,
+}
+
+/// The `serving_faults` section of the bench report: availability and
+/// tail latency under a fault-rate grid, one [`chaos_soak`] per rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingFaults {
+    /// Requests per drill.
+    pub requests: usize,
+    /// Seed keying workload, fault schedule, and jitter.
+    pub seed: u64,
+    /// One soak per fault rate, ascending.
+    pub drills: Vec<FaultDrill>,
+    /// Conjunction of the drills' byte-identity probes.
+    pub byte_identical: bool,
+}
+
+/// Run the fault-rate grid for the bench report: one [`chaos_soak`] at
+/// each of 10% and 30% aggregate fault rate.
+///
+/// # Panics
+///
+/// Panics if a daemon or proxy fails to bind a loopback port.
+pub fn fault_bench(quick: bool) -> ServingFaults {
+    let base = ChaosSoakOptions {
+        requests: if quick { 80 } else { 240 },
+        clients: 2,
+        seed: 7,
+        fault_rate: 0.0,
+        pool: if quick { 6 } else { 10 },
+        scenario_n: if quick { 12 } else { 48 },
+        deadline_ms: None,
+    };
+    let drills: Vec<FaultDrill> = [0.10, 0.30]
+        .into_iter()
+        .map(|rate| {
+            let soak = chaos_soak(&ChaosSoakOptions {
+                fault_rate: rate,
+                ..base.clone()
+            });
+            FaultDrill {
+                fault_rate: rate,
+                availability: soak.availability,
+                goodput_rps: soak.goodput_rps,
+                p50_us: soak.p50_us,
+                p99_us: soak.p99_us,
+                hard_failures: soak.hard_failures,
+                retries: soak.retries,
+                faults_injected: soak.faults_injected,
+                refusals: soak.refusals,
+                breaker_opens: soak.breaker_opens,
+                breaker_closes: soak.breaker_closes,
+                schedule_digest: soak.schedule_digest,
+                byte_identical: soak.byte_identical,
+            }
+        })
+        .collect();
+    ServingFaults {
+        requests: base.requests,
+        seed: base.seed,
+        byte_identical: drills.iter().all(|d| d.byte_identical),
+        drills,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -811,6 +1206,56 @@ mod tests {
         assert_eq!(
             batch_entry("/v1/capacity", "{}"),
             r#"{"endpoint":"capacity"}"#
+        );
+    }
+
+    #[test]
+    fn chaos_soak_is_deterministic_per_seed() {
+        // ISSUE satellite: same seed ⇒ byte-identical fault schedule and
+        // identical summary counters; different seed ⇒ different
+        // schedule. Single client — with more, proxy connection ids
+        // depend on accept interleaving.
+        let opts = ChaosSoakOptions {
+            requests: 30,
+            clients: 1,
+            seed: 5,
+            fault_rate: 0.3,
+            pool: 4,
+            scenario_n: 8,
+            deadline_ms: None,
+        };
+        let a = chaos_soak(&opts);
+        let b = chaos_soak(&opts);
+        assert_eq!(
+            a.determinism_key(),
+            b.determinism_key(),
+            "same seed must replay the same soak: {a:?} vs {b:?}"
+        );
+        assert_eq!(a.requests, 30);
+        assert_eq!(a.hard_failures, 0, "the stack must absorb 30%: {a:?}");
+        assert!(a.faults_injected > 0, "a 30% soak must fault: {a:?}");
+        assert!(a.byte_identical, "retried bytes must match direct: {a:?}");
+        let c = chaos_soak(&ChaosSoakOptions { seed: 6, ..opts });
+        assert_ne!(
+            a.schedule_digest, c.schedule_digest,
+            "different seeds must draw different schedules"
+        );
+    }
+
+    #[test]
+    fn fault_bench_quick_holds_its_invariants() {
+        let bench = fault_bench(true);
+        assert_eq!(bench.drills.len(), 2);
+        assert!(bench.byte_identical, "{bench:?}");
+        for d in &bench.drills {
+            assert_eq!(d.hard_failures, 0, "{d:?}");
+            assert!(d.availability >= 0.99, "{d:?}");
+            assert!(d.faults_injected > 0, "{d:?}");
+            assert!(d.goodput_rps > 0.0, "{d:?}");
+        }
+        assert!(
+            bench.drills[1].faults_injected > bench.drills[0].faults_injected,
+            "30% must fault more than 10%: {bench:?}"
         );
     }
 

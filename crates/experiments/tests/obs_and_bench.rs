@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v5"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v6"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -190,5 +190,26 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     assert!(
         p50 <= p95 && p95 <= p99,
         "open-loop percentiles out of order"
+    );
+
+    // The failure drills: a chaos proxy at 10% and 30% fault rates in
+    // front of the daemon. The resilience stack must keep every request
+    // alive (no hard failures), retried bytes must match the unfaulted
+    // path, and the schedule digests must differ between rates (the
+    // fault schedule is a function of the config, not just the seed).
+    let sf = &v["serving_faults"];
+    assert_eq!(sf["byte_identical"].as_bool(), Some(true));
+    let drills = sf["drills"].as_array().expect("drills array");
+    assert_eq!(drills.len(), 2, "one drill per fault rate: {sf}");
+    for d in drills {
+        assert_eq!(d["hard_failures"].as_u64(), Some(0), "{d}");
+        assert!(d["availability"].as_f64().unwrap() >= 0.99, "{d}");
+        assert!(d["faults_injected"].as_u64().unwrap() > 0, "{d}");
+        assert!(d["goodput_rps"].as_f64().unwrap() > 0.0, "{d}");
+    }
+    assert_ne!(
+        drills[0]["schedule_digest"].as_str(),
+        drills[1]["schedule_digest"].as_str(),
+        "different rates must draw different schedules"
     );
 }

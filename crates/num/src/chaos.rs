@@ -94,6 +94,28 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One uniform draw in `[0, 1)` as a pure function of `(seed, site, unit)`
+/// — the exact keyed SplitMix64 → xoshiro256++ pipeline
+/// [`ChaosInjector::fault_at`] decides faults with, exposed so other
+/// fault schedulers (the serve-layer network chaos proxy, future
+/// coordinator↔shard partition injectors) share the same determinism
+/// guarantees: no wall clock, no call-order dependence, replayable from
+/// the seed alone.
+pub fn chaos_draw(seed: u64, site: u64, unit: u64) -> f64 {
+    let key = splitmix64(splitmix64(seed ^ site) ^ unit);
+    Rng::seed_from_u64(key).next_f64()
+}
+
+/// A keyed `u64` draw companion to [`chaos_draw`], for discrete choices
+/// (which byte to corrupt, how long to stall) attached to the same
+/// `(seed, site, unit)` decision point without perturbing its uniform.
+pub fn chaos_draw_u64(seed: u64, site: u64, unit: u64) -> u64 {
+    let key = splitmix64(splitmix64(seed ^ site) ^ unit);
+    let mut rng = Rng::seed_from_u64(key);
+    let _ = rng.next_f64(); // skip the fault-decision uniform
+    rng.next_u64()
+}
+
 impl ChaosInjector {
     /// Build an injector.
     ///

@@ -55,6 +55,10 @@ pub struct ApiError {
     pub status: u16,
     /// What went wrong.
     pub message: String,
+    /// For batch validation failures: which `queries[index]` sub-query
+    /// failed, surfaced as a structured `"index"` field so clients can
+    /// repair one element without parsing the prose.
+    pub index: Option<usize>,
 }
 
 impl ApiError {
@@ -62,12 +66,26 @@ impl ApiError {
         Self {
             status: 400,
             message: message.into(),
+            index: None,
+        }
+    }
+
+    /// A 400 pinned to batch sub-query `index`.
+    fn bad_at(index: usize, message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+            index: Some(index),
         }
     }
 
     /// Render as the standard error body.
     pub fn body(&self) -> String {
-        Value::Object(vec![("error".into(), Value::from(self.message.as_str()))]).to_string()
+        let mut fields = vec![("error".into(), Value::from(self.message.as_str()))];
+        if let Some(i) = self.index {
+            fields.push(("index".into(), Value::from(i)));
+        }
+        Value::Object(fields).to_string()
     }
 }
 
@@ -303,6 +321,7 @@ impl ApiRequest {
             _ => Err(ApiError {
                 status: 404,
                 message: format!("no such endpoint: {path}"),
+                index: None,
             }),
         }
     }
@@ -394,25 +413,25 @@ pub fn parse_batch(body: &str) -> Result<Vec<ApiRequest>, ApiError> {
         .iter()
         .enumerate()
         .map(|(i, q)| {
-            let endpoint = q
-                .get("endpoint")
-                .and_then(Value::as_str)
-                .ok_or_else(|| ApiError::bad(format!("queries[{i}]: missing \"endpoint\"")))?;
+            let endpoint = q.get("endpoint").and_then(Value::as_str).ok_or_else(|| {
+                ApiError::bad_at(i, format!("queries[{i}]: missing \"endpoint\""))
+            })?;
             let path = match endpoint {
                 "equilibrium" => "/v1/equilibrium",
                 "strategy" => "/v1/strategy",
                 "capacity" => "/v1/capacity",
                 other => {
-                    return Err(ApiError::bad(format!(
-                        "queries[{i}]: unknown endpoint {other:?} \
-                         (expected equilibrium | strategy | capacity)"
-                    )))
+                    return Err(ApiError::bad_at(
+                        i,
+                        format!(
+                            "queries[{i}]: unknown endpoint {other:?} \
+                             (expected equilibrium | strategy | capacity)"
+                        ),
+                    ))
                 }
             };
-            ApiRequest::parse_value(path, q).map_err(|e| ApiError {
-                status: 400,
-                message: format!("queries[{i}]: {}", e.message),
-            })
+            ApiRequest::parse_value(path, q)
+                .map_err(|e| ApiError::bad_at(i, format!("queries[{i}]: {}", e.message)))
         })
         .collect()
 }
@@ -437,6 +456,7 @@ fn handle_equilibrium(
     .map_err(|e| ApiError {
         status: 500,
         message: format!("equilibrium solve failed: {e}"),
+        index: None,
     })?;
     let phi = consumer_surplus(&pop, &eq);
     let mut fields = vec![
@@ -608,6 +628,27 @@ mod tests {
             );
         }
         assert_eq!(ApiRequest::parse("/v1/nope", "{}").unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn batch_errors_carry_the_failing_index() {
+        let err = parse_batch(
+            r#"{"queries":[{"endpoint":"equilibrium","nu":1.0},{"endpoint":"equilibrium","nu":-1.0}]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.index, Some(1));
+        let v = parse(&err.body()).unwrap();
+        assert_eq!(v["index"].as_u64(), Some(1));
+        assert!(v["error"].as_str().unwrap().starts_with("queries[1]:"));
+
+        let err = parse_batch(r#"{"queries":[{"nu":1.0}]}"#).unwrap_err();
+        assert_eq!(err.index, Some(0), "missing endpoint pins index 0");
+
+        // Batch-level failures (bad envelope) carry no index.
+        let err = parse_batch(r#"{"queries":[]}"#).unwrap_err();
+        assert_eq!(err.index, None);
+        assert!(!err.body().contains("\"index\""));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!     [--addr HOST:PORT] [--workers N] [--queue-depth N] \
 //!     [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
 //!     [--max-connections N] [--max-pipeline N] \
-//!     [--read-timeout-ms MS] [--idle-timeout-ms MS]
+//!     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
 //! Prints `listening on <addr>` once the socket is bound (port 0 resolves
@@ -44,6 +44,11 @@ fn main() -> ExitCode {
             "--idle-timeout-ms" => {
                 parse_into(&mut value, "--idle-timeout-ms", &mut config.idle_timeout_ms)
             }
+            "--write-timeout-ms" => parse_into(
+                &mut value,
+                "--write-timeout-ms",
+                &mut config.write_timeout_ms,
+            ),
             "--chaos" => {
                 let mut seed = 0u64;
                 let r = parse_into(&mut value, "--chaos", &mut seed);
@@ -63,7 +68,7 @@ fn main() -> ExitCode {
                     "usage: pubopt-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                      [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
                      [--max-connections N] [--max-pipeline N] \
-                     [--read-timeout-ms MS] [--idle-timeout-ms MS]"
+                     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]"
                 );
                 return ExitCode::SUCCESS;
             }

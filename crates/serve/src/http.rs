@@ -38,6 +38,13 @@ pub struct Request {
     /// Whether the connection should persist after this exchange, per
     /// the version default and any `Connection` header.
     pub keep_alive: bool,
+    /// Client-declared request deadline in milliseconds (`X-Deadline-Ms`
+    /// header): how long the client is still willing to wait, measured
+    /// from the moment it sent the request. The server clocks it from
+    /// request arrival and sheds expired work *before* solving — solving
+    /// a query nobody is waiting for is the worst way to spend a worker
+    /// under overload.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Protocol-level failures while parsing a request.
@@ -133,6 +140,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
     let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
     for line in lines {
         if line.is_empty() {
             break;
@@ -149,6 +157,11 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                // A malformed deadline is ignored rather than rejected:
+                // the header is advisory, and a client bug should not turn
+                // an otherwise-valid request into a 400.
+                deadline_ms = value.parse().ok();
             }
         }
     }
@@ -167,6 +180,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
             path,
             body,
             keep_alive,
+            deadline_ms,
         },
         total,
     )))
@@ -212,6 +226,7 @@ fn reason(status: u16) -> &'static str {
         429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -230,18 +245,43 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> Result<usize, std::io::Error> {
+    write_response_ext(stream, status, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus arbitrary extra headers (`Retry-After` on
+/// shed responses, `Degraded: stale` on cache-only service). Extra
+/// header names/values must already be wire-safe — no folding or
+/// escaping is performed.
+///
+/// # Errors
+///
+/// See [`write_response`].
+pub fn write_response_ext(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> Result<usize, std::io::Error> {
     // One buffer, one write: a head-then-body pair of small writes on a
     // keep-alive connection stalls ~40ms on Nagle + delayed-ACK (the
     // body segment waits for the ACK of the head segment once the
     // peer's quickack grace period decays).
-    let mut wire = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut wire = head.into_bytes();
     wire.extend_from_slice(body.as_bytes());
     stream.write_all(&wire)?;
     stream.flush()?;
@@ -351,6 +391,50 @@ mod tests {
         let rest = drain_requests(&mut buf, 16).unwrap();
         assert_eq!(rest.len(), 3);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn deadline_header_is_parsed_and_bad_values_ignored() {
+        let (req, _) = one(b"POST /x HTTP/1.1\r\nX-Deadline-Ms: 250\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        let (req, _) = one(b"POST /x HTTP/1.1\r\nx-deadline-ms: 90\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            req.deadline_ms,
+            Some(90),
+            "header names are case-insensitive"
+        );
+        let (req, _) = one(b"POST /x HTTP/1.1\r\nX-Deadline-Ms: soon\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            req.deadline_ms, None,
+            "malformed deadline is advisory, not a 400"
+        );
+        let (req, _) = one(b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.deadline_ms, None);
+    }
+
+    #[test]
+    fn extra_headers_land_between_standard_head_and_body() {
+        let mut out = Vec::new();
+        write_response_ext(
+            &mut out,
+            429,
+            "{}",
+            true,
+            &[("Retry-After", "1".to_owned())],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("\r\nRetry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -31,13 +31,19 @@
 //! The [`client`] module is the matching blocking client: one-shot
 //! free functions (the `Connection: close` baseline) and a keep-alive
 //! [`client::Client`] with pipelining, used by the loadgen harness and
-//! CI smoke job.
+//! CI smoke job. Around it sits the resilience stack this PR's failure
+//! drills exercise: [`client::ResilientClient`] (seeded-jitter backoff,
+//! a retry-budget token bucket, per-endpoint circuit breakers) on the
+//! client side, and on the wire the deterministic TCP chaos proxy
+//! ([`chaosnet`]) whose fault schedule is a pure function of
+//! `(seed, conn_id, op_index)`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod api;
 pub mod cache;
+pub mod chaosnet;
 pub mod client;
 pub mod http;
 pub mod server;
@@ -45,6 +51,7 @@ pub mod state;
 
 pub use api::{parse_batch, ApiError, ApiRequest};
 pub use cache::{CacheStats, ShardedCache};
-pub use client::Client;
+pub use chaosnet::{scheduled_fault, ChaosNetConfig, ChaosProxy, FaultEvent, NetFault};
+pub use client::{Client, ResilienceStats, ResilientClient, RetryPolicy};
 pub use server::{spawn, ServeConfig, ServerHandle};
 pub use state::{ScenarioStore, WarmPool};

@@ -37,15 +37,24 @@
 //!
 //! Backpressure. The worker pool's job backlog is bounded: a connection
 //! whose requests are ready but would push [`pubopt_sched::Pool::queued_jobs`]
-//! past `queue_depth` is answered `429 Too Many Requests` and closed —
-//! explicit, cheap shedding instead of unbounded queueing. A connection
-//! cap (`max_connections`) bounds the reactor table the same way.
+//! past `queue_depth` first falls back to *degraded mode* — queries whose
+//! canonical key is already cached are answered straight from the
+//! reactor, marked `Degraded: stale` — and only cache misses are shed
+//! `429 Too Many Requests` (with `Retry-After`) and closed: explicit,
+//! cheap shedding instead of unbounded queueing. A connection cap
+//! (`max_connections`) bounds the reactor table the same way. Clients
+//! can also bound their own wait with an `X-Deadline-Ms` header; a
+//! request whose budget expired in the queue is answered `504` without
+//! solving.
 //!
 //! Fault isolation. Workers run each solve inside `catch_unwind`: a
 //! panicking solve (or an injected chaos fault) costs that request a
-//! `500` and nothing else. The optional [`ChaosInjector`] schedules
-//! panics as a pure function of the solved-request sequence number, so a
-//! chaos run is reproducible bit-for-bit.
+//! `500` and nothing else. A panic anywhere *else* in the serve path is
+//! caught by a per-job supervisor (`dispatch`), counted as a worker
+//! respawn, and answered with a last-gasp `500`. The optional
+//! [`ChaosInjector`] schedules panics as a pure function of the
+//! solved-request sequence number, so a chaos run is reproducible
+//! bit-for-bit.
 //!
 //! Shutdown. `POST /v1/shutdown` (or [`ServerHandle::shutdown`]) flips a
 //! flag; the reactor closes its table and exits, the pool's workers
@@ -55,7 +64,7 @@
 
 use crate::api::ApiRequest;
 use crate::cache::{CacheStats, ShardedCache};
-use crate::http::{drain_requests, write_response, HttpError, Request};
+use crate::http::{drain_requests, write_response, write_response_ext, HttpError, Request};
 use crate::state::{ScenarioStore, WarmPool};
 use pubopt_num::chaos::{ChaosConfig, ChaosInjector};
 use pubopt_obs::json::Value;
@@ -108,6 +117,9 @@ pub struct ServeConfig {
     /// A keep-alive connection with nothing buffered is closed after
     /// this long.
     pub idle_timeout_ms: u64,
+    /// Response writes (worker and reactor alike) must complete within
+    /// this budget; a peer that stops reading costs at most this long.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -124,8 +136,18 @@ impl Default for ServeConfig {
             poll_interval_us: 200,
             read_timeout_ms: 5_000,
             idle_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
         }
     }
+}
+
+/// Shed responses advise clients to come back after this many seconds —
+/// long enough for a bounded queue to drain, short enough that a retry
+/// storm spreads rather than synchronizes.
+const RETRY_AFTER_SECS: &str = "1";
+
+fn retry_after() -> [(&'static str, String); 1] {
+    [("Retry-After", RETRY_AFTER_SECS.to_owned())]
 }
 
 /// A connection parked in the reactor (or in flight to/from a worker).
@@ -194,8 +216,20 @@ struct Inner {
     reused: AtomicU64,
     timeouts: AtomicU64,
     batches: AtomicU64,
+    /// Requests rejected `504` because their `X-Deadline-Ms` budget had
+    /// already expired before a worker got to solve them.
+    deadline_shed: AtomicU64,
+    /// Cache hits served with `Degraded: stale` while the queue was full.
+    degraded: AtomicU64,
+    /// Serve jobs that crashed outside per-request isolation and were
+    /// caught by the supervisor (the worker slot returns to service).
+    respawns: AtomicU64,
+    /// Response writes abandoned on the write-timeout budget.
+    write_timeouts: AtomicU64,
     chaos: Option<ChaosInjector>,
     workers: usize,
+    /// Budget for any single response write (worker or reactor).
+    write_timeout: Duration,
     /// Return channel: workers send keep-alive connections back to the
     /// reactor here. Senders are cloned per job; when the reactor exits
     /// the sends fail and the connections drop closed.
@@ -238,8 +272,13 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
         reused: AtomicU64::new(0),
         timeouts: AtomicU64::new(0),
         batches: AtomicU64::new(0),
+        deadline_shed: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
+        respawns: AtomicU64::new(0),
+        write_timeouts: AtomicU64::new(0),
         chaos: config.chaos.map(ChaosInjector::new),
         workers,
+        write_timeout: Duration::from_millis(config.write_timeout_ms.max(1)),
         back_tx: Mutex::new(back_tx),
     });
 
@@ -299,6 +338,29 @@ impl ServerHandle {
     /// Connections closed by the read/idle timeout policy.
     pub fn connection_timeouts(&self) -> u64 {
         self.inner.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected `504` because their declared deadline expired
+    /// before a worker reached them.
+    pub fn deadline_shed(&self) -> u64 {
+        self.inner.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits served stale (with `Degraded: stale`) while the worker
+    /// queue was saturated.
+    pub fn degraded_served(&self) -> u64 {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Serve jobs that crashed outside per-request isolation and were
+    /// respawned by the supervisor.
+    pub fn workers_respawned(&self) -> u64 {
+        self.inner.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Response writes abandoned on the write-timeout budget.
+    pub fn write_timeouts(&self) -> u64 {
+        self.inner.write_timeouts.load(Ordering::Relaxed)
     }
 
     /// Ask the daemon to stop: the reactor closes its table and exits,
@@ -458,11 +520,12 @@ fn sweep_conn(
                 // Over the connection cap: the request has fully arrived
                 // (so the kernel will deliver our reply), answer 429 and
                 // close.
-                let _ = write_response(
+                let _ = write_response_ext(
                     &mut conn.stream,
                     429,
                     "{\"error\":\"connection limit\"}",
                     false,
+                    &retry_after(),
                 );
                 return Sweep::Close;
             }
@@ -519,44 +582,152 @@ fn sweep_conn(
 }
 
 /// Hand a connection with ready requests to the worker pool, or shed it
-/// if the job queue is at its bound.
+/// if the job queue is at its bound. Saturation falls back to *degraded
+/// mode* before shedding: a query whose canonical key is already cached
+/// is answered straight from the reactor with a `Degraded: stale`
+/// header — no worker needed — and only cache misses get the 429.
 fn dispatch(inner: &Arc<Inner>, mut conn: Conn, reqs: Vec<Request>) {
     // Only the reactor enqueues, so the depth check cannot race upward
     // past the bound.
     let backlog = inner.pool.queued_jobs();
     if backlog >= inner.queue_depth {
-        inner.shed.fetch_add(1, Ordering::Relaxed);
-        pubopt_obs::incr("serve.shed");
-        let _ = write_response(
-            &mut conn.stream,
-            429,
-            "{\"error\":\"queue full, retry later\"}",
-            false,
-        );
+        serve_degraded(inner, &mut conn, &reqs);
         return;
     }
     pubopt_obs::observe("serve.queue_depth", backlog as u64 + 1);
+    let batch_started = Instant::now();
     let job_inner = Arc::clone(inner);
     inner.pool.spawn_job(move || {
-        handle_requests(&job_inner, conn, reqs);
+        // Supervision: per-request isolation (`catch_unwind` in
+        // `serve_query`) covers the solve; a panic anywhere else in the
+        // serve path would kill this job. The pool already keeps its
+        // worker *thread* alive through job panics, so supervision here
+        // means counting the crash and giving the client a last-gasp 500
+        // on a dup'd handle (the crashed job's own stream drops closed).
+        let spare = conn.stream.try_clone().ok();
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            handle_requests(&job_inner, conn, reqs, batch_started);
+        }))
+        .is_err();
+        if crashed {
+            job_inner.respawns.fetch_add(1, Ordering::Relaxed);
+            pubopt_obs::incr("serve.worker_respawns");
+            if let Some(mut stream) = spare {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_write_timeout(Some(job_inner.write_timeout));
+                let _ = write_response(
+                    &mut stream,
+                    500,
+                    "{\"error\":\"serve worker crashed; request not served\"}",
+                    false,
+                );
+            }
+        }
     });
+}
+
+/// Queue-saturated service: answer cached queries stale, shed the rest.
+/// Runs on the reactor thread — every response here is a cache lookup
+/// plus one bounded write, never a solve.
+fn serve_degraded(inner: &Inner, conn: &mut Conn, reqs: &[Request]) {
+    // The reactor's sockets are nonblocking; bound the writes instead of
+    // letting a slow reader wedge the reactor.
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(inner.write_timeout));
+    let last = reqs.len() - 1;
+    for (i, req) in reqs.iter().enumerate() {
+        let keep = i < last;
+        let cached = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", path) => ApiRequest::parse(path, &req.body)
+                .ok()
+                .and_then(|api| inner.cache.get(&api.canonical_key())),
+            _ => None,
+        };
+        let wrote = match cached {
+            Some(body) => {
+                inner.degraded.fetch_add(1, Ordering::Relaxed);
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.degraded");
+                write_response_ext(
+                    &mut conn.stream,
+                    200,
+                    &body,
+                    keep,
+                    &[("Degraded", "stale".to_owned())],
+                )
+            }
+            None => {
+                inner.shed.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.shed");
+                write_response_ext(
+                    &mut conn.stream,
+                    429,
+                    "{\"error\":\"queue full, retry later\"}",
+                    keep,
+                    &retry_after(),
+                )
+            }
+        };
+        if let Err(e) = wrote {
+            count_write_timeout(inner, &e);
+            return;
+        }
+    }
+    // Degraded service always closes: the connection was headed for a
+    // worker and the reactor won't keep absorbing its traffic.
+}
+
+/// Attribute a failed response write to the timeout budget when that is
+/// what expired (blocking sockets with `SO_SNDTIMEO` report
+/// `WouldBlock`/`TimedOut` depending on platform).
+fn count_write_timeout(inner: &Inner, e: &io::Error) {
+    if matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) {
+        inner.write_timeouts.fetch_add(1, Ordering::Relaxed);
+        pubopt_obs::incr("serve.write_timeouts");
+    }
 }
 
 /// One pool job: serve a batch of fully-buffered requests on one
 /// connection, in arrival order, then recycle or close the connection.
 /// Never reads the socket — pipelined successors must already be in
 /// `conn.buf` (the reactor's job to gather).
-fn handle_requests(inner: &Arc<Inner>, mut conn: Conn, mut reqs: Vec<Request>) {
+///
+/// `batch_started` anchors deadline accounting: a request that declared
+/// `X-Deadline-Ms` and whose budget ran out while it sat in the queue
+/// (or behind pipelined predecessors) is answered `504` *without
+/// solving* — the client already gave up, so the worker's time goes to
+/// requests someone is still waiting for.
+fn handle_requests(
+    inner: &Arc<Inner>,
+    mut conn: Conn,
+    mut reqs: Vec<Request>,
+    batch_started: Instant,
+) {
     // Writes are blocking but bounded: a peer that stops reading cannot
     // hold the worker past the write timeout.
     let _ = conn.stream.set_nonblocking(false);
-    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = conn.stream.set_write_timeout(Some(inner.write_timeout));
     loop {
         for req in reqs.drain(..) {
             let started = Instant::now();
             let shutting = inner.shutdown.load(Ordering::SeqCst);
             let keep = req.keep_alive && !conn.peer_closed && !shutting;
-            let (status, body) = respond(inner, &req);
+            let expired = req
+                .deadline_ms
+                .is_some_and(|d| batch_started.elapsed() >= Duration::from_millis(d));
+            let (status, body) = if expired {
+                inner.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.deadline_shed");
+                (
+                    504,
+                    "{\"error\":\"deadline expired before solving\"}".to_owned(),
+                )
+            } else {
+                respond(inner, &req)
+            };
             inner.requests.fetch_add(1, Ordering::Relaxed);
             if conn.served > 0 {
                 inner.reused.fetch_add(1, Ordering::Relaxed);
@@ -567,7 +738,8 @@ fn handle_requests(inner: &Arc<Inner>, mut conn: Conn, mut reqs: Vec<Request>) {
             // Re-check shutdown after the solve: /v1/shutdown must close
             // its own connection.
             let keep = keep && !inner.shutdown.load(Ordering::SeqCst);
-            if write_response(&mut conn.stream, status, &body, keep).is_err() {
+            if let Err(e) = write_response(&mut conn.stream, status, &body, keep) {
+                count_write_timeout(inner, &e);
                 return; // lost client; drop closes the socket
             }
             conn.served += 1;
@@ -615,6 +787,12 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
             (200, "{\"shutting_down\":true}".to_owned())
         }
         ("POST", "/v1/batch") => serve_batch(inner, &req.body),
+        ("POST", "/v1/crash") if inner.chaos.is_some() => {
+            // Fault-drill route, live only on chaos-enabled daemons: a
+            // panic *outside* per-request isolation, exercising the
+            // supervisor in `dispatch` end to end.
+            panic!("chaos: requested serve-job crash");
+        }
         ("POST", path) => match ApiRequest::parse(path, &req.body) {
             Ok(api) => serve_query(inner, &api),
             Err(e) => (e.status, e.body()),
@@ -623,6 +801,7 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
             let e = crate::api::ApiError {
                 status: 405,
                 message: format!("use POST for {path}"),
+                index: None,
             };
             (e.status, e.body())
         }
@@ -738,6 +917,22 @@ fn stats_body(inner: &Inner) -> String {
         (
             "batches".into(),
             Value::from(inner.batches.load(Ordering::Relaxed)),
+        ),
+        (
+            "deadline_shed".into(),
+            Value::from(inner.deadline_shed.load(Ordering::Relaxed)),
+        ),
+        (
+            "degraded_served".into(),
+            Value::from(inner.degraded.load(Ordering::Relaxed)),
+        ),
+        (
+            "worker_respawns".into(),
+            Value::from(inner.respawns.load(Ordering::Relaxed)),
+        ),
+        (
+            "write_timeouts".into(),
+            Value::from(inner.write_timeouts.load(Ordering::Relaxed)),
         ),
         (
             "scenarios_resident".into(),

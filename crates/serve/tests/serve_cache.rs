@@ -197,6 +197,7 @@ fn stalled_connections_never_occupy_the_worker() {
 
 /// Past `max_connections` the reactor sheds new connections at the door
 /// with 429 — the parked-connection table is bounded like the job queue.
+/// The shed carries a `Retry-After` hint for resilient clients.
 #[test]
 fn connection_cap_sheds_with_429() {
     let server = spawn(&ServeConfig {
@@ -209,8 +210,14 @@ fn connection_cap_sheds_with_429() {
     // Fill the table with silent connections.
     let parked: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
     std::thread::sleep(std::time::Duration::from_millis(100));
-    let (status, body) = client::get(addr, "/healthz").unwrap();
+    let mut c = pubopt_serve::client::Client::new(addr);
+    let (status, body) = c.get("/healthz").unwrap();
     assert_eq!(status, 429, "expected shed, got {status}: {body}");
+    assert_eq!(
+        c.last_retry_after(),
+        Some(1),
+        "a connection-cap 429 must carry Retry-After"
+    );
     assert!(server.requests_shed() >= 1);
     drop(parked);
     server.shutdown();

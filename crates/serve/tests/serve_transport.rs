@@ -289,6 +289,29 @@ fn batch_validation_rejects_bad_payloads() {
     }
     // Nothing executed: the poisoned batch's valid head is not cached.
     assert_eq!(server.cache_stats().misses, 0);
+
+    // Validation errors name the failing sub-query: the poisoned batch
+    // above (valid head, bad second entry) pins index 1, a missing
+    // endpoint pins index 0, and envelope-level errors carry no index.
+    let (status, resp) = client::post(addr, "/v1/batch", &cases[4]).unwrap();
+    assert_eq!(status, 400);
+    let v = parse(&resp).unwrap();
+    assert_eq!(v["index"].as_u64(), Some(1), "bad sub-query index: {resp}");
+    assert!(
+        v["error"]
+            .as_str()
+            .is_some_and(|e| e.starts_with("queries[1]:")),
+        "error must name the sub-query: {resp}"
+    );
+    let (_, resp) = client::post(addr, "/v1/batch", &cases[2]).unwrap();
+    let v = parse(&resp).unwrap();
+    assert_eq!(v["index"].as_u64(), Some(0), "missing endpoint: {resp}");
+    let (_, resp) = client::post(addr, "/v1/batch", &cases[0]).unwrap();
+    let v = parse(&resp).unwrap();
+    assert!(
+        v.get("index").is_none(),
+        "envelope errors have no sub-query index: {resp}"
+    );
     server.shutdown();
     server.join();
 }
