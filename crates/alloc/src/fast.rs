@@ -55,6 +55,11 @@ pub struct SortedDemands {
     prefix_mass: Vec<f64>,
     /// `prefix_load[k] = Σ_{j<k} m_(j) θ̂_(j)` (Kahan), length `n + 1`.
     prefix_load: Vec<f64>,
+    /// Reused demand buffer for [`set_demands_columnar`]
+    /// (original-order `d_i(θ_i)` from the batch kernel).
+    ///
+    /// [`set_demands_columnar`]: SortedDemands::set_demands_columnar
+    demand_scratch: Vec<f64>,
 }
 
 impl SortedDemands {
@@ -78,6 +83,7 @@ impl SortedDemands {
             caps,
             prefix_mass: Vec::new(),
             prefix_load: Vec::new(),
+            demand_scratch: Vec::new(),
         };
         let ones = vec![1.0; pop.len()];
         cache.set_demands(pop, &ones);
@@ -126,6 +132,28 @@ impl SortedDemands {
             self.prefix_load.push(load.total());
         }
         pubopt_obs::incr("alloc.fast.rebuilds");
+    }
+
+    /// Refresh the prefix sums from a *throughput* profile, evaluating
+    /// the demand profile `d_i(θ_i)` through the columnar batch kernel
+    /// ([`pubopt_demand::ColumnarPopulation::eval_demands_into`]) instead
+    /// of a scalar per-CP loop.
+    ///
+    /// Bit-identical to computing `demands[i] = pop[i].demand_at(thetas[i])`
+    /// by hand and calling [`set_demands`](SortedDemands::set_demands):
+    /// the batch kernel reproduces the scalar demand arithmetic exactly
+    /// and the prefix pass is shared. The demand buffer is recycled
+    /// across calls, so steady-state sweeps allocate nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thetas` length mismatches the population the cache was
+    /// built from (and under the same conditions as `set_demands`).
+    pub fn set_demands_columnar(&mut self, pop: &Population, thetas: &[f64]) {
+        let mut demands = std::mem::take(&mut self.demand_scratch);
+        pop.columnar().eval_demands_into(thetas, &mut demands);
+        self.set_demands(pop, &demands);
+        self.demand_scratch = demands;
     }
 
     /// Number of CPs the cache covers.
@@ -402,6 +430,48 @@ mod tests {
         let b = arena.take();
         assert_eq!(b.capacity(), cap, "recycled buffer keeps its capacity");
         assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn columnar_set_demands_bit_identical_to_scalar() {
+        // Mixed families so every batch-kernel arm feeds the prefix pass.
+        let p: Population = vec![
+            ContentProvider::new(0.9, 1.0, DemandKind::exponential(4.0), 0.0, 0.0),
+            ContentProvider::new(0.3, 10.0, DemandKind::Constant, 0.0, 0.0),
+            ContentProvider::new(0.5, 3.0, DemandKind::smoothed_step(0.6, 0.2), 0.0, 0.0),
+            ContentProvider::new(0.7, 5.0, DemandKind::logistic(8.0, 0.4), 0.0, 0.0),
+            ContentProvider::new(0.2, 2.0, DemandKind::constant_elasticity(1.5), 0.0, 0.0),
+        ]
+        .into();
+        let thetas: Vec<f64> = p.iter().map(|c| c.theta_hat * 0.6).collect();
+        let demands: Vec<f64> = p
+            .iter()
+            .zip(&thetas)
+            .map(|(c, &t)| c.demand_at(t))
+            .collect();
+
+        let mut scalar = SortedDemands::new(&p);
+        scalar.set_demands(&p, &demands);
+        let mut columnar = SortedDemands::new(&p);
+        columnar.set_demands_columnar(&p, &thetas);
+
+        assert_eq!(
+            scalar.offered_load().to_bits(),
+            columnar.offered_load().to_bits()
+        );
+        assert_eq!(
+            scalar.total_mass().to_bits(),
+            columnar.total_mass().to_bits()
+        );
+        let offered = scalar.offered_load();
+        for frac in [0.0, 0.1, 0.5, 0.9, 1.1] {
+            let nu = offered * frac;
+            assert_eq!(
+                scalar.water_level(nu).to_bits(),
+                columnar.water_level(nu).to_bits(),
+                "water level at nu = {nu}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,657 @@
+//! Structure-of-arrays population with family-partitioned batch kernels.
+//!
+//! The equilibrium solvers spend their time in per-CP loops: demand
+//! evaluation at a trial water level, Λ(w) term accumulation, and surplus
+//! integration. The scalar path walks `&[ContentProvider]` — an ~80-byte
+//! array-of-structs record (including an `Option<String>` label the inner
+//! loops never read) — and re-dispatches on the demand family for every
+//! element. [`ColumnarPopulation`] stores the same population as parallel
+//! `f64` columns (`alpha`, `theta_hat`, family parameters `p0`/`p1`, `v`,
+//! `phi`), *partitioned by demand family* under a stable permutation, so
+//! each batch kernel runs a family-monomorphic, branch-free loop over a
+//! contiguous column range.
+//!
+//! ## Bit-identity discipline
+//!
+//! Every batch kernel reconstructs the [`DemandKind`] enum from the tag
+//! and parameter columns and evaluates through the *same*
+//! [`Demand::demand`] code path as the scalar loops — the family match is
+//! merely hoisted out of the loop (each arm constructs a
+//! constant-discriminant enum, so the inner `match` folds away). Products
+//! keep the scalar path's exact operand grouping. Per-element outputs are
+//! therefore **bit-identical** to the scalar reference by construction,
+//! not merely within tolerance; the `tests/differential.rs` harness
+//! asserts this across all families including denormal/extreme parameter
+//! edges. Reductions over these outputs (Kahan sums in the solvers) run
+//! in original population order, keeping whole-solve results bit-identical
+//! too.
+
+use crate::cp::ContentProvider;
+use crate::kind::{Demand, DemandKind};
+use std::ops::Range;
+
+/// Demand-family tag: the discriminant of [`DemandKind`] without its
+/// parameters. Used to partition a population so batch kernels can run
+/// monomorphic loops per contiguous family range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Family {
+    /// [`DemandKind::ExponentialSensitivity`] (`p0 = beta`).
+    Exponential,
+    /// [`DemandKind::ConstantElasticity`] (`p0 = elasticity`).
+    ConstantElasticity,
+    /// [`DemandKind::SmoothedStep`] (`p0 = threshold`, `p1 = width`).
+    SmoothedStep,
+    /// [`DemandKind::HardStep`] (`p0 = threshold`).
+    HardStep,
+    /// [`DemandKind::Logistic`] (`p0 = steepness`, `p1 = midpoint`).
+    Logistic,
+    /// [`DemandKind::Constant`] (no parameters).
+    Constant,
+}
+
+impl Family {
+    /// Every family, in partition order.
+    pub const ALL: [Family; 6] = [
+        Family::Exponential,
+        Family::ConstantElasticity,
+        Family::SmoothedStep,
+        Family::HardStep,
+        Family::Logistic,
+        Family::Constant,
+    ];
+
+    /// The tag of a demand kind.
+    pub fn of(kind: &DemandKind) -> Family {
+        family_params(kind).0
+    }
+
+    /// Stable lowercase name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Exponential => "exponential",
+            Family::ConstantElasticity => "constant_elasticity",
+            Family::SmoothedStep => "smoothed_step",
+            Family::HardStep => "hard_step",
+            Family::Logistic => "logistic",
+            Family::Constant => "constant",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Family::Exponential => 0,
+            Family::ConstantElasticity => 1,
+            Family::SmoothedStep => 2,
+            Family::HardStep => 3,
+            Family::Logistic => 4,
+            Family::Constant => 5,
+        }
+    }
+}
+
+/// Split a demand kind into its family tag and up to two `f64` parameters
+/// (`p0`, `p1`; unused slots are 0). Inverse of [`kind_of`].
+pub fn family_params(kind: &DemandKind) -> (Family, f64, f64) {
+    match *kind {
+        DemandKind::ExponentialSensitivity { beta } => (Family::Exponential, beta, 0.0),
+        DemandKind::ConstantElasticity { elasticity } => {
+            (Family::ConstantElasticity, elasticity, 0.0)
+        }
+        DemandKind::SmoothedStep { threshold, width } => (Family::SmoothedStep, threshold, width),
+        DemandKind::HardStep { threshold } => (Family::HardStep, threshold, 0.0),
+        DemandKind::Logistic {
+            steepness,
+            midpoint,
+        } => (Family::Logistic, steepness, midpoint),
+        DemandKind::Constant => (Family::Constant, 0.0, 0.0),
+    }
+}
+
+/// Rebuild the demand kind from a family tag and parameter slots. Inverse
+/// of [`family_params`]; bypasses the asserting constructors because the
+/// parameters were validated when the original `DemandKind` was built.
+pub fn kind_of(family: Family, p0: f64, p1: f64) -> DemandKind {
+    match family {
+        Family::Exponential => DemandKind::ExponentialSensitivity { beta: p0 },
+        Family::ConstantElasticity => DemandKind::ConstantElasticity { elasticity: p0 },
+        Family::SmoothedStep => DemandKind::SmoothedStep {
+            threshold: p0,
+            width: p1,
+        },
+        Family::HardStep => DemandKind::HardStep { threshold: p0 },
+        Family::Logistic => DemandKind::Logistic {
+            steepness: p0,
+            midpoint: p1,
+        },
+        Family::Constant => DemandKind::Constant,
+    }
+}
+
+/// Evaluate one demand from tag + parameter slots, through the exact
+/// scalar [`Demand::demand`] code path (bit-identical to
+/// `ContentProvider::demand_at`). For column-at-a-time work prefer the
+/// batch kernels on [`ColumnarPopulation`], which hoist the family match
+/// out of the loop; this entry point is for sorted-order walks (the sweep
+/// cache) whose summation order forbids re-partitioning.
+#[inline]
+pub fn eval_demand(family: Family, p0: f64, p1: f64, theta: f64, theta_hat: f64) -> f64 {
+    kind_of(family, p0, p1).demand(theta, theta_hat)
+}
+
+/// Run `$body` for every element `$k` of every family range of `$cols`,
+/// with `$kind` bound to a constant-discriminant [`DemandKind`] literal
+/// rebuilt from the parameter columns. Each match arm is a monomorphic
+/// loop over a contiguous range: the `match` inside `Demand::demand_at`
+/// folds to the single live arm, yielding the branch-free batch loops
+/// while literally reusing the scalar arithmetic.
+macro_rules! for_family {
+    ($cols:ident, $k:ident, $kind:ident, $body:expr) => {
+        for (family, range) in $cols.ranges.iter() {
+            match *family {
+                Family::Exponential => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::ExponentialSensitivity { beta: $cols.p0[$k] };
+                        $body
+                    }
+                }
+                Family::ConstantElasticity => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::ConstantElasticity {
+                            elasticity: $cols.p0[$k],
+                        };
+                        $body
+                    }
+                }
+                Family::SmoothedStep => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::SmoothedStep {
+                            threshold: $cols.p0[$k],
+                            width: $cols.p1[$k],
+                        };
+                        $body
+                    }
+                }
+                Family::HardStep => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::HardStep {
+                            threshold: $cols.p0[$k],
+                        };
+                        $body
+                    }
+                }
+                Family::Logistic => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::Logistic {
+                            steepness: $cols.p0[$k],
+                            midpoint: $cols.p1[$k],
+                        };
+                        $body
+                    }
+                }
+                Family::Constant => {
+                    for $k in range.clone() {
+                        let $kind = DemandKind::Constant;
+                        $body
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// A population re-laid-out as family-partitioned parameter columns.
+///
+/// Built once from a `&[ContentProvider]` (see
+/// [`Population::columnar`](crate::Population::columnar) for the cached
+/// accessor) under a *stable* permutation: within each family, CPs keep
+/// their original relative order. Kernel inputs and outputs stay in
+/// **original population order** — the permutation is internal, applied by
+/// gather/scatter at the loop boundary — so callers never see the
+/// partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarPopulation {
+    n: usize,
+    /// Non-empty family runs as (tag, column range): `Family::ALL` order
+    /// within each block-local partition window (see [`Self::build`]), so
+    /// a family can recur across blocks. Runs tile `[0, n)`.
+    ranges: Vec<(Family, Range<usize>)>,
+    /// Popularity `α`, columnar order.
+    alpha: Vec<f64>,
+    /// Unconstrained throughput `θ̂`, columnar order.
+    theta_hat: Vec<f64>,
+    /// First family parameter (β / elasticity / threshold / steepness).
+    p0: Vec<f64>,
+    /// Second family parameter (width / midpoint; 0 when unused).
+    p1: Vec<f64>,
+    /// Per-unit-traffic CP revenue `v`, columnar order.
+    v: Vec<f64>,
+    /// Per-unit-traffic consumer utility `φ`, columnar order.
+    phi: Vec<f64>,
+    /// `to_original[k]` = original index of columnar slot `k`.
+    to_original: Vec<usize>,
+    /// `to_columnar[i]` = columnar slot of original index `i`.
+    to_columnar: Vec<usize>,
+    /// `true` when the permutation is the identity (the population was
+    /// already family-partitioned); kernels then skip gather/scatter.
+    identity: bool,
+}
+
+impl ColumnarPopulation {
+    /// Elements per block-local partition window (see [`Self::build`]).
+    /// 8Ki slots keep one window's kernel working set (input, output, θ̂
+    /// and parameter columns, index map) within a few hundred KiB —
+    /// L2-resident on common cores.
+    pub const BLOCK: usize = 2 * 1024;
+
+    /// Partition `cps` by demand family (stable within each family) and
+    /// gather the parameter columns.
+    ///
+    /// The partition is **block-local**: each [`Self::BLOCK`]-element
+    /// window of original indices is counting-sorted by family on its own,
+    /// so a columnar slot and its original index always fall in the same
+    /// window. The kernels' gather/scatter then stays inside a
+    /// cache-resident region per family run — with one global partition a
+    /// 1M-CP eval re-streams the full `thetas`/`out` arrays once per
+    /// family (the ~`families`-element stride is under a cache line, so
+    /// every pass touches every line). Runs never cross a window boundary,
+    /// which lets the batch kernels stage one window at a time through a
+    /// stack-resident scratch column.
+    pub fn build(cps: &[ContentProvider]) -> Self {
+        let n = cps.len();
+        let tagged: Vec<(Family, f64, f64)> =
+            cps.iter().map(|c| family_params(&c.demand)).collect();
+
+        let mut ranges: Vec<(Family, Range<usize>)> = Vec::new();
+        let mut to_original = vec![0usize; n];
+        let mut to_columnar = vec![0usize; n];
+        let mut start = 0;
+        while start < n {
+            let end = (start + Self::BLOCK).min(n);
+            // Stable counting sort of this block by family index.
+            let mut counts = [0usize; Family::ALL.len()];
+            for (f, _, _) in &tagged[start..end] {
+                counts[f.index()] += 1;
+            }
+            let mut next = [0usize; Family::ALL.len()];
+            let mut at = start;
+            for (fi, &count) in counts.iter().enumerate() {
+                next[fi] = at;
+                if count > 0 {
+                    ranges.push((Family::ALL[fi], at..at + count));
+                }
+                at += count;
+            }
+            for (i, (f, _, _)) in tagged.iter().enumerate().take(end).skip(start) {
+                let k = next[f.index()];
+                next[f.index()] += 1;
+                to_original[k] = i;
+                to_columnar[i] = k;
+            }
+            start = end;
+        }
+
+        let gather = |get: fn(&ContentProvider) -> f64| -> Vec<f64> {
+            to_original.iter().map(|&i| get(&cps[i])).collect()
+        };
+        let alpha = gather(|c| c.alpha);
+        let theta_hat = gather(|c| c.theta_hat);
+        let v = gather(|c| c.v);
+        let phi = gather(|c| c.phi);
+        let p0 = to_original.iter().map(|&i| tagged[i].1).collect();
+        let p1 = to_original.iter().map(|&i| tagged[i].2).collect();
+        let identity = to_original.iter().enumerate().all(|(k, &i)| k == i);
+
+        Self {
+            n,
+            ranges,
+            alpha,
+            theta_hat,
+            p0,
+            p1,
+            v,
+            phi,
+            to_original,
+            to_columnar,
+            identity,
+        }
+    }
+
+    /// Number of CPs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The non-empty family runs as `(tag, columnar range)`.
+    pub fn ranges(&self) -> &[(Family, Range<usize>)] {
+        &self.ranges
+    }
+
+    /// Original population index of columnar slot `k`.
+    pub fn to_original(&self) -> &[usize] {
+        &self.to_original
+    }
+
+    /// Columnar slot of original population index `i`.
+    pub fn slot_of(&self, i: usize) -> usize {
+        self.to_columnar[i]
+    }
+
+    /// Popularity `α` of original index `i`.
+    pub fn alpha_of(&self, i: usize) -> f64 {
+        self.alpha[self.to_columnar[i]]
+    }
+
+    /// Unconstrained throughput `θ̂` of original index `i`.
+    pub fn theta_hat_of(&self, i: usize) -> f64 {
+        self.theta_hat[self.to_columnar[i]]
+    }
+
+    /// Per-unit-traffic consumer utility `φ` of original index `i`.
+    pub fn phi_of(&self, i: usize) -> f64 {
+        self.phi[self.to_columnar[i]]
+    }
+
+    /// Per-unit-traffic CP revenue `v` of original index `i`.
+    pub fn v_of(&self, i: usize) -> f64 {
+        self.v[self.to_columnar[i]]
+    }
+
+    /// Demand kind of original index `i`, rebuilt from the columns.
+    pub fn kind_of_original(&self, i: usize) -> DemandKind {
+        let k = self.to_columnar[i];
+        let family = self
+            .ranges
+            .iter()
+            .find(|(_, r)| r.contains(&k))
+            .map(|(f, _)| *f)
+            .expect("slot belongs to a family range");
+        kind_of(family, self.p0[k], self.p1[k])
+    }
+
+    /// Size `out` to `n` slots without zero-filling slots it already has:
+    /// every kernel overwrites every slot (the family ranges tile
+    /// `[0, n)`), so a `clear()` + full refill would memset megabytes per
+    /// call for nothing on reused buffers.
+    fn reset(out: &mut Vec<f64>, n: usize) {
+        out.resize(n, 0.0);
+    }
+
+    /// Batch demand evaluation: `out[i] = d_i(thetas[i])` in original
+    /// order. Bit-identical per element to
+    /// `ContentProvider::demand_at(thetas[i])`.
+    ///
+    /// Each family run is a fused monomorphic loop; the gather/scatter
+    /// indices stay inside the run's block-local partition window, so the
+    /// `thetas`/`out` lines a window touches stay cache-resident across
+    /// its family runs. (Variants that staged windows through a separate
+    /// scratch column to make every pass fully sequential measured slower
+    /// at 1M CPs — the extra passes cost more than the indirection they
+    /// removed.) When the population is already family-partitioned the
+    /// permutation is the identity and the kernel skips the indirection.
+    pub fn eval_demands_into(&self, thetas: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(thetas.len(), self.n, "thetas length != population size");
+        Self::reset(out, self.n);
+        if self.identity {
+            for_family!(self, k, kind, {
+                out[k] = kind.demand(thetas[k], self.theta_hat[k]);
+            });
+            return;
+        }
+        for_family!(self, k, kind, {
+            let i = self.to_original[k];
+            out[i] = kind.demand(thetas[i], self.theta_hat[k]);
+        });
+    }
+
+    /// Batch demand at a common water level: `out[i] = d_i(min(θ̂_i, w))`
+    /// in original order. Bit-identical per element to the scalar
+    /// `cp.demand_at(cp.theta_hat.min(water))`.
+    pub fn eval_demands_at_water_into(&self, water: f64, out: &mut Vec<f64>) {
+        Self::reset(out, self.n);
+        if self.identity {
+            for_family!(self, k, kind, {
+                let th = self.theta_hat[k];
+                out[k] = kind.demand(th.min(water), th);
+            });
+            return;
+        }
+        for_family!(self, k, kind, {
+            let th = self.theta_hat[k];
+            out[self.to_original[k]] = kind.demand(th.min(water), th);
+        });
+    }
+
+    /// Batch throughput profile at a common water level:
+    /// `out[i] = min(θ̂_i, w)` in original order.
+    pub fn eval_thetas_at_water_into(&self, water: f64, out: &mut Vec<f64>) {
+        Self::reset(out, self.n);
+        for (o, &k) in out.iter_mut().zip(self.to_columnar.iter()) {
+            *o = self.theta_hat[k].min(water);
+        }
+    }
+
+    /// Batch per-capita Λ terms at a common water level:
+    /// `out[i] = α_i · (d_i(min(θ̂_i, w)) · min(θ̂_i, w))` in original
+    /// order — the exact operand grouping of
+    /// `ContentProvider::lambda_per_capita`, so each term is bit-identical
+    /// to the scalar solver's.
+    pub fn lambda_terms_at_water_into(&self, water: f64, out: &mut Vec<f64>) {
+        Self::reset(out, self.n);
+        if self.identity {
+            for_family!(self, k, kind, {
+                let th = self.theta_hat[k];
+                let theta = th.min(water);
+                let d = kind.demand(theta, th);
+                out[k] = self.alpha[k] * (d * theta);
+            });
+            return;
+        }
+        for_family!(self, k, kind, {
+            let th = self.theta_hat[k];
+            let theta = th.min(water);
+            let d = kind.demand(theta, th);
+            out[self.to_original[k]] = self.alpha[k] * (d * theta);
+        });
+    }
+
+    /// Batch per-CP consumer-surplus terms:
+    /// `out[i] = φ_i · α_i · demands[i] · thetas[i]` (left-associated, the
+    /// exact grouping of the scalar surplus loop) in original order.
+    pub fn eval_surplus_into(&self, demands: &[f64], thetas: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(demands.len(), self.n, "demands length != population size");
+        assert_eq!(thetas.len(), self.n, "thetas length != population size");
+        Self::reset(out, self.n);
+        for i in 0..self.n {
+            let k = self.to_columnar[i];
+            out[i] = self.phi[k] * self.alpha[k] * demands[i] * thetas[i];
+        }
+    }
+
+    /// Aggregate per-capita throughput `Σ_i α_i · demands[i] · thetas[i]`
+    /// with Kahan compensation in **original order** — bit-identical to
+    /// the scalar solver's aggregate reduction.
+    pub fn aggregate_per_capita(&self, demands: &[f64], thetas: &[f64]) -> f64 {
+        assert_eq!(demands.len(), self.n, "demands length != population size");
+        assert_eq!(thetas.len(), self.n, "thetas length != population size");
+        let mut acc = pubopt_num::KahanSum::new();
+        for i in 0..self.n {
+            acc.add(self.alpha[self.to_columnar[i]] * demands[i] * thetas[i]);
+        }
+        acc.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::Population;
+
+    fn mixed_population() -> Population {
+        let kinds = [
+            DemandKind::exponential(4.0),
+            DemandKind::Constant,
+            DemandKind::smoothed_step(0.6, 0.25),
+            DemandKind::logistic(9.0, 0.4),
+            DemandKind::exponential(0.5),
+            DemandKind::HardStep { threshold: 0.5 },
+            DemandKind::constant_elasticity(1.5),
+            DemandKind::exponential(12.0),
+        ];
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                ContentProvider::new(
+                    0.1 + 0.05 * i as f64,
+                    1.0 + i as f64,
+                    kind,
+                    0.2 * i as f64,
+                    0.1 + 0.2 * i as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_stable_and_complete() {
+        let pop = mixed_population();
+        let cols = ColumnarPopulation::build(pop.cps());
+        assert_eq!(cols.len(), pop.len());
+        // Every original index appears exactly once.
+        let mut seen = vec![false; pop.len()];
+        for &i in cols.to_original() {
+            assert!(!seen[i], "index {i} mapped twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Ranges tile [0, n) in Family::ALL order.
+        let mut at = 0;
+        for (_, r) in cols.ranges() {
+            assert_eq!(r.start, at);
+            at = r.end;
+        }
+        assert_eq!(at, pop.len());
+        // Stability: the three exponential CPs (original 0, 4, 7) keep order.
+        let exp_range = cols
+            .ranges()
+            .iter()
+            .find(|(f, _)| *f == Family::Exponential)
+            .map(|(_, r)| r.clone())
+            .unwrap();
+        let originals: Vec<usize> = exp_range.map(|k| cols.to_original()[k]).collect();
+        assert_eq!(originals, vec![0, 4, 7]);
+        // Round-trip slot mapping.
+        for i in 0..pop.len() {
+            assert_eq!(cols.to_original()[cols.slot_of(i)], i);
+        }
+    }
+
+    #[test]
+    fn columns_and_kinds_round_trip() {
+        let pop = mixed_population();
+        let cols = pop.columnar();
+        for (i, cp) in pop.iter().enumerate() {
+            assert_eq!(cols.alpha_of(i), cp.alpha);
+            assert_eq!(cols.theta_hat_of(i), cp.theta_hat);
+            assert_eq!(cols.v_of(i), cp.v);
+            assert_eq!(cols.phi_of(i), cp.phi);
+            assert_eq!(cols.kind_of_original(i), cp.demand);
+        }
+    }
+
+    #[test]
+    fn batch_demands_bit_identical_to_scalar() {
+        let pop = mixed_population();
+        let cols = pop.columnar();
+        let thetas: Vec<f64> = (0..pop.len()).map(|i| 0.3 * i as f64).collect();
+        let mut out = Vec::new();
+        cols.eval_demands_into(&thetas, &mut out);
+        for (i, cp) in pop.iter().enumerate() {
+            let want = cp.demand_at(thetas[i]);
+            assert_eq!(out[i].to_bits(), want.to_bits(), "cp {i}");
+        }
+    }
+
+    #[test]
+    fn batch_water_kernels_bit_identical_to_scalar() {
+        let pop = mixed_population();
+        let cols = pop.columnar();
+        let (mut d, mut t, mut l) = (Vec::new(), Vec::new(), Vec::new());
+        for water in [0.0, 0.7, 2.5, 100.0, f64::INFINITY] {
+            cols.eval_demands_at_water_into(water, &mut d);
+            cols.eval_thetas_at_water_into(water, &mut t);
+            cols.lambda_terms_at_water_into(water, &mut l);
+            for (i, cp) in pop.iter().enumerate() {
+                let theta = cp.theta_hat.min(water);
+                assert_eq!(t[i].to_bits(), theta.to_bits(), "theta cp {i} w {water}");
+                assert_eq!(
+                    d[i].to_bits(),
+                    cp.demand_at(theta).to_bits(),
+                    "demand cp {i} w {water}"
+                );
+                assert_eq!(
+                    l[i].to_bits(),
+                    cp.lambda_per_capita(theta).to_bits(),
+                    "lambda cp {i} w {water}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surplus_and_aggregate_match_scalar() {
+        let pop = mixed_population();
+        let cols = pop.columnar();
+        let thetas: Vec<f64> = pop.iter().map(|c| c.theta_hat * 0.8).collect();
+        let demands: Vec<f64> = pop
+            .iter()
+            .zip(&thetas)
+            .map(|(c, &t)| c.demand_at(t))
+            .collect();
+        let mut s = Vec::new();
+        cols.eval_surplus_into(&demands, &thetas, &mut s);
+        let mut scalar_acc = pubopt_num::KahanSum::new();
+        for (i, cp) in pop.iter().enumerate() {
+            let want = cp.phi * cp.alpha * demands[i] * thetas[i];
+            assert_eq!(s[i].to_bits(), want.to_bits(), "surplus cp {i}");
+            scalar_acc.add(cp.alpha * demands[i] * thetas[i]);
+        }
+        let agg = cols.aggregate_per_capita(&demands, &thetas);
+        assert_eq!(agg.to_bits(), scalar_acc.total().to_bits());
+    }
+
+    #[test]
+    fn empty_population_kernels() {
+        let cols = ColumnarPopulation::build(&[]);
+        assert!(cols.is_empty());
+        assert!(cols.ranges().is_empty());
+        let mut out = vec![1.0; 3];
+        cols.eval_demands_at_water_into(1.0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(cols.aggregate_per_capita(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn eval_demand_matches_kind() {
+        for kind in [
+            DemandKind::exponential(3.0),
+            DemandKind::smoothed_step(0.4, 0.1),
+            DemandKind::logistic(7.0, 0.6),
+            DemandKind::Constant,
+        ] {
+            let (f, p0, p1) = family_params(&kind);
+            assert_eq!(kind_of(f, p0, p1), kind);
+            for theta in [0.0, 0.2, 0.9, 1.7] {
+                assert_eq!(
+                    eval_demand(f, p0, p1, theta, 1.7).to_bits(),
+                    kind.demand(theta, 1.7).to_bits()
+                );
+            }
+        }
+    }
+}

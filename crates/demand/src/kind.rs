@@ -158,7 +158,9 @@ impl DemandKind {
     /// Parse the format produced by [`DemandKind::to_json`].
     ///
     /// Field order is free and extra whitespace is tolerated; unknown
-    /// kinds or missing fields yield a descriptive `Err`.
+    /// kinds, missing fields, and out-of-domain parameters (negative,
+    /// non-finite or NaN — see [`crate::validate::check_params`]) yield a
+    /// descriptive `Err`. This entry point never panics on bad data.
     pub fn from_json(text: &str) -> Result<Self, String> {
         fn field(text: &str, name: &str) -> Result<f64, String> {
             let tag = format!("\"{name}\"");
@@ -187,25 +189,29 @@ impl DemandKind {
             })
             .ok_or_else(|| "missing \"kind\" tag".to_owned())?;
 
-        match kind_tag {
-            "exponential" => Ok(DemandKind::exponential(field(text, "beta")?)),
-            "constant_elasticity" => {
-                Ok(DemandKind::constant_elasticity(field(text, "elasticity")?))
-            }
-            "smoothed_step" => Ok(DemandKind::smoothed_step(
-                field(text, "threshold")?,
-                field(text, "width")?,
-            )),
-            "hard_step" => Ok(DemandKind::HardStep {
+        let kind = match kind_tag {
+            "exponential" => DemandKind::ExponentialSensitivity {
+                beta: field(text, "beta")?,
+            },
+            "constant_elasticity" => DemandKind::ConstantElasticity {
+                elasticity: field(text, "elasticity")?,
+            },
+            "smoothed_step" => DemandKind::SmoothedStep {
                 threshold: field(text, "threshold")?,
-            }),
-            "logistic" => Ok(DemandKind::logistic(
-                field(text, "steepness")?,
-                field(text, "midpoint")?,
-            )),
-            "constant" => Ok(DemandKind::Constant),
-            other => Err(format!("unknown demand kind {other:?}")),
-        }
+                width: field(text, "width")?,
+            },
+            "hard_step" => DemandKind::HardStep {
+                threshold: field(text, "threshold")?,
+            },
+            "logistic" => DemandKind::Logistic {
+                steepness: field(text, "steepness")?,
+                midpoint: field(text, "midpoint")?,
+            },
+            "constant" => DemandKind::Constant,
+            other => return Err(format!("unknown demand kind {other:?}")),
+        };
+        crate::validate::check_params(&kind).map_err(|e| format!("bad {kind_tag} params: {e}"))?;
+        Ok(kind)
     }
 }
 
@@ -380,6 +386,81 @@ mod tests {
             (0.5f64..30.0, 0.05f64..0.95).prop_map(|(k, m)| DemandKind::logistic(k, m)),
             Just(DemandKind::Constant),
         ]
+    }
+
+    #[test]
+    fn json_rejects_out_of_domain_params_with_err() {
+        // Pre-validation these panicked inside the asserting constructors;
+        // external data must get a descriptive Err instead.
+        for bad in [
+            "{\"kind\":\"exponential\",\"beta\":-1}",
+            "{\"kind\":\"exponential\",\"beta\":NaN}",
+            "{\"kind\":\"exponential\",\"beta\":inf}",
+            "{\"kind\":\"constant_elasticity\",\"elasticity\":-0.5}",
+            "{\"kind\":\"constant_elasticity\",\"elasticity\":NaN}",
+            "{\"kind\":\"smoothed_step\",\"threshold\":1.5,\"width\":0.1}",
+            "{\"kind\":\"smoothed_step\",\"threshold\":0.5,\"width\":0}",
+            "{\"kind\":\"smoothed_step\",\"threshold\":0.5,\"width\":-0.1}",
+            "{\"kind\":\"smoothed_step\",\"threshold\":NaN,\"width\":0.1}",
+            "{\"kind\":\"hard_step\",\"threshold\":-0.1}",
+            "{\"kind\":\"hard_step\",\"threshold\":NaN}",
+            "{\"kind\":\"logistic\",\"steepness\":0,\"midpoint\":0.5}",
+            "{\"kind\":\"logistic\",\"steepness\":-3,\"midpoint\":0.5}",
+            "{\"kind\":\"logistic\",\"steepness\":5,\"midpoint\":1}",
+            "{\"kind\":\"logistic\",\"steepness\":5,\"midpoint\":NaN}",
+        ] {
+            let got = DemandKind::from_json(bad);
+            assert!(got.is_err(), "{bad} must be rejected, got {got:?}");
+        }
+    }
+
+    /// Arbitrary valid kind across every family, for round-trip laws.
+    fn any_valid_kind() -> impl Strategy<Value = DemandKind> {
+        prop_oneof![
+            (0.0f64..1e6).prop_map(DemandKind::exponential),
+            (0.0f64..1e3).prop_map(DemandKind::constant_elasticity),
+            (0.0f64..=1.0, 1e-9f64..2.0).prop_map(|(t, w)| DemandKind::smoothed_step(t, w)),
+            (0.0f64..=1.0).prop_map(|t| DemandKind::HardStep { threshold: t }),
+            (1e-9f64..1e4, 1e-9f64..1.0)
+                .prop_map(|(k, m)| DemandKind::logistic(k, m.min(1.0 - 1e-12))),
+            Just(DemandKind::Constant),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn json_roundtrip_is_exact_across_families(d in any_valid_kind()) {
+            let json = d.to_json();
+            let back = DemandKind::from_json(&json);
+            prop_assert_eq!(back, Ok(d), "round-trip failed for {}", json);
+        }
+
+        #[test]
+        fn json_rejects_negative_beta(beta in -1e6f64..-1e-12) {
+            let r = DemandKind::from_json(&format!("{{\"kind\":\"exponential\",\"beta\":{beta}}}"));
+            prop_assert!(r.is_err(), "beta={} must be rejected", beta);
+        }
+
+        #[test]
+        fn json_rejects_negative_elasticity(e in -1e6f64..-1e-12) {
+            let r = DemandKind::from_json(
+                &format!("{{\"kind\":\"constant_elasticity\",\"elasticity\":{e}}}"));
+            prop_assert!(r.is_err(), "elasticity={} must be rejected", e);
+        }
+
+        #[test]
+        fn json_rejects_nonpositive_width(w in -1e3f64..=0.0) {
+            let r = DemandKind::from_json(
+                &format!("{{\"kind\":\"smoothed_step\",\"threshold\":0.5,\"width\":{w}}}"));
+            prop_assert!(r.is_err(), "width={} must be rejected", w);
+        }
+
+        #[test]
+        fn json_rejects_out_of_range_midpoint(m in prop_oneof![-2.0f64..=0.0, 1.0f64..3.0]) {
+            let r = DemandKind::from_json(
+                &format!("{{\"kind\":\"logistic\",\"steepness\":4,\"midpoint\":{m}}}"));
+            prop_assert!(r.is_err(), "midpoint={} must be rejected", m);
+        }
     }
 
     proptest! {

@@ -24,13 +24,15 @@
 #![forbid(unsafe_code)]
 
 pub mod archetypes;
+pub mod columnar;
 pub mod cp;
 pub mod kind;
 pub mod population;
 pub mod validate;
 
 pub use archetypes::{google, netflix, skype};
+pub use columnar::{ColumnarPopulation, Family};
 pub use cp::ContentProvider;
 pub use kind::{Demand, DemandKind};
 pub use population::Population;
-pub use validate::{check_assumption1, Assumption1Violation};
+pub use validate::{check_assumption1, check_params, Assumption1Violation};

@@ -1,22 +1,32 @@
 //! Collections of content providers with cached aggregates.
 
+use crate::columnar::ColumnarPopulation;
 use crate::cp::ContentProvider;
 use pubopt_num::kahan_sum;
+use std::sync::OnceLock;
 
 /// A set `N` of content providers.
 ///
 /// Thin wrapper around `Vec<ContentProvider>` that centralises the
 /// aggregates every solver needs (`Σ α_i θ̂_i`, subset selection by class
-/// membership, …).
-#[derive(Debug, Clone, PartialEq, Default)]
+/// membership, …) and lazily caches the structure-of-arrays view used by
+/// the batch demand kernels ([`Population::columnar`]).
 pub struct Population {
     cps: Vec<ContentProvider>,
+    /// Lazily-built columnar view. `OnceLock` (not `RefCell`) because
+    /// populations are shared as `&Population` across sweep worker
+    /// threads; any mutable access to the CPs drops the cache so a stale
+    /// column can never be observed.
+    columnar: OnceLock<ColumnarPopulation>,
 }
 
 impl Population {
     /// Build from a vector of CPs.
     pub fn new(cps: Vec<ContentProvider>) -> Self {
-        Self { cps }
+        Self {
+            cps,
+            columnar: OnceLock::new(),
+        }
     }
 
     /// Number of CPs, `N = |N|`.
@@ -35,8 +45,22 @@ impl Population {
     }
 
     /// Mutable access (used by workload generators to post-edit φ draws).
+    ///
+    /// Invalidates the cached columnar view: the caller may change any
+    /// parameter, so the columns are rebuilt on the next
+    /// [`Population::columnar`] call.
     pub fn cps_mut(&mut self) -> &mut [ContentProvider] {
+        self.columnar.take();
         &mut self.cps
+    }
+
+    /// The family-partitioned structure-of-arrays view of this
+    /// population, built on first use and cached (thread-safe; subsequent
+    /// calls are a pointer load). See [`crate::columnar`] for the batch
+    /// kernels and their bit-identity discipline.
+    pub fn columnar(&self) -> &ColumnarPopulation {
+        self.columnar
+            .get_or_init(|| ColumnarPopulation::build(&self.cps))
     }
 
     /// Iterate over the CPs.
@@ -54,6 +78,9 @@ impl Population {
     }
 
     /// Sub-population selected by index predicate. Order is preserved.
+    ///
+    /// Returns a fresh `Population` with its own (empty) columnar cache,
+    /// so the subset can never observe the parent's columns.
     pub fn subset(&self, mut keep: impl FnMut(usize, &ContentProvider) -> bool) -> Population {
         Population::new(
             self.cps
@@ -66,6 +93,8 @@ impl Population {
     }
 
     /// Sub-population by explicit index list (indices must be in range).
+    ///
+    /// Returns a fresh `Population` with its own (empty) columnar cache.
     pub fn select(&self, indices: &[usize]) -> Population {
         Population::new(indices.iter().map(|&i| self.cps[i].clone()).collect())
     }
@@ -74,6 +103,37 @@ impl Population {
     /// upper end of any water-level bracket.
     pub fn max_theta_hat(&self) -> f64 {
         self.cps.iter().map(|c| c.theta_hat).fold(0.0, f64::max)
+    }
+}
+
+impl Default for Population {
+    fn default() -> Self {
+        Population::new(Vec::new())
+    }
+}
+
+impl Clone for Population {
+    /// Clones the CPs; the columnar cache is rebuilt lazily on the clone
+    /// (cheap relative to cloning `Vec<ContentProvider>`, and keeps the
+    /// cache trivially coherent).
+    fn clone(&self) -> Self {
+        Population::new(self.cps.clone())
+    }
+}
+
+impl PartialEq for Population {
+    /// Equality is over the CPs only — the columnar cache is derived
+    /// state.
+    fn eq(&self, other: &Self) -> bool {
+        self.cps == other.cps
+    }
+}
+
+impl std::fmt::Debug for Population {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Population")
+            .field("cps", &self.cps)
+            .finish()
     }
 }
 
@@ -100,6 +160,7 @@ impl std::ops::Index<usize> for Population {
 mod tests {
     use super::*;
     use crate::archetypes::figure3_trio;
+    use crate::kind::DemandKind;
 
     #[test]
     fn aggregates() {
@@ -139,5 +200,62 @@ mod tests {
     fn from_iterator() {
         let p: Population = figure3_trio().into_iter().collect();
         assert_eq!(p.len(), 3);
+    }
+
+    /// Every way of observing the columnar view must agree with the CPs it
+    /// was derived from: a stale column can never be observed.
+    fn assert_columnar_coherent(p: &Population) {
+        let cols = p.columnar();
+        assert_eq!(cols.len(), p.len());
+        for (i, cp) in p.iter().enumerate() {
+            assert_eq!(cols.alpha_of(i), cp.alpha, "alpha of cp {i}");
+            assert_eq!(cols.theta_hat_of(i), cp.theta_hat, "theta_hat of cp {i}");
+            assert_eq!(cols.phi_of(i), cp.phi, "phi of cp {i}");
+            assert_eq!(cols.v_of(i), cp.v, "v of cp {i}");
+            assert_eq!(cols.kind_of_original(i), cp.demand, "kind of cp {i}");
+        }
+    }
+
+    #[test]
+    fn columnar_cache_invalidated_by_mutation() {
+        let mut p: Population = figure3_trio().into();
+        assert_columnar_coherent(&p); // force the cache
+        p.cps_mut()[1].theta_hat = 123.0;
+        p.cps_mut()[1].demand = DemandKind::logistic(5.0, 0.5);
+        assert_eq!(p.columnar().theta_hat_of(1), 123.0);
+        assert_columnar_coherent(&p);
+    }
+
+    #[test]
+    fn subset_and_select_get_fresh_columnar_views() {
+        let p: Population = figure3_trio().into();
+        assert_columnar_coherent(&p); // parent cache is hot
+        let q = p.subset(|i, _| i != 0);
+        assert_columnar_coherent(&q);
+        let r = p.select(&[2, 0]);
+        assert_columnar_coherent(&r);
+        // Parent unchanged.
+        assert_columnar_coherent(&p);
+    }
+
+    #[test]
+    fn clone_rebuilds_columnar_after_divergence() {
+        let p: Population = figure3_trio().into();
+        assert_columnar_coherent(&p);
+        let mut q = p.clone();
+        q.cps_mut()[0].phi = 9.5;
+        assert_columnar_coherent(&q);
+        assert_columnar_coherent(&p);
+        assert_ne!(p, q);
+        assert_eq!(p, p.clone());
+    }
+
+    #[test]
+    fn debug_and_eq_ignore_cache_state() {
+        let p: Population = figure3_trio().into();
+        let q: Population = figure3_trio().into();
+        let _ = p.columnar(); // p cached, q not
+        assert_eq!(p, q);
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
     }
 }

@@ -6,7 +6,70 @@
 //! dense grid, adjacent samples must not differ by more than a caller-
 //! supplied bound. The hard-step family fails exactly this check.
 
-use crate::kind::Demand;
+use crate::kind::{Demand, DemandKind};
+
+/// Check the parameter domain of a demand family without panicking.
+///
+/// The asserting constructors ([`DemandKind::exponential`] etc.) guard
+/// *programmatic* construction, where an out-of-domain parameter is a
+/// programmer error. Data arriving from outside the process — JSON
+/// requests, config files — goes through this check instead so negative,
+/// non-finite or NaN parameters are rejected with a descriptive `Err`
+/// rather than a panic. [`DemandKind::from_json`] routes through it.
+pub fn check_params(kind: &DemandKind) -> Result<(), String> {
+    fn finite(name: &str, x: f64) -> Result<(), String> {
+        if x.is_finite() {
+            Ok(())
+        } else {
+            Err(format!("{name} must be finite, got {x}"))
+        }
+    }
+    match *kind {
+        DemandKind::ExponentialSensitivity { beta } => {
+            finite("beta", beta)?;
+            if beta < 0.0 {
+                return Err(format!("beta must be >= 0, got {beta}"));
+            }
+        }
+        DemandKind::ConstantElasticity { elasticity } => {
+            finite("elasticity", elasticity)?;
+            if elasticity < 0.0 {
+                return Err(format!("elasticity must be >= 0, got {elasticity}"));
+            }
+        }
+        DemandKind::SmoothedStep { threshold, width } => {
+            finite("threshold", threshold)?;
+            finite("width", width)?;
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(format!("threshold must be in [0,1], got {threshold}"));
+            }
+            if width <= 0.0 {
+                return Err(format!("width must be > 0, got {width}"));
+            }
+        }
+        DemandKind::HardStep { threshold } => {
+            finite("threshold", threshold)?;
+            if !(0.0..=1.0).contains(&threshold) {
+                return Err(format!("threshold must be in [0,1], got {threshold}"));
+            }
+        }
+        DemandKind::Logistic {
+            steepness,
+            midpoint,
+        } => {
+            finite("steepness", steepness)?;
+            finite("midpoint", midpoint)?;
+            if steepness <= 0.0 {
+                return Err(format!("steepness must be > 0, got {steepness}"));
+            }
+            if midpoint <= 0.0 || midpoint >= 1.0 {
+                return Err(format!("midpoint must be in (0,1), got {midpoint}"));
+            }
+        }
+        DemandKind::Constant => {}
+    }
+    Ok(())
+}
 
 /// A detected violation of Assumption 1.
 #[derive(Debug, Clone, PartialEq)]

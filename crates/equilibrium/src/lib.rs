@@ -34,10 +34,13 @@ pub mod system;
 
 pub use solver::{
     generic_default_policy, solve_generic, solve_generic_warm, solve_generic_with_policy,
-    solve_maxmin, solve_maxmin_traced, try_solve_maxmin, EquilibriumError, RateEquilibrium,
-    SolveStats,
+    solve_maxmin, solve_maxmin_columnar, solve_maxmin_traced, try_solve_maxmin,
+    try_solve_maxmin_columnar, EquilibriumError, RateEquilibrium, SolveStats,
 };
-pub use surplus::{consumer_surplus, per_cp_surplus, rho_profile};
+pub use surplus::{
+    consumer_surplus, consumer_surplus_columnar, per_cp_surplus, per_cp_surplus_columnar_into,
+    rho_profile,
+};
 pub use sweep::{
     solve_sweep, solve_sweep_traced, try_solve_maxmin_warm, SweepCache, SweepEffort, WarmStart,
 };

@@ -40,6 +40,39 @@ pub fn rho_profile(eq: &RateEquilibrium) -> Vec<f64> {
     (0..eq.thetas.len()).map(|i| eq.rho(i)).collect()
 }
 
+/// Columnar [`consumer_surplus`]: batch `Φ_i` kernel plus the same
+/// original-order Kahan reduction as the scalar loop, so the result is
+/// bit-identical to the reference implementation.
+///
+/// # Panics
+///
+/// Panics if the equilibrium and population sizes disagree.
+pub fn consumer_surplus_columnar(pop: &Population, eq: &RateEquilibrium) -> f64 {
+    let mut terms = Vec::new();
+    per_cp_surplus_columnar_into(pop, eq, &mut terms);
+    let mut acc = KahanSum::new();
+    for &t in &terms {
+        acc.add(t);
+    }
+    acc.total()
+}
+
+/// Columnar [`per_cp_surplus`] into a caller-provided buffer (original
+/// CP order). Bit-identical per slot to the scalar map.
+///
+/// # Panics
+///
+/// Panics if the equilibrium and population sizes disagree.
+pub fn per_cp_surplus_columnar_into(pop: &Population, eq: &RateEquilibrium, out: &mut Vec<f64>) {
+    assert_eq!(
+        pop.len(),
+        eq.thetas.len(),
+        "equilibrium/population size mismatch"
+    );
+    pop.columnar()
+        .eval_surplus_into(&eq.demands, &eq.thetas, out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +116,31 @@ mod tests {
         let rho = rho_profile(&eq);
         for (i, &r) in rho.iter().enumerate().take(p.len()) {
             assert_eq!(r, eq.rho(i));
+        }
+    }
+
+    #[test]
+    fn columnar_surplus_bit_identical_to_scalar() {
+        let p: Population = vec![
+            ContentProvider::new(0.3, 2.0, DemandKind::exponential(1.7), 0.5, 2.0),
+            ContentProvider::new(0.2, 0.9, DemandKind::constant_elasticity(0.8), 0.5, 1.0),
+            ContentProvider::new(0.25, 1.4, DemandKind::smoothed_step(0.6, 0.2), 0.5, 3.0),
+            ContentProvider::new(0.15, 3.1, DemandKind::logistic(6.0, 0.5), 0.5, 0.7),
+            ContentProvider::new(0.1, 0.4, DemandKind::Constant, 0.5, 1.3),
+        ]
+        .into();
+        for nu in [0.0, 0.3, 1.1, 2.7, 50.0] {
+            let eq = solve(&p, nu);
+            let scalar = consumer_surplus(&p, &eq);
+            let columnar = consumer_surplus_columnar(&p, &eq);
+            assert_eq!(scalar.to_bits(), columnar.to_bits(), "nu={nu}");
+            let parts = per_cp_surplus(&p, &eq);
+            let mut batch = Vec::new();
+            per_cp_surplus_columnar_into(&p, &eq, &mut batch);
+            assert_eq!(parts.len(), batch.len());
+            for (i, (&a, &b)) in parts.iter().zip(&batch).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "nu={nu} cp={i}");
+            }
         }
     }
 

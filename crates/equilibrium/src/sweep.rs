@@ -32,7 +32,8 @@
 //! `num.warmstart.*` observability counters.
 
 use crate::solver::{EquilibriumError, RateEquilibrium, SolveStats};
-use pubopt_demand::Population;
+use pubopt_demand::columnar::{eval_demand, family_params};
+use pubopt_demand::{Family, Population};
 use pubopt_num::recover::{robust_bisect, SolverPolicy};
 use pubopt_num::{roots::bisect_counted, KahanSum, RootError, Tolerance};
 use std::cell::Cell;
@@ -107,6 +108,19 @@ pub struct SweepCache {
     order: Vec<usize>,
     /// `θ̂` of each bound CP, ascending — the water-level breakpoints.
     breaks: Vec<f64>,
+    /// `α` of each bound CP, sorted order — structure-of-arrays columns
+    /// snapshot (with `s_fam`/`s_p0`/`s_p1`) so the hot Λ suffix walk in
+    /// [`Self::lambda_from`] never touches the ~80-byte
+    /// array-of-structs CP records. Values are gathered at bind time,
+    /// like the prefix sums, so every Λ term is bit-identical to the
+    /// scalar `cp.lambda_per_capita(...)` it replaces.
+    s_alpha: Vec<f64>,
+    /// Demand-family tag of each bound CP, sorted order.
+    s_fam: Vec<Family>,
+    /// First demand parameter of each bound CP, sorted order.
+    s_p0: Vec<f64>,
+    /// Second demand parameter of each bound CP, sorted order.
+    s_p1: Vec<f64>,
     /// `prefix_load[k] = Σ_{j<k} α·d(θ̂)·θ̂` over the bound order (Kahan):
     /// the exact Λ contribution of the `k` most easily saturated CPs.
     prefix_load: Vec<f64>,
@@ -137,6 +151,10 @@ impl SweepCache {
             full_order,
             order: Vec::with_capacity(n),
             breaks: Vec::with_capacity(n),
+            s_alpha: Vec::with_capacity(n),
+            s_fam: Vec::with_capacity(n),
+            s_p0: Vec::with_capacity(n),
+            s_p1: Vec::with_capacity(n),
             prefix_load: Vec::with_capacity(n + 1),
             total_hat: 0.0,
             member: vec![false; n],
@@ -178,13 +196,22 @@ impl SweepCache {
     fn rebuild_prefixes(&mut self, pop: &Population) {
         pubopt_obs::incr("num.warmstart.rebinds");
         self.breaks.clear();
+        self.s_alpha.clear();
+        self.s_fam.clear();
+        self.s_p0.clear();
+        self.s_p1.clear();
         self.prefix_load.clear();
         let mut load = KahanSum::new();
         let mut hat = KahanSum::new();
         self.prefix_load.push(0.0);
         for &i in &self.order {
             let cp = &pop[i];
+            let (fam, p0, p1) = family_params(&cp.demand);
             self.breaks.push(cp.theta_hat);
+            self.s_alpha.push(cp.alpha);
+            self.s_fam.push(fam);
+            self.s_p0.push(p0);
+            self.s_p1.push(p1);
             load.add(cp.lambda_per_capita(cp.theta_hat));
             hat.add(cp.lambda_hat_per_capita());
             self.prefix_load.push(load.total());
@@ -228,13 +255,25 @@ impl SweepCache {
     /// `Λ(w)` given that every bound CP below sorted position `sat` is
     /// saturated (`breaks[j] ≤ w` for all `j < sat`): Kahan prefix plus a
     /// walk over the unsaturated suffix only.
-    fn lambda_from(&self, pop: &Population, sat: usize, w: f64) -> f64 {
+    ///
+    /// The suffix walk reads the sorted-order columns snapshotted at bind
+    /// time (`breaks`/`s_alpha`/`s_fam`/`s_p0`/`s_p1`) — never the CP
+    /// records. Each term computes
+    /// `α · (d(min(θ̂, w)) · min(θ̂, w))` through
+    /// [`eval_demand`], the exact scalar demand arithmetic and operand
+    /// grouping of `cp.lambda_per_capita(cp.theta_hat.min(w))`, and the
+    /// Kahan adds run in the same sorted order — so Λ values (and every
+    /// water level derived from them) are bit-identical to the
+    /// population-walking version this replaced.
+    fn lambda_from(&self, sat: usize, w: f64) -> f64 {
         self.bump(|e| e.lambda_evals += 1);
         let mut acc = KahanSum::new();
         acc.add(self.prefix_load[sat]);
-        for &i in &self.order[sat..] {
-            let cp = &pop[i];
-            acc.add(cp.lambda_per_capita(cp.theta_hat.min(w)));
+        for j in sat..self.order.len() {
+            let th = self.breaks[j];
+            let theta = th.min(w);
+            let d = eval_demand(self.s_fam[j], self.s_p0[j], self.s_p1[j], theta, th);
+            acc.add(self.s_alpha[j] * (d * theta));
         }
         acc.total()
     }
@@ -264,6 +303,9 @@ impl SweepCache {
             nu >= 0.0 && nu.is_finite(),
             "nu must be finite and non-negative, got {nu}"
         );
+        // The Λ probes run entirely on the columns snapshotted at bind
+        // time; `pop` stays in the signature as the binding check.
+        assert_eq!(pop.len(), self.n, "cache built for another population");
         let m = self.order.len();
         if m == 0 || self.total_hat <= nu {
             return Ok(f64::INFINITY);
@@ -282,7 +324,7 @@ impl SweepCache {
         let probes = Cell::new(0u64);
         let pred = |j: usize| -> Result<bool, RootError> {
             probes.set(probes.get() + 1);
-            let v = self.lambda_from(pop, j, self.breaks[j]);
+            let v = self.lambda_from(j, self.breaks[j]);
             if !v.is_finite() {
                 return Err(RootError::NonFinite { at: self.breaks[j] });
             }
@@ -370,7 +412,7 @@ impl SweepCache {
         // of how `seg` was located ⇒ bit-identical warm vs cold.
         let lo = if seg == 0 { 0.0 } else { self.breaks[seg - 1] };
         let hi = self.breaks[seg];
-        let (w, iters) = bisect_counted(|w| self.lambda_from(pop, seg, w) - nu, lo, hi, tol)?;
+        let (w, iters) = bisect_counted(|w| self.lambda_from(seg, w) - nu, lo, hi, tol)?;
         self.bump(|e| e.bisect_iters += u64::from(iters));
         pubopt_obs::add("num.warmstart.bisect_iters", u64::from(iters));
         warm.segment = Some(seg);
@@ -455,17 +497,15 @@ pub fn try_solve_maxmin_warm(
     let delta_evals = cache.effort().lambda_evals - before.lambda_evals;
     let delta_iters = (cache.effort().bisect_iters - before.bisect_iters) as u32;
 
-    let thetas: Vec<f64> = pop.iter().map(|cp| cp.theta_hat.min(water)).collect();
-    let demands: Vec<f64> = pop
-        .iter()
-        .zip(thetas.iter())
-        .map(|(cp, &t)| cp.demand_at(t))
-        .collect();
-    let aggregate = pubopt_num::kahan_sum(
-        pop.iter()
-            .zip(demands.iter().zip(thetas.iter()))
-            .map(|(cp, (&d, &t))| cp.alpha * d * t),
-    );
+    // Profile assembly through the columnar batch kernels — bit-identical
+    // to the scalar per-CP maps they replace (min(θ̂, ∞) = θ̂ covers the
+    // uncongested arm exactly).
+    let cols = pop.columnar();
+    let mut thetas = Vec::new();
+    cols.eval_thetas_at_water_into(water, &mut thetas);
+    let mut demands = Vec::new();
+    cols.eval_demands_into(&thetas, &mut demands);
+    let aggregate = cols.aggregate_per_capita(&demands, &thetas);
     Ok((
         RateEquilibrium {
             nu,

@@ -99,6 +99,33 @@ pub struct AllocScalePoint {
     pub max_abs_diff: f64,
 }
 
+/// One size point of the scalar-vs-columnar demand-evaluation throughput
+/// sweep (ISSUE 8 acceptance: the columnar batch kernel sustains ≥ 2× the
+/// scalar per-CP loop's CP-evaluations/sec at 1M CPs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandEvalPoint {
+    /// Population size (mixed across all six demand families).
+    pub n_cps: usize,
+    /// Demand evaluations per timed batch (= `n_cps`; one full pass).
+    pub evals: usize,
+    /// Median ns for the scalar per-CP loop
+    /// (`cp.demand.demand(θ_i, θ̂_i)` over `pop.iter()`).
+    pub scalar_ns: u64,
+    /// Median ns for [`pubopt_demand::ColumnarPopulation::eval_demands_into`]
+    /// over the same profile (SoA columns, family-partitioned ranges).
+    pub columnar_ns: u64,
+    /// Scalar throughput, CP evaluations per second.
+    pub scalar_cps_per_sec: f64,
+    /// Columnar throughput, CP evaluations per second.
+    pub columnar_cps_per_sec: f64,
+    /// `scalar_ns / columnar_ns`.
+    pub speedup: f64,
+    /// Worst |scalar − columnar| across the batch, computed outside the
+    /// timed region. The columnar kernel replays the scalar arithmetic
+    /// bit-for-bit, so this must be exactly 0.
+    pub max_abs_diff: f64,
+}
+
 /// Warm-vs-cold A/B of the Figure-5 equilibrium sweep (ISSUE 3
 /// acceptance: the warm-started sweep spends ≥ 3× fewer solver
 /// iterations — measured as breakpoint-segment probes, the
@@ -153,6 +180,9 @@ pub struct BenchReport {
     /// Sorted-prefix kernel vs reference allocator scaling (1k → 1M CPs;
     /// quick mode stops at 10k).
     pub alloc_scaling: Vec<AllocScalePoint>,
+    /// Scalar-vs-columnar demand-kernel throughput (100k and 1M CPs;
+    /// quick mode runs a single 10k point).
+    pub demand_eval: Vec<DemandEvalPoint>,
     /// Warm-vs-cold kernel A/B on the Figure-5 ν grid.
     pub warmstart: WarmstartAb,
     /// Warm-vs-baseline A/B of the duopoly market solver on the Figure-8
@@ -173,7 +203,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v6`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v7`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -227,6 +257,28 @@ impl BenchReport {
                     ("queries".into(), Value::from(p.queries)),
                     ("fast_ns".into(), Value::from(p.fast_ns)),
                     ("reference_ns".into(), Value::from(p.reference_ns)),
+                    ("speedup".into(), Value::from(p.speedup)),
+                    ("max_abs_diff".into(), Value::from(p.max_abs_diff)),
+                ])
+            })
+            .collect();
+        let demand_eval = self
+            .demand_eval
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("n_cps".into(), Value::from(p.n_cps)),
+                    ("evals".into(), Value::from(p.evals)),
+                    ("scalar_ns".into(), Value::from(p.scalar_ns)),
+                    ("columnar_ns".into(), Value::from(p.columnar_ns)),
+                    (
+                        "scalar_cps_per_sec".into(),
+                        Value::from(p.scalar_cps_per_sec),
+                    ),
+                    (
+                        "columnar_cps_per_sec".into(),
+                        Value::from(p.columnar_cps_per_sec),
+                    ),
                     ("speedup".into(), Value::from(p.speedup)),
                     ("max_abs_diff".into(), Value::from(p.max_abs_diff)),
                 ])
@@ -321,13 +373,14 @@ impl BenchReport {
             ("byte_identical".into(), Value::from(sf.byte_identical)),
         ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v6")),
+            ("schema".into(), Value::from("pubopt-bench/v7")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
             ("solver".into(), Value::Object(solver)),
             ("parallel_map_scaling".into(), Value::Array(scaling)),
             ("alloc_scaling".into(), Value::Array(alloc_scaling)),
+            ("demand_eval".into(), Value::Array(demand_eval)),
             ("warmstart_ab".into(), warmstart),
             ("duopoly_warmstart_ab".into(), duopoly_warmstart),
             ("serving".into(), serving),
@@ -422,6 +475,101 @@ fn alloc_scale_point(n_cps: usize, queries: usize, samples: usize) -> AllocScale
         fast_ns: fast.median_ns,
         reference_ns: reference.median_ns,
         speedup: reference.median_ns.max(1) as f64 / fast.median_ns.max(1) as f64,
+        max_abs_diff,
+    }
+}
+
+/// A deterministic population drawing each CP's demand family at random
+/// (seeded). The ensemble generator is exponential-only, which would let
+/// the compiler specialise the scalar loop to one family; a fixed
+/// rotation would instead make the scalar loop's per-element family
+/// dispatch perfectly branch-predictable. A random draw is the realistic
+/// mixed-population shape: the scalar AoS walk mispredicts its dispatch
+/// on nearly every element, which is exactly the cost the family
+/// partition removes (the columnar path is order-insensitive).
+fn mixed_family_population(n: usize) -> Population {
+    let mut rng = pubopt_num::Rng::seed_from_u64(0x5eed_caf3);
+    (0..n)
+        .map(|_| {
+            let kind = match rng.below(6) {
+                0 => DemandKind::exponential(rng.uniform(0.1, 10.0)),
+                1 => DemandKind::constant_elasticity(rng.uniform(0.1, 4.0)),
+                2 => DemandKind::smoothed_step(rng.uniform(0.2, 0.9), rng.uniform(0.05, 0.2)),
+                3 => DemandKind::HardStep {
+                    threshold: rng.uniform(0.1, 0.9),
+                },
+                4 => DemandKind::logistic(rng.uniform(2.0, 30.0), rng.uniform(0.2, 0.8)),
+                _ => DemandKind::Constant,
+            };
+            pubopt_demand::ContentProvider::new(
+                rng.uniform(0.01, 1.0),
+                rng.uniform(0.1, 10.0),
+                kind,
+                0.5,
+                rng.uniform(0.0, 2.0),
+            )
+        })
+        .collect()
+}
+
+/// Time one full demand-evaluation pass over a mixed-family population:
+/// the scalar per-CP loop (AoS walk, per-element family dispatch) against
+/// [`pubopt_demand::ColumnarPopulation::eval_demands_into`] (SoA columns,
+/// one branch-free inner loop per family range). The two sides are timed
+/// in alternation — a scalar pass then a columnar pass per sample — so
+/// slow drifts in effective machine speed (shared-core throttling) land
+/// on both medians equally instead of skewing the ratio. Agreement is
+/// checked outside the timed region and must be exact — the columnar
+/// kernel replays the scalar arithmetic bit-for-bit.
+fn demand_eval_point(n_cps: usize, samples: usize) -> DemandEvalPoint {
+    let pop = mixed_family_population(n_cps);
+    let mut rng = pubopt_num::Rng::seed_from_u64(0xd1ff_0001);
+    let thetas: Vec<f64> = pop
+        .iter()
+        .map(|cp| cp.theta_hat * rng.uniform(0.0, 1.2))
+        .collect();
+    let cols = pop.columnar(); // built outside the timed region
+    let mut scalar_out = vec![0.0; n_cps];
+    let mut columnar_out = Vec::with_capacity(n_cps);
+    let scalar_pass = |scalar_out: &mut Vec<f64>| {
+        for (i, cp) in pop.iter().enumerate() {
+            scalar_out[i] = cp.demand.demand(black_box(thetas[i]), cp.theta_hat);
+        }
+    };
+    // Warm-up: touch caches, fault in pages on both sides.
+    scalar_pass(&mut scalar_out);
+    black_box(&mut scalar_out);
+    cols.eval_demands_into(black_box(&thetas), &mut columnar_out);
+    black_box(&mut columnar_out);
+    let mut scalar_ns: Vec<u64> = Vec::with_capacity(samples);
+    let mut columnar_ns: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        scalar_pass(&mut scalar_out);
+        black_box(&mut scalar_out);
+        scalar_ns.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        let t = Instant::now();
+        cols.eval_demands_into(black_box(&thetas), &mut columnar_out);
+        black_box(&mut columnar_out);
+        columnar_ns.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    scalar_ns.sort_unstable();
+    columnar_ns.sort_unstable();
+    let (scalar_med, columnar_med) = (quantile_ns(&scalar_ns, 0.5), quantile_ns(&columnar_ns, 0.5));
+    let max_abs_diff = scalar_out
+        .iter()
+        .zip(&columnar_out)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let throughput = |ns: u64| n_cps as f64 * 1e9 / ns.max(1) as f64;
+    DemandEvalPoint {
+        n_cps,
+        evals: n_cps,
+        scalar_ns: scalar_med,
+        columnar_ns: columnar_med,
+        scalar_cps_per_sec: throughput(scalar_med),
+        columnar_cps_per_sec: throughput(columnar_med),
+        speedup: scalar_med.max(1) as f64 / columnar_med.max(1) as f64,
         max_abs_diff,
     }
 }
@@ -733,6 +881,19 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         })
         .collect();
 
+    // Scalar-vs-columnar demand-kernel throughput (ISSUE 8 acceptance:
+    // ≥ 2× CP evaluations/sec at 1M CPs). Quick mode runs one small
+    // point so tests exercise the section without the 1M build cost.
+    let demand_sizes: &[usize] = if quick {
+        &[10_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+    let demand_eval = demand_sizes
+        .iter()
+        .map(|&n| demand_eval_point(n, if n >= 1_000_000 { 9 } else { light }))
+        .collect();
+
     // Warm-vs-cold A/B of the fig5 equilibrium sweep at the grid's middle
     // strategy (acceptance: ≥ 3× fewer segment probes at identical
     // outputs).
@@ -769,6 +930,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         solver,
         scaling,
         alloc_scaling,
+        demand_eval,
         warmstart,
         duopoly_warmstart,
         serving,
@@ -890,6 +1052,16 @@ mod tests {
                 speedup: 100.0,
                 max_abs_diff: 0.0,
             }],
+            demand_eval: vec![DemandEvalPoint {
+                n_cps: 1_000_000,
+                evals: 1_000_000,
+                scalar_ns: 8_000_000,
+                columnar_ns: 2_000_000,
+                scalar_cps_per_sec: 125e6,
+                columnar_cps_per_sec: 500e6,
+                speedup: 4.0,
+                max_abs_diff: 0.0,
+            }],
             warmstart: WarmstartAb {
                 n_cps: 1000,
                 grid_points: 100,
@@ -923,8 +1095,11 @@ mod tests {
             serving_faults: stub_faults(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v6\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v7\""));
         assert!(json.contains("\"alloc_scaling\""));
+        assert!(json.contains("\"demand_eval\""));
+        assert!(json.contains("\"columnar_cps_per_sec\":500000000"));
+        assert!(json.contains("\"evals\":1000000"));
         assert!(json.contains("\"warmstart_ab\""));
         assert!(json.contains("\"duopoly_warmstart_ab\""));
         assert!(json.contains("\"probe_ratio\":4"));
@@ -958,6 +1133,7 @@ mod tests {
                 efficiency: 1.0,
             }],
             alloc_scaling: Vec::new(),
+            demand_eval: Vec::new(),
             warmstart: WarmstartAb {
                 n_cps: 0,
                 grid_points: 0,
@@ -1030,6 +1206,22 @@ mod tests {
             ab.cold.lambda_evals,
             ab.warm.lambda_evals
         );
+    }
+
+    /// The demand-eval throughput point must find the batch kernel in
+    /// *exact* agreement with the scalar loop — max_abs_diff is a bit
+    /// tripwire, not a tolerance — across a population mixing all six
+    /// families. (The ≥ 2× acceptance number is asserted on the release
+    /// run's 1M-CP point and recorded in `BENCH_*.json`; a debug-mode
+    /// speedup assertion would only measure the optimiser's mood.)
+    #[test]
+    fn demand_eval_point_is_bit_exact_on_mixed_families() {
+        let p = demand_eval_point(6_000, 2);
+        assert_eq!(p.max_abs_diff, 0.0, "columnar kernel must be bit-exact");
+        assert_eq!(p.n_cps, 6_000);
+        assert_eq!(p.evals, 6_000);
+        assert!(p.scalar_ns > 0 && p.columnar_ns > 0);
+        assert!(p.scalar_cps_per_sec > 0.0 && p.columnar_cps_per_sec > 0.0);
     }
 
     #[test]

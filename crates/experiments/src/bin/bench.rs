@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v6`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v7`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
@@ -87,6 +87,23 @@ fn main() -> ExitCode {
             fmt_ns(a.reference_ns),
             a.speedup,
             a.max_abs_diff
+        );
+    }
+    println!();
+    println!(
+        "{:<14} {:>14} {:>14} {:>16} {:>16} {:>9}",
+        "demand n_cps", "scalar", "columnar", "scalar CP/s", "columnar CP/s", "speedup"
+    );
+    for p in &report.demand_eval {
+        println!(
+            "{:<14} {:>14} {:>14} {:>15.2e} {:>15.2e} {:>8.1}x  max|diff|={:.1e}",
+            p.n_cps,
+            fmt_ns(p.scalar_ns),
+            fmt_ns(p.columnar_ns),
+            p.scalar_cps_per_sec,
+            p.columnar_cps_per_sec,
+            p.speedup,
+            p.max_abs_diff
         );
     }
     println!();

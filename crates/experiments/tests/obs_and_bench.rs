@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v6"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v7"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -144,6 +144,24 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
         assert!(
             a["max_abs_diff"].as_f64().unwrap() < 1e-9,
             "kernel disagrees with reference in {a}"
+        );
+    }
+
+    // The scalar-vs-columnar demand-kernel section (schema v7). Debug
+    // timings say nothing about the release ≥ 2× acceptance number, so
+    // assert the structural and exactness invariants: the batch kernel
+    // must agree with the scalar loop bit-for-bit (max_abs_diff == 0).
+    let de = v["demand_eval"].as_array().expect("demand_eval array");
+    assert!(!de.is_empty());
+    for p in de {
+        assert!(p["n_cps"].as_u64().unwrap() >= 10_000);
+        assert_eq!(p["evals"].as_u64(), p["n_cps"].as_u64());
+        assert!(p["scalar_cps_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(p["columnar_cps_per_sec"].as_f64().unwrap() > 0.0);
+        assert_eq!(
+            p["max_abs_diff"].as_f64(),
+            Some(0.0),
+            "columnar demand kernel must be bit-exact: {p}"
         );
     }
 

@@ -194,6 +194,44 @@ fn fig5_matches_golden() {
     check_against_fixture("fig5", Some(100));
 }
 
+/// End-to-end bit-identity guard for the columnar demand kernels.
+///
+/// The per-cell tolerance tests above allow solver rewrites to move the
+/// curves within the solve tolerance. The columnar evaluator makes a much
+/// stronger promise — it replays the scalar arithmetic bit-for-bit — so
+/// with every figure now routed through the batch kernels, the serialized
+/// fixture must come out *byte-for-byte* identical to the committed file.
+/// Any byte diff here means a batch kernel silently changed a rounding.
+#[test]
+fn columnar_path_reproduces_fixtures_byte_for_byte() {
+    for &(id, scale) in GOLDEN {
+        let path = fixture_path(id);
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); regenerate with \
+                 `cargo test --release --test golden_figures -- --ignored regenerate`",
+                path.display()
+            )
+        });
+        let got = format!("{}\n", to_fixture(id, scale));
+        if got != want {
+            let byte = got
+                .bytes()
+                .zip(want.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| got.len().min(want.len()));
+            let lo = byte.saturating_sub(60);
+            panic!(
+                "{id}: columnar recompute differs from {} at byte {byte}\n  \
+                 golden:   …{}…\n  recomputed: …{}…",
+                path.display(),
+                &want[lo..(byte + 60).min(want.len())],
+                &got[lo..(byte + 60).min(got.len())],
+            );
+        }
+    }
+}
+
 /// Rewrite every fixture from the current solver. Run only when a numeric
 /// change is intended, and review the diff.
 #[test]
