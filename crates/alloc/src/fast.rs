@@ -218,6 +218,37 @@ impl SortedDemands {
         ((nu - self.prefix_load[k]) / remaining).max(0.0)
     }
 
+    /// The aggregate load `L(w) = Σ_i m_i · min(θ̂_i, w)` of the cached
+    /// demand profile at water level `w` — the inverse query of
+    /// [`water_level`](SortedDemands::water_level), O(log n).
+    ///
+    /// This is the partial-aggregate read a shard daemon answers during a
+    /// distributed fixed-demand water-filling: the segment containing `w`
+    /// is found by binary search on the sorted breakpoints, and the load
+    /// is one prefix-array read plus a fused tail term. Exact for the
+    /// *cached* demand profile; note that the equilibrium Λ(w) re-evaluates
+    /// `d_i(min(θ̂_i, w))` at every probe, so the O(log n) curve only
+    /// coincides with Λ when demands are constant in θ — the byte-identical
+    /// distributed solve ships blocked Kahan partials instead (see
+    /// `pubopt_eq::source`). `w = ∞` returns the offered load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is NaN or negative.
+    pub fn load_at(&self, w: f64) -> f64 {
+        assert!(w >= 0.0, "water level must be >= 0 and not NaN, got {w}");
+        pubopt_obs::incr("alloc.fast.load_queries");
+        if w.is_infinite() {
+            // remaining·w would be 0·∞ = NaN below; the limit is exact.
+            return self.offered_load();
+        }
+        let n = self.order.len();
+        // First breakpoint strictly above the water: CPs before it are
+        // saturated (θ̂ ≤ w), the rest ride at the water level.
+        let k = partition_point(n, |k| self.caps[k] <= w);
+        self.prefix_load[k] + (self.total_mass() - self.prefix_mass[k]) * w
+    }
+
     /// Write the throughput profile `θ_i = min(θ̂_i, w)` for water level
     /// `w` into `out` (resized to the population, original index order).
     pub fn allocate_into(&self, w: f64, out: &mut Vec<f64>) {
@@ -481,6 +512,71 @@ mod tests {
         let grid = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0];
         let r = check_axioms(&MaxMinFast::new(), &p, &d, &grid, 1e-8);
         assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn load_at_matches_direct_sum() {
+        let p = pop3();
+        let d = vec![1.0, 0.7, 0.4];
+        let mut cache = SortedDemands::new(&p);
+        cache.set_demands(&p, &d);
+        for w in [0.0, 0.3, 1.0, 2.5, 3.0, 7.9, 8.0, 50.0] {
+            let direct: f64 = p
+                .iter()
+                .zip(&d)
+                .map(|(cp, &di)| cp.alpha * di * cp.theta_hat.min(w))
+                .sum();
+            let fast = cache.load_at(w);
+            assert!(
+                (fast - direct).abs() <= 1e-12 * (1.0 + direct.abs()),
+                "w={w}: {fast} vs {direct}"
+            );
+        }
+        assert_eq!(cache.load_at(f64::INFINITY), cache.offered_load());
+        assert_eq!(cache.load_at(0.0), 0.0);
+    }
+
+    #[test]
+    fn load_at_inverts_water_level() {
+        // On the congested range, L(water_level(ν)) recovers ν: the two
+        // O(log n) queries are inverses over the same prefix arrays.
+        let p = pop3();
+        let d = vec![0.9, 0.6, 1.0];
+        let mut cache = SortedDemands::new(&p);
+        cache.set_demands(&p, &d);
+        let offered = cache.offered_load();
+        for frac in [0.05, 0.2, 0.5, 0.8, 0.99] {
+            let nu = offered * frac;
+            let w = cache.water_level(nu);
+            let back = cache.load_at(w);
+            assert!(
+                (back - nu).abs() <= 1e-9 * (1.0 + nu),
+                "frac={frac}: L(w({nu})) = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_at_is_monotone_and_empty_safe() {
+        let empty = SortedDemands::new(&Population::default());
+        assert_eq!(empty.load_at(3.0), 0.0);
+        assert_eq!(empty.load_at(f64::INFINITY), 0.0);
+
+        let p = pop3();
+        let cache = SortedDemands::new(&p); // full demand
+        let mut prev = -1.0;
+        for k in 0..=100 {
+            let w = 0.1 * k as f64;
+            let l = cache.load_at(w);
+            assert!(l >= prev, "load curve must be non-decreasing");
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "water level must be")]
+    fn load_at_rejects_negative_water() {
+        SortedDemands::new(&pop3()).load_at(-1.0);
     }
 
     #[test]

@@ -472,17 +472,17 @@ impl ColumnarPopulation {
         }
     }
 
-    /// Aggregate per-capita throughput `Σ_i α_i · demands[i] · thetas[i]`
-    /// with Kahan compensation in **original order** — bit-identical to
-    /// the scalar solver's aggregate reduction.
+    /// Aggregate per-capita throughput `Σ_i α_i · demands[i] · thetas[i]`,
+    /// reduced in **original order** through the fixed-lane blocked Kahan
+    /// scheme ([`pubopt_num::blocked_sum`]) — bit-identical to the scalar
+    /// solver's aggregate reduction, and recombinable from per-shard block
+    /// partials without changing a bit.
     pub fn aggregate_per_capita(&self, demands: &[f64], thetas: &[f64]) -> f64 {
         assert_eq!(demands.len(), self.n, "demands length != population size");
         assert_eq!(thetas.len(), self.n, "thetas length != population size");
-        let mut acc = pubopt_num::KahanSum::new();
-        for i in 0..self.n {
-            acc.add(self.alpha[self.to_columnar[i]] * demands[i] * thetas[i]);
-        }
-        acc.total()
+        pubopt_num::blocked_sum(self.n, |i| {
+            self.alpha[self.to_columnar[i]] * demands[i] * thetas[i]
+        })
     }
 }
 

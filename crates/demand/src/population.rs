@@ -2,7 +2,7 @@
 
 use crate::columnar::ColumnarPopulation;
 use crate::cp::ContentProvider;
-use pubopt_num::kahan_sum;
+use pubopt_num::{blocked_partials, blocked_sum};
 use std::sync::OnceLock;
 
 /// A set `N` of content providers.
@@ -73,8 +73,23 @@ impl Population {
     /// This is the per-capita capacity `ν` at which the system leaves the
     /// congested regime entirely (Axiom 2): for the paper's 1000-CP
     /// ensemble this is ≈250.
+    ///
+    /// Reduced with the fixed-lane blocked Kahan scheme
+    /// ([`pubopt_num::blocked_sum`]) so a sharded population reproduces
+    /// this value bit for bit from per-shard block partials (see
+    /// [`Population::total_unconstrained_partials`]).
     pub fn total_unconstrained_per_capita(&self) -> f64 {
-        kahan_sum(self.cps.iter().map(|c| c.lambda_hat_per_capita()))
+        blocked_sum(self.cps.len(), |i| self.cps[i].lambda_hat_per_capita())
+    }
+
+    /// Per-block partials of [`Self::total_unconstrained_per_capita`] for
+    /// the block range `blocks` — the shard-side half of the distributed
+    /// congestion check ([`pubopt_num::combine_partials`] over all 64
+    /// blocks reproduces the scalar value exactly).
+    pub fn total_unconstrained_partials(&self, blocks: std::ops::Range<usize>) -> Vec<f64> {
+        blocked_partials(self.cps.len(), blocks, |i| {
+            self.cps[i].lambda_hat_per_capita()
+        })
     }
 
     /// Sub-population selected by index predicate. Order is preserved.

@@ -13,7 +13,9 @@
 use pubopt_alloc::RateAllocator;
 use pubopt_demand::Population;
 use pubopt_num::recover::{robust_bisect, robust_fixed_point, SolveDiagnostics, SolverPolicy};
-use pubopt_num::{roots::bisect_counted, FixedPointError, FixedPointOptions, KahanSum, Tolerance};
+use pubopt_num::{
+    blocked_sum, roots::bisect_counted, FixedPointError, FixedPointOptions, Tolerance,
+};
 use std::cell::Cell;
 
 /// A solved rate equilibrium for a system `(ν, N)`.
@@ -176,15 +178,21 @@ pub fn try_solve_maxmin(
         ));
     }
 
+    // Every global reduction below goes through the fixed-lane blocked
+    // Kahan scheme (`pubopt_num::blocked_sum`): per-block compensated
+    // sums in original CP order, then an ordered combine of the 64 block
+    // totals. Identical bits to recombining per-shard block partials, so
+    // the distributed coordinator (`solve_maxmin_with_source`) reproduces
+    // this solver exactly.
+    let cps = pop.cps();
     let lambda_evals = Cell::new(0u64);
     let lambda_at = |w: f64| -> f64 {
         lambda_evals.set(lambda_evals.get() + 1);
-        let mut acc = KahanSum::new();
-        for cp in pop.iter() {
+        blocked_sum(cps.len(), |i| {
+            let cp = &cps[i];
             let theta = cp.theta_hat.min(w);
-            acc.add(cp.lambda_per_capita(theta));
-        }
-        acc.total()
+            cp.lambda_per_capita(theta)
+        })
     };
 
     let total_unconstrained = pop.total_unconstrained_per_capita();
@@ -227,11 +235,7 @@ pub fn try_solve_maxmin(
         .zip(thetas.iter())
         .map(|(cp, &t)| cp.demand_at(t))
         .collect();
-    let aggregate = pubopt_num::kahan_sum(
-        pop.iter()
-            .zip(demands.iter().zip(thetas.iter()))
-            .map(|(cp, (&d, &t))| cp.alpha * d * t),
-    );
+    let aggregate = blocked_sum(cps.len(), |i| cps[i].alpha * demands[i] * thetas[i]);
     let stats = SolveStats {
         lambda_evals: lambda_evals.get(),
         bisect_iters,
@@ -314,17 +318,14 @@ pub fn try_solve_maxmin_columnar(
     let lambda_evals = Cell::new(0u64);
     let scratch = std::cell::RefCell::new(Vec::new());
     // Identical to the scalar probe: the batch kernel scatters each CP's
-    // α·d·θ term to its original index and the Kahan reduction walks the
-    // buffer in original order, so every add matches the scalar loop's.
+    // α·d·θ term to its original index and the blocked Kahan reduction
+    // walks the buffer in original order with the same fixed block
+    // boundaries, so every add matches the scalar loop's.
     let lambda_at = |w: f64| -> f64 {
         lambda_evals.set(lambda_evals.get() + 1);
         let mut terms = scratch.borrow_mut();
         cols.lambda_terms_at_water_into(w, &mut terms);
-        let mut acc = KahanSum::new();
-        for &t in terms.iter() {
-            acc.add(t);
-        }
-        acc.total()
+        blocked_sum(terms.len(), |i| terms[i])
     };
 
     let total_unconstrained = pop.total_unconstrained_per_capita();

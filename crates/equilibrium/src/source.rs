@@ -1,0 +1,511 @@
+//! Coordinator-side max-min solving over a pluggable aggregate source.
+//!
+//! [`solve_maxmin_with_source`] runs the exact water-level bisection of
+//! [`crate::solve_maxmin`], but every population-wide quantity — the
+//! congestion check `Σ α θ̂`, each Λ(w) probe, the final θ/d profile and
+//! aggregate — is obtained through an [`AggregateSource`] instead of a
+//! local [`Population`] walk. An implementation may answer from the local
+//! population ([`LocalSource`], the reference), or fan the query out to
+//! shard daemons over HTTP (`pubopt-serve`'s coordinator mode).
+//!
+//! # The bit-identity contract
+//!
+//! The single-process solver reduces every global sum with the fixed-lane
+//! blocked Kahan scheme ([`pubopt_num::blocked_sum`]): 64 per-block
+//! compensated sums over contiguous original-order index ranges, then an
+//! ordered compensated combine of the 64 block totals. A source therefore
+//! answers reduction queries with **block partials**, not totals; the
+//! coordinator combines them with [`pubopt_num::combine_partials`] —
+//! byte-identical to the single-process reduction, for any shard count
+//! dividing [`pubopt_num::BLOCK_LANES`], because
+//!
+//! * each block's partial depends only on that block's terms (the
+//!   accumulator restarts per block), so a shard owning blocks `[b0, b1)`
+//!   computes exactly the partials the single process would, and
+//! * the combine consumes all 64 partials in block order regardless of
+//!   which shard produced them.
+//!
+//! Identical Λ bits at every probe mean an identical bisection trajectory
+//! (the bisection branches only on the sign of `Λ(w) − ν`, and probe
+//! midpoints are a deterministic function of the bracket), hence
+//! identical water-level bits *and* identical [`SolveStats`] effort
+//! counters — the acceptance invariant the distributed tests pin.
+
+use crate::solver::{RateEquilibrium, SolveStats};
+use pubopt_demand::Population;
+use pubopt_num::{
+    blocked_partials, combine_partials, roots::bisect_counted, RootError, Tolerance, BLOCK_LANES,
+};
+use std::cell::{Cell, RefCell};
+use std::convert::Infallible;
+
+/// A full equilibrium profile assembled by an [`AggregateSource`] at a
+/// solved water level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProfile {
+    /// Achievable throughputs `θ_i = min(θ̂_i, w)` in original CP order.
+    pub thetas: Vec<f64>,
+    /// Equilibrium demands `d_i(θ_i)` in original CP order.
+    pub demands: Vec<f64>,
+    /// The 64 block partials of the aggregate `Σ α_i d_i θ_i`
+    /// ([`pubopt_num::combine_partials`] yields the scalar aggregate).
+    pub aggregate_partials: Vec<f64>,
+}
+
+/// A provider of the population-wide quantities the max-min water-level
+/// solve needs — local or remote.
+///
+/// All reduction-valued methods return **block partials** in block order
+/// (see the module docs); methods take `&mut self` so remote sources can
+/// reuse connections and accumulate transport state.
+pub trait AggregateSource {
+    /// Transport/validation error (use [`Infallible`] for local sources).
+    type Error;
+
+    /// Population size `n` (fixes the block boundaries).
+    fn len(&mut self) -> Result<usize, Self::Error>;
+
+    /// Whether the population is empty (same transport cost as [`len`](Self::len)).
+    fn is_empty(&mut self) -> Result<bool, Self::Error> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Largest `θ̂` — the upper end of the water-level bracket. An
+    /// associative max, so no blocking needed.
+    fn max_theta_hat(&mut self) -> Result<f64, Self::Error>;
+
+    /// The 64 block partials of `Σ α_i θ̂_i` (congestion check).
+    fn total_unconstrained_partials(&mut self) -> Result<Vec<f64>, Self::Error>;
+
+    /// The 64 block partials of `Λ(w) = Σ α_i d_i(min(θ̂_i,w))·min(θ̂_i,w)`.
+    fn lambda_partials(&mut self, w: f64) -> Result<Vec<f64>, Self::Error>;
+
+    /// Assemble the full profile at water level `w` (∞ when uncongested —
+    /// `min(θ̂, ∞) = θ̂` exactly, so one code path covers both regimes).
+    fn profile(&mut self, w: f64) -> Result<SourceProfile, Self::Error>;
+}
+
+/// Errors from [`solve_maxmin_with_source`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSolveError<E> {
+    /// The source failed (shard unreachable, malformed partials, …).
+    Source(E),
+    /// The water-level equation could not be solved. Unlike the local
+    /// solver there is no recovery sweep here — a distributed bracket
+    /// failure is surfaced typed so the caller can fall back or retry.
+    WaterLevel(RootError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for SourceSolveError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceSolveError::Source(e) => write!(f, "aggregate source failed: {e}"),
+            SourceSolveError::WaterLevel(e) => write!(f, "water-level equation unsolvable: {e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for SourceSolveError<E> {}
+
+/// Solve the max-min rate equilibrium through an [`AggregateSource`].
+///
+/// Byte-identical to [`crate::solve_maxmin`] — water level, θ/d
+/// profiles, aggregate, and the [`SolveStats`] effort counters — whenever
+/// the source honours the block-partial contract (pinned for
+/// [`LocalSource`] in this module's tests and for the HTTP shard source
+/// in `pubopt-serve`'s distributed tests).
+///
+/// # Errors
+///
+/// [`SourceSolveError::Source`] when any source query fails;
+/// [`SourceSolveError::WaterLevel`] when the bisection cannot bracket or
+/// resolve the root (pathological demand outside Assumption 1).
+pub fn solve_maxmin_with_source<S: AggregateSource>(
+    source: &mut S,
+    nu: f64,
+    tol: Tolerance,
+) -> Result<(RateEquilibrium, SolveStats), SourceSolveError<S::Error>> {
+    assert!(
+        nu >= 0.0 && nu.is_finite(),
+        "nu must be finite and non-negative, got {nu}"
+    );
+    pubopt_obs::incr("eq.solve_source.calls");
+    let n = source.len().map_err(SourceSolveError::Source)?;
+    if n == 0 {
+        return Ok((
+            RateEquilibrium {
+                nu,
+                thetas: Vec::new(),
+                demands: Vec::new(),
+                aggregate: 0.0,
+                water_level: Some(f64::INFINITY),
+            },
+            SolveStats::default(),
+        ));
+    }
+
+    let total_partials = source
+        .total_unconstrained_partials()
+        .map_err(SourceSolveError::Source)?;
+    let total_unconstrained = combine_partials(&total_partials);
+    let congested = total_unconstrained > nu;
+
+    let lambda_evals = Cell::new(0u64);
+    let mut bisect_iters = 0u32;
+    let water = if !congested {
+        f64::INFINITY
+    } else {
+        let w_hi = source.max_theta_hat().map_err(SourceSolveError::Source)?;
+        // The bisection closure cannot return a Result, so a source
+        // failure is stashed and surfaced as NaN — `bisect_counted`
+        // aborts on the non-finite probe and the stashed error wins.
+        let source = RefCell::new(&mut *source);
+        let failed: RefCell<Option<S::Error>> = RefCell::new(None);
+        let lambda_at = |w: f64| -> f64 {
+            lambda_evals.set(lambda_evals.get() + 1);
+            match source.borrow_mut().lambda_partials(w) {
+                Ok(p) => combine_partials(&p),
+                Err(e) => {
+                    *failed.borrow_mut() = Some(e);
+                    f64::NAN
+                }
+            }
+        };
+        match bisect_counted(|w| lambda_at(w) - nu, 0.0, w_hi, tol) {
+            Ok((w, iters)) => {
+                bisect_iters = iters;
+                w
+            }
+            Err(e) => {
+                pubopt_obs::incr("eq.solve_source.failures");
+                return Err(match failed.into_inner() {
+                    Some(src) => SourceSolveError::Source(src),
+                    None => SourceSolveError::WaterLevel(e),
+                });
+            }
+        }
+    };
+
+    let profile = source.profile(water).map_err(SourceSolveError::Source)?;
+    let aggregate = combine_partials(&profile.aggregate_partials);
+    let stats = SolveStats {
+        lambda_evals: lambda_evals.get(),
+        bisect_iters,
+        congested,
+        recovery_attempts: 0,
+    };
+    pubopt_obs::add("eq.solve_source.lambda_evals", stats.lambda_evals);
+    Ok((
+        RateEquilibrium {
+            nu,
+            thetas: profile.thetas,
+            demands: profile.demands,
+            aggregate,
+            water_level: Some(water),
+        },
+        stats,
+    ))
+}
+
+/// Per-block Λ(w) partials of a population slice — the shard-side probe
+/// kernel. `blocks` must lie within `[0, BLOCK_LANES)`; indexing is
+/// global (the population passed in must be the full deterministic
+/// population, or a slice re-indexed by the caller).
+pub fn lambda_block_partials(pop: &Population, w: f64, blocks: std::ops::Range<usize>) -> Vec<f64> {
+    let cps = pop.cps();
+    blocked_partials(cps.len(), blocks, |i| {
+        let cp = &cps[i];
+        let theta = cp.theta_hat.min(w);
+        cp.lambda_per_capita(theta)
+    })
+}
+
+/// Shard-side profile kernel: θ/d slices for the CP index range `span`
+/// (original order) plus the aggregate block partials for `blocks`, at
+/// water level `w`. The same per-CP arithmetic as the scalar solver, so
+/// concatenating shard slices in shard order reproduces its profile bit
+/// for bit.
+pub fn profile_block_slices(
+    pop: &Population,
+    w: f64,
+    span: std::ops::Range<usize>,
+    blocks: std::ops::Range<usize>,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let cps = pop.cps();
+    let thetas: Vec<f64> = cps[span.clone()]
+        .iter()
+        .map(|cp| cp.theta_hat.min(w))
+        .collect();
+    let demands: Vec<f64> = cps[span.clone()]
+        .iter()
+        .zip(thetas.iter())
+        .map(|(cp, &t)| cp.demand_at(t))
+        .collect();
+    let aggregate_partials = blocked_partials(cps.len(), blocks, |i| {
+        let t = cps[i].theta_hat.min(w);
+        let d = cps[i].demand_at(t);
+        cps[i].alpha * d * t
+    });
+    (thetas, demands, aggregate_partials)
+}
+
+/// The reference [`AggregateSource`]: answers every query from a local
+/// [`Population`] with the same kernels the shard daemons use.
+///
+/// Exists for two reasons: it pins the trait contract against
+/// [`crate::solve_maxmin`] in tests, and it is the coordinator's natural
+/// fallback when no shards are registered.
+pub struct LocalSource<'a> {
+    pop: &'a Population,
+}
+
+impl<'a> LocalSource<'a> {
+    /// Wrap a population.
+    pub fn new(pop: &'a Population) -> Self {
+        Self { pop }
+    }
+}
+
+impl AggregateSource for LocalSource<'_> {
+    type Error = Infallible;
+
+    fn len(&mut self) -> Result<usize, Infallible> {
+        Ok(self.pop.len())
+    }
+
+    fn max_theta_hat(&mut self) -> Result<f64, Infallible> {
+        Ok(self.pop.max_theta_hat())
+    }
+
+    fn total_unconstrained_partials(&mut self) -> Result<Vec<f64>, Infallible> {
+        Ok(self.pop.total_unconstrained_partials(0..BLOCK_LANES))
+    }
+
+    fn lambda_partials(&mut self, w: f64) -> Result<Vec<f64>, Infallible> {
+        Ok(lambda_block_partials(self.pop, w, 0..BLOCK_LANES))
+    }
+
+    fn profile(&mut self, w: f64) -> Result<SourceProfile, Infallible> {
+        let n = self.pop.len();
+        let (thetas, demands, aggregate_partials) =
+            profile_block_slices(self.pop, w, 0..n, 0..BLOCK_LANES);
+        Ok(SourceProfile {
+            thetas,
+            demands,
+            aggregate_partials,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_maxmin_traced, try_solve_maxmin};
+    use pubopt_demand::{ContentProvider, DemandKind};
+    use pubopt_num::recover::SolverPolicy;
+    use pubopt_num::{shard_blocks, shard_span};
+
+    fn mixed_pop(n: usize) -> Population {
+        (0..n)
+            .map(|i| {
+                let kind = match i % 5 {
+                    0 => DemandKind::exponential(0.5 + 0.1 * (i % 13) as f64),
+                    1 => DemandKind::Constant,
+                    2 => DemandKind::logistic(4.0 + (i % 7) as f64, 0.4),
+                    3 => DemandKind::smoothed_step(0.5, 0.2),
+                    _ => DemandKind::constant_elasticity(0.9),
+                };
+                ContentProvider::new(
+                    0.05 + 0.9 * ((i * 7919) % 101) as f64 / 101.0,
+                    0.2 + 14.0 * ((i * 104_729) % 997) as f64 / 997.0,
+                    kind,
+                    0.5,
+                    0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn local_source_bit_identical_to_solve_maxmin() {
+        let pop = mixed_pop(257);
+        for frac in [0.0, 0.1, 0.5, 0.9, 1.5] {
+            let nu = pop.total_unconstrained_per_capita() * frac;
+            let (want, want_stats) = solve_maxmin_traced(&pop, nu, Tolerance::STRICT);
+            let mut src = LocalSource::new(&pop);
+            let (got, got_stats) =
+                solve_maxmin_with_source(&mut src, nu, Tolerance::STRICT).expect("source solve");
+            assert_eq!(want_stats, got_stats, "frac={frac}: effort counters");
+            assert_eq!(
+                want.water_level.map(f64::to_bits),
+                got.water_level.map(f64::to_bits),
+                "frac={frac}: water"
+            );
+            assert_eq!(
+                want.aggregate.to_bits(),
+                got.aggregate.to_bits(),
+                "frac={frac}: aggregate"
+            );
+            for i in 0..pop.len() {
+                assert_eq!(want.thetas[i].to_bits(), got.thetas[i].to_bits());
+                assert_eq!(want.demands[i].to_bits(), got.demands[i].to_bits());
+            }
+        }
+    }
+
+    /// An in-process "sharded" source: computes each query by slicing the
+    /// block range across N simulated shards using exactly the shard-side
+    /// kernels, then concatenating — the transport-free model of the HTTP
+    /// protocol.
+    struct ShardedSource<'a> {
+        pop: &'a Population,
+        shards: usize,
+    }
+
+    impl AggregateSource for ShardedSource<'_> {
+        type Error = Infallible;
+        fn len(&mut self) -> Result<usize, Infallible> {
+            Ok(self.pop.len())
+        }
+        fn max_theta_hat(&mut self) -> Result<f64, Infallible> {
+            // Associative max over per-shard maxima, as the coordinator
+            // computes it.
+            let n = self.pop.len();
+            Ok((0..self.shards)
+                .map(|s| {
+                    let span = shard_span(n, s, self.shards);
+                    self.pop.cps()[span]
+                        .iter()
+                        .map(|c| c.theta_hat)
+                        .fold(0.0, f64::max)
+                })
+                .fold(0.0, f64::max))
+        }
+        fn total_unconstrained_partials(&mut self) -> Result<Vec<f64>, Infallible> {
+            let mut out = Vec::new();
+            for s in 0..self.shards {
+                out.extend(
+                    self.pop
+                        .total_unconstrained_partials(shard_blocks(s, self.shards)),
+                );
+            }
+            Ok(out)
+        }
+        fn lambda_partials(&mut self, w: f64) -> Result<Vec<f64>, Infallible> {
+            let mut out = Vec::new();
+            for s in 0..self.shards {
+                out.extend(lambda_block_partials(
+                    self.pop,
+                    w,
+                    shard_blocks(s, self.shards),
+                ));
+            }
+            Ok(out)
+        }
+        fn profile(&mut self, w: f64) -> Result<SourceProfile, Infallible> {
+            let n = self.pop.len();
+            let mut thetas = Vec::new();
+            let mut demands = Vec::new();
+            let mut aggregate_partials = Vec::new();
+            for s in 0..self.shards {
+                let (t, d, a) = profile_block_slices(
+                    self.pop,
+                    w,
+                    shard_span(n, s, self.shards),
+                    shard_blocks(s, self.shards),
+                );
+                thetas.extend(t);
+                demands.extend(d);
+                aggregate_partials.extend(a);
+            }
+            Ok(SourceProfile {
+                thetas,
+                demands,
+                aggregate_partials,
+            })
+        }
+    }
+
+    #[test]
+    fn sharded_source_bit_identical_at_every_lattice_count() {
+        let pop = mixed_pop(403);
+        for shards in [1usize, 2, 4, 8, 16, 64] {
+            for frac in [0.05, 0.4, 0.8, 1.2] {
+                let nu = pop.total_unconstrained_per_capita() * frac;
+                let (want, want_stats) = solve_maxmin_traced(&pop, nu, Tolerance::default());
+                let mut src = ShardedSource { pop: &pop, shards };
+                let (got, got_stats) = solve_maxmin_with_source(&mut src, nu, Tolerance::default())
+                    .expect("sharded solve");
+                assert_eq!(want_stats, got_stats, "shards={shards} frac={frac}");
+                assert_eq!(
+                    want.water_level.map(f64::to_bits),
+                    got.water_level.map(f64::to_bits),
+                    "shards={shards} frac={frac}: water"
+                );
+                assert_eq!(
+                    want.aggregate.to_bits(),
+                    got.aggregate.to_bits(),
+                    "shards={shards} frac={frac}: aggregate"
+                );
+                assert_eq!(want.thetas, got.thetas, "shards={shards} frac={frac}");
+                assert_eq!(want.demands, got.demands, "shards={shards} frac={frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn source_failure_is_typed_not_a_panic() {
+        struct Failing;
+        #[derive(Debug, PartialEq)]
+        struct Boom;
+        impl AggregateSource for Failing {
+            type Error = Boom;
+            fn len(&mut self) -> Result<usize, Boom> {
+                Ok(10)
+            }
+            fn max_theta_hat(&mut self) -> Result<f64, Boom> {
+                Ok(5.0)
+            }
+            fn total_unconstrained_partials(&mut self) -> Result<Vec<f64>, Boom> {
+                Ok(vec![1.0; BLOCK_LANES])
+            }
+            fn lambda_partials(&mut self, _w: f64) -> Result<Vec<f64>, Boom> {
+                Err(Boom)
+            }
+            fn profile(&mut self, _w: f64) -> Result<SourceProfile, Boom> {
+                Err(Boom)
+            }
+        }
+        // Σ partials = 64 > ν = 1 → congested → the first Λ probe fails.
+        let err = solve_maxmin_with_source(&mut Failing, 1.0, Tolerance::default()).unwrap_err();
+        assert_eq!(err, SourceSolveError::Source(Boom));
+    }
+
+    #[test]
+    fn empty_source_is_trivial() {
+        let pop = Population::default();
+        let mut src = LocalSource::new(&pop);
+        let (eq, stats) = solve_maxmin_with_source(&mut src, 2.0, Tolerance::default()).unwrap();
+        assert!(eq.thetas.is_empty());
+        assert_eq!(eq.aggregate, 0.0);
+        assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn uncongested_source_profile_is_unconstrained() {
+        let pop = mixed_pop(64);
+        let nu = pop.total_unconstrained_per_capita() * 2.0;
+        let mut src = LocalSource::new(&pop);
+        let (eq, stats) = solve_maxmin_with_source(&mut src, nu, Tolerance::default()).unwrap();
+        assert_eq!(eq.water_level, Some(f64::INFINITY));
+        assert!(!stats.congested);
+        assert_eq!(stats.lambda_evals, 0);
+        for (cp, &t) in pop.iter().zip(eq.thetas.iter()) {
+            assert_eq!(t, cp.theta_hat);
+        }
+        // And the local reference solver agrees bit for bit.
+        let (want, _) = try_solve_maxmin(&pop, nu, Tolerance::default(), &SolverPolicy::default())
+            .expect("local solve");
+        assert_eq!(want.aggregate.to_bits(), eq.aggregate.to_bits());
+    }
+}

@@ -468,12 +468,12 @@ pub fn try_solve_maxmin_warm(
                 // Same recovery as the seed solver: robust bisection of
                 // the full-scan Λ over the widened cold bracket.
                 pubopt_obs::incr("eq.solve_maxmin.recoveries");
+                let cps = pop.cps();
                 let lambda_full = |w: f64| -> f64 {
-                    let mut acc = KahanSum::new();
-                    for cp in pop.iter() {
-                        acc.add(cp.lambda_per_capita(cp.theta_hat.min(w)));
-                    }
-                    acc.total()
+                    pubopt_num::blocked_sum(cps.len(), |i| {
+                        let cp = &cps[i];
+                        cp.lambda_per_capita(cp.theta_hat.min(w))
+                    })
                 };
                 match robust_bisect(
                     |w| lambda_full(w.max(0.0)) - nu,

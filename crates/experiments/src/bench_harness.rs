@@ -23,6 +23,7 @@ use crate::parallel_map;
 use crate::serveload::{
     connection_bench, fault_bench, serving_bench, ServingBench, ServingConnections, ServingFaults,
 };
+use crate::shardload::{sharded_solve_bench, ShardedSolveBench};
 use pubopt_alloc::{MaxMinFair, SortedDemands};
 use pubopt_core::{
     competitive_equilibrium, competitive_equilibrium_warm, duopoly_with_public_option,
@@ -200,10 +201,14 @@ pub struct BenchReport {
     /// fault-rate grid (chaos proxy + resilient clients) — the
     /// hostile-network hardening acceptance numbers.
     pub serving_faults: ServingFaults,
+    /// Sharded water-filling scaling: in-process partitioned-kernel
+    /// points at 1M–10M CPs plus an end-to-end loopback cluster, every
+    /// point byte-identity-checked against the single-process solver.
+    pub sharded_solve: ShardedSolveBench,
 }
 
 impl BenchReport {
-    /// Serialise the report (compact JSON, schema `pubopt-bench/v7`).
+    /// Serialise the report (compact JSON, schema `pubopt-bench/v8`).
     pub fn to_json(&self) -> String {
         let kernels = self
             .kernels
@@ -372,8 +377,44 @@ impl BenchReport {
             ("drills".into(), Value::Array(drills)),
             ("byte_identical".into(), Value::from(sf.byte_identical)),
         ]);
+        let ss = &self.sharded_solve;
+        let kernel = ss
+            .kernel
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("n_cps".into(), Value::from(p.n_cps)),
+                    ("shards".into(), Value::from(p.shards)),
+                    ("solve_ns".into(), Value::from(p.solve_ns)),
+                    ("single_ns".into(), Value::from(p.single_ns)),
+                    ("relative".into(), Value::from(p.relative)),
+                    ("lambda_evals".into(), Value::from(p.lambda_evals)),
+                    ("bisect_iters".into(), Value::from(p.bisect_iters)),
+                    ("byte_identical".into(), Value::from(p.byte_identical)),
+                ])
+            })
+            .collect();
+        let cluster = ss
+            .cluster
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("n_cps".into(), Value::from(p.n_cps)),
+                    ("shards".into(), Value::from(p.shards)),
+                    ("solve_ns".into(), Value::from(p.solve_ns)),
+                    ("shard_rpcs".into(), Value::from(p.shard_rpcs)),
+                    ("byte_identical".into(), Value::from(p.byte_identical)),
+                ])
+            })
+            .collect();
+        let sharded_solve = Value::Object(vec![
+            ("nu_per_cp".into(), Value::from(ss.nu_per_cp)),
+            ("kernel".into(), Value::Array(kernel)),
+            ("cluster".into(), Value::Array(cluster)),
+            ("byte_identical".into(), Value::from(ss.byte_identical)),
+        ]);
         Value::Object(vec![
-            ("schema".into(), Value::from("pubopt-bench/v7")),
+            ("schema".into(), Value::from("pubopt-bench/v8")),
             ("date".into(), Value::from(self.date.as_str())),
             ("quick".into(), Value::from(self.quick)),
             ("kernels".into(), Value::Array(kernels)),
@@ -386,6 +427,7 @@ impl BenchReport {
             ("serving".into(), serving),
             ("serving_connections".into(), serving_connections),
             ("serving_faults".into(), serving_faults),
+            ("sharded_solve".into(), sharded_solve),
         ])
         .to_string()
     }
@@ -922,6 +964,10 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     // Failure drills: the same daemon behind a deterministic chaos proxy
     // at 10% and 30% fault rates, driven by resilient clients.
     let serving_faults = fault_bench(quick);
+    // Sharded water-filling: partitioned-kernel scaling (1M–10M CPs in
+    // the full run) plus a loopback coordinator/shard cluster, every
+    // point byte-identity-checked.
+    let sharded_solve = sharded_solve_bench(quick);
 
     BenchReport {
         date: pubopt_obs::clock::utc_date_string(),
@@ -936,6 +982,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         serving,
         serving_connections,
         serving_faults,
+        sharded_solve,
     }
 }
 
@@ -960,6 +1007,30 @@ mod tests {
                 breaker_opens: 2,
                 breaker_closes: 2,
                 schedule_digest: 0xabcd,
+                byte_identical: true,
+            }],
+            byte_identical: true,
+        }
+    }
+
+    fn stub_sharded() -> ShardedSolveBench {
+        ShardedSolveBench {
+            nu_per_cp: 0.1,
+            kernel: vec![crate::shardload::ShardScalePoint {
+                n_cps: 1_000_000,
+                shards: 4,
+                solve_ns: 1_100,
+                single_ns: 1_000,
+                relative: 1.1,
+                lambda_evals: 52,
+                bisect_iters: 48,
+                byte_identical: true,
+            }],
+            cluster: vec![crate::shardload::ClusterSolvePoint {
+                n_cps: 100_000,
+                shards: 2,
+                solve_ns: 5_000,
+                shard_rpcs: 55,
                 byte_identical: true,
             }],
             byte_identical: true,
@@ -1093,9 +1164,10 @@ mod tests {
             },
             serving_connections: stub_connections(),
             serving_faults: stub_faults(),
+            sharded_solve: stub_sharded(),
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\":\"pubopt-bench/v7\""));
+        assert!(json.contains("\"schema\":\"pubopt-bench/v8\""));
         assert!(json.contains("\"alloc_scaling\""));
         assert!(json.contains("\"demand_eval\""));
         assert!(json.contains("\"columnar_cps_per_sec\":500000000"));
@@ -1115,6 +1187,10 @@ mod tests {
         assert!(json.contains("\"fault_rate\":0.1"));
         assert!(json.contains("\"hard_failures\":0"));
         assert!(json.contains("\"schedule_digest\":\"000000000000abcd\""));
+        assert!(json.contains("\"sharded_solve\""));
+        assert!(json.contains("\"nu_per_cp\":0.1"));
+        assert!(json.contains("\"relative\":1.1"));
+        assert!(json.contains("\"shard_rpcs\":55"));
     }
 
     /// The scaling section's `efficiency` column must be `speedup /
@@ -1165,6 +1241,7 @@ mod tests {
             },
             serving_connections: stub_connections(),
             serving_faults: stub_faults(),
+            sharded_solve: stub_sharded(),
         };
         assert!(report.to_json().contains("\"efficiency\":1"));
     }

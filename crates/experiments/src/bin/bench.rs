@@ -5,8 +5,11 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v7`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v8`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
+//! Exits nonzero if the sharded-solve section's byte-identity check
+//! fails — a distributed solve that is merely close is a bug, not a
+//! measurement.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
 use std::path::PathBuf;
@@ -170,6 +173,40 @@ fn main() -> ExitCode {
             drill.breaker_opens,
             drill.breaker_closes
         );
+    }
+
+    println!();
+    let ss = &report.sharded_solve;
+    println!(
+        "sharded solve (nu = {} per CP): byte_identical={}",
+        ss.nu_per_cp, ss.byte_identical
+    );
+    for p in &ss.kernel {
+        println!(
+            "  kernel  n={:<9} shards={}  solve {:>12}  single {:>12}  relative {:.2}x  \
+             lambda_evals={} bisect_iters={}",
+            p.n_cps,
+            p.shards,
+            fmt_ns(p.solve_ns),
+            fmt_ns(p.single_ns),
+            p.relative,
+            p.lambda_evals,
+            p.bisect_iters
+        );
+    }
+    for p in &ss.cluster {
+        println!(
+            "  cluster n={:<9} shards={}  solve {:>12}  shard_rpcs={}  byte_identical={}",
+            p.n_cps,
+            p.shards,
+            fmt_ns(p.solve_ns),
+            p.shard_rpcs,
+            p.byte_identical
+        );
+    }
+    if !ss.byte_identical {
+        eprintln!("sharded solve diverged from the single-process solver");
+        return ExitCode::FAILURE;
     }
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

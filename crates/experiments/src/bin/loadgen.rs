@@ -25,7 +25,13 @@
 //! `--rate RPS` paces arrivals open-loop at RPS across all clients, with
 //! latency percentiles measured from each request's *scheduled* start so
 //! overload shows up as queueing delay rather than being hidden by
-//! coordinated omission.
+//! coordinated omission. The summary prints two percentile families:
+//! `p50_us`/`p95_us`/`p99_us` over **all** responses (shed `429`s,
+//! deadline `504`s, transport errors included — the fast sheds read
+//! optimistically low under overload) and `goodput_p50_us`/… over
+//! `2xx` responses only (achieved goodput). CI gates read neither:
+//! the smoke job greps `"failed":0`, and the connection A/B gates on
+//! the `speedup` throughput ratio.
 //!
 //! `--ab-connections` runs the keep-alive A/B instead of a single
 //! replay: the same workload once with fresh connections and once with
@@ -156,7 +162,8 @@ fn main() -> ExitCode {
         let soak = chaos_soak(&soak_opts);
         println!(
             "{{\"requests\":{},\"ok\":{},\"hard_failures\":{},\"availability\":{:.4},\
-             \"goodput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{},\"attempts\":{},\"retries\":{},\
+             \"goodput_rps\":{:.1},\"p50_us\":{},\"p99_us\":{},\
+             \"goodput_p50_us\":{},\"goodput_p99_us\":{},\"attempts\":{},\"retries\":{},\
              \"first_try_ok\":{},\"budget_exhausted\":{},\"faults_injected\":{},\"refusals\":{},\
              \"breaker_opens\":{},\"breaker_half_opens\":{},\"breaker_closes\":{},\
              \"breaker_short_circuits\":{},\"retry_after_honored\":{},\"degraded_responses\":{},\
@@ -169,6 +176,8 @@ fn main() -> ExitCode {
             soak.goodput_rps,
             soak.p50_us,
             soak.p99_us,
+            soak.goodput_p50_us,
+            soak.goodput_p99_us,
             soak.attempts,
             soak.retries,
             soak.first_try_ok,
@@ -326,7 +335,8 @@ fn main() -> ExitCode {
     println!(
         "{{\"requests\":{},\"ok\":{},\"failed\":{},\"shed\":{},\"server_errors\":{},\
          \"transport_errors\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
-         \"throughput_rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+         \"throughput_rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
+         \"goodput_p50_us\":{},\"goodput_p95_us\":{},\"goodput_p99_us\":{}}}",
         summary.requests,
         summary.ok,
         summary.failed(),
@@ -336,7 +346,10 @@ fn main() -> ExitCode {
         summary.throughput_rps,
         summary.p50_us,
         summary.p95_us,
-        summary.p99_us
+        summary.p99_us,
+        summary.goodput_p50_us,
+        summary.goodput_p95_us,
+        summary.goodput_p99_us
     );
 
     if shutdown_after {

@@ -50,6 +50,7 @@ pub mod resilience;
 pub mod runner;
 pub mod serveload;
 pub mod shape;
+pub mod shardload;
 pub mod solvers;
 pub mod svg;
 pub mod theorems;

@@ -74,12 +74,25 @@ pub struct LoadSummary {
     pub elapsed_us: u64,
     /// `requests / elapsed` in requests per second.
     pub throughput_rps: f64,
-    /// Nearest-rank median per-request latency, microseconds.
+    /// Nearest-rank median latency over **all** responses — shed `429`s,
+    /// deadline `504`s, other errors, and transport failures included.
+    /// Under overload the daemon sheds *fast*, so this family reads
+    /// optimistically low; it answers "how long did callers wait",
+    /// not "how fast was work served".
     pub p50_us: u64,
-    /// Nearest-rank 95th-percentile latency, microseconds.
+    /// Nearest-rank 95th-percentile latency over all responses.
     pub p95_us: u64,
-    /// Nearest-rank 99th-percentile latency, microseconds.
+    /// Nearest-rank 99th-percentile latency over all responses.
     pub p99_us: u64,
+    /// Nearest-rank median latency over **`2xx` responses only** — the
+    /// achieved-goodput family, the honest "latency of work actually
+    /// served". Zero when nothing succeeded. The bench report's
+    /// open-loop percentiles are this family.
+    pub goodput_p50_us: u64,
+    /// Nearest-rank goodput (`2xx`-only) p95 latency, microseconds.
+    pub goodput_p95_us: u64,
+    /// Nearest-rank goodput (`2xx`-only) p99 latency, microseconds.
+    pub goodput_p99_us: u64,
 }
 
 impl LoadSummary {
@@ -361,41 +374,70 @@ pub fn replay_with(
         out
     });
     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    tally(workload.len(), elapsed_us, outcomes.into_iter().flatten())
+}
 
+/// Nearest-rank `(p50, p95, p99)` of a latency sample; zeros when empty.
+fn percentiles(latencies: &mut [u64]) -> (u64, u64, u64) {
+    latencies.sort_unstable();
+    if latencies.is_empty() {
+        return (0, 0, 0);
+    }
+    let rank = |q: f64| {
+        let r = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[r - 1]
+    };
+    (rank(0.5), rank(0.95), rank(0.99))
+}
+
+/// Fold per-request `(status, latency_us)` outcomes into a
+/// [`LoadSummary`]. Kept apart from the socket work so the percentile
+/// split — all-responses vs achieved-goodput — is unit-testable without
+/// a daemon. A `429` that sheds in microseconds and a transport error
+/// that burned a full timeout both belong in the all-responses family
+/// and neither belongs in the goodput family.
+fn tally(
+    requests: usize,
+    elapsed_us: u64,
+    outcomes: impl IntoIterator<Item = (u16, u64)>,
+) -> LoadSummary {
     let mut summary = LoadSummary {
-        requests: workload.len(),
+        requests,
         ok: 0,
         shed: 0,
         server_errors: 0,
         client_errors: 0,
         transport_errors: 0,
         elapsed_us,
-        throughput_rps: workload.len() as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        throughput_rps: requests as f64 / (elapsed_us.max(1) as f64 / 1e6),
         p50_us: 0,
         p95_us: 0,
         p99_us: 0,
+        goodput_p50_us: 0,
+        goodput_p95_us: 0,
+        goodput_p99_us: 0,
     };
-    let mut latencies = Vec::with_capacity(workload.len());
-    for (status, us) in outcomes.into_iter().flatten() {
-        latencies.push(us);
+    let mut all = Vec::with_capacity(requests);
+    let mut good = Vec::with_capacity(requests);
+    for (status, us) in outcomes {
+        all.push(us);
         match status {
-            200..=299 => summary.ok += 1,
+            200..=299 => {
+                summary.ok += 1;
+                good.push(us);
+            }
             429 => summary.shed += 1,
             500..=599 => summary.server_errors += 1,
             0 => summary.transport_errors += 1,
             _ => summary.client_errors += 1,
         }
     }
-    latencies.sort_unstable();
-    let rank = |q: f64| {
-        let r = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len().max(1));
-        latencies.get(r - 1).copied().unwrap_or(0)
-    };
-    if !latencies.is_empty() {
-        summary.p50_us = rank(0.5);
-        summary.p95_us = rank(0.95);
-        summary.p99_us = rank(0.99);
-    }
+    (summary.p50_us, summary.p95_us, summary.p99_us) = percentiles(&mut all);
+    (
+        summary.goodput_p50_us,
+        summary.goodput_p95_us,
+        summary.goodput_p99_us,
+    ) = percentiles(&mut good);
     summary
 }
 
@@ -508,7 +550,9 @@ pub struct ServingConnections {
     pub close_rps: f64,
     /// Keep-alive (one connection per client) throughput.
     pub reuse_rps: f64,
-    /// `reuse_rps / close_rps` — the CI A/B gate is ≥ 1.5 on ≥ 4 cores.
+    /// `reuse_rps / close_rps`. **This throughput ratio is what the CI
+    /// A/B gate reads** (≥ 1.5 on ≥ 4 cores) — not any percentile field;
+    /// the latency families below are informational.
     pub reuse_speedup: f64,
     /// Keep-alive + pipelined bursts throughput.
     pub pipeline_rps: f64,
@@ -523,11 +567,16 @@ pub struct ServingConnections {
     pub batch_speedup: f64,
     /// Open-loop arrival rate of the pacing pass, requests per second.
     pub open_loop_rate_rps: f64,
-    /// Open-loop median latency from *scheduled* start, microseconds.
+    /// Open-loop median latency from *scheduled* start, microseconds —
+    /// the **achieved-goodput** (`2xx`-only) family, so a shed response
+    /// can never drag the tail optimistically low. The bench pass
+    /// asserts zero failures, so here it coincides with the
+    /// all-responses median; the split matters for ad-hoc overload
+    /// probes (`loadgen --rate`), which report both families.
     pub open_loop_p50_us: u64,
-    /// Open-loop p95 latency, microseconds.
+    /// Open-loop goodput p95 latency, microseconds.
     pub open_loop_p95_us: u64,
-    /// Open-loop p99 latency, microseconds.
+    /// Open-loop goodput p99 latency, microseconds.
     pub open_loop_p99_us: u64,
     /// Whether a cold daemon's `/v1/batch` response embedded, byte for
     /// byte, the responses a second cold daemon gave the same queries
@@ -660,9 +709,9 @@ pub fn connection_bench(quick: bool) -> ServingConnections {
         batch_rps: batched.throughput_rps,
         batch_speedup: batched.throughput_rps / reuse.throughput_rps.max(f64::MIN_POSITIVE),
         open_loop_rate_rps: rate,
-        open_loop_p50_us: open.p50_us,
-        open_loop_p95_us: open.p95_us,
-        open_loop_p99_us: open.p99_us,
+        open_loop_p50_us: open.goodput_p50_us,
+        open_loop_p95_us: open.goodput_p95_us,
+        open_loop_p99_us: open.goodput_p99_us,
         byte_identical,
     }
 }
@@ -720,10 +769,17 @@ pub struct ChaosSoakSummary {
     pub goodput_rps: f64,
     /// Soak wall time, microseconds.
     pub elapsed_us: u64,
-    /// Nearest-rank median per-request latency (includes retries).
+    /// Nearest-rank median per-request latency (includes retries) over
+    /// **all** outcomes — hard failures and deadline `504`s included.
     pub p50_us: u64,
-    /// Nearest-rank p99 latency under fault, microseconds.
+    /// Nearest-rank p99 latency under fault over all outcomes.
     pub p99_us: u64,
+    /// Nearest-rank median latency over **`2xx` outcomes only** — the
+    /// achieved-goodput family under fault; a fast deadline shed can
+    /// never drag it optimistically low.
+    pub goodput_p50_us: u64,
+    /// Nearest-rank goodput (`2xx`-only) p99 latency under fault.
+    pub goodput_p99_us: u64,
     /// Network attempts that reached the wire.
     pub attempts: u64,
     /// Backoff waits taken.
@@ -885,21 +941,20 @@ pub fn chaos_soak(opts: &ChaosSoakOptions) -> ChaosSoakSummary {
 
     let mut ok = 0usize;
     let mut stats = ResilienceStats::default();
-    let mut latencies = Vec::with_capacity(workload.len());
+    let mut all = Vec::with_capacity(workload.len());
+    let mut good = Vec::with_capacity(workload.len());
     for (lane_out, lane_stats) in outcomes {
         for (status, us) in lane_out {
-            latencies.push(us);
+            all.push(us);
             if (200..300).contains(&status) {
                 ok += 1;
+                good.push(us);
             }
         }
         stats = add_stats(stats, lane_stats);
     }
-    latencies.sort_unstable();
-    let rank = |q: f64| {
-        let r = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len().max(1));
-        latencies.get(r - 1).copied().unwrap_or(0)
-    };
+    let (p50_us, _, p99_us) = percentiles(&mut all);
+    let (goodput_p50_us, _, goodput_p99_us) = percentiles(&mut good);
 
     // Byte-identity probe: the first pool entries (regenerated from the
     // workload seed) through the chaos path vs the daemon directly. The
@@ -937,8 +992,10 @@ pub fn chaos_soak(opts: &ChaosSoakOptions) -> ChaosSoakSummary {
         availability: ok as f64 / workload.len().max(1) as f64,
         goodput_rps: ok as f64 / (elapsed_us.max(1) as f64 / 1e6),
         elapsed_us,
-        p50_us: if latencies.is_empty() { 0 } else { rank(0.5) },
-        p99_us: if latencies.is_empty() { 0 } else { rank(0.99) },
+        p50_us,
+        p99_us,
+        goodput_p50_us,
+        goodput_p99_us,
         attempts: stats.attempts,
         retries: stats.retries,
         first_try_ok: stats.first_try_ok,
@@ -1192,9 +1249,61 @@ mod tests {
                 summary.p50_us <= summary.p95_us && summary.p95_us <= summary.p99_us,
                 "{label}: percentiles must be ordered: {summary:?}"
             );
+            // With zero failures the two families are the same sample.
+            assert_eq!(
+                (summary.p50_us, summary.p95_us, summary.p99_us),
+                (
+                    summary.goodput_p50_us,
+                    summary.goodput_p95_us,
+                    summary.goodput_p99_us
+                ),
+                "{label}: all-responses and goodput families must coincide \
+                 on an all-2xx replay: {summary:?}"
+            );
         }
         server.shutdown();
         server.join();
+    }
+
+    #[test]
+    fn goodput_percentiles_exclude_shed_and_failed_responses() {
+        // Synthetic outcomes: two microsecond-fast sheds, one deadline
+        // 504, one transport error that burned a full timeout, and a
+        // known band of 2xx latencies.
+        let outcomes = vec![
+            (429u16, 1u64),
+            (429, 2),
+            (504, 3),
+            (0, 1_000_000),
+            (200, 100),
+            (200, 200),
+            (204, 300),
+            (200, 400),
+        ];
+        let s = tally(8, 1_000, outcomes);
+        assert_eq!(
+            (s.ok, s.shed, s.server_errors, s.transport_errors),
+            (4, 2, 1, 1)
+        );
+        // All-responses: the fast sheds drag the median down to the
+        // bottom of the served band, the hung transport error owns p99.
+        assert_eq!(s.p50_us, 100);
+        assert_eq!(s.p99_us, 1_000_000);
+        // Goodput sees only the served band.
+        assert_eq!(s.goodput_p50_us, 200);
+        assert_eq!(s.goodput_p95_us, 400);
+        assert_eq!(s.goodput_p99_us, 400);
+    }
+
+    #[test]
+    fn goodput_percentiles_are_zero_when_nothing_succeeded() {
+        let s = tally(3, 1_000, vec![(429u16, 5u64), (503, 7), (0, 9)]);
+        assert_eq!(s.ok, 0);
+        assert_eq!(s.p50_us, 7, "all-responses family still reports");
+        assert_eq!(
+            (s.goodput_p50_us, s.goodput_p95_us, s.goodput_p99_us),
+            (0, 0, 0)
+        );
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v7"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v8"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -230,4 +230,26 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
         drills[1]["schedule_digest"].as_str(),
         "different rates must draw different schedules"
     );
+
+    // The sharded-solve section (schema v8): every kernel point ran the
+    // partitioned source against the single-process reference, every
+    // cluster point ran a coordinator against real shard daemons, and
+    // both must be byte-identical — `relative` is timing and therefore
+    // only sanity-checked.
+    let ss = &v["sharded_solve"];
+    assert_eq!(ss["byte_identical"].as_bool(), Some(true), "{ss}");
+    let kernel = ss["kernel"].as_array().expect("kernel array");
+    assert!(!kernel.is_empty());
+    for p in kernel {
+        assert_eq!(p["byte_identical"].as_bool(), Some(true), "{p}");
+        assert!(p["shards"].as_u64().unwrap() >= 2, "{p}");
+        assert!(p["relative"].as_f64().unwrap() > 0.0, "{p}");
+        assert!(p["lambda_evals"].as_u64().unwrap() > 0, "{p}");
+    }
+    let cluster = ss["cluster"].as_array().expect("cluster array");
+    assert!(!cluster.is_empty());
+    for p in cluster {
+        assert_eq!(p["byte_identical"].as_bool(), Some(true), "{p}");
+        assert!(p["shard_rpcs"].as_u64().unwrap() > 0, "{p}");
+    }
 }

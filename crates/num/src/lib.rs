@@ -50,5 +50,8 @@ pub use recover::{
 pub use rng::Rng;
 pub use roots::{bisect, brent, RootError};
 pub use seq::{linspace, linspace_excl_zero, logspace};
-pub use sum::{kahan_sum, KahanSum};
+pub use sum::{
+    block_bounds, blocked_partials, blocked_sum, combine_partials, kahan_sum, shard_blocks,
+    shard_span, KahanSum, BLOCK_LANES,
+};
 pub use tol::Tolerance;

@@ -49,6 +49,131 @@ pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
     values.into_iter().collect::<KahanSum>().total()
 }
 
+/// Number of fixed reduction lanes in the blocked Kahan scheme.
+///
+/// Every *distributable* global reduction (the equilibrium solver's Λ
+/// probes, aggregates, and `Σ α θ̂`) splits its index range into exactly
+/// this many contiguous blocks, Kahan-sums each block independently, and
+/// then Kahan-combines the block totals in block order. The lane count is
+/// a compile-time constant — **not** the shard count — so the result is
+/// invariant under redistribution: a shard owning blocks `[b0, b1)`
+/// reproduces exactly the partials a single process computes for those
+/// blocks, and any shard count dividing [`BLOCK_LANES`] recombines to the
+/// identical bit pattern.
+pub const BLOCK_LANES: usize = 64;
+
+/// Half-open index range `[lo, hi)` of block `v` in a length-`n`
+/// reduction: `[v·n/64, (v+1)·n/64)` in exact integer arithmetic.
+///
+/// Blocks partition `[0, n)` contiguously; for `n < 64` the trailing
+/// blocks are empty (their partial is exactly `0.0`, and the combiner
+/// always consumes all 64 lanes, so small populations stay well-defined).
+///
+/// # Panics
+///
+/// Panics if `v >= BLOCK_LANES`.
+pub fn block_bounds(n: usize, v: usize) -> (usize, usize) {
+    assert!(v < BLOCK_LANES, "block index {v} out of {BLOCK_LANES}");
+    (v * n / BLOCK_LANES, (v + 1) * n / BLOCK_LANES)
+}
+
+/// Per-block Kahan partial sums of `term(i)` over the blocks in
+/// `blocks`, for a reduction of global length `n`.
+///
+/// Each block restarts its accumulator, so the partial for block `v`
+/// depends only on the terms in [`block_bounds`]`(n, v)` — this is the
+/// shard-side primitive: a shard computes exactly the partials for the
+/// blocks it owns and ships them; no other shard's terms can perturb
+/// them.
+///
+/// # Panics
+///
+/// Panics if `blocks` reaches past [`BLOCK_LANES`].
+pub fn blocked_partials(
+    n: usize,
+    blocks: std::ops::Range<usize>,
+    mut term: impl FnMut(usize) -> f64,
+) -> Vec<f64> {
+    assert!(
+        blocks.end <= BLOCK_LANES,
+        "block range {blocks:?} past {BLOCK_LANES}"
+    );
+    blocks
+        .map(|v| {
+            let (lo, hi) = block_bounds(n, v);
+            let mut acc = KahanSum::new();
+            for i in lo..hi {
+                acc.add(term(i));
+            }
+            acc.total()
+        })
+        .collect()
+}
+
+/// Kahan-combine exactly [`BLOCK_LANES`] block partials in block order.
+///
+/// This is the coordinator-side half of the blocked reduction: given the
+/// 64 block totals (concatenated from however many shards produced
+/// them), it reproduces the single-process [`blocked_sum`] bit for bit.
+///
+/// # Panics
+///
+/// Panics if `partials.len() != BLOCK_LANES` — a short or long vector
+/// means a shard response was dropped or duplicated, which must never be
+/// silently summed.
+pub fn combine_partials(partials: &[f64]) -> f64 {
+    assert_eq!(
+        partials.len(),
+        BLOCK_LANES,
+        "blocked combine needs exactly {BLOCK_LANES} partials"
+    );
+    let mut acc = KahanSum::new();
+    for &p in partials {
+        acc.add(p);
+    }
+    acc.total()
+}
+
+/// One-shot blocked Kahan sum of `term(i)` for `i ∈ [0, n)` — the
+/// single-process reduction every distributed combine must reproduce.
+pub fn blocked_sum(n: usize, term: impl FnMut(usize) -> f64) -> f64 {
+    combine_partials(&blocked_partials(n, 0..BLOCK_LANES, term))
+}
+
+/// The contiguous block range `[s·64/N, (s+1)·64/N)` owned by shard `s`
+/// of `N`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ N`, `N` divides [`BLOCK_LANES`], and `s < N` —
+/// shard counts off the divisor lattice (1, 2, 4, 8, 16, 32, 64) cannot
+/// land on block boundaries and would break the bit-identity contract.
+pub fn shard_blocks(shard: usize, shards: usize) -> std::ops::Range<usize> {
+    assert!(
+        shards >= 1 && BLOCK_LANES.is_multiple_of(shards),
+        "shard count {shards} must divide {BLOCK_LANES}"
+    );
+    assert!(shard < shards, "shard {shard} out of {shards}");
+    let per = BLOCK_LANES / shards;
+    shard * per..(shard + 1) * per
+}
+
+/// The contiguous index range of a length-`n` reduction owned by shard
+/// `s` of `N` — the union of its [`shard_blocks`], which is contiguous
+/// because blocks are.
+///
+/// # Panics
+///
+/// Same contract as [`shard_blocks`].
+pub fn shard_span(n: usize, shard: usize, shards: usize) -> std::ops::Range<usize> {
+    let blocks = shard_blocks(shard, shards);
+    block_bounds(n, blocks.start).0..if blocks.end == BLOCK_LANES {
+        n
+    } else {
+        block_bounds(n, blocks.end).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,12 +211,111 @@ mod tests {
         assert!((acc.total() - 1.0).abs() < 1e-15);
     }
 
+    /// Deterministic pseudo-random terms spanning magnitudes (no RNG dep).
+    fn terms(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                (x - 0.5) * 10f64.powi((i % 7) as i32 - 3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocks_partition_the_range() {
+        for n in [0usize, 1, 3, 63, 64, 65, 1000, 12_345] {
+            let mut covered = 0usize;
+            for v in 0..BLOCK_LANES {
+                let (lo, hi) = block_bounds(n, v);
+                assert_eq!(lo, covered, "n={n} block {v} must start at previous end");
+                assert!(hi >= lo);
+                covered = hi;
+            }
+            assert_eq!(covered, n, "n={n}: blocks must cover exactly [0, n)");
+        }
+    }
+
+    #[test]
+    fn blocked_sum_is_close_to_kahan() {
+        let xs = terms(10_000);
+        let a = kahan_sum(xs.iter().copied());
+        let b = blocked_sum(xs.len(), |i| xs[i]);
+        assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn sharded_partials_recombine_bit_identically() {
+        // The core distributed-solve invariant: for every shard count on
+        // the divisor lattice, concatenating per-shard block partials in
+        // shard order reproduces the single-process blocked sum exactly.
+        for n in [0usize, 1, 5, 63, 64, 65, 777, 10_000] {
+            let xs = terms(n);
+            let single = blocked_sum(n, |i| xs[i]);
+            let single_partials = blocked_partials(n, 0..BLOCK_LANES, |i| xs[i]);
+            for shards in [1usize, 2, 4, 8, 16, 32, 64] {
+                let mut combined = Vec::new();
+                for s in 0..shards {
+                    combined.extend(blocked_partials(n, shard_blocks(s, shards), |i| xs[i]));
+                }
+                assert_eq!(combined.len(), BLOCK_LANES);
+                for (v, (a, b)) in combined.iter().zip(single_partials.iter()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} shards={shards} block {v}");
+                }
+                assert_eq!(
+                    combine_partials(&combined).to_bits(),
+                    single.to_bits(),
+                    "n={n} shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spans_tile_the_population() {
+        for n in [0usize, 1, 63, 64, 100, 9_999] {
+            for shards in [1usize, 2, 4, 8, 16, 32, 64] {
+                let mut covered = 0usize;
+                for s in 0..shards {
+                    let span = shard_span(n, s, shards);
+                    assert_eq!(span.start, covered, "n={n} shards={shards} shard {s}");
+                    covered = span.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn off_lattice_shard_count_rejected() {
+        shard_blocks(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn short_partials_vector_rejected() {
+        combine_partials(&[0.0; 63]);
+    }
+
     proptest::proptest! {
         #[test]
         fn matches_naive_on_benign_inputs(xs in proptest::collection::vec(-1e3f64..1e3, 0..200)) {
             let naive: f64 = xs.iter().sum();
             let k = kahan_sum(xs.iter().copied());
             proptest::prop_assert!((naive - k).abs() <= 1e-9 * (1.0 + naive.abs()));
+        }
+
+        #[test]
+        fn blocked_partials_are_restart_independent(xs in proptest::collection::vec(-1e6f64..1e6, 0..300)) {
+            // Computing one block alone gives the same bits as computing it
+            // as part of the full range — per-block accumulators restart.
+            let n = xs.len();
+            let full = blocked_partials(n, 0..BLOCK_LANES, |i| xs[i]);
+            for v in (0..BLOCK_LANES).step_by(7) {
+                let alone = blocked_partials(n, v..v + 1, |i| xs[i]);
+                proptest::prop_assert_eq!(alone[0].to_bits(), full[v].to_bits());
+            }
         }
     }
 }

@@ -62,7 +62,7 @@ pub struct ApiError {
 }
 
 impl ApiError {
-    fn bad(message: impl Into<String>) -> Self {
+    pub(crate) fn bad(message: impl Into<String>) -> Self {
         Self {
             status: 400,
             message: message.into(),
@@ -145,7 +145,7 @@ pub enum ApiRequest {
     Capacity(CapacityParams),
 }
 
-fn scenario_of(v: &Value) -> Result<ScenarioKind, ApiError> {
+pub(crate) fn scenario_of(v: &Value) -> Result<ScenarioKind, ApiError> {
     match v.get("scenario").and_then(Value::as_str).unwrap_or("paper") {
         "trio" => Ok(ScenarioKind::Trio),
         "paper" => Ok(ScenarioKind::PaperEnsemble),
@@ -156,7 +156,7 @@ fn scenario_of(v: &Value) -> Result<ScenarioKind, ApiError> {
     }
 }
 
-fn scenario_name(kind: ScenarioKind) -> &'static str {
+pub(crate) fn scenario_name(kind: ScenarioKind) -> &'static str {
     match kind {
         ScenarioKind::Trio => "trio",
         ScenarioKind::PaperEnsemble => "paper",
@@ -164,7 +164,7 @@ fn scenario_name(kind: ScenarioKind) -> &'static str {
     }
 }
 
-fn usize_field(v: &Value, key: &str, default: usize) -> Result<usize, ApiError> {
+pub(crate) fn usize_field(v: &Value, key: &str, default: usize) -> Result<usize, ApiError> {
     match v.get(key) {
         None => Ok(default),
         Some(f) => f
@@ -174,13 +174,13 @@ fn usize_field(v: &Value, key: &str, default: usize) -> Result<usize, ApiError> 
     }
 }
 
-fn f64_field(v: &Value, key: &str) -> Result<f64, ApiError> {
+pub(crate) fn f64_field(v: &Value, key: &str) -> Result<f64, ApiError> {
     v.get(key)
         .and_then(Value::as_f64)
         .ok_or_else(|| ApiError::bad(format!("missing numeric field {key:?}")))
 }
 
-fn check_nu(nu: f64) -> Result<f64, ApiError> {
+pub(crate) fn check_nu(nu: f64) -> Result<f64, ApiError> {
     if nu.is_finite() && nu >= 0.0 {
         Ok(nu)
     } else {
@@ -188,7 +188,7 @@ fn check_nu(nu: f64) -> Result<f64, ApiError> {
     }
 }
 
-fn check_n(n: usize, max: usize) -> Result<usize, ApiError> {
+pub(crate) fn check_n(n: usize, max: usize) -> Result<usize, ApiError> {
     if (1..=max).contains(&n) {
         Ok(n)
     } else {

@@ -5,8 +5,14 @@
 //!     [--addr HOST:PORT] [--workers N] [--queue-depth N] \
 //!     [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
 //!     [--max-connections N] [--max-pipeline N] \
-//!     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]
+//!     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS] \
+//!     [--shard HOST:PORT]...
 //! ```
+//!
+//! `--shard` (repeatable) registers a shard daemon for `/v1/dist/solve`;
+//! the registry size must divide 64 (the reduction lattice). Every
+//! daemon answers `/v1/shard/aggregate` regardless, so shard daemons
+//! need no extra flags.
 //!
 //! Prints `listening on <addr>` once the socket is bound (port 0 resolves
 //! to the OS-assigned port, so harnesses can parse the line), then serves
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
         };
         let parsed = match arg.as_str() {
             "--addr" => value("--addr").map(|v| config.addr = v),
+            "--shard" => value("--shard").map(|v| config.shards.push(v)),
             "--workers" => parse_into(&mut value, "--workers", &mut config.workers),
             "--queue-depth" => parse_into(&mut value, "--queue-depth", &mut config.queue_depth),
             "--cache-shards" => parse_into(&mut value, "--cache-shards", &mut config.cache_shards),
@@ -68,7 +75,8 @@ fn main() -> ExitCode {
                     "usage: pubopt-serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
                      [--cache-shards N] [--cache-capacity N] [--chaos SEED] \
                      [--max-connections N] [--max-pipeline N] \
-                     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]"
+                     [--read-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS] \
+                     [--shard HOST:PORT]..."
                 );
                 return ExitCode::SUCCESS;
             }

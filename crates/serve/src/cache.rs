@@ -87,7 +87,7 @@ impl ShardedCache {
         }
     }
 
-    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+    fn shard_index(&self, key: &str) -> usize {
         // FNV-1a: deterministic across runs (unlike `DefaultHasher`), so
         // shard placement — and therefore eviction order — is exactly
         // reproducible for a replayed workload.
@@ -96,7 +96,17 @@ impl ShardedCache {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        &self.shards[(h % self.shards.len() as u64) as usize]
+        // Multiply-shift, not `h % len`: a modulus consumes only the
+        // hash's low bits — exactly where FNV-1a's diffusion is weakest —
+        // and for non-power-of-two counts the 2^64 range doesn't divide
+        // evenly across residues. `(h·len) >> 64` maps the full hash
+        // range onto shards in equal-width strips, keyed by the high
+        // bits, with no count-dependent bias.
+        ((u128::from(h) * self.shards.len() as u128) >> 64) as usize
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Look up `key`, refreshing its recency on a hit.
@@ -210,6 +220,34 @@ mod tests {
             cache.stats()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn placement_is_balanced_for_non_power_of_two_shard_counts() {
+        // The multiply-shift map must spread realistic canonical keys
+        // close to uniformly even when the shard count is not a power of
+        // two (where `h % len` consumes FNV's weakly-diffused low bits
+        // and skews). Keys mimic the canonical-key shape real requests
+        // hash: fixed prose, one varying bit-pattern field.
+        for shards in [3usize, 5, 6, 7, 12, 24] {
+            let cache = ShardedCache::new(shards, 1);
+            let keys = 24_000;
+            let mut loads = vec![0u64; shards];
+            for i in 0..keys {
+                let nu = f64::from_bits(0x3fe0_0000_0000_0000 | (i as u64) << 13);
+                let key = format!("eq|paper|n=1000|nu={:016x}|profile=0", nu.to_bits());
+                loads[cache.shard_index(&key)] += 1;
+            }
+            let expected = keys as f64 / shards as f64;
+            for (j, &load) in loads.iter().enumerate() {
+                let ratio = load as f64 / expected;
+                assert!(
+                    (0.8..=1.2).contains(&ratio),
+                    "shard {j}/{shards} holds {load} of {keys} keys \
+                     ({ratio:.2}x uniform)"
+                );
+            }
+        }
     }
 
     #[test]

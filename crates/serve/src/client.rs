@@ -724,8 +724,11 @@ impl ResilientClient {
                 if let Some(secs) = retry_after.take() {
                     // Honor the server's hint ahead of our own schedule,
                     // inside the policy ceiling so a drill can't be
-                    // stalled by an adversarial header.
-                    wait = wait.max((secs * 1000).min(self.policy.max_backoff_ms));
+                    // stalled by an adversarial header. Saturate the
+                    // seconds→ms conversion: `Retry-After: 99999999999999`
+                    // is a hostile-but-legal header and must clamp to the
+                    // ceiling, not overflow.
+                    wait = wait.max(secs.saturating_mul(1000).min(self.policy.max_backoff_ms));
                     self.stats.retry_after_honored += 1;
                 }
                 std::thread::sleep(Duration::from_millis(wait));
@@ -859,5 +862,132 @@ mod tests {
         b.record_success();
         assert!(!b.record_failure(), "streak was broken by the success");
         assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    /// A one-connection-at-a-time responder that plays a fixed script of
+    /// raw response heads (body `ok` appended), for drilling header
+    /// handling the daemon would never emit.
+    fn scripted_server(scripts: Vec<String>) -> std::net::SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut scripts = scripts.into_iter();
+            'conn: while let Ok((mut stream, _)) = listener.accept() {
+                loop {
+                    // Read until the end of one request head + tiny body.
+                    let mut buf = [0u8; 4096];
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => continue 'conn,
+                        Ok(_) => {}
+                    }
+                    let Some(head) = scripts.next() else {
+                        return;
+                    };
+                    let body = "{\"ok\":true}";
+                    let wire = format!("{head}Content-Length: {}\r\n\r\n{body}", body.len());
+                    if stream.write_all(wire.as_bytes()).is_err() {
+                        continue 'conn;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn non_numeric_retry_after_falls_back_to_computed_backoff() {
+        // RFC 9110 allows `Retry-After` as an HTTP-date; this client only
+        // honors delta-seconds. An unparseable value must be ignored —
+        // retry on the policy schedule — never a panic or a stall.
+        let addr = scripted_server(vec![
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: Fri, 31 Dec 1999 23:59:59 GMT\r\n"
+                .into(),
+            "HTTP/1.1 429 Too Many Requests\r\nretry-after: abc\r\n".into(),
+            "HTTP/1.1 200 OK\r\n".into(),
+        ]);
+        let mut c = ResilientClient::new(
+            addr,
+            Duration::from_secs(2),
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_ms: 1,
+                max_backoff_ms: 5,
+                seed: 7,
+            },
+        );
+        let (status, _) = c.post("/v1/equilibrium", "{}").unwrap();
+        assert_eq!(status, 200);
+        let stats = c.stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(
+            stats.retry_after_honored, 0,
+            "unparseable hints must not count as honored"
+        );
+    }
+
+    #[test]
+    fn huge_retry_after_clamps_to_the_policy_ceiling() {
+        // A hostile-but-legal `Retry-After: <u64::MAX>` parses fine; the
+        // seconds→ms conversion must saturate and clamp to
+        // `max_backoff_ms`, not overflow (debug) or sleep for eons.
+        let addr = scripted_server(vec![
+            format!(
+                "HTTP/1.1 429 Too Many Requests\r\nRetry-After: {}\r\n",
+                u64::MAX
+            ),
+            "HTTP/1.1 200 OK\r\n".into(),
+        ]);
+        let mut c = ResilientClient::new(
+            addr,
+            Duration::from_secs(2),
+            RetryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 1,
+                max_backoff_ms: 20,
+                seed: 7,
+            },
+        );
+        let started = std::time::Instant::now();
+        let (status, _) = c.post("/v1/equilibrium", "{}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(c.stats().retry_after_honored, 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "the hint must clamp to the 20 ms ceiling, waited {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn retry_after_header_match_is_case_insensitive() {
+        let addr = scripted_server(vec![
+            "HTTP/1.1 429 Too Many Requests\r\nRETRY-AFTER: 1\r\n".into(),
+            "HTTP/1.1 200 OK\r\n".into(),
+        ]);
+        let mut c = Client::with_timeout(addr, Duration::from_secs(2));
+        let (status, _) = c.post("/v1/x", "{}").unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(
+            c.last_retry_after(),
+            Some(1),
+            "header names are case-insensitive on the wire"
+        );
+    }
+
+    #[test]
+    fn missing_retry_after_leaves_no_stale_hint() {
+        let addr = scripted_server(vec![
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n".into(),
+            "HTTP/1.1 429 Too Many Requests\r\n".into(),
+        ]);
+        let mut c = Client::with_timeout(addr, Duration::from_secs(2));
+        let _ = c.post("/v1/x", "{}").unwrap();
+        assert_eq!(c.last_retry_after(), Some(1));
+        let _ = c.post("/v1/x", "{}").unwrap();
+        assert_eq!(
+            c.last_retry_after(),
+            None,
+            "a response without the header must clear the previous hint"
+        );
     }
 }

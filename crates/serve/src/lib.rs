@@ -12,6 +12,13 @@
 //!   `/v1/capacity`), a `/v1/batch` endpoint solving an array of queries
 //!   through one warm pass, plus `/healthz`, `/v1/stats` and
 //!   `/v1/shutdown`;
+//! * a **sharded solve protocol** ([`dist`]): every daemon answers
+//!   partial-aggregate queries (`/v1/shard/aggregate`), and a daemon
+//!   started with a shard registry coordinates a distributed
+//!   water-filling solve (`/v1/dist/solve`) whose results are
+//!   byte-identical to the single-process solver — block-restarted Kahan
+//!   partials recombine exactly, so the bisection takes the identical
+//!   trajectory;
 //! * an **event-driven connection layer** ([`server`]): one
 //!   readiness-polling reactor owns every socket read (nonblocking
 //!   accept, HTTP/1.1 keep-alive, bounded pipelining, read/idle
@@ -45,6 +52,7 @@ pub mod api;
 pub mod cache;
 pub mod chaosnet;
 pub mod client;
+pub mod dist;
 pub mod http;
 pub mod server;
 pub mod state;
@@ -53,5 +61,6 @@ pub use api::{parse_batch, ApiError, ApiRequest};
 pub use cache::{CacheStats, ShardedCache};
 pub use chaosnet::{scheduled_fault, ChaosNetConfig, ChaosProxy, FaultEvent, NetFault};
 pub use client::{Client, ResilienceStats, ResilientClient, RetryPolicy};
+pub use dist::{DistParams, HttpShardSource, ShardOp, ShardQuery, ShardRpcError};
 pub use server::{spawn, ServeConfig, ServerHandle};
 pub use state::{ScenarioStore, WarmPool};

@@ -120,6 +120,13 @@ pub struct ServeConfig {
     /// Response writes (worker and reactor alike) must complete within
     /// this budget; a peer that stops reading costs at most this long.
     pub write_timeout_ms: u64,
+    /// Shard registry: addresses of the shard daemons behind
+    /// `/v1/dist/solve`. Empty (the default) leaves the coordinator
+    /// route answering `400`; non-empty, the registry size must divide
+    /// [`pubopt_num::BLOCK_LANES`] so shard block ranges tile the
+    /// reduction lattice (checked at [`spawn`]). Entry `i` serves shard
+    /// `i` of `len()`.
+    pub shards: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -137,6 +144,7 @@ impl Default for ServeConfig {
             read_timeout_ms: 5_000,
             idle_timeout_ms: 10_000,
             write_timeout_ms: 10_000,
+            shards: Vec::new(),
         }
     }
 }
@@ -226,6 +234,14 @@ struct Inner {
     respawns: AtomicU64,
     /// Response writes abandoned on the write-timeout budget.
     write_timeouts: AtomicU64,
+    /// Shard registry for `/v1/dist/solve` (empty on plain daemons).
+    shards: Vec<SocketAddr>,
+    /// Distributed solves coordinated by this daemon.
+    dist_solves: AtomicU64,
+    /// Shard RPCs issued while coordinating (retries not included).
+    shard_rpcs: AtomicU64,
+    /// Partial-aggregate queries answered as a shard.
+    shard_queries: AtomicU64,
     chaos: Option<ChaosInjector>,
     workers: usize,
     /// Budget for any single response write (worker or reactor).
@@ -251,6 +267,7 @@ pub struct ServerHandle {
 ///
 /// Propagates the bind failure if the address is unavailable.
 pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
+    let shards = resolve_shards(&config.shards)?;
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -276,6 +293,10 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
         degraded: AtomicU64::new(0),
         respawns: AtomicU64::new(0),
         write_timeouts: AtomicU64::new(0),
+        shards,
+        dist_solves: AtomicU64::new(0),
+        shard_rpcs: AtomicU64::new(0),
+        shard_queries: AtomicU64::new(0),
         chaos: config.chaos.map(ChaosInjector::new),
         workers,
         write_timeout: Duration::from_millis(config.write_timeout_ms.max(1)),
@@ -787,6 +808,8 @@ fn respond(inner: &Inner, req: &Request) -> (u16, String) {
             (200, "{\"shutting_down\":true}".to_owned())
         }
         ("POST", "/v1/batch") => serve_batch(inner, &req.body),
+        ("POST", "/v1/shard/aggregate") => serve_shard_aggregate(inner, &req.body),
+        ("POST", "/v1/dist/solve") => serve_dist_solve(inner, &req.body),
         ("POST", "/v1/crash") if inner.chaos.is_some() => {
             // Fault-drill route, live only on chaos-enabled daemons: a
             // panic *outside* per-request isolation, exercising the
@@ -840,6 +863,157 @@ fn serve_batch(inner: &Inner, body: &str) -> (u16, String) {
         parts.join(",")
     );
     (200, body)
+}
+
+/// Resolve the configured shard registry and validate its geometry.
+fn resolve_shards(shards: &[String]) -> io::Result<Vec<SocketAddr>> {
+    use std::net::ToSocketAddrs;
+    if !shards.is_empty() && !pubopt_num::BLOCK_LANES.is_multiple_of(shards.len()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "shard registry size must divide {} (got {})",
+                pubopt_num::BLOCK_LANES,
+                shards.len()
+            ),
+        ));
+    }
+    let mut out = Vec::with_capacity(shards.len());
+    for s in shards {
+        let addr = s.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {s:?} resolves to nothing"),
+            )
+        })?;
+        out.push(addr);
+    }
+    Ok(out)
+}
+
+/// `/v1/shard/aggregate`: answer a partial-aggregate query over this
+/// daemon's deterministic copy of the scenario population. Responses are
+/// cached under the query's canonical key, so a coordinator retrying a
+/// probe after a network fault replays the first computation's exact
+/// bytes. Runs under the same panic isolation (and chaos injector) as
+/// single queries — an injected fault costs the probe a retryable `500`,
+/// never the daemon.
+fn serve_shard_aggregate(inner: &Inner, body: &str) -> (u16, String) {
+    let query = match crate::dist::ShardQuery::parse(body) {
+        Ok(q) => q,
+        Err(e) => return (e.status, e.body()),
+    };
+    inner.shard_queries.fetch_add(1, Ordering::Relaxed);
+    pubopt_obs::incr("serve.shard_queries");
+    let key = query.canonical_key();
+    if let Some(body) = inner.cache.get(&key) {
+        return (200, (*body).clone());
+    }
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(injector) = &inner.chaos {
+            if injector
+                .fault_at(ChaosInjector::site("serve.worker"), seq)
+                .is_some()
+            {
+                panic!("chaos: injected worker fault (request {seq})");
+            }
+        }
+        query.handle(&inner.scenarios)
+    }));
+    match solved {
+        Ok(body) => {
+            inner.cache.insert(&key, Arc::new(body.clone()));
+            (200, body)
+        }
+        Err(_) => {
+            inner.panics.fetch_add(1, Ordering::Relaxed);
+            pubopt_obs::incr("serve.worker_panics");
+            (
+                500,
+                "{\"error\":\"worker panicked; request not served\"}".to_owned(),
+            )
+        }
+    }
+}
+
+/// `/v1/dist/solve`: run the water-filling bisection as a coordinator
+/// over the shard registry. The solve's every reduction is fetched as
+/// block partials and combined in original block order, so the response
+/// values are byte-identical to the single-process `solve_maxmin` on the
+/// same scenario (`tests/serve_dist.rs`). A shard that stays unreachable
+/// past the full retry schedule fails the solve typed: `503` naming the
+/// shard, never a made-up number.
+fn serve_dist_solve(inner: &Inner, body: &str) -> (u16, String) {
+    use crate::dist::{hex_f64, hex_f64s, DistParams, HttpShardSource};
+    use pubopt_eq::SourceSolveError;
+    if inner.shards.is_empty() {
+        let e = crate::api::ApiError::bad(
+            "this daemon has no shard registry; start it with --shard ADDR per shard",
+        );
+        return (e.status, e.body());
+    }
+    let params = match DistParams::parse(body) {
+        Ok(p) => p,
+        Err(e) => return (e.status, e.body()),
+    };
+    if params.include_profile && params.n > 10_000 {
+        let e = crate::api::ApiError::bad("include_profile is limited to n <= 10000");
+        return (e.status, e.body());
+    }
+    inner.dist_solves.fetch_add(1, Ordering::Relaxed);
+    pubopt_obs::incr("serve.dist_solves");
+    let mut source = HttpShardSource::new(params.scenario, params.n, &inner.shards);
+    let solved = pubopt_eq::solve_maxmin_with_source(
+        &mut source,
+        params.nu,
+        pubopt_num::Tolerance::default(),
+    );
+    inner.shard_rpcs.fetch_add(source.rpcs(), Ordering::Relaxed);
+    match solved {
+        Ok((eq, stats)) => {
+            let mut fields = vec![
+                ("schema".into(), Value::from("pubopt-serve/v1")),
+                ("endpoint".into(), Value::from("dist-solve")),
+                ("shards".into(), Value::from(inner.shards.len())),
+                ("n".into(), Value::from(eq.thetas.len())),
+                ("nu".into(), Value::from(params.nu)),
+                (
+                    "water_level".into(),
+                    Value::from(hex_f64(eq.water_level.unwrap_or(f64::INFINITY))),
+                ),
+                ("aggregate".into(), Value::from(hex_f64(eq.aggregate))),
+                ("congested".into(), Value::from(stats.congested)),
+                ("lambda_evals".into(), Value::from(stats.lambda_evals)),
+                (
+                    "bisect_iters".into(),
+                    Value::from(u64::from(stats.bisect_iters)),
+                ),
+                ("shard_rpcs".into(), Value::from(source.rpcs())),
+            ];
+            if params.include_profile {
+                fields.push(("thetas".into(), Value::from(hex_f64s(&eq.thetas))));
+                fields.push(("demands".into(), Value::from(hex_f64s(&eq.demands))));
+            }
+            (200, Value::Object(fields).to_string())
+        }
+        Err(SourceSolveError::Source(e)) => {
+            let body = Value::Object(vec![(
+                "error".into(),
+                Value::from(format!("distributed solve failed: {e}")),
+            )])
+            .to_string();
+            (503, body)
+        }
+        Err(SourceSolveError::WaterLevel(e)) => {
+            let body = Value::Object(vec![(
+                "error".into(),
+                Value::from(format!("water-level bisection failed: {e}")),
+            )])
+            .to_string();
+            (500, body)
+        }
+    }
 }
 
 fn serve_query(inner: &Inner, api: &ApiRequest) -> (u16, String) {
@@ -933,6 +1107,19 @@ fn stats_body(inner: &Inner) -> String {
         (
             "write_timeouts".into(),
             Value::from(inner.write_timeouts.load(Ordering::Relaxed)),
+        ),
+        ("shards_registered".into(), Value::from(inner.shards.len())),
+        (
+            "dist_solves".into(),
+            Value::from(inner.dist_solves.load(Ordering::Relaxed)),
+        ),
+        (
+            "shard_rpcs".into(),
+            Value::from(inner.shard_rpcs.load(Ordering::Relaxed)),
+        ),
+        (
+            "shard_queries".into(),
+            Value::from(inner.shard_queries.load(Ordering::Relaxed)),
         ),
         (
             "scenarios_resident".into(),

@@ -260,6 +260,55 @@ fn batch_responses_are_byte_identical_to_singles() {
     batch_server.join();
 }
 
+/// The batch bound is exact: 64 sub-queries is a full valid envelope,
+/// 65 is rejected before anything executes, and an empty array is not
+/// a batch.
+#[test]
+fn batch_boundary_sizes_hold_exactly() {
+    let server = spawn(&config()).unwrap();
+    let addr = server.addr();
+    let sub = r#"{"endpoint":"equilibrium","scenario":"trio","n":3,"nu":1.0}"#;
+    let envelope = |count: usize| format!(r#"{{"queries":[{}]}}"#, vec![sub; count].join(","));
+
+    // Exactly MAX_BATCH succeeds, with one result per sub-query.
+    let (status, resp) = client::post(addr, "/v1/batch", &envelope(64)).unwrap();
+    assert_eq!(status, 200, "a 64-query batch is legal: {resp}");
+    let v = parse(&resp).unwrap();
+    assert_eq!(v["count"].as_u64(), Some(64), "{resp}");
+    assert_eq!(v["ok"].as_u64(), Some(64), "{resp}");
+    assert_eq!(
+        v["results"].as_array().map(|r| r.len()),
+        Some(64),
+        "one result per sub-query: {resp}"
+    );
+    let solved_after_64 = server.cache_stats().misses;
+
+    // One past the bound is an envelope-level rejection: the error names
+    // both the bound and the offending count, carries no sub-query index
+    // (no single query is at fault), and executes nothing.
+    let (status, resp) = client::post(addr, "/v1/batch", &envelope(65)).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    let v = parse(&resp).unwrap();
+    let err = v["error"].as_str().unwrap_or_default();
+    assert!(
+        err.contains("64") && err.contains("65"),
+        "the bound and the count must be named: {resp}"
+    );
+    assert!(v.get("index").is_none(), "envelope error, no index: {resp}");
+
+    // An empty array is rejected the same way.
+    let (status, resp) = client::post(addr, "/v1/batch", &envelope(0)).unwrap();
+    assert_eq!(status, 400, "{resp}");
+
+    assert_eq!(
+        server.cache_stats().misses,
+        solved_after_64,
+        "rejected envelopes must not reach the solver"
+    );
+    server.shutdown();
+    server.join();
+}
+
 /// Batch validation is all-or-nothing and bounded.
 #[test]
 fn batch_validation_rejects_bad_payloads() {

@@ -26,7 +26,7 @@ use pubopt_demand::{ContentProvider, Demand, DemandKind, Family, Population};
 use pubopt_eq::{
     consumer_surplus, consumer_surplus_columnar, try_solve_maxmin, try_solve_maxmin_columnar,
 };
-use pubopt_num::{KahanSum, Rng, SolverPolicy, Tolerance};
+use pubopt_num::{Rng, SolverPolicy, Tolerance};
 
 /// Seeded populations per family (satellite spec: 10k per family).
 const POPS_PER_FAMILY: u64 = 10_000;
@@ -240,11 +240,12 @@ fn check_population(label: &str, seed: u64, pop: &Population, rng: &mut Rng, sc:
             pop,
         );
     }
-    let mut acc = KahanSum::new();
-    for (i, cp) in pop.iter().enumerate() {
-        acc.add(cp.alpha * sc.demands_s[i] * sc.thetas[i]);
-    }
-    let scalar_agg = acc.total();
+    // The solver's aggregate reduction is the fixed-lane blocked Kahan
+    // scheme (shardable by construction); the scalar reference replays
+    // it element-for-element.
+    let cps = pop.cps();
+    let scalar_agg =
+        pubopt_num::blocked_sum(pop.len(), |i| cps[i].alpha * sc.demands_s[i] * sc.thetas[i]);
     let batch_agg = cols.aggregate_per_capita(&sc.demands_s, &sc.thetas);
     assert_bits(scalar_agg, batch_agg, label, seed, "aggregate", 0, pop);
 
