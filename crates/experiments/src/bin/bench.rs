@@ -5,11 +5,11 @@
 //! ```
 //!
 //! Runs the kernels in [`pubopt_experiments::bench_harness`] and writes
-//! `BENCH_<date>.json` (schema `pubopt-bench/v8`) into `--out` (default:
+//! `BENCH_<date>.json` (schema `pubopt-bench/v9`) into `--out` (default:
 //! current directory), printing a human-readable summary to stdout.
-//! Exits nonzero if the sharded-solve section's byte-identity check
-//! fails — a distributed solve that is merely close is a bug, not a
-//! measurement.
+//! Exits nonzero if the sharded-solve or netsim/whatif byte-identity
+//! checks fail — a distributed solve (or a worker-count-dependent
+//! trace) that is merely close is a bug, not a measurement.
 
 use pubopt_experiments::bench_harness::{run, BenchOptions};
 use std::path::PathBuf;
@@ -206,6 +206,50 @@ fn main() -> ExitCode {
     }
     if !ss.byte_identical {
         eprintln!("sharded solve diverged from the single-process solver");
+        return ExitCode::FAILURE;
+    }
+
+    println!();
+    let ns = &report.netsim_scaling;
+    println!(
+        "netsim scaling ({}s simulated, {} flows / {} groups -> {} classes): \
+         byte_identical={}",
+        ns.sim_seconds, ns.flows, ns.groups, ns.classes, ns.byte_identical
+    );
+    println!(
+        "  fixed-dt {:>12} ({} updates, div {:.4})  event {:>12} ({} updates, div {:.4})  \
+         speedup {:.1}x",
+        fmt_ns(ns.fixed_dt_ns),
+        ns.fixed_updates,
+        ns.fixed_divergence,
+        fmt_ns(ns.event_ns),
+        ns.event_updates,
+        ns.event_divergence,
+        ns.speedup
+    );
+    for p in &ns.points {
+        println!(
+            "  event n={:<9} groups={:<5} rtt_classes={:<3} classes={:<3} {:>12}  \
+             {:.2e} flows/s  updates={}  div {:.4}",
+            p.flows,
+            p.groups,
+            p.rtt_classes,
+            p.classes,
+            fmt_ns(p.event_ns),
+            p.flows_per_sec,
+            p.updates,
+            p.divergence
+        );
+    }
+    println!();
+    let wi = &report.whatif;
+    println!(
+        "whatif ({} flows): cold={} us  warm={} us  cache_speedup {:.0}x  \
+         divergence {:.4}  byte_identical={}",
+        wi.flows, wi.cold_us, wi.warm_us, wi.cache_speedup, wi.divergence, wi.byte_identical
+    );
+    if !ns.byte_identical || !wi.byte_identical {
+        eprintln!("netsim trace or /v1/whatif response depends on worker count");
         return ExitCode::FAILURE;
     }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p pubopt-experiments --bin loadgen -- \
 //!     [--addr HOST:PORT | --spawn] [--requests N] [--clients N] \
-//!     [--seed N] [--pool N] [--scenario-n N] [--chaos SEED] [--shutdown] \
+//!     [--seed N] [--pool N] [--scenario-n N] [--whatif RATIO] \
+//!     [--chaos SEED] [--shutdown] \
 //!     [--keep-alive] [--pipeline N] [--batch N] [--rate RPS] \
 //!     [--ab-connections]
 //! ```
@@ -33,6 +34,12 @@
 //! the smoke job greps `"failed":0`, and the connection A/B gates on
 //! the `speedup` throughput ratio.
 //!
+//! `--whatif RATIO` carves that fraction of the pool into `/v1/whatif`
+//! co-simulation queries (equilibrium + event-driven AIMD replay) and
+//! adds a `"classes"` array to the summary with the goodput percentiles
+//! split per endpoint class, so the heavy simulation tail is visible
+//! next to the cheap cached lookups instead of averaged into them.
+//!
 //! `--ab-connections` runs the keep-alive A/B instead of a single
 //! replay: the same workload once with fresh connections and once with
 //! keep-alive, printing `{"close_rps":…,"reuse_rps":…,"speedup":…,…}` —
@@ -49,7 +56,8 @@
 //! byte-identity miss.
 
 use pubopt_experiments::serveload::{
-    chaos_soak, mixed_workload, replay_with, ChaosSoakOptions, ConnMode, LoadOptions, ReplayOptions,
+    chaos_soak, mixed_workload, replay_classified, replay_with, ChaosSoakOptions, ConnMode,
+    LoadOptions, ReplayOptions,
 };
 use pubopt_serve::{client, spawn, ServeConfig};
 use std::net::SocketAddr;
@@ -89,6 +97,7 @@ fn main() -> ExitCode {
                 "--seed" => opts.seed = parse_flag("--seed", args.next())?,
                 "--pool" => opts.pool = parse_flag("--pool", args.next())?,
                 "--scenario-n" => opts.scenario_n = parse_flag("--scenario-n", args.next())?,
+                "--whatif" => opts.whatif_ratio = parse_flag("--whatif", args.next())?,
                 "--chaos" => chaos_seed = Some(parse_flag("--chaos", args.next())?),
                 "--shutdown" => shutdown_after = true,
                 "--keep-alive" => keep_alive = true,
@@ -103,8 +112,8 @@ fn main() -> ExitCode {
                     println!(
                         "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] \
                          [--clients N] [--seed N] [--pool N] [--scenario-n N] \
-                         [--chaos SEED] [--shutdown] [--keep-alive] [--pipeline N] \
-                         [--batch N] [--rate RPS] [--ab-connections] \
+                         [--whatif RATIO] [--chaos SEED] [--shutdown] [--keep-alive] \
+                         [--pipeline N] [--batch N] [--rate RPS] [--ab-connections] \
                          [--chaos-net SEED] [--fault-rate F] [--deadline-ms MS]"
                     );
                     std::process::exit(0);
@@ -132,6 +141,10 @@ fn main() -> ExitCode {
     }
     if pipeline > 1 && batch.is_some() {
         eprintln!("--pipeline and --batch are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if !(0.0..=1.0).contains(&opts.whatif_ratio) {
+        eprintln!("--whatif must be in [0, 1]");
         return ExitCode::FAILURE;
     }
     if let Some(seed) = chaos_net {
@@ -298,7 +311,7 @@ fn main() -> ExitCode {
          (mode {mode:?}, pipeline {pipeline}, batch {batch:?}, rate {rate:?})",
         opts.requests, opts.pool, opts.seed, opts.clients
     );
-    let summary = replay_with(
+    let (summary, classes) = replay_classified(
         target,
         &workload,
         &ReplayOptions {
@@ -332,11 +345,22 @@ fn main() -> ExitCode {
         },
     };
 
+    let classes_json: Vec<String> = classes
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"endpoint\":\"{}\",\"requests\":{},\"ok\":{},\"goodput_p50_us\":{},\
+                 \"goodput_p95_us\":{},\"goodput_p99_us\":{}}}",
+                c.endpoint, c.requests, c.ok, c.goodput_p50_us, c.goodput_p95_us, c.goodput_p99_us
+            )
+        })
+        .collect();
     println!(
         "{{\"requests\":{},\"ok\":{},\"failed\":{},\"shed\":{},\"server_errors\":{},\
          \"transport_errors\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
          \"throughput_rps\":{:.1},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\
-         \"goodput_p50_us\":{},\"goodput_p95_us\":{},\"goodput_p99_us\":{}}}",
+         \"goodput_p50_us\":{},\"goodput_p95_us\":{},\"goodput_p99_us\":{},\
+         \"classes\":[{}]}}",
         summary.requests,
         summary.ok,
         summary.failed(),
@@ -349,7 +373,8 @@ fn main() -> ExitCode {
         summary.p99_us,
         summary.goodput_p50_us,
         summary.goodput_p95_us,
-        summary.goodput_p99_us
+        summary.goodput_p99_us,
+        classes_json.join(",")
     );
 
     if shutdown_after {

@@ -40,6 +40,11 @@ pub struct LoadOptions {
     pub pool: usize,
     /// CP count for the ensemble-scenario requests.
     pub scenario_n: usize,
+    /// Fraction of pool entries that are `/v1/whatif` co-simulations —
+    /// the compute-heavy traffic class the calendar-queue engine serves.
+    /// `0.0` reproduces the historical three-endpoint mixture byte for
+    /// byte (the remaining mass is rescaled, not shifted).
+    pub whatif_ratio: f64,
 }
 
 impl Default for LoadOptions {
@@ -50,6 +55,7 @@ impl Default for LoadOptions {
             seed: 7,
             pool: 24,
             scenario_n: 60,
+            whatif_ratio: 0.0,
         }
     }
 }
@@ -145,7 +151,38 @@ fn num(x: f64) -> String {
 /// dominate cold cost, equilibrium dominates count in real use, capacity
 /// keeps the slowest endpoint honest.
 fn pool_entry(rng: &mut Rng, scenario_n: usize) -> (String, String) {
-    let kind = rng.next_f64();
+    pool_entry_mixed(rng, scenario_n, 0.0)
+}
+
+/// [`pool_entry`] with a `/v1/whatif` slice carved off the top:
+/// a draw below `whatif_ratio` becomes a co-simulation query, the rest of
+/// the unit interval rescales onto the historical three-endpoint mixture
+/// (so `whatif_ratio == 0.0` reproduces the old stream exactly — same
+/// seed, same bytes).
+fn pool_entry_mixed(rng: &mut Rng, scenario_n: usize, whatif_ratio: f64) -> (String, String) {
+    let raw = rng.next_f64();
+    if raw < whatif_ratio {
+        // Equilibrium-vs-AIMD co-simulation on the trio: the expensive
+        // event-driven class. Bounded parameter menu so repeats cache.
+        let nu = rng.uniform(0.4, 1.0);
+        let kappa = [0.0, 0.5, 1.0][rng.below(3) as usize];
+        let c = rng.uniform(0.0, 0.3);
+        let flows = [200u64, 400, 800][rng.below(3) as usize];
+        return (
+            "/v1/whatif".to_owned(),
+            format!(
+                "{{\"scenario\":\"trio\",\"nu\":{},\"kappa\":{},\"c\":{},\"flows\":{flows}}}",
+                num(nu),
+                num(kappa),
+                num(c)
+            ),
+        );
+    }
+    let kind = if whatif_ratio > 0.0 {
+        (raw - whatif_ratio) / (1.0 - whatif_ratio)
+    } else {
+        raw
+    };
     if kind < 0.45 {
         // Rate equilibrium on the paper ensemble, congested regime
         // (ν* ≈ 0.25·n for the default ensemble).
@@ -195,9 +232,13 @@ fn pool_entry(rng: &mut Rng, scenario_n: usize) -> (String, String) {
 /// function of the options.
 pub fn mixed_workload(opts: &LoadOptions) -> Vec<(String, String)> {
     assert!(opts.pool > 0, "pool must be non-empty");
+    assert!(
+        (0.0..=1.0).contains(&opts.whatif_ratio),
+        "whatif_ratio must be in [0, 1]"
+    );
     let mut rng = Rng::seed_from_u64(opts.seed);
     let pool: Vec<(String, String)> = (0..opts.pool)
-        .map(|_| pool_entry(&mut rng, opts.scenario_n))
+        .map(|_| pool_entry_mixed(&mut rng, opts.scenario_n, opts.whatif_ratio))
         .collect();
     (0..opts.requests)
         .map(|_| pool[rng.below(opts.pool as u64) as usize].clone())
@@ -304,6 +345,94 @@ pub fn replay_with(
     workload: &[(String, String)],
     opts: &ReplayOptions,
 ) -> LoadSummary {
+    let (elapsed_us, _, outcomes) = replay_raw(addr, workload, opts);
+    tally(workload.len(), elapsed_us, outcomes.into_iter().flatten())
+}
+
+/// Per-endpoint slice of a replay: the achieved-goodput latency family
+/// restricted to one traffic class, so a cheap cached equilibrium lookup
+/// can never mask the tail of the co-simulation class (or vice versa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSummary {
+    /// Endpoint name (`equilibrium`, `strategy`, `capacity`, `whatif`).
+    pub endpoint: String,
+    /// Requests of this class in the workload.
+    pub requests: usize,
+    /// `2xx` responses of this class.
+    pub ok: usize,
+    /// Goodput (`2xx`-only) median latency, microseconds.
+    pub goodput_p50_us: u64,
+    /// Goodput p95 latency, microseconds.
+    pub goodput_p95_us: u64,
+    /// Goodput p99 latency, microseconds.
+    pub goodput_p99_us: u64,
+}
+
+/// [`replay_with`], additionally splitting the goodput percentiles per
+/// endpoint class (ordered by first appearance in the workload).
+pub fn replay_classified(
+    addr: SocketAddr,
+    workload: &[(String, String)],
+    opts: &ReplayOptions,
+) -> (LoadSummary, Vec<ClassSummary>) {
+    let (elapsed_us, lanes, outcomes) = replay_raw(addr, workload, opts);
+    // Re-align lane outcomes with workload indices: outcome j of lane k
+    // answers request lanes[k][j].
+    let mut by_request: Vec<(u16, u64)> = vec![(0, 0); workload.len()];
+    for (lane, out) in lanes.iter().zip(&outcomes) {
+        debug_assert_eq!(lane.len(), out.len());
+        for (&i, &res) in lane.iter().zip(out) {
+            by_request[i] = res;
+        }
+    }
+    let summary = tally(workload.len(), elapsed_us, by_request.iter().copied());
+    let mut order: Vec<&str> = Vec::new();
+    for (path, _) in workload {
+        let name = endpoint_name(path);
+        if !order.contains(&name) {
+            order.push(name);
+        }
+    }
+    let classes = order
+        .into_iter()
+        .map(|name| {
+            let mut requests = 0;
+            let mut ok = 0;
+            let mut good = Vec::new();
+            for (i, (path, _)) in workload.iter().enumerate() {
+                if endpoint_name(path) != name {
+                    continue;
+                }
+                requests += 1;
+                let (status, us) = by_request[i];
+                if (200..300).contains(&status) {
+                    ok += 1;
+                    good.push(us);
+                }
+            }
+            let (p50, p95, p99) = percentiles(&mut good);
+            ClassSummary {
+                endpoint: name.to_owned(),
+                requests,
+                ok,
+                goodput_p50_us: p50,
+                goodput_p95_us: p95,
+                goodput_p99_us: p99,
+            }
+        })
+        .collect();
+    (summary, classes)
+}
+
+/// The socket work shared by [`replay_with`] and [`replay_classified`]:
+/// returns `(elapsed_us, lanes, per-lane outcomes)` with outcome `j` of
+/// lane `k` answering workload index `lanes[k][j]`.
+#[allow(clippy::type_complexity)]
+fn replay_raw(
+    addr: SocketAddr,
+    workload: &[(String, String)],
+    opts: &ReplayOptions,
+) -> (u64, Vec<Vec<usize>>, Vec<Vec<(u16, u64)>>) {
     let clients = opts.clients.clamp(1, workload.len().max(1));
     let pipeline = opts.pipeline.max(1);
     // Deal requests round-robin: client k gets indices k, k+clients, …
@@ -374,7 +503,7 @@ pub fn replay_with(
         out
     });
     let elapsed_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-    tally(workload.len(), elapsed_us, outcomes.into_iter().flatten())
+    (elapsed_us, lanes, outcomes)
 }
 
 /// Nearest-rank `(p50, p95, p99)` of a latency sample; zeros when empty.
@@ -484,6 +613,7 @@ pub fn serving_bench(quick: bool) -> ServingBench {
         seed: 7,
         clients: 4,
         requests: 0, // the A/B builds its own passes from the pool
+        whatif_ratio: 0.0,
     };
     let repeats = if quick { 3 } else { 8 };
     let mut rng = Rng::seed_from_u64(opts.seed);
@@ -598,6 +728,7 @@ pub fn connection_bench(quick: bool) -> ServingConnections {
         seed: 11,
         clients: 4,
         requests: if quick { 96 } else { 480 },
+        whatif_ratio: 0.0,
     };
     let mut rng = Rng::seed_from_u64(opts.seed);
     let pool: Vec<(String, String)> = (0..opts.pool)
@@ -918,6 +1049,7 @@ pub fn chaos_soak(opts: &ChaosSoakOptions) -> ChaosSoakSummary {
         seed: opts.seed,
         pool: opts.pool,
         scenario_n: opts.scenario_n,
+        whatif_ratio: 0.0,
     });
     let clients = opts.clients.clamp(1, workload.len().max(1));
     let lanes: Vec<(u64, Vec<usize>)> = (0..clients)
@@ -1109,6 +1241,84 @@ pub fn fault_bench(quick: bool) -> ServingFaults {
     }
 }
 
+/// The `whatif` section of the bench report: one end-to-end
+/// `/v1/whatif` co-simulation (analytical equilibrium + event-driven
+/// AIMD replay) timed cold through a loopback daemon, then repeated so
+/// the second pass rides the response cache, plus a cross-daemon
+/// worker-count probe: a second daemon answers the same question with
+/// `workers: 4` and must produce the byte-identical body (the `workers`
+/// field is an execution hint, deliberately outside the cache key).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatifBench {
+    /// Modelled flow population handed to the simulator.
+    pub flows: usize,
+    /// Wall microseconds for the cold (cache-miss) solve+simulate.
+    pub cold_us: u64,
+    /// Wall microseconds for the cached repeat.
+    pub warm_us: u64,
+    /// `cold_us / warm_us`.
+    pub cache_speedup: f64,
+    /// Pooled mean relative error between the simulated AIMD outcome and
+    /// the analytical water-filling prediction, from the response body.
+    pub divergence: f64,
+    /// Cached repeat AND the 4-worker daemon's answer both match the
+    /// cold body byte for byte.
+    pub byte_identical: bool,
+}
+
+/// Run the `/v1/whatif` end-to-end bench: cold vs cached timing on one
+/// daemon, byte-identity against a second daemon running the simulation
+/// with 4 workers.
+///
+/// # Panics
+///
+/// Panics if a daemon fails to bind a loopback port, a request fails at
+/// the socket level, or the endpoint returns a non-200 status — all
+/// mean the serving path is broken, which the bench must not paper
+/// over.
+pub fn whatif_bench(quick: bool) -> WhatifBench {
+    let flows = if quick { 400 } else { 100_000 };
+    let question = |workers: usize| {
+        format!(
+            "{{\"scenario\":\"trio\",\"nu\":0.5,\"kappa\":0.4,\"c\":0.05,\
+             \"flows\":{flows},\"workers\":{workers}}}"
+        )
+    };
+    let ask = |addr: SocketAddr, body: &str| -> (u64, String) {
+        let t = Instant::now();
+        let (code, resp) = client::post(addr, "/v1/whatif", body).expect("whatif request");
+        assert_eq!(code, 200, "whatif must succeed: {resp}");
+        (
+            u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX),
+            resp,
+        )
+    };
+
+    let server = spawn(&ServeConfig::default()).expect("bind loopback daemon");
+    let (cold_us, cold_body) = ask(server.addr(), &question(1));
+    let (warm_us, warm_body) = ask(server.addr(), &question(1));
+    server.shutdown();
+    server.join();
+
+    let wide = spawn(&ServeConfig::default()).expect("bind loopback daemon");
+    let (_, wide_body) = ask(wide.addr(), &question(4));
+    wide.shutdown();
+    wide.join();
+
+    let parsed = pubopt_obs::json::parse(&cold_body).expect("whatif body parses");
+    let divergence = parsed["divergence"]["mean_rel_error"]
+        .as_f64()
+        .expect("divergence.mean_rel_error present");
+    WhatifBench {
+        flows,
+        cold_us,
+        warm_us,
+        cache_speedup: cold_us.max(1) as f64 / warm_us.max(1) as f64,
+        divergence,
+        byte_identical: warm_body == cold_body && wide_body == cold_body,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,12 +1354,80 @@ mod tests {
             requests: 40,
             pool: 40,
             scenario_n: 12,
+            whatif_ratio: 0.25,
             ..LoadOptions::default()
         };
-        for (path, body) in mixed_workload(&opts) {
+        let stream = mixed_workload(&opts);
+        assert!(
+            stream.iter().any(|(path, _)| path == "/v1/whatif"),
+            "a 25% ratio over 40 pool entries must draw whatif queries"
+        );
+        for (path, body) in stream {
             pubopt_serve::ApiRequest::parse(&path, &body)
                 .unwrap_or_else(|e| panic!("generated invalid request {path} {body}: {e:?}"));
         }
+    }
+
+    #[test]
+    fn zero_whatif_ratio_reproduces_the_historical_stream() {
+        // The ratio carve-out rescales the mixture instead of shifting
+        // it, so existing seeded workloads (CI smokes, bench pools) are
+        // byte-for-byte unchanged at ratio 0.
+        let base = LoadOptions {
+            requests: 50,
+            pool: 12,
+            scenario_n: 16,
+            ..LoadOptions::default()
+        };
+        let mut rng = Rng::seed_from_u64(base.seed);
+        let legacy: Vec<(String, String)> = (0..base.pool)
+            .map(|_| pool_entry(&mut rng, base.scenario_n))
+            .collect();
+        let mut rng = Rng::seed_from_u64(base.seed);
+        let mixed: Vec<(String, String)> = (0..base.pool)
+            .map(|_| pool_entry_mixed(&mut rng, base.scenario_n, 0.0))
+            .collect();
+        assert_eq!(legacy, mixed);
+    }
+
+    #[test]
+    fn classified_replay_splits_goodput_per_endpoint() {
+        let server = spawn(&ServeConfig::default()).expect("bind");
+        let workload = mixed_workload(&LoadOptions {
+            requests: 24,
+            pool: 6,
+            scenario_n: 8,
+            whatif_ratio: 0.4,
+            seed: 3,
+            ..LoadOptions::default()
+        });
+        let (summary, classes) = replay_classified(
+            server.addr(),
+            &workload,
+            &ReplayOptions {
+                clients: 3,
+                ..ReplayOptions::default()
+            },
+        );
+        assert_eq!(summary.failed(), 0, "{summary:?}");
+        assert!(classes.len() >= 2, "mixed stream has multiple classes");
+        let mut seen = 0;
+        for class in &classes {
+            assert_eq!(class.ok, class.requests, "{class:?}");
+            assert!(
+                class.goodput_p50_us <= class.goodput_p95_us
+                    && class.goodput_p95_us <= class.goodput_p99_us,
+                "{class:?}"
+            );
+            seen += class.requests;
+        }
+        assert_eq!(seen, workload.len(), "classes partition the workload");
+        assert!(
+            classes.iter().any(|c| c.endpoint == "whatif"),
+            "whatif class present: {classes:?}"
+        );
+        server.shutdown();
+        server.join();
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
     let text = report.to_json();
     let v = pubopt_obs::json::parse(&text).expect("bench JSON must parse");
 
-    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v8"));
+    assert_eq!(v["schema"].as_str(), Some("pubopt-bench/v9"));
     assert_eq!(v["quick"].as_bool(), Some(true));
     assert!(v["date"].as_str().is_some_and(|d| d.len() == 10));
 
@@ -252,4 +252,40 @@ fn bench_quick_report_parses_and_covers_every_kernel() {
         assert_eq!(p["byte_identical"].as_bool(), Some(true), "{p}");
         assert!(p["shard_rpcs"].as_u64().unwrap() > 0, "{p}");
     }
+
+    // The calendar-queue netsim section (schema v9): the event-driven
+    // simulator must beat the fixed-dt integrator even in debug builds
+    // (the work-term gap is structural), stay bit-identical across
+    // 1/2/4/8 workers, and publish the flow-scaling table. The release
+    // ≥ 20× acceptance number is asserted by the --ignored release
+    // smoke, not by debug timings.
+    let ns = &v["netsim_scaling"];
+    assert_eq!(ns["byte_identical"].as_bool(), Some(true), "{ns}");
+    assert!(ns["speedup"].as_f64().unwrap() > 1.0, "{ns}");
+    assert!(ns["fixed_dt_ns"].as_u64().unwrap() > 0);
+    assert!(ns["event_ns"].as_u64().unwrap() > 0);
+    assert!(
+        ns["event_updates"].as_u64().unwrap() * 10 < ns["fixed_updates"].as_u64().unwrap(),
+        "class aggregation + RTT clocking must collapse the work term: {ns}"
+    );
+    let points = ns["points"].as_array().expect("netsim points array");
+    assert!(!points.is_empty());
+    for p in points {
+        assert!(p["event_ns"].as_u64().unwrap() > 0, "{p}");
+        assert!(p["flows_per_sec"].as_f64().unwrap() > 0.0, "{p}");
+        assert!(
+            p["classes"].as_u64().unwrap() <= p["groups"].as_u64().unwrap(),
+            "aggregation can only shrink the population: {p}"
+        );
+    }
+
+    // The /v1/whatif co-simulation went through real loopback daemons:
+    // the cached repeat and a separate 4-worker daemon must both answer
+    // byte-identically to the cold solve, and the simulated outcome must
+    // sit near the analytical water-filling prediction.
+    let wi = &v["whatif"];
+    assert_eq!(wi["byte_identical"].as_bool(), Some(true), "{wi}");
+    assert!(wi["cold_us"].as_u64().unwrap() > 0);
+    assert!(wi["warm_us"].as_u64().unwrap() > 0);
+    assert!(wi["divergence"].as_f64().unwrap() < 0.2, "{wi}");
 }

@@ -3,6 +3,12 @@
 //! Simulation time is `f64` seconds. Events at equal times fire in
 //! insertion order (a monotone sequence number breaks ties), which keeps
 //! runs bit-reproducible regardless of heap internals.
+//!
+//! This is the simple `O(log n)` binary-heap scheduler; the serve-scale
+//! engine uses the `O(1)`-amortized [`crate::CalendarQueue`] instead,
+//! which also supports cancellation. The two agree exactly on pop order
+//! (same `(time, seq)` contract) — the calendar queue's property tests
+//! use this heap as the reference model.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

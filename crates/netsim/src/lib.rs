@@ -46,20 +46,24 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calendar;
 pub mod churn;
 pub mod event;
 pub mod flow;
 pub mod queue;
+pub mod scaled;
 pub mod scenario;
 pub mod sim;
 pub mod trace;
 pub mod validate;
 
+pub use calendar::{CalendarQueue, EventId};
 pub use churn::{ChurnConfig, ChurnReport, ChurnSim};
 pub use event::EventQueue;
 pub use flow::{FlowGroup, FlowState};
 pub use queue::{DropTailQueue, RedConfig, RedQueue};
+pub use scaled::{ScaledReport, ScaledSim};
 pub use scenario::{groups_from_population, RttModel};
 pub use sim::{FluidSim, GroupIndexError, SimConfig, SimReport};
 pub use trace::{record, Trace, TraceSample};
-pub use validate::{compare_to_maxmin, jain_index, MaxMinComparison};
+pub use validate::{compare_report_to_maxmin, compare_to_maxmin, jain_index, MaxMinComparison};

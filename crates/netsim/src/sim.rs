@@ -100,26 +100,49 @@ enum Phase {
     Stop,
 }
 
-/// The bottleneck queue variants.
+/// The bottleneck queue variants. Shared with the event-driven
+/// [`crate::scaled::ScaledSim`], which integrates the same queue between
+/// events instead of every global tick.
 #[derive(Debug, Clone)]
-enum Bottleneck {
+pub(crate) enum Bottleneck {
     DropTail(DropTailQueue),
     Red(RedQueue),
 }
 
 impl Bottleneck {
-    fn delay(&self) -> f64 {
+    pub(crate) fn delay(&self) -> f64 {
         match self {
             Bottleneck::DropTail(q) => q.delay(),
             Bottleneck::Red(q) => q.delay(),
         }
     }
 
-    fn step(&mut self, dt: f64, arrival: f64) -> f64 {
+    pub(crate) fn backlog(&self) -> f64 {
+        match self {
+            Bottleneck::DropTail(q) => q.backlog(),
+            Bottleneck::Red(q) => q.backlog(),
+        }
+    }
+
+    pub(crate) fn step(&mut self, dt: f64, arrival: f64) -> f64 {
         match self {
             Bottleneck::DropTail(q) => q.step(dt, arrival),
             Bottleneck::Red(q) => q.step(dt, arrival),
         }
+    }
+}
+
+/// Resolve the auto MSS and build the bottleneck queue for `config` —
+/// the shared setup of [`FluidSim::new`] and the scaled event-driven
+/// simulator, so both paths model the identical link.
+pub(crate) fn build_bottleneck(config: &mut SimConfig, min_rtt: f64) -> Bottleneck {
+    if config.mss == 0.0 {
+        config.mss = config.capacity * min_rtt / 256.0;
+    }
+    let buffer = (config.buffer_bdp_factor * config.capacity * min_rtt).max(config.mss);
+    match config.red {
+        Some(red) => Bottleneck::Red(RedQueue::new(config.capacity, buffer, red)),
+        None => Bottleneck::DropTail(DropTailQueue::new(config.capacity, buffer)),
     }
 }
 
@@ -149,15 +172,8 @@ impl FluidSim {
             .iter()
             .map(|g| g.rtt_base)
             .fold(f64::INFINITY, f64::min);
-        if config.mss == 0.0 {
-            config.mss = config.capacity * min_rtt / 256.0;
-        }
-        let buffer = (config.buffer_bdp_factor * config.capacity * min_rtt).max(config.mss);
         let states = (0..groups.len()).map(FlowState::new).collect();
-        let queue = match config.red {
-            Some(red) => Bottleneck::Red(RedQueue::new(config.capacity, buffer, red)),
-            None => Bottleneck::DropTail(DropTailQueue::new(config.capacity, buffer)),
-        };
+        let queue = build_bottleneck(&mut config, min_rtt);
         Self {
             groups,
             config,
@@ -195,11 +211,13 @@ impl FluidSim {
     ///
     /// # Panics
     ///
-    /// Panics when `g` is out of range; use
+    /// Panics with the [`GroupIndexError`] message (naming the offending
+    /// index and the group count) when `g` is out of range; use
     /// [`FluidSim::try_set_flow_count`] to handle that case.
     pub fn set_flow_count(&mut self, g: usize, flows: usize) {
-        self.try_set_flow_count(g, flows)
-            .expect("flow group index out of range");
+        if let Err(e) = self.try_set_flow_count(g, flows) {
+            panic!("{e}");
+        }
     }
 
     /// Current per-flow instantaneous rate of group `g`, or `None` when
@@ -214,11 +232,20 @@ impl FluidSim {
     ///
     /// # Panics
     ///
-    /// Panics when `g` is out of range; use
+    /// Panics with the [`GroupIndexError`] message (naming the offending
+    /// index and the group count) when `g` is out of range; use
     /// [`FluidSim::try_instantaneous_rate`] to handle that case.
     pub fn instantaneous_rate(&self, g: usize) -> f64 {
-        self.try_instantaneous_rate(g)
-            .expect("flow group index out of range")
+        match self.try_instantaneous_rate(g) {
+            Some(rate) => rate,
+            None => panic!(
+                "{}",
+                GroupIndexError {
+                    index: g,
+                    groups: self.groups.len(),
+                }
+            ),
+        }
     }
 
     /// Current effective RTT of group `g` — its base RTT plus the
@@ -476,7 +503,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "flow group index out of range")]
+    #[should_panic(expected = "group index 3 out of range (1 groups)")]
     fn unchecked_set_flow_count_panics_out_of_range() {
         let mut sim = FluidSim::new(
             vec![FlowGroup::new("only", 1, 1e9, 0.1)],
@@ -486,12 +513,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "flow group index out of range")]
+    #[should_panic(expected = "group index 3 out of range (1 groups)")]
     fn unchecked_instantaneous_rate_panics_out_of_range() {
         let sim = FluidSim::new(
             vec![FlowGroup::new("only", 1, 1e9, 0.1)],
             quick_config(100.0),
         );
         let _ = sim.instantaneous_rate(3);
+    }
+
+    #[test]
+    fn group_index_error_names_index_and_count() {
+        let mut sim = FluidSim::new(
+            vec![
+                FlowGroup::new("a", 1, 1e9, 0.1),
+                FlowGroup::new("b", 1, 1e9, 0.1),
+            ],
+            quick_config(100.0),
+        );
+        let err = sim.try_set_flow_count(7, 2).unwrap_err();
+        assert_eq!(err.to_string(), "group index 7 out of range (2 groups)");
+        assert_eq!(err.index, 7);
+        assert_eq!(err.groups, 2);
+        // Usable as a trait object through std::error::Error.
+        let dynamic: Box<dyn std::error::Error> = Box::new(err);
+        assert!(dynamic.to_string().contains("out of range"));
     }
 }

@@ -6,10 +6,16 @@
 //! the `tcp_vs_maxmin` example for terminal plots and by tests that
 //! assert dynamical properties (e.g. that the RED queue settles while the
 //! drop-tail queue keeps oscillating).
+//!
+//! Storage is **column-major**: one contiguous `Vec<f64>` per group plus
+//! shared time and queue-delay axes. [`Trace::rate_series`] is therefore
+//! a borrow, not a per-call allocation, and [`Trace::rate_cv`] iterates
+//! the column in place without cloning.
 
 use crate::sim::{FluidSim, SimConfig};
 
-/// One sampled instant of the simulation state.
+/// One sampled instant of the simulation state (the row form used when
+/// feeding samples into a [`Trace`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceSample {
     /// Simulation time (seconds).
@@ -20,28 +26,71 @@ pub struct TraceSample {
     pub queue_delay: f64,
 }
 
-/// A recorded trace.
-#[derive(Debug, Clone, Default)]
+/// A recorded trace, stored column-major: `columns[g][k]` is group `g`'s
+/// per-flow rate at sample `k`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
-    /// Samples in time order.
-    pub samples: Vec<TraceSample>,
+    times: Vec<f64>,
+    queue_delay: Vec<f64>,
+    columns: Vec<Vec<f64>>,
 }
 
 impl Trace {
-    /// Extract one group's rate series.
-    pub fn rate_series(&self, group: usize) -> Vec<f64> {
-        self.samples.iter().map(|s| s.rates[group]).collect()
+    /// Append one sample. The first sample fixes the group count; later
+    /// samples must carry the same number of rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.rates` disagrees with the established width.
+    pub fn push(&mut self, sample: TraceSample) {
+        if self.columns.is_empty() {
+            self.columns = vec![Vec::new(); sample.rates.len()];
+        }
+        assert_eq!(
+            sample.rates.len(),
+            self.columns.len(),
+            "sample width must match the trace"
+        );
+        self.times.push(sample.time);
+        self.queue_delay.push(sample.queue_delay);
+        for (col, r) in self.columns.iter_mut().zip(&sample.rates) {
+            col.push(*r);
+        }
     }
 
-    /// The time axis.
-    pub fn times(&self) -> Vec<f64> {
-        self.samples.iter().map(|s| s.time).collect()
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether any samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// One group's rate series, borrowed from the column store.
+    pub fn rate_series(&self, group: usize) -> &[f64] {
+        &self.columns[group]
+    }
+
+    /// The time axis, borrowed.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The queue-delay series, borrowed.
+    pub fn queue_delays(&self) -> &[f64] {
+        &self.queue_delay
     }
 
     /// Coefficient of variation (σ/µ) of a group's rate over the trace —
-    /// a scalar "how oscillatory is this" metric.
+    /// a scalar "how oscillatory is this" metric. Computed over the
+    /// borrowed column; no clone.
     pub fn rate_cv(&self, group: usize) -> f64 {
-        let xs = self.rate_series(group);
+        let xs = match self.columns.get(group) {
+            Some(col) => col.as_slice(),
+            None => return 0.0,
+        };
         if xs.is_empty() {
             return 0.0;
         }
@@ -93,7 +142,7 @@ pub fn record(
         sim.advance(dt);
         t += dt;
         if t >= next_sample {
-            trace.samples.push(TraceSample {
+            trace.push(TraceSample {
                 time: t,
                 rates: (0..sim.groups.len())
                     .map(|g| sim.instantaneous_rate(g))
@@ -130,16 +179,12 @@ mod tests {
     #[test]
     fn trace_samples_at_requested_period() {
         let trace = record(groups(), config(true), 10.0, 0.5);
-        assert!(
-            trace.samples.len() >= 18 && trace.samples.len() <= 22,
-            "{}",
-            trace.samples.len()
-        );
-        let times = trace.times();
-        for w in times.windows(2) {
+        assert!(trace.len() >= 18 && trace.len() <= 22, "{}", trace.len());
+        for w in trace.times().windows(2) {
             assert!(w[1] > w[0]);
         }
-        assert_eq!(trace.rate_series(0).len(), trace.samples.len());
+        assert_eq!(trace.rate_series(0).len(), trace.len());
+        assert_eq!(trace.queue_delays().len(), trace.len());
     }
 
     #[test]
@@ -156,16 +201,51 @@ mod tests {
 
     #[test]
     fn cv_of_constant_series_is_zero() {
-        let t = Trace {
-            samples: (0..10)
-                .map(|i| TraceSample {
-                    time: i as f64,
-                    rates: vec![5.0],
-                    queue_delay: 0.0,
-                })
-                .collect(),
-        };
+        let mut t = Trace::default();
+        for i in 0..10 {
+            t.push(TraceSample {
+                time: i as f64,
+                rates: vec![5.0],
+                queue_delay: 0.0,
+            });
+        }
         assert_eq!(t.rate_cv(0), 0.0);
         assert!(Trace::default().rate_cv(0) == 0.0);
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    fn rate_series_borrows_the_column_store() {
+        let mut t = Trace::default();
+        t.push(TraceSample {
+            time: 0.0,
+            rates: vec![1.0, 2.0],
+            queue_delay: 0.1,
+        });
+        t.push(TraceSample {
+            time: 1.0,
+            rates: vec![3.0, 4.0],
+            queue_delay: 0.2,
+        });
+        let a: &[f64] = t.rate_series(0);
+        assert_eq!(a, &[1.0, 3.0]);
+        assert_eq!(t.rate_series(1), &[2.0, 4.0]);
+        assert_eq!(t.times(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width must match the trace")]
+    fn push_rejects_width_mismatch() {
+        let mut t = Trace::default();
+        t.push(TraceSample {
+            time: 0.0,
+            rates: vec![1.0],
+            queue_delay: 0.0,
+        });
+        t.push(TraceSample {
+            time: 1.0,
+            rates: vec![1.0, 2.0],
+            queue_delay: 0.0,
+        });
     }
 }

@@ -7,7 +7,7 @@
 //! relative error and the Jain fairness index of the uncapped flows.
 
 use crate::flow::FlowGroup;
-use crate::sim::{FluidSim, SimConfig};
+use crate::sim::{FluidSim, SimConfig, SimReport};
 use pubopt_alloc::{MaxMinFair, RateAllocator};
 use pubopt_demand::{ContentProvider, DemandKind, Population};
 
@@ -56,12 +56,27 @@ pub fn jain_index(xs: &[f64]) -> f64 {
 /// per-capita capacity `ν = capacity / Σ flows`.
 pub fn compare_to_maxmin(groups: &[FlowGroup], config: SimConfig) -> MaxMinComparison {
     assert!(!groups.is_empty(), "need at least one group");
+    let capacity = config.capacity;
+    let mut sim = FluidSim::new(groups.to_vec(), config);
+    let report = sim.run();
+    compare_report_to_maxmin(&report, groups, capacity)
+}
+
+/// Compare an already-computed simulation [`SimReport`] against the
+/// max-min prediction for `groups` on a link of `capacity`.
+///
+/// This is [`compare_to_maxmin`] with the simulation factored out, so the
+/// same divergence metric applies to any engine producing a `SimReport`
+/// — in particular [`crate::ScaledSim`]'s event-driven runs and the
+/// `/v1/whatif` serving path.
+pub fn compare_report_to_maxmin(
+    report: &SimReport,
+    groups: &[FlowGroup],
+    capacity: f64,
+) -> MaxMinComparison {
+    assert!(!groups.is_empty(), "need at least one group");
     let total_flows: usize = groups.iter().map(|g| g.flows).sum();
     assert!(total_flows > 0, "need at least one active flow");
-
-    // Simulated rates.
-    let mut sim = FluidSim::new(groups.to_vec(), config.clone());
-    let report = sim.run();
 
     // Analytical prediction: per-flow max-min share.
     let m = total_flows as f64;
@@ -78,7 +93,7 @@ pub fn compare_to_maxmin(groups: &[FlowGroup], config: SimConfig) -> MaxMinCompa
         })
         .collect();
     let demands = vec![1.0; groups.len()];
-    let nu = config.capacity / m;
+    let nu = capacity / m;
     let predicted = MaxMinFair.allocate(&pop, &demands, nu);
     let water = MaxMinFair::water_level(&pop, &demands, nu);
 
@@ -100,7 +115,7 @@ pub fn compare_to_maxmin(groups: &[FlowGroup], config: SimConfig) -> MaxMinCompa
     };
     let max = rel_error.iter().cloned().fold(0.0, f64::max);
     MaxMinComparison {
-        simulated: report.per_flow_rate,
+        simulated: report.per_flow_rate.clone(),
         predicted,
         rel_error,
         mean_rel_error: mean,

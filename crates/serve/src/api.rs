@@ -10,6 +10,12 @@
 //! * `/v1/capacity` — Public Option sizing (§VI): the smallest capacity
 //!   share that disciplines a share-maximising incumbent to a target
 //!   consumer-surplus fraction.
+//! * `/v1/whatif` — analytical-vs-simulated co-validation: solve the
+//!   competitive equilibrium at one strategy `(κ, c)`, then *replay* the
+//!   equilibrium demand through the event-driven fluid AIMD simulator
+//!   (`pubopt-netsim`'s calendar-queue engine) on both capacity tiers and
+//!   report the per-CP divergence between the transport outcome and the
+//!   max-min prediction the solver assumes (§II-D.2, made a query).
 //!
 //! **Canonicalization.** The cache key is built from the *typed* request
 //! — scenario kind, CP count, and every `f64` rendered as its IEEE-754
@@ -28,7 +34,9 @@
 
 use crate::state::{ScenarioStore, WarmPool};
 use pubopt_core::{competitive_equilibrium_warm, minimum_po_capacity, IspStrategy};
+use pubopt_demand::Population;
 use pubopt_eq::{consumer_surplus, try_solve_maxmin_warm};
+use pubopt_netsim::{compare_report_to_maxmin, FlowGroup, ScaledSim, SimConfig};
 use pubopt_num::recover::SolverPolicy;
 use pubopt_num::Tolerance;
 use pubopt_obs::json::{parse, Value};
@@ -46,6 +54,19 @@ const MAX_GRID: usize = 256;
 const MAX_CAPACITY_CPS: usize = 5_000;
 /// Most sub-queries one `/v1/batch` request may carry.
 pub const MAX_BATCH: usize = 64;
+/// CP-count bound for `/v1/whatif` (one simulated flow group per CP).
+const MAX_WHATIF_CPS: usize = 5_000;
+/// Largest simulated consumer scale a what-if may request (the
+/// calendar-queue engine holds ~1M flows comfortably; this is the
+/// million-flow roadmap scale with headroom).
+const MAX_WHATIF_FLOWS: usize = 2_000_000;
+/// Fixed warm-up and measurement window (simulated seconds) for
+/// `/v1/whatif` runs — like the per-endpoint solver tolerances, the
+/// window is part of the endpoint contract, not the request, so a body
+/// stays a pure function of the canonical key.
+const WHATIF_WARMUP: f64 = 30.0;
+/// See [`WHATIF_WARMUP`].
+const WHATIF_MEASURE: f64 = 30.0;
 
 /// A rejected request: HTTP status plus a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +155,31 @@ pub struct CapacityParams {
     pub grid_n: usize,
 }
 
+/// `/v1/whatif` parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatifParams {
+    /// Scenario kind.
+    pub scenario: ScenarioKind,
+    /// CP count (bounded at [`MAX_WHATIF_CPS`]).
+    pub n: usize,
+    /// Per-capita capacity ν ≥ 0.
+    pub nu: f64,
+    /// Premium capacity fraction κ ∈ [0, 1].
+    pub kappa: f64,
+    /// Premium charge c ≥ 0.
+    pub c: f64,
+    /// Simulated consumer scale `M`: CP *i* runs
+    /// `round(α_i · d_i · M)` AIMD flows.
+    pub flows: usize,
+    /// Base RTT applied to every simulated flow (seconds).
+    pub rtt: f64,
+    /// Simulation worker threads. **Not** part of the canonical key:
+    /// the engine's determinism contract makes results byte-identical
+    /// across worker counts, so requests differing only here are the
+    /// same question.
+    pub workers: usize,
+}
+
 /// A parsed, validated query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ApiRequest {
@@ -143,6 +189,8 @@ pub enum ApiRequest {
     Strategy(StrategyParams),
     /// Public Option capacity sizing.
     Capacity(CapacityParams),
+    /// Equilibrium-vs-AIMD co-simulation.
+    Whatif(WhatifParams),
 }
 
 pub(crate) fn scenario_of(v: &Value) -> Result<ScenarioKind, ApiError> {
@@ -318,6 +366,52 @@ impl ApiRequest {
                     grid_n,
                 }))
             }
+            "/v1/whatif" => {
+                let scenario = scenario_of(v)?;
+                let n = check_n(usize_field(v, "n", 100)?, MAX_WHATIF_CPS)?;
+                let nu = check_nu(f64_field(v, "nu")?)?;
+                let kappa = match v.get("kappa") {
+                    None => 1.0,
+                    Some(k) => k
+                        .as_f64()
+                        .filter(|k| (0.0..=1.0).contains(k))
+                        .ok_or_else(|| ApiError::bad("kappa must be in [0, 1]"))?,
+                };
+                let c = match v.get("c") {
+                    None => 0.0,
+                    Some(c) => c
+                        .as_f64()
+                        .filter(|c| c.is_finite() && *c >= 0.0)
+                        .ok_or_else(|| ApiError::bad("c must be finite and non-negative"))?,
+                };
+                let flows = usize_field(v, "flows", 10_000)?;
+                if !(1..=MAX_WHATIF_FLOWS).contains(&flows) {
+                    return Err(ApiError::bad(format!(
+                        "flows must be in 1..={MAX_WHATIF_FLOWS}, got {flows}"
+                    )));
+                }
+                let rtt = match v.get("rtt") {
+                    None => 0.08,
+                    Some(r) => r
+                        .as_f64()
+                        .filter(|r| (0.001..=10.0).contains(r))
+                        .ok_or_else(|| ApiError::bad("rtt must be in [0.001, 10] seconds"))?,
+                };
+                let workers = usize_field(v, "workers", 1)?;
+                if !(1..=8).contains(&workers) {
+                    return Err(ApiError::bad("workers must be in 1..=8"));
+                }
+                Ok(ApiRequest::Whatif(WhatifParams {
+                    scenario,
+                    n,
+                    nu,
+                    kappa,
+                    c,
+                    flows,
+                    rtt,
+                    workers,
+                }))
+            }
             _ => Err(ApiError {
                 status: 404,
                 message: format!("no such endpoint: {path}"),
@@ -358,6 +452,19 @@ impl ApiRequest {
                 bits(p.c_max),
                 p.grid_n
             ),
+            // `workers` is deliberately absent: the simulator is
+            // byte-identical across worker counts, so it is an execution
+            // hint, not part of the question.
+            ApiRequest::Whatif(p) => format!(
+                "whatif|{}|n={}|nu={}|kappa={}|c={}|flows={}|rtt={}",
+                scenario_name(p.scenario),
+                p.n,
+                bits(p.nu),
+                bits(p.kappa),
+                bits(p.c),
+                p.flows,
+                bits(p.rtt)
+            ),
         }
     }
 
@@ -367,6 +474,7 @@ impl ApiRequest {
             ApiRequest::Equilibrium(_) => "equilibrium",
             ApiRequest::Strategy(_) => "strategy",
             ApiRequest::Capacity(_) => "capacity",
+            ApiRequest::Whatif(_) => "whatif",
         }
     }
 
@@ -382,6 +490,7 @@ impl ApiRequest {
             ApiRequest::Equilibrium(p) => handle_equilibrium(p, scenarios, warm),
             ApiRequest::Strategy(p) => handle_strategy(p, scenarios, warm),
             ApiRequest::Capacity(p) => handle_capacity(p, scenarios),
+            ApiRequest::Whatif(p) => handle_whatif(p, scenarios, warm),
         }
     }
 }
@@ -420,12 +529,13 @@ pub fn parse_batch(body: &str) -> Result<Vec<ApiRequest>, ApiError> {
                 "equilibrium" => "/v1/equilibrium",
                 "strategy" => "/v1/strategy",
                 "capacity" => "/v1/capacity",
+                "whatif" => "/v1/whatif",
                 other => {
                     return Err(ApiError::bad_at(
                         i,
                         format!(
                             "queries[{i}]: unknown endpoint {other:?} \
-                             (expected equilibrium | strategy | capacity)"
+                             (expected equilibrium | strategy | capacity | whatif)"
                         ),
                     ))
                 }
@@ -535,6 +645,169 @@ fn handle_strategy(
             Value::Object(vec![
                 ("c".into(), Value::from(best_c)),
                 ("psi".into(), Value::from(best_psi)),
+            ]),
+        ),
+    ])
+    .to_string())
+}
+
+/// Simulated outcome of one capacity tier (premium or ordinary).
+struct TierResult {
+    body: Value,
+    rel_error: Vec<f64>,
+}
+
+/// Replay equilibrium demand through the event-driven AIMD simulator on
+/// one tier: CPs `indices` share a link of `capacity`, CP *i* running
+/// `round(α_i · d_i · M)` flows capped at `θ̂_i`. Returns `None` when the
+/// tier has no capacity or no active flows (nothing to simulate).
+fn simulate_tier(
+    pop: &Population,
+    indices: &[usize],
+    demands: &[f64],
+    capacity: f64,
+    consumers: f64,
+    rtt: f64,
+    workers: usize,
+) -> Option<TierResult> {
+    if capacity <= 0.0 {
+        return None;
+    }
+    let cps: Vec<_> = pop.iter().collect();
+    let mut groups = Vec::new();
+    for &i in indices {
+        let cp = cps[i];
+        let flows = (cp.alpha * demands[i] * consumers).round();
+        if flows < 1.0 {
+            continue;
+        }
+        groups.push(FlowGroup::new(
+            format!("cp-{i}"),
+            flows as usize,
+            cp.theta_hat,
+            rtt,
+        ));
+    }
+    if groups.is_empty() {
+        return None;
+    }
+    let total_flows: usize = groups.iter().map(|g| g.flows).sum();
+    let config = SimConfig {
+        capacity,
+        warmup: WHATIF_WARMUP,
+        measure: WHATIF_MEASURE,
+        ..SimConfig::default()
+    };
+    let mut sim = ScaledSim::new(groups.clone(), config, workers);
+    let out = sim.run();
+    let cmp = compare_report_to_maxmin(&out.report, &groups, capacity);
+    let body = Value::Object(vec![
+        ("capacity".into(), Value::from(capacity)),
+        ("flows".into(), Value::from(total_flows)),
+        ("groups".into(), Value::from(groups.len())),
+        ("classes".into(), Value::from(out.classes)),
+        ("aggregate".into(), Value::from(out.report.aggregate)),
+        (
+            "mean_queue_delay".into(),
+            Value::from(out.report.mean_queue_delay),
+        ),
+        ("mean_rel_error".into(), Value::from(cmp.mean_rel_error)),
+        ("max_rel_error".into(), Value::from(cmp.max_rel_error)),
+        ("jain_uncapped".into(), Value::from(cmp.jain_uncapped)),
+    ]);
+    Some(TierResult {
+        body,
+        rel_error: cmp.rel_error,
+    })
+}
+
+fn handle_whatif(
+    p: &WhatifParams,
+    scenarios: &ScenarioStore,
+    warm: &WarmPool,
+) -> Result<String, ApiError> {
+    let pop = scenarios.population(p.scenario, p.n);
+    let outcome = {
+        let entry = warm.game_entry(p.scenario, p.n, p.kappa);
+        let mut game_warm = entry.lock().expect("game warm entry poisoned");
+        competitive_equilibrium_warm(
+            &pop,
+            p.nu,
+            IspStrategy::new(p.kappa, p.c),
+            Tolerance::COARSE,
+            &mut game_warm,
+        )
+        .outcome
+    };
+    let psi = outcome.isp_surplus(&pop);
+    let phi = outcome.consumer_surplus(&pop);
+
+    // Each tier is its own bottleneck: the premium CPs share κ·ν·M, the
+    // ordinary ones (1−κ)·ν·M — exactly the two-link reading of Figure 1
+    // under the paper's capacity split.
+    let m = p.flows as f64;
+    let premium = simulate_tier(
+        &pop,
+        &outcome.partition.premium_indices(),
+        &outcome.demands,
+        p.kappa * p.nu * m,
+        m,
+        p.rtt,
+        p.workers,
+    );
+    let ordinary = simulate_tier(
+        &pop,
+        &outcome.partition.ordinary_indices(),
+        &outcome.demands,
+        (1.0 - p.kappa) * p.nu * m,
+        m,
+        p.rtt,
+        p.workers,
+    );
+
+    // Headline divergence pools both tiers' per-CP relative errors.
+    let mut rel = Vec::new();
+    for tier in [&premium, &ordinary].into_iter().flatten() {
+        rel.extend_from_slice(&tier.rel_error);
+    }
+    let mean_rel = if rel.is_empty() {
+        0.0
+    } else {
+        rel.iter().sum::<f64>() / rel.len() as f64
+    };
+    let max_rel = rel.iter().cloned().fold(0.0, f64::max);
+
+    let tier_value = |t: Option<TierResult>| t.map_or(Value::Null, |t| t.body);
+    Ok(Value::Object(vec![
+        ("schema".into(), Value::from("pubopt-serve/v1")),
+        ("endpoint".into(), Value::from("whatif")),
+        ("scenario".into(), Value::from(scenario_name(p.scenario))),
+        ("n".into(), Value::from(pop.len())),
+        ("nu".into(), Value::from(p.nu)),
+        ("kappa".into(), Value::from(p.kappa)),
+        ("c".into(), Value::from(p.c)),
+        ("flows".into(), Value::from(p.flows)),
+        ("rtt".into(), Value::from(p.rtt)),
+        (
+            "analytical".into(),
+            Value::Object(vec![
+                ("psi".into(), Value::from(psi)),
+                ("phi".into(), Value::from(phi)),
+                (
+                    "premium_count".into(),
+                    Value::from(outcome.partition.premium_count()),
+                ),
+                ("converged".into(), Value::from(outcome.converged)),
+            ]),
+        ),
+        ("premium".into(), tier_value(premium)),
+        ("ordinary".into(), tier_value(ordinary)),
+        (
+            "divergence".into(),
+            Value::Object(vec![
+                ("compared".into(), Value::from(rel.len())),
+                ("mean_rel_error".into(), Value::from(mean_rel)),
+                ("max_rel_error".into(), Value::from(max_rel)),
             ]),
         ),
     ])
@@ -682,6 +955,90 @@ mod tests {
         let v = parse(&body).unwrap();
         assert_eq!(v["water_level"], Value::Null);
         assert_eq!(v["congested"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn whatif_validation_and_key() {
+        for body in [
+            r#"{"nu":1.0,"kappa":1.5}"#,
+            r#"{"nu":1.0,"c":-0.1}"#,
+            r#"{"nu":1.0,"flows":0}"#,
+            r#"{"nu":1.0,"flows":3000000}"#,
+            r#"{"nu":1.0,"rtt":0.0}"#,
+            r#"{"nu":1.0,"workers":0}"#,
+            r#"{"nu":1.0,"workers":9}"#,
+            r#"{"nu":1.0,"n":6000}"#,
+        ] {
+            assert_eq!(
+                ApiRequest::parse("/v1/whatif", body).unwrap_err().status,
+                400,
+                "{body} must be rejected"
+            );
+        }
+        // The worker count is an execution hint: same canonical key.
+        let k = |w: u32| {
+            ApiRequest::parse(
+                "/v1/whatif",
+                &format!(r#"{{"scenario":"trio","n":3,"nu":1.0,"workers":{w}}}"#),
+            )
+            .unwrap()
+            .canonical_key()
+        };
+        assert_eq!(k(1), k(4));
+        // ...but the strategy is not.
+        let kc = |c: f64| {
+            ApiRequest::parse(
+                "/v1/whatif",
+                &format!(r#"{{"scenario":"trio","n":3,"nu":1.0,"c":{c}}}"#),
+            )
+            .unwrap()
+            .canonical_key()
+        };
+        assert_ne!(kc(0.0), kc(0.1));
+    }
+
+    #[test]
+    fn whatif_handler_reports_small_divergence_at_neutral_strategy() {
+        // κ = 0 with zero charge is the network-neutral baseline: every
+        // CP shares one link, and the simulated AIMD outcome must land
+        // near the analytical equilibrium (the §II-D.2 claim, served).
+        let scenarios = ScenarioStore::default();
+        let warm = WarmPool::default();
+        let req = ApiRequest::parse(
+            "/v1/whatif",
+            r#"{"scenario":"trio","n":3,"nu":0.5,"kappa":0.0,"flows":300}"#,
+        )
+        .unwrap();
+        let body = req.handle(&scenarios, &warm).unwrap();
+        let v = parse(&body).unwrap();
+        assert_eq!(v["endpoint"].as_str(), Some("whatif"));
+        assert_eq!(v["premium"], Value::Null, "no premium tier at kappa=0");
+        let ordinary = &v["ordinary"];
+        assert!(ordinary.get("flows").is_some(), "ordinary tier simulated");
+        let mean = v["divergence"]["mean_rel_error"].as_f64().unwrap();
+        assert!(
+            mean < 0.12,
+            "simulated outcome should track the equilibrium, divergence {mean}"
+        );
+        assert!(v["divergence"]["compared"].as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn whatif_is_deterministic_across_worker_counts() {
+        let scenarios = ScenarioStore::default();
+        let warm = WarmPool::default();
+        let run = |workers: usize| {
+            ApiRequest::parse(
+                "/v1/whatif",
+                &format!(
+                    r#"{{"scenario":"trio","n":3,"nu":0.5,"kappa":0.4,"c":0.05,"flows":400,"workers":{workers}}}"#
+                ),
+            )
+            .unwrap()
+            .handle(&scenarios, &warm)
+            .unwrap()
+        };
+        assert_eq!(run(1), run(4), "bodies must be byte-identical");
     }
 
     #[test]

@@ -240,6 +240,8 @@ struct Inner {
     dist_solves: AtomicU64,
     /// Shard RPCs issued while coordinating (retries not included).
     shard_rpcs: AtomicU64,
+    /// Cold `/v1/whatif` co-simulations executed (cache hits excluded).
+    whatif_solves: AtomicU64,
     /// Partial-aggregate queries answered as a shard.
     shard_queries: AtomicU64,
     chaos: Option<ChaosInjector>,
@@ -296,6 +298,7 @@ pub fn spawn(config: &ServeConfig) -> io::Result<ServerHandle> {
         shards,
         dist_solves: AtomicU64::new(0),
         shard_rpcs: AtomicU64::new(0),
+        whatif_solves: AtomicU64::new(0),
         shard_queries: AtomicU64::new(0),
         chaos: config.chaos.map(ChaosInjector::new),
         workers,
@@ -382,6 +385,11 @@ impl ServerHandle {
     /// Response writes abandoned on the write-timeout budget.
     pub fn write_timeouts(&self) -> u64 {
         self.inner.write_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Cold `/v1/whatif` co-simulations executed (cache hits excluded).
+    pub fn whatif_solves(&self) -> u64 {
+        self.inner.whatif_solves.load(Ordering::Relaxed)
     }
 
     /// Ask the daemon to stop: the reactor closes its table and exits,
@@ -1038,6 +1046,10 @@ fn serve_query(inner: &Inner, api: &ApiRequest) -> (u16, String) {
     }));
     match solved {
         Ok(Ok(body)) => {
+            if api.endpoint() == "whatif" {
+                inner.whatif_solves.fetch_add(1, Ordering::Relaxed);
+                pubopt_obs::incr("serve.whatif_solves");
+            }
             inner.cache.insert(&key, Arc::new(body.clone()));
             (200, body)
         }
@@ -1120,6 +1132,10 @@ fn stats_body(inner: &Inner) -> String {
         (
             "shard_queries".into(),
             Value::from(inner.shard_queries.load(Ordering::Relaxed)),
+        ),
+        (
+            "whatif_solves".into(),
+            Value::from(inner.whatif_solves.load(Ordering::Relaxed)),
         ),
         (
             "scenarios_resident".into(),
